@@ -1,0 +1,25 @@
+# Canonical targets for the BRSMN reproduction.
+
+.PHONY: install test bench examples report artifacts all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+	@echo "all examples ran cleanly"
+
+report:
+	python -m repro report
+
+# regenerate every table/figure artefact into benchmarks/out/
+artifacts: bench
+	@ls benchmarks/out/
+
+all: install test bench examples report

@@ -1,0 +1,70 @@
+"""Ablation — oracle tags versus self-routing tag streams.
+
+The paper's network is self-routing: messages carry pre-computed SEQ
+streams and no global knowledge is consulted.  The oracle mode
+recomputes tags from destination sets at each level.  Both must agree
+delivery-for-delivery; this bench quantifies the simulation-cost
+difference and regenerates the agreement table.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.brsmn import BRSMN, inject_messages
+from repro.core.tagtree import TagTree
+from repro.workloads.random_assignments import assignment_suite, random_multicast
+
+
+def test_mode_agreement_regeneration(write_artifact, benchmark):
+    n = 64
+    rows = []
+    net = BRSMN(n)
+    for idx, a in enumerate(assignment_suite(n, seed=31)):
+        r_oracle = net.route(a, mode="oracle")
+        r_self = net.route(a, mode="selfrouting")
+        sig_o = [None if m is None else m.source for m in r_oracle.outputs]
+        sig_s = [None if m is None else m.source for m in r_self.outputs]
+        assert sig_o == sig_s
+        rows.append(
+            [
+                idx,
+                a.total_fanout,
+                a.max_fanout,
+                r_oracle.total_splits,
+                "identical",
+            ]
+        )
+    write_artifact(
+        "ablation_tag_modes",
+        "Ablation: oracle vs self-routing tag handling (n = 64 suite)\n\n"
+        + format_table(
+            ["workload", "fanout", "max fanout", "alpha splits", "deliveries"],
+            rows,
+        ),
+    )
+
+    a = random_multicast(n, load=1.0, seed=99)
+    benchmark(net.route, a, "selfrouting")
+
+
+@pytest.mark.parametrize("mode", ["oracle", "selfrouting"])
+def test_mode_cost(benchmark, mode):
+    """Head-to-head timing of the two modes on one workload."""
+    n = 128
+    net = BRSMN(n)
+    a = random_multicast(n, load=1.0, seed=5)
+
+    res = benchmark(net.route, a, mode)
+    assert len(res.delivered) == a.total_fanout
+
+
+def test_stream_preparation_cost(benchmark):
+    """The self-routing mode's extra work: building SEQ streams."""
+    n = 256
+    a = random_multicast(n, load=1.0, seed=6)
+
+    frame = benchmark(inject_messages, a, "selfrouting")
+    for msg in frame:
+        if msg is not None:
+            assert len(msg.tag_stream) == n - 1
+            assert TagTree.from_sequence(n, msg.tag_stream).destinations() == msg.destinations

@@ -1,0 +1,49 @@
+"""Beyond-paper — internal switch-activity profiles per workload family.
+
+Regenerates the per-merge-size setting-distribution tables for three
+contrasting workloads (permutation, uniform multicast, full broadcast)
+and times the profiling pipeline.
+"""
+
+import pytest
+
+from repro.analysis.activity import profile_workload
+from repro.analysis.tables import format_table
+from repro.core.multicast import MulticastAssignment
+from repro.workloads.random_assignments import random_multicast, random_permutation
+
+N = 32
+
+
+def test_activity_profiles_regeneration(write_artifact, benchmark):
+    workloads = {
+        "random permutation": [random_permutation(N, seed=s) for s in range(4)],
+        "uniform multicast": [random_multicast(N, seed=s) for s in range(4)],
+        "full broadcast": [MulticastAssignment.broadcast(N)],
+    }
+    sections = []
+    for name, frames in workloads.items():
+        p = profile_workload(N, frames)
+        table = format_table(
+            ["merge size", "switch ops", "parallel", "cross", "broadcast"],
+            p.rows(),
+        )
+        sections.append(f"{name} ({p.frames} frames):\n{table}")
+        if name == "random permutation":
+            assert p.broadcast_total == 0
+        if name == "full broadcast":
+            assert p.broadcast_total == N - 1
+    write_artifact(
+        "activity_profiles",
+        f"Internal switch activity, n = {N}\n\n" + "\n\n".join(sections),
+    )
+
+    frames = workloads["uniform multicast"]
+    benchmark(profile_workload, N, frames)
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_profiling_cost(benchmark, n):
+    frames = [random_multicast(n, seed=7)]
+    p = benchmark(profile_workload, n, frames)
+    assert p.frames == 1

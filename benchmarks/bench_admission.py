@@ -1,0 +1,64 @@
+"""Beyond-paper — call admission / frame scheduling on contested batches.
+
+Times the greedy schedulers and the full schedule+route pipeline, and
+regenerates a policy-comparison table on skewed request batches.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.admission import (
+    Request,
+    frame_lower_bound,
+    route_requests,
+    schedule_frames,
+)
+
+
+def _busy_hour_batch(n, calls, seed):
+    rng = random.Random(seed)
+    reqs = []
+    for i in range(calls):
+        src = rng.randrange(n)
+        fanout = min(n, max(1, int(rng.paretovariate(1.6))))
+        dests = rng.sample(range(n), fanout)
+        reqs.append(Request(src, frozenset(dests), payload=f"call{i}"))
+    return reqs
+
+
+def test_admission_policy_comparison(write_artifact, benchmark):
+    n = 64
+    rows = []
+    for calls in (16, 48, 96):
+        reqs = _busy_hour_batch(n, calls, seed=calls)
+        lb = frame_lower_bound(reqs)
+        ff = schedule_frames(n, reqs, policy="first_fit").frame_count
+        lf = schedule_frames(n, reqs, policy="largest_first").frame_count
+        assert lb <= min(ff, lf)
+        rows.append([calls, lb, ff, lf])
+    write_artifact(
+        "admission_policies",
+        "Call admission: frames needed per policy (64-port switch,\n"
+        "Pareto-fanout busy-hour batches)\n\n"
+        + format_table(
+            ["calls", "lower bound", "first_fit", "largest_first"], rows
+        ),
+    )
+
+    reqs = _busy_hour_batch(n, 64, seed=7)
+    benchmark(schedule_frames, n, reqs)
+
+
+@pytest.mark.parametrize("policy", ["first_fit", "largest_first"])
+def test_schedule_and_route(benchmark, policy):
+    """The full pipeline: schedule a batch, route and verify every frame."""
+    n = 32
+    reqs = _busy_hour_batch(n, 24, seed=3)
+
+    def pipeline():
+        return route_requests(n, reqs, policy=policy)
+
+    schedule, deliveries = benchmark(pipeline)
+    assert sum(len(d) for d in deliveries) == sum(r.fanout for r in reqs)

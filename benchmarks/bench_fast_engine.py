@@ -1,0 +1,79 @@
+"""Beyond-paper — the vectorised fast path vs the reference engine.
+
+Measures the NumPy permutation-composition kernel against the faithful
+per-switch distributed simulation on identical frames, and regenerates
+a speedup table.  (The fast path exists because the guides' first rule
+of HPC Python is "vectorise the hot loop" — the reference engine stays
+the source of truth and the fast path is property-tested equal.)
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.tags import Tag
+from repro.rbn.bitsort import route_to_compact
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.fast import fast_quasisort, fast_sort_cells
+from repro.rbn.quasisort import quasisort
+
+
+def _binary_tags(n, seed):
+    rng = random.Random(seed)
+    return [rng.choice([Tag.ZERO, Tag.ONE]) for _ in range(n)]
+
+
+def _quasi_tags(n, seed):
+    rng = random.Random(seed)
+    half = n // 2
+    n0 = rng.randint(0, half)
+    n1 = rng.randint(0, half)
+    tags = [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.EPS] * (n - n0 - n1)
+    rng.shuffle(tags)
+    return tags
+
+
+def test_speedup_table(write_artifact, benchmark):
+    import time
+
+    rows = []
+    for n in (256, 1024, 4096):
+        cells = cells_from_tags(_binary_tags(n, n))
+        t0 = time.perf_counter()
+        route_to_compact(cells, n // 2, lambda t: t is Tag.ONE)
+        t1 = time.perf_counter()
+        fast_sort_cells(cells, n // 2, one_tags=(Tag.ONE,))
+        t2 = time.perf_counter()
+        rows.append(
+            [n, f"{(t1 - t0) * 1e3:.2f}", f"{(t2 - t1) * 1e3:.2f}",
+             f"{(t1 - t0) / max(t2 - t1, 1e-9):.1f}x"]
+        )
+    write_artifact(
+        "fast_engine",
+        "Vectorised fast path vs reference distributed simulation "
+        "(bit sort, one frame)\n\n"
+        + format_table(["n", "reference ms", "fast ms", "speedup"], rows),
+    )
+    cells = cells_from_tags(_binary_tags(1024, 1))
+    benchmark(fast_sort_cells, cells, 512, (Tag.ONE,))
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("n", [256, 1024])
+def test_bitsort_head_to_head(benchmark, engine, n):
+    cells = cells_from_tags(_binary_tags(n, n))
+    if engine == "reference":
+        out = benchmark(route_to_compact, cells, n // 2, lambda t: t is Tag.ONE)
+    else:
+        out = benchmark(fast_sort_cells, cells, n // 2, (Tag.ONE,))
+    assert len(out) == n
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_quasisort_head_to_head(benchmark, engine):
+    n = 1024
+    cells = cells_from_tags(_quasi_tags(n, 5))
+    fn = quasisort if engine == "reference" else fast_quasisort
+    out = benchmark(fn, cells)
+    assert all(c.tag in (Tag.ZERO, Tag.EPS) for c in out[: n // 2])

@@ -1,0 +1,44 @@
+"""Fig. 1 — the recursive BRSMN construction.
+
+Regenerates the structural audit: per splitting level, the number and
+size of the BSNs the recursion instantiates, down to the final 2x2
+switches; times full-network construction + structure queries.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.brsmn import BRSMN
+from repro.core.bsn import BinarySplittingNetwork
+
+
+def test_fig1_structure_regeneration(write_artifact, benchmark):
+    n = 64
+    rows = []
+    size, blocks, level = n, 1, 1
+    total_switches = 0
+    while size > 2:
+        bsn = BinarySplittingNetwork(size)
+        rows.append(
+            [level, f"{blocks} x BSN({size})", bsn.switch_count * blocks, bsn.depth]
+        )
+        total_switches += bsn.switch_count * blocks
+        blocks *= 2
+        size //= 2
+        level += 1
+    rows.append([level, f"{blocks} x 2x2 switch", blocks, 1])
+    total_switches += blocks
+
+    net = BRSMN(n)
+    assert net.switch_count == total_switches
+
+    write_artifact(
+        "fig01_construction",
+        f"Fig. 1: recursive construction of the {n} x {n} BRSMN\n\n"
+        + format_table(["level", "components", "switches", "stage depth"], rows)
+        + f"\n\ntotal switches: {total_switches} (= BRSMN.switch_count)",
+    )
+
+    def construct_and_audit():
+        net = BRSMN(64)
+        return net.switch_count, net.depth
+
+    benchmark(construct_and_audit)

@@ -1,0 +1,76 @@
+"""Fig. 4 — the binary splitting network: scatter then quasisort.
+
+Regenerates the Fig. 4b tag-flow view (inputs -> after scatter ->
+after quasisort) and times full BSN frames across sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.bsn import BinarySplittingNetwork
+from repro.core.tags import Tag
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.quasisort import quasisort
+from repro.rbn.scatter import scatter
+from repro.viz.ascii import format_cells
+
+
+def _bsn_tags(n, seed):
+    """A valid BSN tag population with at least one alpha (direct
+    construction; rejection sampling degenerates at large n)."""
+    rng = random.Random(seed)
+    half = n // 2
+    na = rng.randint(1, max(1, half // 3))
+    n0 = rng.randint(0, half - na)
+    n1 = rng.randint(0, half - na)
+    tags = (
+        [Tag.ZERO] * n0
+        + [Tag.ONE] * n1
+        + [Tag.ALPHA] * na
+        + [Tag.EPS] * (n - n0 - n1 - na)
+    )
+    rng.shuffle(tags)
+    return tags
+
+
+def test_fig4_regeneration(write_artifact, benchmark):
+    n = 16
+    tags = _bsn_tags(n, 0xF16)
+    cells = cells_from_tags(tags)
+    scattered = scatter(cells, 0)
+    sorted_out = quasisort(scattered)
+
+    half = n // 2
+    assert all(c.tag in (Tag.ZERO, Tag.EPS) for c in sorted_out[:half])
+    assert all(c.tag in (Tag.ONE, Tag.EPS) for c in sorted_out[half:])
+
+    write_artifact(
+        "fig04_bsn",
+        "Fig. 4: tags scattered then quasisorted in a BSN\n\n"
+        + format_table(
+            ["stage", "tags"],
+            [
+                ["BSN inputs", format_cells(cells)],
+                ["after scatter network", format_cells(scattered)],
+                ["after quasisorting network", format_cells(sorted_out)],
+            ],
+        )
+        + "\n\n(upper half carries only 0/e; lower half only 1/e)",
+    )
+
+    bsn = BinarySplittingNetwork(n)
+    benchmark(lambda: bsn.route_cells(cells_from_tags(tags)))
+
+
+@pytest.mark.parametrize("n", [16, 64, 256, 1024])
+def test_bsn_frame_scaling(benchmark, n):
+    bsn = BinarySplittingNetwork(n)
+    tags = _bsn_tags(n, n)
+
+    def frame():
+        return bsn.route_cells(cells_from_tags(tags))
+
+    out, stats = benchmark(frame)
+    assert stats.splits == tags.count(Tag.ALPHA)

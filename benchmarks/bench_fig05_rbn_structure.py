@@ -1,0 +1,36 @@
+"""Fig. 5 — the recursive definition of the reverse banyan network.
+
+Regenerates the stage/block structure audit of an RBN and times
+topology materialisation.
+"""
+
+from repro.analysis.tables import format_table
+from repro.rbn.topology import RBNTopology
+
+
+def test_fig5_regeneration(write_artifact, benchmark):
+    n = 32
+    topo = RBNTopology(n)
+    rows = []
+    for stage in range(1, topo.stage_count + 1):
+        rows.append(
+            [
+                stage,
+                f"{topo.merging_blocks(stage)} x merge({topo.merging_size(stage)})",
+                sum(1 for _ in topo.switches_in_stage(stage)),
+            ]
+        )
+    write_artifact(
+        "fig05_rbn_structure",
+        f"Fig. 5: recursive structure of the {n} x {n} RBN\n\n"
+        + format_table(["stage", "merging networks", "switches"], rows)
+        + f"\n\ntotal: {topo.switch_count} switches "
+        f"(= (n/2) log2 n = {n // 2} x {topo.stage_count})",
+    )
+    assert topo.switch_count == (n // 2) * topo.stage_count
+
+    def materialise():
+        t = RBNTopology(256)
+        return sum(1 for _ in t.all_switches())
+
+    assert benchmark(materialise) == 128 * 8

@@ -1,0 +1,48 @@
+"""Figs. 6-7 — shuffle/exchange wiring of the merging network.
+
+Regenerates the wiring table of one merging network (the n/2-apart
+terminal-pair property and the four switch settings) and times a full
+wiring-invariant sweep.
+"""
+
+from repro.analysis.tables import format_table
+from repro.rbn.permutations import exchange, terminal_pair_of_switch, unshuffle
+from repro.rbn.switches import SwitchSetting
+
+
+def test_fig6_7_regeneration(write_artifact, benchmark):
+    n = 16
+    rows = []
+    for i in range(n // 2):
+        up, lo = terminal_pair_of_switch(i, n)
+        rows.append([i, up, lo, lo - up])
+        assert lo - up == n // 2
+    settings = format_table(
+        ["r_i", "setting", "terminal map"],
+        [
+            [int(SwitchSetting.PARALLEL), "parallel", "j->j, j+n/2 -> j+n/2"],
+            [int(SwitchSetting.CROSS), "crossing", "j -> j+n/2, j+n/2 -> j"],
+            [int(SwitchSetting.UPPER_BCAST), "upper broadcast", "upper -> both (alpha -> 0,1)"],
+            [int(SwitchSetting.LOWER_BCAST), "lower broadcast", "lower -> both (alpha -> 0,1)"],
+        ],
+    )
+    write_artifact(
+        "fig06_07_wiring",
+        f"Figs. 6-7: merging-network wiring, n = {n}\n\n"
+        + format_table(["switch", "upper terminal", "lower terminal", "distance"], rows)
+        + "\n\nswitch settings (Fig. 7):\n"
+        + settings,
+    )
+
+    def invariant_sweep():
+        """|paper-shuffle(a) - paper-shuffle(exchange(a))| = n/2 for all
+        a at several sizes (the Section 4 observation)."""
+        checked = 0
+        for m in range(1, 11):
+            size = 1 << m
+            for a in range(size):
+                assert abs(unshuffle(a, size) - unshuffle(exchange(a), size)) == size // 2
+                checked += 1
+        return checked
+
+    assert benchmark(invariant_sweep) == sum(1 << m for m in range(1, 11))

@@ -1,0 +1,54 @@
+"""Fig. 8 — the binary-tree embedding and its forward/backward phases.
+
+Regenerates the tree-shape audit (node counts per level, phase step
+counts measured from instrumented runs) and times the distributed
+phases in isolation (settings computation without data movement).
+"""
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.core.tags import Tag
+from repro.rbn.bitsort import route_to_compact
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.trace import Trace
+from repro.rbn.tree import tree_node_count
+
+
+def test_fig8_regeneration(write_artifact, benchmark):
+    n = 64
+    m = 6
+    rows = [[level, 1 << level, n >> level] for level in range(m)]
+    assert tree_node_count(n) == sum(r[1] for r in rows) == n - 1
+
+    rng = random.Random(0xF18)
+    tags = [rng.choice([Tag.ZERO, Tag.ONE]) for _ in range(n)]
+    trace = Trace()
+    route_to_compact(cells_from_tags(tags), 0, lambda t: t is Tag.ONE, trace=trace)
+    pc = trace.counters
+    assert pc.forward_levels == pc.backward_levels == m
+
+    write_artifact(
+        "fig08_tree",
+        f"Fig. 8: binary-tree embedding of the {n} x {n} RBN\n\n"
+        + format_table(["tree level", "nodes", "sub-RBN size"], rows)
+        + "\n\nmeasured one bit-sort frame:\n"
+        + format_table(
+            ["phase", "tree-level steps", "operations"],
+            [
+                ["forward", pc.forward_levels, pc.forward_ops],
+                ["backward", pc.backward_levels, pc.backward_ops],
+            ],
+        )
+        + f"\nswitch settings computed: {pc.switch_settings} "
+        f"(= (n/2) log2 n = {(n // 2) * m})",
+    )
+
+    def instrumented_frame():
+        t = Trace()
+        route_to_compact(
+            cells_from_tags(tags), 0, lambda tg: tg is Tag.ONE, trace=t
+        )
+        return t.counters.total_levels
+
+    assert benchmark(instrumented_frame) == 2 * m

@@ -1,0 +1,69 @@
+"""Fig. 11 / eq. (13) — the SEQ ordering for n = 16.
+
+Regenerates the exact symbolic ordering
+
+    t11, t21, t22, t31, t33, t32, t34, t41, t45, t43, t47, t42, t46, t44, t48
+
+and times SEQ construction/parsing on large networks.
+"""
+
+from repro.core.tagtree import TagTree, order_sequence
+from repro.core.multicast import MulticastAssignment
+
+EQ13 = [
+    "t11",
+    "t21", "t22",
+    "t31", "t33", "t32", "t34",
+    "t41", "t45", "t43", "t47", "t42", "t46", "t44", "t48",
+]
+
+
+def test_fig11_regeneration(write_artifact, benchmark):
+    seq = (
+        order_sequence(["t11"])
+        + order_sequence(["t21", "t22"])
+        + order_sequence([f"t3{i}" for i in range(1, 5)])
+        + order_sequence([f"t4{i}" for i in range(1, 9)])
+    )
+    assert seq == EQ13
+    write_artifact(
+        "fig11_seq_order",
+        "Fig. 11 / eq. (13): routing tag sequence order for n = 16\n\n"
+        "SEQ = " + ", ".join(seq) + "\n\n"
+        "(paper prose indexes the sequence a_0..a_{2n-2}; the tree has\n"
+        "n - 1 = 15 tags as in the paper's own Fig. 11 and eq. (13) —\n"
+        "we follow the figure; see EXPERIMENTS.md note.)",
+    )
+
+    def build_and_parse_large():
+        n = 1024
+        tree = TagTree.from_destinations(n, range(0, n, 3))
+        seq = tree.to_sequence()
+        parsed = TagTree.from_sequence(n, seq)
+        return len(seq), len(parsed.destinations())
+
+    length, dest_count = benchmark(build_and_parse_large)
+    assert length == 1023
+    assert dest_count == len(range(0, 1024, 3))
+
+
+def test_fig11_order_is_involutive_split(benchmark):
+    """Splitting SEQ by odd/even positions recovers subtree SEQs at
+    every recursion depth (what makes constant-buffer streaming work)."""
+
+    def check(n=64):
+        a = MulticastAssignment.broadcast(n)
+        tree = TagTree.from_destinations(n, a[0])
+
+        def walk(t, size):
+            seq = t.to_sequence()
+            assert len(seq) == size - 1
+            if size > 2:
+                rest = seq[1:]
+                assert tuple(rest[0::2]) == TagTree(size // 2, t.root.left).to_sequence()
+                assert tuple(rest[1::2]) == TagTree(size // 2, t.root.right).to_sequence()
+                walk(TagTree(size // 2, t.root.left), size // 2)
+        walk(tree, n)
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,63 @@
+"""Fig. 12 — the one-bit adder used in a pipelined fashion.
+
+Regenerates the latency table of the pipelined reduction tree (fill +
+drain = O(log n), versus the O(log n x width) of unpipelined per-level
+ripple adds) and benchmarks both schemes.
+"""
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.hardware.adders import build_ripple_adder
+from repro.hardware.pipeline import PipelinedAdderTree, pipelined_add
+
+
+def test_fig12_regeneration(write_artifact, benchmark):
+    width = 10  # log n counts for n = 1024
+    rows = []
+    for m in range(1, 7):
+        n = 1 << m
+        tree = PipelinedAdderTree(n)
+        _total, latency = tree.reduce([1] * n, width)
+        unpipelined = m * (2 * width + 1)  # a ripple add per tree level
+        rows.append([n, m, latency, unpipelined])
+    write_artifact(
+        "fig12_pipelined_adder",
+        "Fig. 12: bit-serial pipelined adder tree "
+        f"(operand width {width} bits)\n\n"
+        + format_table(
+            [
+                "leaves n",
+                "tree depth",
+                "pipelined latency (cycles)",
+                "unpipelined (ripple/level)",
+            ],
+            rows,
+        )
+        + "\n\npipelined latency = fill (log n) + drain (width + log n) —\n"
+        "linear in log n, versus the multiplicative log n x width.",
+    )
+
+    rng = random.Random(0xF12)
+    ops = [rng.randrange(1 << width) for _ in range(64)]
+    tree = PipelinedAdderTree(64)
+
+    total, _lat = benchmark(tree.reduce, ops, width)
+    assert total == sum(ops)
+
+
+def test_bit_serial_vs_ripple(benchmark):
+    """One bit-serial addition (the per-node hardware of Fig. 12)."""
+    total, cycles = benchmark(pipelined_add, 733, 291, 10)
+    assert total == 733 + 291
+    assert cycles == 11
+
+
+def test_ripple_adder_reference(benchmark):
+    """The gate-level unpipelined adder, for the comparison row."""
+    adder = build_ripple_adder(10)
+    from repro.hardware.adders import add_with_circuit
+
+    total, critical = benchmark(add_with_circuit, adder, 733, 291, 10)
+    assert total == 1024
+    assert critical >= 2  # carry chain depth

@@ -1,0 +1,61 @@
+"""Fig. 13 — the feedback implementation: cost vs passes ablation.
+
+Regenerates the feedback network's pass schedule and the
+unrolled-vs-feedback cost table, and benchmarks both implementations
+on identical workloads (the ablation DESIGN.md calls out).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.verification import verify_result
+from repro.workloads.random_assignments import random_multicast
+
+
+def test_fig13_regeneration(write_artifact, benchmark):
+    n = 32
+    a = random_multicast(n, load=1.0, seed=0xF13)
+    fb = FeedbackBRSMN(n)
+    res = fb.route(a, mode="selfrouting")
+    assert verify_result(res).ok
+
+    schedule = format_table(
+        ["pass", "level", "role", "slice size", "slices", "stages used"],
+        [
+            [p.index, p.level, p.role, p.slice_size, p.slices, p.stages_used]
+            for p in res.passes
+        ],
+    )
+    cost_rows = []
+    for size in (8, 64, 512, 4096):
+        un = BRSMN(size).switch_count
+        f = FeedbackBRSMN(size).switch_count
+        cost_rows.append(
+            [size, un, f, f"{un / f:.2f}x", 2 * (size.bit_length() - 1) - 1]
+        )
+    write_artifact(
+        "fig13_feedback",
+        f"Fig. 13: feedback implementation, n = {n}\n\npass schedule:\n"
+        + schedule
+        + "\n\ncost vs passes (the Section 7.3 trade):\n"
+        + format_table(
+            ["n", "unrolled switches", "feedback switches", "saving", "passes"],
+            cost_rows,
+        ),
+    )
+
+    result = benchmark(fb.route, a, "selfrouting")
+    assert result.pass_count == 2 * 5 - 1
+
+
+@pytest.mark.parametrize("impl", ["unrolled", "feedback"])
+def test_feedback_vs_unrolled_throughput(benchmark, impl):
+    """Same workload, both implementations — the wall-clock ablation."""
+    n = 128
+    a = random_multicast(n, load=0.9, seed=7)
+    net = BRSMN(n) if impl == "unrolled" else FeedbackBRSMN(n)
+
+    res = benchmark(net.route, a, "selfrouting")
+    assert verify_result(res).ok

@@ -1,0 +1,112 @@
+"""Figs. 14-15 — the merge-lemma constructions of Appendices A and B.
+
+Regenerates worked merges for Lemma 1 (Fig. 14) and Lemma 2 (Fig. 15,
+one row per case) with the actual cell routing, and benchmarks an
+exhaustive small-n verification sweep.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.tags import Tag
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.compact import compact_sequence, is_compact
+from repro.rbn.lemmas import lemma1, lemma2
+from repro.rbn.merging import apply_merging
+from repro.viz.ascii import format_cells, format_settings
+
+
+def test_fig14_lemma1_regeneration(write_artifact, benchmark):
+    n = 16
+    rows = []
+    for s, l0, l1, case in ((2, 3, 4, "b=0"), (6, 5, 3, "b=1")):
+        plan = lemma1(n, s, l0, l1)
+        upper = cells_from_tags(compact_sequence(n // 2, plan.s0, l0, Tag.ZERO, Tag.ONE))
+        lower = cells_from_tags(compact_sequence(n // 2, plan.s1, l1, Tag.ZERO, Tag.ONE))
+        out = apply_merging(upper, lower, plan.settings)
+        assert is_compact([c.tag for c in out], Tag.ONE, s, l0 + l1)
+        rows.append(
+            [
+                f"s={s}, l0={l0}, l1={l1} ({case})",
+                format_cells(upper),
+                format_cells(lower),
+                format_settings(plan.settings),
+                format_cells(out),
+            ]
+        )
+    write_artifact(
+        "fig14_lemma1",
+        "Fig. 14: Lemma 1 merges (same-symbol compaction)\n\n"
+        + format_table(
+            ["parameters", "upper in", "lower in", "settings", "merged out"], rows
+        ),
+    )
+
+    def exhaustive_n8():
+        count = 0
+        for s in range(8):
+            for l0 in range(5):
+                for l1 in range(5):
+                    plan = lemma1(8, s, l0, l1)
+                    up = cells_from_tags(
+                        compact_sequence(4, plan.s0, l0, Tag.ZERO, Tag.ONE)
+                    )
+                    lo = cells_from_tags(
+                        compact_sequence(4, plan.s1, l1, Tag.ZERO, Tag.ONE)
+                    )
+                    out = apply_merging(up, lo, plan.settings)
+                    assert is_compact([c.tag for c in out], Tag.ONE, s, l0 + l1)
+                    count += 1
+        return count
+
+    assert benchmark(exhaustive_n8) == 8 * 25
+
+
+def test_fig15_lemma2_regeneration(write_artifact, benchmark):
+    n = 16
+    cases = [
+        (1, 4, 2, "case 1: s+l < n/2"),
+        (6, 6, 2, "case 2: s < n/2 <= s+l"),
+        (9, 5, 2, "case 3: n/2 <= s, s+l < n"),
+        (13, 6, 2, "case 4: s+l >= n"),
+    ]
+    rows = []
+    for s, l0, l1, label in cases:
+        plan = lemma2(n, s, l0, l1)
+        upper = cells_from_tags(
+            compact_sequence(n // 2, plan.s0, l0, Tag.ZERO, Tag.ALPHA)
+        )
+        lower = cells_from_tags(
+            compact_sequence(n // 2, plan.s1, l1, Tag.ZERO, Tag.EPS)
+        )
+        out = apply_merging(upper, lower, plan.settings)
+        tags = [c.tag for c in out]
+        assert tags.count(Tag.ALPHA) == l0 - l1
+        assert tags.count(Tag.EPS) == 0
+        rows.append(
+            [
+                label,
+                format_cells(upper),
+                format_cells(lower),
+                format_settings(plan.settings),
+                format_cells(out),
+            ]
+        )
+    write_artifact(
+        "fig15_lemma2",
+        "Fig. 15: Lemma 2 merges (alpha/eps elimination), all four cases\n\n"
+        + format_table(
+            ["case", "upper in", "lower in", "settings", "merged out"], rows
+        ),
+    )
+
+    def one_case():
+        plan = lemma2(n, 6, 6, 2)
+        upper = cells_from_tags(
+            compact_sequence(n // 2, plan.s0, 6, Tag.ZERO, Tag.ALPHA)
+        )
+        lower = cells_from_tags(
+            compact_sequence(n // 2, plan.s1, 2, Tag.ZERO, Tag.EPS)
+        )
+        return apply_merging(upper, lower, plan.settings)
+
+    out = benchmark(one_case)
+    assert sum(1 for c in out if c.tag is Tag.ALPHA) == 4

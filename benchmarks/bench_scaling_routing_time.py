@@ -1,0 +1,61 @@
+"""Scaling study — empirical O(log^2 n) routing time.
+
+Measures the distributed algorithms' sequential tree-level steps (the
+pipelined critical path unit) from instrumented runs across sizes, fits
+the growth law, and regenerates the sweep table.  This is the
+*empirical* counterpart of Table 2's routing-time column: the counts
+come from executing the actual Tables 3/4/6 algorithms, not a formula.
+"""
+
+from repro.analysis.fitting import GROWTH_MODELS, best_model
+from repro.analysis.tables import format_table
+from repro.hardware.timing import TimingModel, measure_phase_counters
+
+SIZES = [8, 16, 32, 64, 128, 256, 512]
+
+
+def _critical_levels(n: int) -> int:
+    """Sequential tree-level steps on the BRSMN critical path.
+
+    Same-level BSNs run in parallel, so the critical path chains one
+    BSN per splitting level; each contributes its measured
+    forward+backward level count.
+    """
+    total = 0
+    size = n
+    while size > 2:
+        pc = measure_phase_counters(size, seed=size)
+        total += pc.total_levels
+        size //= 2
+    return total
+
+
+def test_routing_time_empirical_shape(write_artifact, benchmark):
+    measured = [_critical_levels(n) for n in SIZES]
+    sub = {k: v for k, v in GROWTH_MODELS.items() if k.startswith("log")}
+    name, c, resid = best_model(SIZES, measured, sub)
+    assert name == "log^2 n"
+
+    tm = TimingModel()
+    rows = [
+        [n, lv, tm.brsmn_routing_time(n)]
+        for n, lv in zip(SIZES, measured)
+    ]
+    write_artifact(
+        "scaling_routing_time",
+        "Empirical routing time: measured pipeline steps on the critical path\n\n"
+        + format_table(
+            ["n", "tree-level steps (measured)", "gate delays (model)"], rows
+        )
+        + f"\n\ngrowth fit: {name} x {c:.2f} (relative residual {resid:.3f})",
+    )
+
+    benchmark(_critical_levels, 64)
+
+
+def test_single_bsn_phase_latency(benchmark):
+    """One BSN's measured phase levels: exactly 6 log2 n."""
+    n = 256
+
+    pc = benchmark(measure_phase_counters, n, 42)
+    assert pc.total_levels == 6 * 8

@@ -1,0 +1,88 @@
+"""Scaling study — routing throughput versus network size and workload.
+
+Beyond the paper's tables: wall-clock cost of routing one multicast
+frame through the simulated BRSMN for n = 16..1024 and several
+workload families (the paper's motivating applications).
+"""
+
+import pytest
+
+from repro.core.brsmn import BRSMN
+from repro.core.multicast import MulticastAssignment
+from repro.core.verification import verify_result
+from repro.workloads.patterns import matrix_multiply_rounds
+from repro.workloads.random_assignments import (
+    broadcast_heavy,
+    random_multicast,
+    random_permutation,
+)
+from repro.workloads.scenarios import videoconference_frames
+
+
+@pytest.mark.parametrize("n", [16, 64, 256, 1024])
+def test_throughput_random_multicast(benchmark, n):
+    net = BRSMN(n)
+    a = random_multicast(n, load=1.0, seed=n)
+
+    res = benchmark(net.route, a, "selfrouting")
+    assert verify_result(res).ok
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_throughput_permutation(benchmark, n):
+    """Unicast-only traffic: the degenerate case every multicast
+    network must not regress on."""
+    net = BRSMN(n)
+    a = random_permutation(n, seed=n)
+
+    res = benchmark(net.route, a, "selfrouting")
+    assert res.total_splits == 0
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_throughput_full_broadcast(benchmark, n):
+    """The maximum-splitting stress case."""
+    net = BRSMN(n)
+    a = MulticastAssignment.broadcast(n)
+
+    res = benchmark(net.route, a, "selfrouting")
+    assert len(res.delivered) == n
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_throughput_broadcast_heavy(benchmark, n):
+    net = BRSMN(n)
+    a = broadcast_heavy(n, broadcasters=4, seed=n)
+
+    res = benchmark(net.route, a, "selfrouting")
+    assert verify_result(res).ok
+
+
+def test_throughput_videoconference_session(benchmark):
+    """A realistic telecom frame mix (Section 1's motivation)."""
+    n = 64
+    net = BRSMN(n)
+    frames = videoconference_frames(n, conferences=6, frames=8, seed=21)
+
+    def session():
+        ok = 0
+        for a in frames:
+            res = net.route(a, mode="selfrouting")
+            ok += len(res.delivered)
+        return ok
+
+    assert benchmark(session) > 0
+
+
+def test_throughput_matrix_multiply_session(benchmark):
+    n = 64
+    net = BRSMN(n)
+    rounds = matrix_multiply_rounds(n)
+
+    def session():
+        total = 0
+        for a in rounds:
+            total += len(net.route(a, mode="selfrouting").delivered)
+        return total
+
+    assert benchmark(session) == n * len(rounds)

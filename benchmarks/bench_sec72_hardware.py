@@ -1,0 +1,104 @@
+"""Section 7.2 — the routing circuit at actual gate level.
+
+Beyond the figures: the paper sketches the self-routing circuit (tag
+predicates, one-bit adders, per-switch constants).  These benches run
+the *netlist-level* implementations — the 2x2 switch datapath, the tag
+rewrite logic and the population-counting adder trees — and regenerate
+a hardware summary grounding the cost model's constants.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.tags import Tag
+from repro.hardware.cost import DEFAULT_COST
+from repro.hardware.counting_circuit import PopulationCounter
+from repro.hardware.switch_circuit import (
+    build_switch_datapath,
+    build_tag_rewrite,
+    simulate_switch_bit,
+    switch_datapath_gates,
+)
+from repro.rbn.switches import SwitchSetting
+
+
+def test_sec72_hardware_summary(write_artifact, benchmark):
+    counts = switch_datapath_gates()
+    dp = build_switch_datapath()
+    tr = build_tag_rewrite()
+    counter64 = PopulationCounter(64)
+    rows = [
+        ["2x2 datapath (serial bit)", counts["datapath"], dp.critical_path()],
+        ["tag rewrite (per port)", counts["tag_rewrite"], tr.critical_path()],
+        ["switch total (datapath + 2 rewrites)", counts["total"], "-"],
+        ["cost-model datapath budget", DEFAULT_COST.datapath_gates, "-"],
+        [
+            "population counter, n=64 (3 predicates + 3 adder trees)",
+            counter64.gate_count,
+            "-",
+        ],
+    ]
+    write_artifact(
+        "sec72_hardware",
+        "Section 7.2: routing-circuit hardware at gate level\n\n"
+        + format_table(["circuit", "gates", "critical path"], rows),
+    )
+
+    def switch_bit_sweep():
+        total = 0
+        for setting in SwitchSetting:
+            for u in (0, 1):
+                for l in (0, 1):
+                    ou, ol = simulate_switch_bit(setting, u, l)
+                    total += ou + ol
+        return total
+
+    benchmark(switch_bit_sweep)
+
+
+def test_gate_level_pass_replay(benchmark):
+    """A full scatter pass through the actual switch netlists."""
+    import random as _random
+
+    from repro.core.tags import Tag, encode_tag
+    from repro.hardware.datapath_sim import gate_level_pass
+    from repro.rbn.cells import cells_from_tags
+    from repro.rbn.scatter import scatter
+    from repro.rbn.trace import Trace
+    from repro.viz.ascii import split_rbn_passes
+
+    n = 32
+    rng = _random.Random(0x72)
+    half = n // 2
+    na = rng.randint(1, half // 2)
+    n0 = rng.randint(0, half - na)
+    n1 = rng.randint(0, half - na)
+    tags = (
+        [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.ALPHA] * na
+        + [Tag.EPS] * (n - n0 - n1 - na)
+    )
+    rng.shuffle(tags)
+    trace = Trace()
+    mid = scatter(cells_from_tags(tags), 0, trace=trace)
+    records = split_rbn_passes(trace, n)[0]
+
+    replay = benchmark(gate_level_pass, records, n)
+    assert [encode_tag(t) for t in replay.tags] == [
+        encode_tag(c.tag) for c in mid
+    ]
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_gate_level_counting(benchmark, n):
+    """One gate-level forward-phase count over a frame."""
+    rng = random.Random(n)
+    tags = [
+        rng.choice([Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS]) for _ in range(n)
+    ]
+    counter = PopulationCounter(n)
+
+    report = benchmark(counter.count, tags)
+    assert report.n_alpha == tags.count(Tag.ALPHA)
+    assert report.n_eps == tags.count(Tag.EPS)

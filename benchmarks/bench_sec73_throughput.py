@@ -1,0 +1,62 @@
+"""Section 7.3 extension — frame timing schedule and sustained throughput.
+
+Regenerates the feedback network's frame Gantt chart and the
+latency/period comparison between the unrolled (fully pipelined across
+levels) and feedback (one RBN, serial passes) realisations — the
+quantitative other side of the paper's cost-saving trade.
+"""
+
+import pytest
+
+from repro.analysis.fitting import GROWTH_MODELS, best_model
+from repro.analysis.tables import format_table
+from repro.hardware.schedule import build_frame_schedule, pipelined_throughput
+
+SIZES = [2**k for k in range(3, 13)]
+
+
+def test_sec73_schedule_regeneration(write_artifact, benchmark):
+    schedule = build_frame_schedule(32)
+    rows = []
+    for n in SIZES:
+        r = pipelined_throughput(n)
+        rows.append(
+            [n, r.latency, r.unrolled_period, r.feedback_period,
+             f"{r.unrolled_speedup:.1f}x"]
+        )
+    # shapes: unrolled period is O(log n); feedback period is O(log^2 n)
+    sub = {k: v for k, v in GROWTH_MODELS.items() if k.startswith("log")}
+    name_u, _c, _r = best_model(
+        SIZES, [pipelined_throughput(n).unrolled_period for n in SIZES], sub
+    )
+    name_f, _c, _r = best_model(
+        SIZES, [pipelined_throughput(n).feedback_period for n in SIZES], sub
+    )
+    assert name_u == "log n"
+    assert name_f == "log^2 n"
+
+    from repro.viz.gantt import render_gantt
+
+    write_artifact(
+        "sec73_throughput",
+        "Section 7.3 extension: frame schedule and sustained throughput\n\n"
+        + schedule.render()
+        + "\n\n"
+        + render_gantt(schedule)
+        + "\n\nlatency vs frame period (gate delays):\n"
+        + format_table(
+            ["n", "latency", "unrolled period", "feedback period", "speedup"],
+            rows,
+        )
+        + f"\n\nshapes: unrolled period fits {name_u}; feedback fits {name_f}"
+        " — the feedback version trades throughput (and silicon) exactly as"
+        " the cost analysis predicts.",
+    )
+
+    benchmark(build_frame_schedule, 256)
+
+
+@pytest.mark.parametrize("n", [64, 1024])
+def test_throughput_analysis_cost(benchmark, n):
+    r = benchmark(pipelined_throughput, n)
+    assert r.feedback_period == r.latency

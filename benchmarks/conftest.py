@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index): it computes the artefact, asserts
+the shape facts the paper claims, writes the rendered text to
+``benchmarks/out/<name>.txt`` (so the regenerated content survives
+pytest's output capture), and times the underlying operation with
+pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """The directory regenerated tables/figures are written to."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def write_artifact(artifact_dir):
+    """Write one regenerated artefact; returns the path."""
+
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text.rstrip() + "\n")
+        return path
+
+    return _write

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that editable installs work on environments whose setuptools predates
+PEP-660 editable wheels (and offline environments without the ``wheel``
+package), via ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of Yang & Wang's self-routing multicast network.
+
+This library is a from-scratch, laptop-scale reproduction of
+
+    Yuanyuan Yang and Jianchao Wang,
+    "A New Self-Routing Multicast Network", IPPS 1998
+    (journal version: IEEE TPDS 10(11), 1999),
+
+the *binary radix sorting multicast network* (BRSMN): an ``n x n``
+switching network that realises every multicast assignment without
+blocking, self-routed by distributed forward/backward computations over
+recursively constructed reverse banyan networks.
+
+Quick start::
+
+    from repro import MulticastAssignment, route_multicast
+
+    assignment = MulticastAssignment(
+        8, [{0, 1}, None, {3, 4, 7}, {2}, None, None, None, {5, 6}]
+    )
+    result = route_multicast(8, assignment)        # raises if blocked
+    print(result.delivered)                        # {output: Message}
+
+Subpackages:
+
+* :mod:`repro.core` — the BRSMN itself (assignments, tag trees, BSN,
+  BRSMN, feedback implementation, verification).
+* :mod:`repro.rbn` — the reverse banyan network substrate (compact
+  sequences, merge lemmas, distributed self-routing algorithms).
+* :mod:`repro.hardware` — gate-level substrate and the cost / depth /
+  routing-time models behind the paper's Table 2.
+* :mod:`repro.baselines` — crossbar, Batcher-bitonic copy+sort
+  multicast, and the analytic models of the compared networks.
+* :mod:`repro.workloads` — multicast workload generators (random,
+  parallel-computing patterns, telecom scenarios).
+* :mod:`repro.analysis` — empirical growth-rate fitting and the
+  table/figure regeneration helpers.
+* :mod:`repro.viz` — ASCII rendering of routing frames.
+"""
+
+from .core import (
+    BRSMN,
+    BinarySplittingNetwork,
+    FeedbackBRSMN,
+    Message,
+    MulticastAssignment,
+    RoutingResult,
+    Tag,
+    TagTree,
+    build_network,
+    paper_example_assignment,
+    route_and_report,
+    route_multicast,
+    verify_result,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BRSMN",
+    "BinarySplittingNetwork",
+    "FeedbackBRSMN",
+    "Message",
+    "MulticastAssignment",
+    "RoutingResult",
+    "Tag",
+    "TagTree",
+    "build_network",
+    "paper_example_assignment",
+    "route_and_report",
+    "route_multicast",
+    "verify_result",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Analysis utilities: growth fitting, tables, connection trees.
+
+* :mod:`~repro.analysis.fitting` — least-squares growth-law fits,
+  log-log slopes, doubling-ratio discrimination;
+* :mod:`~repro.analysis.tables` — fixed-width text tables for the
+  bench output and EXPERIMENTS.md;
+* :mod:`~repro.analysis.trees` — explicit edge-disjoint connection-tree
+  extraction from routing traces (the paper's definition of a multicast
+  network, checked structurally).
+"""
+
+from .fitting import (
+    GROWTH_MODELS,
+    best_model,
+    doubling_ratios,
+    fit_constant,
+    loglog_slope,
+)
+from .activity import ActivityProfile, profile_trace, profile_workload
+from .crossover import crossover_size
+from .faults import FaultStudy, misplacement_rate, stuck_switch_study
+from .replay import SwitchAddress, replay_pass
+from .report import CheckResult, ReproductionReport, reproduction_report
+from .tables import format_kv, format_table
+from .trees import ConnectionTrees, extract_connection_trees
+
+__all__ = [
+    "GROWTH_MODELS",
+    "best_model",
+    "doubling_ratios",
+    "fit_constant",
+    "loglog_slope",
+    "format_kv",
+    "format_table",
+    "ConnectionTrees",
+    "extract_connection_trees",
+    "CheckResult",
+    "ReproductionReport",
+    "reproduction_report",
+    "FaultStudy",
+    "misplacement_rate",
+    "stuck_switch_study",
+    "SwitchAddress",
+    "replay_pass",
+    "ActivityProfile",
+    "profile_trace",
+    "profile_workload",
+    "crossover_size",
+]

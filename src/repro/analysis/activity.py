@@ -1,0 +1,111 @@
+"""Internal switch-activity analysis: what the fabric actually does.
+
+The complexity analysis counts switches; this module counts what they
+*do* — per merging-stage-size distributions of parallel / crossing /
+upper-broadcast / lower-broadcast settings over routed frames.  The
+profiles answer workload questions the paper leaves qualitative:
+
+* broadcasts concentrate where the alpha surpluses meet — for uniform
+  multicast that is the mid-size merges; for broadcast-heavy traffic
+  the top merges;
+* permutation traffic fires zero broadcasts anywhere (a direct check
+  that multicast machinery is pay-per-use);
+* the crossing fraction is the "work" the compact-sequence targets
+  demand, roughly half at every stage for random traffic.
+
+Profiles come from recorded traces, so they reflect the exact switch
+settings the distributed algorithms chose.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..core.brsmn import BRSMN
+from ..core.multicast import MulticastAssignment
+from ..rbn.switches import SwitchSetting
+from ..rbn.trace import Trace
+
+__all__ = ["ActivityProfile", "profile_trace", "profile_workload"]
+
+
+@dataclass
+class ActivityProfile:
+    """Per-merge-size switch-setting counts.
+
+    Attributes:
+        counts: merge size -> Counter over :class:`SwitchSetting`.
+        frames: routed frames aggregated into this profile.
+    """
+
+    counts: Dict[int, Counter] = field(default_factory=dict)
+    frames: int = 0
+
+    def add_trace(self, trace: Trace) -> None:
+        """Aggregate one frame's trace into the profile."""
+        for rec in trace.stages:
+            bucket = self.counts.setdefault(rec.size, Counter())
+            for setting in rec.settings:
+                bucket[setting] += 1
+        self.frames += 1
+
+    def total(self, size: int) -> int:
+        """Total switch applications at merges of this size."""
+        return sum(self.counts[size].values())
+
+    def fraction(self, size: int, setting: SwitchSetting) -> float:
+        """Share of one setting at merges of this size."""
+        total = self.total(size)
+        return self.counts[size][setting] / total if total else 0.0
+
+    @property
+    def broadcast_total(self) -> int:
+        """Total broadcast firings across all sizes."""
+        return sum(
+            c[SwitchSetting.UPPER_BCAST] + c[SwitchSetting.LOWER_BCAST]
+            for c in self.counts.values()
+        )
+
+    def rows(self) -> List[List]:
+        """Tabular view: one row per merge size (for the bench)."""
+        out: List[List] = []
+        for size in sorted(self.counts):
+            out.append(
+                [
+                    size,
+                    self.total(size),
+                    f"{self.fraction(size, SwitchSetting.PARALLEL):.2f}",
+                    f"{self.fraction(size, SwitchSetting.CROSS):.2f}",
+                    f"{self.fraction(size, SwitchSetting.UPPER_BCAST) + self.fraction(size, SwitchSetting.LOWER_BCAST):.3f}",
+                ]
+            )
+        return out
+
+
+def profile_trace(trace: Trace) -> ActivityProfile:
+    """Profile a single recorded frame."""
+    profile = ActivityProfile()
+    profile.add_trace(trace)
+    return profile
+
+
+def profile_workload(
+    n: int,
+    frames: Iterable[MulticastAssignment],
+    mode: str = "selfrouting",
+) -> ActivityProfile:
+    """Route a frame sequence with tracing and aggregate the activity.
+
+    Args:
+        n: network size.
+        frames: the assignments to route.
+        mode: routing mode.
+    """
+    net = BRSMN(n)
+    profile = ActivityProfile()
+    for assignment in frames:
+        result = net.route(assignment, mode=mode, collect_trace=True)
+        profile.add_trace(result.trace)
+    return profile

@@ -1,0 +1,53 @@
+"""Cost-curve crossover finder: at which size does one design win?
+
+Asymptotic statements ("the crossbar is Theta(n^2), the BRSMN is
+Theta(n log^2 n)") leave the practical question open: *from which
+network size onward* does the cheaper asymptotic actually cost less?
+This utility finds that size between two cost curves over power-of-two
+sizes — used to turn Table 2 and the baseline comparison into concrete
+purchasing advice ("below 32 ports, buy the crossbar").
+
+Real curves can cross more than once at tiny sizes (a 2x2 BRSMN is one
+switch while the crossbar model charges two crosspoint-equivalents), so
+the finder returns the *final* crossover: the smallest size from which
+``cheap_large`` stays cheaper through the whole examined range.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["crossover_size"]
+
+
+def crossover_size(
+    cheap_small: Callable[[int], float],
+    cheap_large: Callable[[int], float],
+    max_m: int = 24,
+) -> Optional[int]:
+    """Smallest power-of-two ``n`` from which ``cheap_large`` stays cheaper.
+
+    Args:
+        cheap_small: cost function expected to win at small sizes
+            (e.g. crossbar switch count).
+        cheap_large: cost function expected to win at large sizes
+            (e.g. BRSMN switch count).
+        max_m: search bound — sizes ``2^1 .. 2^max_m`` are examined.
+
+    Returns:
+        The smallest examined size ``n`` such that
+        ``cheap_large(n') < cheap_small(n')`` for every examined
+        ``n' >= n``; ``None`` if ``cheap_large`` is not cheaper at the
+        bound (no stable crossover within range).
+    """
+    if max_m < 1:
+        raise ValueError(f"max_m must be >= 1, got {max_m}")
+    crossover: Optional[int] = None
+    for m in range(1, max_m + 1):
+        n = 1 << m
+        if cheap_large(n) < cheap_small(n):
+            if crossover is None:
+                crossover = n
+        else:
+            crossover = None  # cheapness not (yet) stable
+    return crossover

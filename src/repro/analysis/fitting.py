@@ -1,0 +1,120 @@
+"""Empirical growth-rate fitting for the complexity claims.
+
+The paper's Table 2 states asymptotic orders; the reproduction measures
+actual switch/gate/delay counts over a size sweep and asks "which
+growth law fits?".  Utilities here:
+
+* :func:`fit_constant` — least-squares leading constant for a given
+  model ``y ~ c * f(n)``, with relative residual;
+* :func:`best_model` — model selection among candidate growth laws;
+* :func:`loglog_slope` — the raw log-log slope (polynomial degree
+  estimate);
+* :func:`doubling_ratios` — the ``y(2n)/y(n)`` ratio sequence, the
+  sharpest practical discriminator between ``n log n`` and
+  ``n log^2 n`` at bench sizes.
+
+Standard growth laws are provided in :data:`GROWTH_MODELS`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "GROWTH_MODELS",
+    "fit_constant",
+    "best_model",
+    "loglog_slope",
+    "doubling_ratios",
+]
+
+#: Candidate growth laws by name.
+GROWTH_MODELS: Dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log n": lambda n: math.log2(n),
+    "log^2 n": lambda n: math.log2(n) ** 2,
+    "log^3 n": lambda n: math.log2(n) ** 3,
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log2(n),
+    "n log^2 n": lambda n: n * math.log2(n) ** 2,
+    "n^2": lambda n: float(n) ** 2,
+}
+
+
+def fit_constant(
+    ns: Sequence[int],
+    ys: Sequence[float],
+    model: Callable[[float], float],
+) -> Tuple[float, float]:
+    """Least-squares fit of ``y ~ c * model(n)``.
+
+    Returns:
+        ``(c, rel_residual)`` where ``rel_residual`` is the RMS of the
+        relative errors ``(y - c model) / y`` — scale-free, so model
+        comparison is meaningful across quantities.
+    """
+    if len(ns) != len(ys) or not ns:
+        raise ValueError("ns and ys must be equal-length and non-empty")
+    f = np.array([model(n) for n in ns], dtype=float)
+    y = np.array(ys, dtype=float)
+    if np.any(y <= 0) or np.any(f <= 0):
+        raise ValueError("fit requires positive measurements and model values")
+    c = float(np.dot(f, y) / np.dot(f, f))
+    rel = (y - c * f) / y
+    return c, float(np.sqrt(np.mean(rel**2)))
+
+
+def best_model(
+    ns: Sequence[int],
+    ys: Sequence[float],
+    models: Dict[str, Callable[[float], float]] = GROWTH_MODELS,
+) -> Tuple[str, float, float]:
+    """Pick the growth law with the smallest relative residual.
+
+    Returns:
+        ``(name, constant, rel_residual)`` of the winner.
+    """
+    best: Tuple[str, float, float] = ("", 0.0, math.inf)
+    for name, f in models.items():
+        try:
+            c, resid = fit_constant(ns, ys, f)
+        except ValueError:
+            continue
+        if resid < best[2]:
+            best = (name, c, resid)
+    if not best[0]:
+        raise ValueError("no model could be fitted")
+    return best
+
+
+def loglog_slope(ns: Sequence[int], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` vs ``log n``.
+
+    A pure power law ``n^a`` yields exactly ``a``; polylog factors push
+    the slope slightly above the polynomial degree at finite sizes.
+    """
+    x = np.log(np.array(ns, dtype=float))
+    y = np.log(np.array(ys, dtype=float))
+    slope, _intercept = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+def doubling_ratios(ns: Sequence[int], ys: Sequence[float]) -> List[float]:
+    """The ``y(2n) / y(n)`` sequence over consecutive doublings.
+
+    For measurements at ``n, 2n, 4n, ...``: a law ``n log^k n`` gives
+    ratios ``2 * ((m+1)/m)^k`` at ``n = 2^m`` — e.g. going 64 -> 128,
+    ``n log n`` gives 2.33 while ``n log^2 n`` gives 2.72; crisp enough
+    to separate the Table 2 rows empirically.
+    """
+    if len(ns) != len(ys):
+        raise ValueError("ns and ys must be equal length")
+    ratios = []
+    for i in range(len(ns) - 1):
+        if ns[i + 1] != 2 * ns[i]:
+            raise ValueError("sizes must be consecutive doublings")
+        ratios.append(ys[i + 1] / ys[i])
+    return ratios

@@ -1,0 +1,99 @@
+"""Trace replay: re-execute a recorded RBN pass, optionally perturbed.
+
+A recorded :class:`~repro.rbn.trace.Trace` holds, for every merging
+stage, the switch settings the distributed algorithms chose.  Replaying
+those settings over the original inputs must reproduce the original
+outputs exactly — a strong end-to-end consistency check — and replaying
+with *overridden* settings lets us ask counterfactuals the paper never
+could: what does one stuck switch do to a frame?
+
+Scope: replay operates on one full-width RBN pass (as produced by
+:func:`repro.viz.ascii.split_rbn_passes`) — scatter or quasisort.
+Replaying across BSN levels is out of scope because inter-level
+re-tagging happens outside the traced switches.
+
+Used by :mod:`repro.analysis.faults` for the stuck-switch study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RoutingInvariantError
+from ..rbn.cells import Cell
+from ..rbn.switches import SwitchSetting, apply_switch
+from ..rbn.trace import StageRecord
+
+__all__ = ["SwitchAddress", "replay_pass"]
+
+#: Identifies one switch within a pass: (merge size, block offset,
+#: switch index within the merge).
+SwitchAddress = Tuple[int, int, int]
+
+
+def replay_pass(
+    records: Sequence[StageRecord],
+    width: int,
+    overrides: Optional[Dict[SwitchAddress, SwitchSetting]] = None,
+    *,
+    strict_broadcast: bool = True,
+) -> List[Cell]:
+    """Re-execute one recorded pass; return the resulting output frame.
+
+    Args:
+        records: the stage records of exactly one full-width pass, in
+            application order.
+        width: the pass width ``n``.
+        overrides: optional map of :data:`SwitchAddress` to forced
+            settings (the fault model).  Addresses not present keep
+            their recorded settings.
+        strict_broadcast: when True, an overridden-to-broadcast switch
+            with an illegal input pair raises (the hardware invariant);
+            when False such a switch falls back to PARALLEL — modelling
+            a broadcast-enable line that the datapath guards.
+
+    Returns:
+        The ``width`` output cells after replaying every stage.
+
+    Raises:
+        ValueError: if the records do not tile one full-width pass.
+        RoutingInvariantError: per ``strict_broadcast``.
+    """
+    overrides = overrides or {}
+    m = width.bit_length() - 1
+    by_stage: Dict[int, List[StageRecord]] = {}
+    for rec in records:
+        by_stage.setdefault(rec.size.bit_length() - 1, []).append(rec)
+    if sorted(by_stage) != list(range(1, m + 1)):
+        raise ValueError(f"records do not form one pass of width {width}")
+
+    # Seed the frame from the innermost stage's recorded inputs.
+    frame: List[Optional[Cell]] = [None] * width
+    for rec in by_stage[1]:
+        for pos, cell in enumerate(rec.inputs):
+            frame[rec.offset + pos] = cell
+    if any(c is None for c in frame):
+        raise ValueError("stage-1 records do not cover the full width")
+
+    for k in range(1, m + 1):
+        for rec in sorted(by_stage[k], key=lambda r: r.offset):
+            half = rec.size // 2
+            base = rec.offset
+            new = list(frame[base : base + rec.size])
+            for i in range(half):
+                addr: SwitchAddress = (rec.size, base, i)
+                setting = overrides.get(addr, rec.settings[i])
+                upper = frame[base + i]
+                lower = frame[base + i + half]
+                try:
+                    out_u, out_l = apply_switch(setting, upper, lower)
+                except RoutingInvariantError:
+                    if strict_broadcast or addr not in overrides:
+                        raise
+                    out_u, out_l = apply_switch(
+                        SwitchSetting.PARALLEL, upper, lower
+                    )
+                new[i] = out_u
+                new[i + half] = out_l
+            frame[base : base + rec.size] = new
+    return [c for c in frame]  # type: ignore[misc]

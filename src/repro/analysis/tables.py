@@ -1,0 +1,61 @@
+"""Text-table rendering for the benches and EXPERIMENTS.md.
+
+Benches print the regenerated tables/figures as fixed-width text so the
+harness output can be diffed against EXPERIMENTS.md.  This module keeps
+the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Union
+
+__all__ = ["format_table", "format_kv"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(x: Cell) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.3f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: column titles.
+        rows: row cell values (str / int / float).
+
+    Returns:
+        A multi-line string with a header rule, columns padded to the
+        widest cell.
+    """
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Dict[str, Cell], indent: str = "  ") -> str:
+    """Render key/value pairs, one per line, keys aligned."""
+    if not pairs:
+        return ""
+    w = max(len(k) for k in pairs)
+    return "\n".join(f"{indent}{k.ljust(w)} : {_fmt(v)}" for k, v in pairs.items())

@@ -1,0 +1,34 @@
+"""Baselines: the networks the BRSMN is compared against.
+
+* :mod:`~repro.baselines.models` — the analytic Table 2 rows
+  (Nassimi-Sahni, Lee-Oruc, new design, feedback version);
+* :mod:`~repro.baselines.crossbar` — the ``O(n^2)`` multicast
+  crossbar, functional gold standard;
+* :mod:`~repro.baselines.bitonic` — Batcher's bitonic sorting network
+  (comparator-network substrate);
+* :mod:`~repro.baselines.copy_network` — a Lee-style nonblocking copy
+  network;
+* :mod:`~repro.baselines.sort_copy` — the copy + sort multicast
+  architecture assembled from the two substrates above.
+"""
+
+from .bitonic import BitonicSorter, bitonic_schedule
+from .cheng_chen import ChengChenPermutationNetwork
+from .copy_network import CopyCell, CopyNetwork
+from .crossbar import CrossbarMulticast
+from .models import NetworkModel, PAPER_TABLE2, TABLE2_MODELS, table2_rows
+from .sort_copy import CopySortMulticast
+
+__all__ = [
+    "BitonicSorter",
+    "bitonic_schedule",
+    "ChengChenPermutationNetwork",
+    "CopyCell",
+    "CopyNetwork",
+    "CrossbarMulticast",
+    "NetworkModel",
+    "PAPER_TABLE2",
+    "TABLE2_MODELS",
+    "table2_rows",
+    "CopySortMulticast",
+]

@@ -1,0 +1,79 @@
+"""Cheng & Chen's self-routing permutation network (paper ref. [14]).
+
+The BRSMN generalises Cheng and Chen's RBN-based *permutation* network
+("A New Self-Routing Permutation Network", IEEE ToC 1996): restricted
+to (partial) permutation assignments, no alphas ever appear, the
+scatter network degenerates to epsilon-compaction and the quasisorting
+network performs the binary radix bit sort that is the heart of [14].
+
+This module exposes that restriction as its own network class — the
+natural unicast baseline the paper positions itself against — with the
+same interface as the multicast networks, but rejecting any
+destination set of size greater than one.  It routes with the
+*feedback* realisation (a single physical RBN), matching [14]'s
+``O(n log n)`` cost and making the "same cost class as Cheng-Chen"
+claim of paper Section 7.4 directly inspectable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.brsmn import RoutingResult
+from ..core.feedback import FeedbackBRSMN
+from ..core.multicast import MulticastAssignment
+from ..errors import InvalidAssignmentError
+from ..rbn.permutations import check_network_size
+from ..rbn.topology import rbn_switch_count
+
+__all__ = ["ChengChenPermutationNetwork"]
+
+
+class ChengChenPermutationNetwork:
+    """An ``n x n`` self-routing permutation network (RBN-based).
+
+    Args:
+        n: network size (power of two, >= 2).
+    """
+
+    def __init__(self, n: int):
+        self.m = check_network_size(n)
+        self.n = n
+        self._engine = FeedbackBRSMN(n)
+
+    @property
+    def switch_count(self) -> int:
+        """Physical switches: one RBN, ``(n/2) log2 n`` ([14]'s cost)."""
+        return rbn_switch_count(self.n)
+
+    @property
+    def depth(self) -> int:
+        """Stages traversed per frame (time-multiplexed ``log^2 n``)."""
+        return self._engine.depth
+
+    def route(
+        self,
+        assignment: MulticastAssignment,
+        mode: str = "selfrouting",
+        payloads: Optional[Sequence] = None,
+        *,
+        collect_trace: bool = False,
+    ) -> RoutingResult:
+        """Route a (partial) permutation assignment.
+
+        Raises:
+            InvalidAssignmentError: if any input's destination set has
+                more than one element — this network is unicast-only;
+                use the BRSMN for multicast.
+        """
+        if not assignment.is_permutation:
+            offender = next(
+                i for i, d in enumerate(assignment.destinations) if len(d) > 1
+            )
+            raise InvalidAssignmentError(
+                f"permutation network cannot multicast: input {offender} "
+                f"has {len(assignment[offender])} destinations"
+            )
+        return self._engine.route(
+            assignment, mode=mode, payloads=payloads, collect_trace=collect_trace
+        )

@@ -1,0 +1,172 @@
+"""A nonblocking copy network (Lee-1988 style, simplified).
+
+The first half of the classic copy+route multicast recipe (Lee [6] in
+the paper's references): replicate each message into ``|I_i|`` copies
+parked on *contiguous* outputs, using
+
+1. a **running-sum phase** — a parallel prefix over the fanouts
+   assigns each message the output interval
+   ``[sum of earlier fanouts, + own fanout)``;
+2. a **broadcast banyan** — ``log2 n`` stages of splitting: a cell
+   carrying interval ``[lo, hi)`` inside output range ``[base, base +
+   size)`` forwards to the upper/lower half-range according to where
+   its interval falls, duplicating when it straddles the midpoint.
+
+Intervals are disjoint by construction, so at most ``size/2`` cells
+enter each half-range and the recursion never overcommits a link: the
+copy network is nonblocking whenever the total fanout is <= n.
+
+This is a *functional simulation with honest structure* — the
+recursion below touches exactly the links a hardware broadcast banyan
+would — but it does not model Lee's dummy-address encoding details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.message import Message
+from ..errors import BlockingError, InvalidAssignmentError
+from ..rbn.permutations import check_network_size
+
+__all__ = ["CopyCell", "CopyNetwork"]
+
+
+@dataclass(frozen=True)
+class CopyCell:
+    """One replicated copy in flight (or parked at a copy output).
+
+    Attributes:
+        message: the original message.
+        copy_index: which of the message's copies this is (0-based,
+            in ascending destination order).
+        destination: the actual output this copy must eventually reach
+            (used by the routing network that follows the copy
+            network).
+    """
+
+    message: Message
+    copy_index: int
+    destination: int
+
+
+class CopyNetwork:
+    """An ``n x n`` nonblocking copy network.
+
+    Args:
+        n: network size (power of two, >= 2).
+    """
+
+    def __init__(self, n: int):
+        self.m = check_network_size(n)
+        self.n = n
+
+    @property
+    def switch_count(self) -> int:
+        """Splitting elements: ``(n/2) log2 n`` (one banyan)."""
+        return (self.n // 2) * self.m
+
+    @property
+    def depth(self) -> int:
+        """Stages: ``log2 n`` splitting plus the prefix-sum tree."""
+        return self.m + self.m  # broadcast stages + running-sum tree
+
+    def running_sums(self, fanouts: Sequence[int]) -> List[Tuple[int, int]]:
+        """The running-sum phase: per-input copy intervals.
+
+        Args:
+            fanouts: ``|I_i|`` per input.
+
+        Returns:
+            Per input, the interval ``[start, start + fanout)`` its
+            copies will occupy on the copy-network outputs.
+
+        Raises:
+            BlockingError: if the total fanout exceeds ``n`` (the copy
+                network's only blocking condition).
+        """
+        if len(fanouts) != self.n:
+            raise InvalidAssignmentError(
+                f"expected {self.n} fanouts, got {len(fanouts)}"
+            )
+        intervals: List[Tuple[int, int]] = []
+        acc = 0
+        for f in fanouts:
+            if f < 0:
+                raise InvalidAssignmentError(f"negative fanout {f}")
+            intervals.append((acc, acc + f))
+            acc += f
+        if acc > self.n:
+            raise BlockingError(
+                f"total fanout {acc} exceeds copy-network capacity {self.n}"
+            )
+        return intervals
+
+    def replicate(
+        self, messages: Sequence[Optional[Message]]
+    ) -> List[Optional[CopyCell]]:
+        """Run one frame: produce copies parked on contiguous outputs.
+
+        Args:
+            messages: per-input messages (``None`` = idle input).
+
+        Returns:
+            Per copy-network output, the :class:`CopyCell` parked
+            there (``None`` where unused).  Message ``i``'s copies
+            appear in ascending destination order on its interval.
+        """
+        fanouts = [0 if msg is None else len(msg.destinations) for msg in messages]
+        intervals = self.running_sums(fanouts)
+        inflight: List[Tuple[int, int, CopyCell]] = []  # (lo, hi, seed cell)
+        for msg, (lo, hi) in zip(messages, intervals):
+            if msg is None or lo == hi:
+                continue
+            # Seed one cell carrying the whole interval; the banyan
+            # recursion below splits it stage by stage.
+            inflight.append((lo, hi, CopyCell(msg, 0, -1)))
+
+        outputs: List[Optional[CopyCell]] = [None] * self.n
+
+        # The recursion places each copy at its interval slot; copy
+        # indices and destinations are fixed up afterwards from the
+        # intervals (the hardware does the same with running sums).
+        def split_simple(cells, base, size):
+            if size == 1:
+                if len(cells) > 1:
+                    raise BlockingError(f"copy link conflict at output {base}")
+                if cells:
+                    outputs[base] = cells[0][2]
+                return
+            mid = base + size // 2
+            upper, lower = [], []
+            for lo, hi, cell in cells:
+                if hi <= mid:
+                    upper.append((lo, hi, cell))
+                elif lo >= mid:
+                    lower.append((lo, hi, cell))
+                else:
+                    upper.append((lo, mid, cell))
+                    lower.append((mid, hi, cell))
+            if len(upper) > size // 2 or len(lower) > size // 2:
+                raise BlockingError(
+                    f"copy network overcommitted in [{base}, {base + size})"
+                )
+            split_simple(upper, base, size // 2)
+            split_simple(lower, mid, size // 2)
+
+        split_simple(inflight, 0, self.n)
+
+        # Assign copy indices and actual destinations along each interval.
+        for msg, (lo, hi) in zip(messages, intervals):
+            if msg is None:
+                continue
+            dests = sorted(msg.destinations)
+            for k, slot in enumerate(range(lo, hi)):
+                parked = outputs[slot]
+                if parked is None or parked.message is not msg:
+                    raise BlockingError(
+                        f"copy of input {msg.source} missing at slot {slot}"
+                    )
+                outputs[slot] = CopyCell(msg, k, dests[k])
+        return outputs

@@ -1,0 +1,95 @@
+"""A multicast crossbar: the trivial ``O(n^2)`` baseline.
+
+An ``n x n`` crossbar has a crosspoint at every (input, output) pair,
+so realising a multicast assignment is just closing the crosspoints
+``(i, d)`` for every ``d`` in ``I_i``.  It is strictly nonblocking with
+a depth of one crosspoint — the gold standard for function, and the
+cost anti-pattern the whole multicast-network literature tries to beat:
+``Theta(n^2)`` crosspoints versus the BRSMN's ``O(n log^2 n)`` (or the
+feedback version's ``O(n log n)``) gates.
+
+The baseline-comparison bench routes identical workloads through both
+to (a) cross-validate BRSMN deliveries against an independent
+implementation and (b) report the cost crossover.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.brsmn import RoutingResult
+from ..core.message import Message
+from ..core.multicast import MulticastAssignment
+from ..errors import InvalidAssignmentError
+from ..rbn.permutations import check_network_size
+
+__all__ = ["CrossbarMulticast"]
+
+
+class CrossbarMulticast:
+    """An ``n x n`` multicast crossbar.
+
+    Args:
+        n: network size.  (The crossbar itself has no power-of-two
+            restriction, but we keep the library-wide invariant so the
+            comparison benches sweep identical sizes.)
+    """
+
+    def __init__(self, n: int):
+        self.m = check_network_size(n)
+        self.n = n
+
+    @property
+    def crosspoint_count(self) -> int:
+        """Crosspoints (the crossbar's cost unit): ``n^2``."""
+        return self.n * self.n
+
+    @property
+    def switch_count(self) -> int:
+        """Cost in the same unit as the banyan networks.
+
+        A crosspoint is roughly half a 2x2 switch; we count
+        ``n^2 / 2`` switch-equivalents so the comparison bench charts a
+        like-for-like ratio.
+        """
+        return self.n * self.n // 2
+
+    @property
+    def depth(self) -> int:
+        """Stages on any path: 1 (a single crosspoint)."""
+        return 1
+
+    def route(
+        self,
+        assignment: MulticastAssignment,
+        mode: str = "oracle",
+        payloads: Optional[Sequence] = None,
+        *,
+        collect_trace: bool = False,
+    ) -> RoutingResult:
+        """Route by direct crosspoint closure.
+
+        The signature mirrors :meth:`repro.core.brsmn.BRSMN.route` so
+        benches can swap implementations; ``mode`` and
+        ``collect_trace`` are accepted and ignored (a crossbar has no
+        tag streams or stages to trace).
+        """
+        if assignment.n != self.n:
+            raise InvalidAssignmentError(
+                f"assignment size {assignment.n} != crossbar size {self.n}"
+            )
+        outputs: List[Optional[Message]] = [None] * self.n
+        for i, dests in enumerate(assignment.destinations):
+            if not dests:
+                continue
+            payload = payloads[i] if payloads is not None else f"pkt{i}"
+            msg = Message(source=i, destinations=dests, payload=payload)
+            for d in dests:
+                if outputs[d] is not None:
+                    raise InvalidAssignmentError(
+                        f"output {d} demanded twice (crossbar)"
+                    )
+                outputs[d] = msg
+        return RoutingResult(
+            assignment=assignment, outputs=outputs, mode="crossbar"
+        )

@@ -1,0 +1,287 @@
+"""Command-line interface: route, inspect and reproduce from the shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro route --n 8 --assign '{"0":[0,1],"2":[3,4,7],"3":[2],"7":[5,6]}'
+    python -m repro route --n 8 --example --trace
+    python -m repro tags --n 8 --dests 3,4,7
+    python -m repro structure --n 64
+    python -m repro table2 --sizes 8,64,512
+    python -m repro schedule --n 32
+
+Subcommands:
+
+* ``route`` — route one multicast assignment (JSON mapping of input ->
+  destinations, or ``--example`` for the paper's Fig. 2 assignment)
+  through the chosen implementation; prints the verified delivery map,
+  optionally the stage trace.
+* ``tags`` — print a destination set's tag tree SEQ (Section 7.1).
+* ``structure`` — print a network's structural audit (switches, depth,
+  per-level composition).
+* ``table2`` — print the paper's Table 2 with measured values.
+* ``schedule`` — print the feedback network's frame timing schedule.
+
+The CLI is intentionally thin: each subcommand calls the same public
+API the library exposes, so it doubles as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_table
+from .baselines.models import PAPER_TABLE2
+from .core.multicast import MulticastAssignment, paper_example_assignment
+from .core.routing import build_network, route_and_report
+from .core.tagtree import TagTree
+from .core.tags import format_tag_string
+from .hardware.cost import CostModel
+from .hardware.schedule import build_frame_schedule
+from .hardware.timing import TimingModel
+from .viz.ascii import render_assignment, render_delivery, render_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-routing multicast network (BRSMN) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser("route", help="route one multicast assignment")
+    p_route.add_argument("--n", type=int, required=True, help="network size")
+    p_route.add_argument(
+        "--assign",
+        type=str,
+        default=None,
+        help='JSON mapping of input -> destination list, e.g. \'{"0":[1,2]}\'',
+    )
+    p_route.add_argument(
+        "--example",
+        action="store_true",
+        help="use the paper's Fig. 2 example assignment (n must be 8)",
+    )
+    p_route.add_argument(
+        "--file",
+        type=str,
+        default=None,
+        help="read the assignment from a JSON file "
+        "(see repro.core.serialization for the format)",
+    )
+    p_route.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        help="write the routing result to a JSON file",
+    )
+    p_route.add_argument(
+        "--implementation",
+        choices=("unrolled", "feedback"),
+        default="unrolled",
+    )
+    p_route.add_argument(
+        "--mode", choices=("selfrouting", "oracle"), default="selfrouting"
+    )
+    p_route.add_argument(
+        "--trace", action="store_true", help="print the stage-by-stage trace"
+    )
+
+    p_tags = sub.add_parser("tags", help="print a multicast's SEQ tag string")
+    p_tags.add_argument("--n", type=int, required=True)
+    p_tags.add_argument(
+        "--dests", type=str, required=True, help="comma-separated outputs"
+    )
+
+    p_struct = sub.add_parser("structure", help="network structural audit")
+    p_struct.add_argument("--n", type=int, required=True)
+
+    p_t2 = sub.add_parser("table2", help="reproduce the paper's Table 2")
+    p_t2.add_argument(
+        "--sizes", type=str, default="8,64,512", help="comma-separated sizes"
+    )
+
+    p_sched = sub.add_parser("schedule", help="feedback frame timing schedule")
+    p_sched.add_argument("--n", type=int, required=True)
+
+    sub.add_parser(
+        "report",
+        help="recompute every paper claim and print the pass/fail report",
+    )
+    return parser
+
+
+def _cmd_route(args) -> int:
+    if args.example:
+        if args.n != 8:
+            print("--example requires --n 8", file=sys.stderr)
+            return 2
+        assignment = paper_example_assignment()
+    elif args.file is not None:
+        from .core.serialization import assignment_from_json
+        from .errors import InvalidAssignmentError
+
+        try:
+            with open(args.file) as fh:
+                assignment = assignment_from_json(fh.read())
+        except (OSError, InvalidAssignmentError) as exc:
+            print(f"bad --file: {exc}", file=sys.stderr)
+            return 2
+        if assignment.n != args.n:
+            print(
+                f"file is for n={assignment.n}, but --n {args.n} given",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.assign is not None:
+        try:
+            raw = json.loads(args.assign)
+            mapping = {int(k): [int(d) for d in v] for k, v in raw.items()}
+            assignment = MulticastAssignment.from_dict(args.n, mapping)
+        except (ValueError, KeyError) as exc:
+            print(f"bad --assign: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("provide --assign, --file or --example", file=sys.stderr)
+        return 2
+
+    result, report = route_and_report(
+        args.n,
+        assignment,
+        mode=args.mode,
+        implementation=args.implementation,
+        collect_trace=args.trace,
+    )
+    if args.save is not None:
+        from .core.serialization import result_to_json
+
+        with open(args.save, "w") as fh:
+            fh.write(result_to_json(result) + "\n")
+        print(f"result written to {args.save}")
+    print(render_assignment(assignment))
+    print()
+    if args.trace and result.trace is not None:
+        print(render_trace(result.trace))
+        print()
+    print(render_delivery(result.outputs))
+    print()
+    if report.ok:
+        print(f"verified: {report.deliveries} deliveries, no blocking")
+        print(
+            f"alpha splits: {result.total_splits}, "
+            f"switch operations: {result.switch_ops}"
+        )
+        return 0
+    print("VERIFICATION FAILED:")
+    for v in report.violations:
+        print(f"  {v}")
+    return 1
+
+
+def _cmd_tags(args) -> int:
+    dests = [int(d) for d in args.dests.split(",") if d.strip() != ""]
+    tree = TagTree.from_destinations(args.n, dests)
+    tree.validate()
+    seq = tree.to_sequence()
+    print(f"destinations : {sorted(dests)}")
+    m = args.n.bit_length() - 1
+    print(f"binary       : {', '.join(format(d, f'0{m}b') for d in sorted(dests))}")
+    print(f"SEQ ({len(seq):3d} tags): {format_tag_string(seq)}")
+    return 0
+
+
+def _cmd_structure(args) -> int:
+    n = args.n
+    net = build_network(n)
+    fb = build_network(n, "feedback")
+    cm = CostModel()
+    rows = []
+    size, blocks, level = n, 1, 1
+    while size > 2:
+        rows.append([level, f"{blocks} x BSN({size})", blocks * 2 * (size // 2) * (size.bit_length() - 1)])
+        blocks *= 2
+        size //= 2
+        level += 1
+    rows.append([level, f"{blocks} x 2x2 switch", blocks])
+    print(format_table(["level", "components", "switches"], rows))
+    print()
+    print(f"unrolled: {net.switch_count} switches, depth {net.depth} stages")
+    print(
+        f"feedback: {fb.switch_count} switches "
+        f"({net.switch_count / fb.switch_count:.2f}x cheaper), "
+        f"{fb.pass_count} passes"
+    )
+    print(f"gates (cost model): unrolled {cm.brsmn_gates(n)}, feedback {cm.feedback_gates(n)}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    print("paper Table 2:")
+    print(
+        format_table(
+            ["network", "cost", "depth", "routing time"],
+            [
+                [r["network"], r["cost"], r["depth"], r["routing_time"]]
+                for r in PAPER_TABLE2
+            ],
+        )
+    )
+    print()
+    cm = CostModel()
+    tm = TimingModel()
+    print("measured (this implementation):")
+    print(
+        format_table(
+            ["n", "gates (new)", "gates (feedback)", "depth", "routing time"],
+            [
+                [
+                    n,
+                    cm.brsmn_gates(n),
+                    cm.feedback_gates(n),
+                    cm.brsmn_depth(n),
+                    tm.brsmn_routing_time(n),
+                ]
+                for n in sizes
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    print(build_frame_schedule(args.n).render())
+    return 0
+
+
+def _cmd_report(_args) -> int:
+    from .analysis.report import reproduction_report
+
+    report = reproduction_report()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+_COMMANDS = {
+    "route": _cmd_route,
+    "tags": _cmd_tags,
+    "structure": _cmd_structure,
+    "table2": _cmd_table2,
+    "schedule": _cmd_schedule,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""The binary radix sorting multicast network (paper Section 2, Fig. 1).
+
+An ``n x n`` BRSMN realises *any* multicast assignment without blocking
+by recursive binary radix splitting: an ``n x n`` binary splitting
+network routes every message toward the half containing its
+destinations (splitting those that need both halves), then two
+``n/2 x n/2`` BRSMNs finish the job on the next address bit, down to
+``2 x 2`` switches that deliver on the last bit (Fig. 2 shows the
+worked 8x8 example, available as
+:func:`repro.core.multicast.paper_example_assignment`).
+
+Routing modes
+-------------
+
+* ``"oracle"`` — each level recomputes tags from the messages'
+  remaining destination sets.  Simple and convenient; semantically the
+  information used is identical to the paper's.
+* ``"selfrouting"`` — faithful to the hardware: each message carries
+  only its routing-tag sequence (:class:`~repro.core.tagtree.TagTree`
+  serialised by eq. (12)); every BSN consumes the head tag and splits
+  the remainder by the odd/even interleave (Fig. 10).  Any discrepancy
+  between stream and destinations raises
+  :class:`~repro.errors.RoutingInvariantError`.
+
+Both modes must produce identical deliveries; the ablation bench and
+tests verify this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidAssignmentError, RoutingInvariantError
+from ..rbn.cells import Cell
+from ..rbn.permutations import check_network_size
+from ..rbn.switches import SwitchSetting
+from ..rbn.trace import Trace
+from .bsn import BinarySplittingNetwork, BsnFrameStats
+from .message import Message
+from .multicast import MulticastAssignment
+from .tags import Tag
+from .tagtree import TagTree, tag_of_destinations
+
+__all__ = ["RoutingResult", "BRSMN", "inject_messages", "deliver_final_switch"]
+
+
+def inject_messages(
+    assignment: MulticastAssignment,
+    mode: str = "oracle",
+    payloads: Optional[Sequence] = None,
+) -> List[Optional[Message]]:
+    """Build the input message frame of a routing pass.
+
+    Args:
+        assignment: the multicast assignment to realise.
+        mode: ``"oracle"`` or ``"selfrouting"``; the latter attaches
+            each message's SEQ tag stream.
+        payloads: optional per-input payloads (default: ``"pkt<i>"``).
+
+    Returns:
+        A list of ``n`` messages (``None`` for idle inputs).
+    """
+    n = assignment.n
+    frame: List[Optional[Message]] = []
+    for i, dests in enumerate(assignment.destinations):
+        if not dests:
+            frame.append(None)
+            continue
+        payload = payloads[i] if payloads is not None else f"pkt{i}"
+        msg = Message(source=i, destinations=dests, payload=payload)
+        if mode == "selfrouting":
+            msg = msg.with_stream(TagTree.from_destinations(n, dests).to_sequence())
+        frame.append(msg)
+    return frame
+
+
+def deliver_final_switch(
+    messages: Sequence[Optional[Message]],
+    base: int,
+    mode: str = "oracle",
+    *,
+    trace: Optional[Trace] = None,
+) -> Tuple[List[Optional[Message]], SwitchSetting]:
+    """Deliver through one last-level ``2 x 2`` switch.
+
+    The 2x2 BRSMN base case: two inputs, two outputs (absolute
+    addresses ``base`` and ``base + 1``).  Realising a unicast or
+    multicast here is "straightforward" (paper Section 2): route by the
+    final address bit, broadcasting when a message wants both outputs.
+
+    Returns:
+        ``(outputs, setting)`` where ``outputs[k]`` is the message
+        delivered to absolute output ``base + k``.
+
+    Raises:
+        BlockingError-like RoutingInvariantError: if both inputs demand
+            the same output (impossible for a valid assignment — the
+            upstream BSNs guarantee at most one message per half).
+    """
+    if len(messages) != 2:
+        raise InvalidAssignmentError("final switch takes exactly 2 messages")
+    outputs: List[Optional[Message]] = [None, None]
+    setting = SwitchSetting.PARALLEL
+    for port, msg in enumerate(messages):
+        if msg is None:
+            continue
+        if mode == "selfrouting":
+            if msg.tag_stream is None or len(msg.tag_stream) != 1:
+                raise RoutingInvariantError(
+                    f"final-switch message from input {msg.source} has a "
+                    f"malformed residual stream {msg.tag_stream!r}"
+                )
+            tag = msg.tag_stream[0]
+        else:
+            tag = tag_of_destinations(msg.destinations, base + 1)
+        wants = []
+        if tag in (Tag.ZERO, Tag.ALPHA):
+            wants.append(0)
+        if tag in (Tag.ONE, Tag.ALPHA):
+            wants.append(1)
+        if not wants:
+            raise RoutingInvariantError(
+                f"final-switch message from input {msg.source} carries tag {tag}"
+            )
+        for k in wants:
+            if outputs[k] is not None:
+                raise RoutingInvariantError(
+                    f"output {base + k} demanded by two messages "
+                    f"(sources {outputs[k].source} and {msg.source})"
+                )
+            outputs[k] = msg
+        if tag is Tag.ALPHA:
+            setting = (
+                SwitchSetting.UPPER_BCAST if port == 0 else SwitchSetting.LOWER_BCAST
+            )
+        elif (tag is Tag.ONE) != (port == 1):
+            setting = SwitchSetting.CROSS
+    if trace is not None:
+        in_cells = tuple(
+            Cell(Tag.EPS) if m is None else Cell(Tag.ZERO, data=m) for m in messages
+        )
+        out_cells = tuple(
+            Cell(Tag.EPS) if m is None else Cell(Tag.ZERO, data=m) for m in outputs
+        )
+        trace.record_stage(2, base, (setting,), in_cells, out_cells)
+    return outputs, setting
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing one multicast assignment.
+
+    Attributes:
+        assignment: the assignment that was routed.
+        outputs: ``outputs[o]`` is the message delivered to output
+            ``o`` (``None`` if the output is unused).
+        mode: the routing mode used.
+        bsn_stats: one :class:`~repro.core.bsn.BsnFrameStats` per BSN
+            frame traversed, outermost first.
+        final_switches: number of last-level 2x2 switches that fired.
+        trace: optional full stage trace (present when requested).
+    """
+
+    assignment: MulticastAssignment
+    outputs: List[Optional[Message]]
+    mode: str
+    bsn_stats: List[BsnFrameStats] = field(default_factory=list)
+    final_switches: int = 0
+    trace: Optional[Trace] = None
+
+    @property
+    def delivered(self) -> Dict[int, Message]:
+        """Map of used output -> delivered message."""
+        return {o: m for o, m in enumerate(self.outputs) if m is not None}
+
+    @property
+    def total_splits(self) -> int:
+        """Total alpha splits performed across all BSN frames."""
+        return sum(st.splits for st in self.bsn_stats)
+
+    @property
+    def switch_ops(self) -> int:
+        """2x2 switch applications, including the final delivery level."""
+        return sum(st.switch_ops for st in self.bsn_stats) + self.final_switches
+
+
+class BRSMN:
+    """An ``n x n`` binary radix sorting multicast network.
+
+    The object is stateless across frames and cheap to construct; the
+    recursive BSN structure is materialised lazily per size (all
+    same-size sub-BSNs share one :class:`BinarySplittingNetwork`
+    instance, which is pure logic).
+
+    Args:
+        n: network size (power of two, >= 2).
+    """
+
+    def __init__(self, n: int):
+        self.m = check_network_size(n)
+        self.n = n
+        self._bsns: Dict[int, BinarySplittingNetwork] = {}
+
+    def _bsn(self, size: int) -> BinarySplittingNetwork:
+        if size not in self._bsns:
+            self._bsns[size] = BinarySplittingNetwork(size)
+        return self._bsns[size]
+
+    # -- structural properties (Section 7.4) ---------------------------
+    @property
+    def switch_count(self) -> int:
+        """Total 2x2 switches of the unrolled network.
+
+        Level ``j`` (sizes ``n_j = n / 2^{j-1}``) contributes
+        ``2^{j-1}`` BSNs of ``n_j log2(n_j)`` switches each, and the
+        last level contributes ``n/2`` delivery switches; the total is
+        ``Theta(n log^2 n)``.
+        """
+        total = 0
+        size = self.n
+        blocks = 1
+        while size > 2:
+            total += blocks * self._bsn(size).switch_count
+            blocks *= 2
+            size //= 2
+        total += blocks  # n/2 final 2x2 switches
+        return total
+
+    @property
+    def depth(self) -> int:
+        """Switch stages on an input-output path: ``Theta(log^2 n)``.
+
+        ``sum_j 2 log2(n_j)`` over BSN levels plus the final switch.
+        """
+        total = 0
+        size = self.n
+        while size > 2:
+            total += 2 * (size.bit_length() - 1)
+            size //= 2
+        return total + 1
+
+    # -- routing --------------------------------------------------------
+    def route(
+        self,
+        assignment: MulticastAssignment,
+        mode: str = "oracle",
+        payloads: Optional[Sequence] = None,
+        *,
+        collect_trace: bool = False,
+    ) -> RoutingResult:
+        """Route one multicast assignment; return the delivery result.
+
+        Args:
+            assignment: the multicast assignment (must match ``n``).
+            mode: ``"oracle"`` or ``"selfrouting"``.
+            payloads: optional per-input payloads.
+            collect_trace: record every merging stage (costly; used by
+                the renderer and the figure benches).
+        """
+        if assignment.n != self.n:
+            raise InvalidAssignmentError(
+                f"assignment size {assignment.n} != network size {self.n}"
+            )
+        frame = inject_messages(assignment, mode, payloads)
+        trace = Trace(label=f"BRSMN(n={self.n}, mode={mode})") if collect_trace else None
+        result = RoutingResult(
+            assignment=assignment, outputs=[], mode=mode, trace=trace
+        )
+        outputs = self._route(frame, 0, self.n, mode, result, trace)
+        result.outputs = outputs
+        return result
+
+    def _route(
+        self,
+        messages: List[Optional[Message]],
+        base: int,
+        size: int,
+        mode: str,
+        result: RoutingResult,
+        trace: Optional[Trace],
+    ) -> List[Optional[Message]]:
+        if size == 2:
+            outputs, _setting = deliver_final_switch(
+                messages, base, mode, trace=trace
+            )
+            result.final_switches += 1
+            return outputs
+        upper, lower, stats = self._bsn(size).route_messages(
+            messages, base, mode, trace=trace
+        )
+        result.bsn_stats.append(stats)
+        half = size // 2
+        out_up = self._route(upper, base, half, mode, result, trace)
+        out_lo = self._route(lower, base + half, half, mode, result, trace)
+        return out_up + out_lo

@@ -1,0 +1,226 @@
+"""The binary splitting network (paper Section 3, Fig. 4).
+
+A BSN is the work-horse of one BRSMN level: it takes ``n`` links
+carrying messages tagged by the current address bit (``0`` /upper half,
+``1`` /lower half, ``ALPHA`` /both — must be split, ``EPS`` /idle) and
+delivers every 0-bound message to its upper ``n/2`` outputs and every
+1-bound message to its lower ``n/2`` outputs, splitting alphas along
+the way.  Input tag populations obey eqs. (1)-(3)::
+
+    n0 + n1 + na + ne = n ,   n0 + na <= n/2 ,   n1 + na <= n/2 ,
+
+which imply ``na <= ne``; the output populations satisfy eq. (4).
+
+Construction (Fig. 4a): a *scatter network* (RBN, Theorem 2) eliminates
+all alphas, then a *quasisorting network* (RBN with epsilon-dividing +
+bit sorting, Section 5.2) moves the 0s up and the 1s down.
+
+The BSN layer is also where multicast semantics enter the otherwise
+tag-only RBN layer: :func:`make_bsn_cells` turns per-input messages
+into tagged cells, pre-computing each alpha's two branch payloads —
+from the destination sets (oracle mode) or by splitting the routing-tag
+stream per Fig. 10 (self-routing mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InvalidAssignmentError, RoutingInvariantError
+from ..rbn.cells import Cell
+from ..rbn.permutations import check_network_size
+from ..rbn.quasisort import quasisort
+from ..rbn.scatter import count_tags, scatter
+from ..rbn.trace import Trace
+from .message import Message
+from .tags import Tag
+from .tagtree import split_stream, tag_of_destinations
+
+__all__ = ["BsnFrameStats", "BinarySplittingNetwork", "make_bsn_cells"]
+
+
+def make_bsn_cells(
+    messages: Sequence[Optional[Message]],
+    base: int,
+    size: int,
+    mode: str = "oracle",
+) -> List[Cell]:
+    """Tag one level's messages and prepare alpha branch payloads.
+
+    Args:
+        messages: per-input messages of this sub-network (``None`` =
+            idle input).
+        base: absolute address of this sub-network's first output.
+        size: sub-network size ``n'``.
+        mode: ``"oracle"`` derives tags from the remaining destination
+            sets; ``"selfrouting"`` consumes the head of each message's
+            tag stream (the hardware behaviour, paper Section 7.1).
+
+    Returns:
+        One :class:`~repro.rbn.cells.Cell` per input.
+
+    Raises:
+        InvalidAssignmentError: if a message's destinations stray
+            outside ``[base, base + size)``.
+        RoutingInvariantError: in self-routing mode, if a stream head
+            contradicts the message's actual destinations (a corrupted
+            tag sequence).
+    """
+    mid = base + size // 2
+    cells: List[Cell] = []
+    for msg in messages:
+        if msg is None:
+            cells.append(Cell(Tag.EPS))
+            continue
+        if any(not base <= d < base + size for d in msg.destinations):
+            raise InvalidAssignmentError(
+                f"message from input {msg.source} has destinations outside "
+                f"[{base}, {base + size})"
+            )
+        up_msg, lo_msg = msg.split_at(mid)
+        oracle_tag = tag_of_destinations(msg.destinations, mid)
+        if mode == "oracle":
+            tag = oracle_tag
+        elif mode == "selfrouting":
+            if msg.tag_stream is None:
+                raise InvalidAssignmentError(
+                    f"message from input {msg.source} carries no tag stream"
+                )
+            head, up_stream, lo_stream = split_stream(msg.tag_stream)
+            if head is not oracle_tag:
+                raise RoutingInvariantError(
+                    f"tag stream head {head} contradicts destinations "
+                    f"({oracle_tag}) for input {msg.source}"
+                )
+            tag = head
+            up_msg = None if up_msg is None else up_msg.with_stream(up_stream)
+            lo_msg = None if lo_msg is None else lo_msg.with_stream(lo_stream)
+        else:
+            raise ValueError(f"unknown routing mode {mode!r}")
+
+        if tag is Tag.ALPHA:
+            cells.append(Cell(Tag.ALPHA, data=msg, branch0=up_msg, branch1=lo_msg))
+        else:
+            carried = up_msg if tag is Tag.ZERO else lo_msg
+            cells.append(Cell(tag, data=carried))
+    return cells
+
+
+@dataclass
+class BsnFrameStats:
+    """Per-frame statistics of one BSN traversal.
+
+    Attributes:
+        size: the BSN size ``n``.
+        input_counts: tag populations on the inputs (paper's
+            ``n0, n1, na, ne``).
+        splits: number of alpha messages split (= broadcasts fired).
+        switch_ops: 2x2 switch applications (two RBN passes).
+    """
+
+    size: int
+    input_counts: dict = field(default_factory=dict)
+    splits: int = 0
+    switch_ops: int = 0
+
+
+class BinarySplittingNetwork:
+    """An ``n x n`` binary splitting network (scatter RBN + quasisort RBN).
+
+    Args:
+        n: network size (power of two, >= 2).
+    """
+
+    def __init__(self, n: int):
+        self.m = check_network_size(n)
+        self.n = n
+
+    @property
+    def switch_count(self) -> int:
+        """Physical switches: two RBNs of ``(n/2) log2 n`` each."""
+        return 2 * (self.n // 2) * self.m
+
+    @property
+    def depth(self) -> int:
+        """Switch stages on any input-output path: ``2 log2 n``."""
+        return 2 * self.m
+
+    def route_cells(
+        self,
+        cells: Sequence[Cell],
+        *,
+        trace: Optional[Trace] = None,
+        offset: int = 0,
+    ) -> Tuple[List[Cell], BsnFrameStats]:
+        """Route one frame of tagged cells through scatter + quasisort.
+
+        Returns the ``n`` output cells (zeros all in positions
+        ``[0, n/2)``, ones in ``[n/2, n)``) and the frame statistics.
+
+        Raises:
+            RoutingInvariantError: if the input populations violate
+                eqs. (1)-(3).
+        """
+        if len(cells) != self.n:
+            raise InvalidAssignmentError(
+                f"expected {self.n} cells, got {len(cells)}"
+            )
+        counts = count_tags(cells)
+        half = self.n // 2
+        if counts["n0"] + counts["na"] > half or counts["n1"] + counts["na"] > half:
+            raise RoutingInvariantError(
+                "BSN input constraint (eq. 2) violated: "
+                "n0={n0}, n1={n1}, na={na}, n/2={h}".format(
+                    n0=counts["n0"], n1=counts["n1"], na=counts["na"], h=half
+                )
+            )
+        scattered = scatter(cells, 0, trace=trace, offset=offset)
+        sorted_cells = quasisort(scattered, trace=trace, offset=offset)
+        stats = BsnFrameStats(
+            size=self.n,
+            input_counts=counts,
+            splits=counts["na"],
+            switch_ops=2 * (self.n // 2) * self.m,
+        )
+        return sorted_cells, stats
+
+    def route_messages(
+        self,
+        messages: Sequence[Optional[Message]],
+        base: int = 0,
+        mode: str = "oracle",
+        *,
+        trace: Optional[Trace] = None,
+    ) -> Tuple[List[Optional[Message]], List[Optional[Message]], BsnFrameStats]:
+        """Split one level's messages into upper-half and lower-half frames.
+
+        Args:
+            messages: per-input messages (``None`` = idle).
+            base: absolute address of this sub-network's first output.
+            mode: ``"oracle"`` or ``"selfrouting"`` (see
+                :func:`make_bsn_cells`).
+            trace: optional recorder.
+
+        Returns:
+            ``(upper, lower, stats)`` — the message frames handed to the
+            two half-size BRSMNs.  Every message in ``upper`` has all
+            destinations below the midpoint; symmetric for ``lower``.
+        """
+        cells = make_bsn_cells(messages, base, self.n, mode)
+        out_cells, stats = self.route_cells(cells, trace=trace, offset=base)
+        half = self.n // 2
+        upper = [c.data for c in out_cells[:half]]
+        lower = [c.data for c in out_cells[half:]]
+        # Sanity: tags and halves must agree (Theorem 2 + quasisort).
+        for c in out_cells[:half]:
+            if c.tag not in (Tag.ZERO, Tag.EPS):
+                raise RoutingInvariantError(
+                    f"upper BSN output carries tag {c.tag}"
+                )
+        for c in out_cells[half:]:
+            if c.tag not in (Tag.ONE, Tag.EPS):
+                raise RoutingInvariantError(
+                    f"lower BSN output carries tag {c.tag}"
+                )
+        return upper, lower, stats

@@ -1,0 +1,114 @@
+"""Session-level facade: a multicast switching fabric over many frames.
+
+Networks in this library are frame-oriented (one multicast assignment
+in, one delivery map out).  Real deployments — the videoconference /
+VoD / replicated-DB scenarios of :mod:`repro.workloads.scenarios` —
+route long *sequences* of frames and care about aggregate statistics.
+:class:`MulticastFabric` wraps any network implementation with:
+
+* per-frame verification (configurable to raise or record),
+* aggregate counters (frames, deliveries, splits, switch operations),
+* a running fanout histogram,
+
+so examples and benches can express sessions in three lines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from ..errors import RoutingInvariantError
+from .brsmn import RoutingResult
+from .multicast import MulticastAssignment
+from .routing import build_network
+from .verification import verify_result
+
+__all__ = ["FabricStats", "MulticastFabric"]
+
+
+@dataclass
+class FabricStats:
+    """Aggregate statistics of one fabric session.
+
+    Attributes:
+        frames: frames routed.
+        deliveries: total verified (output, message) deliveries.
+        splits: total alpha splits performed by BSN levels.
+        switch_ops: total 2x2 switch applications.
+        failures: frames whose verification failed (only populated when
+            the fabric is constructed with ``strict=False``).
+        fanout_histogram: multicast fanout -> occurrence count.
+    """
+
+    frames: int = 0
+    deliveries: int = 0
+    splits: int = 0
+    switch_ops: int = 0
+    failures: List[str] = field(default_factory=list)
+    fanout_histogram: Counter = field(default_factory=Counter)
+
+    @property
+    def mean_fanout(self) -> float:
+        """Average destination-set size over all routed multicasts."""
+        total = sum(f * c for f, c in self.fanout_histogram.items())
+        count = sum(self.fanout_histogram.values())
+        return total / count if count else 0.0
+
+
+class MulticastFabric:
+    """A verified multicast switch running frame sequences.
+
+    Args:
+        n: port count (power of two).
+        implementation: ``"unrolled"`` or ``"feedback"`` (see
+            :func:`repro.core.routing.build_network`).
+        mode: routing mode for every frame.
+        strict: when True (default), a verification failure raises
+            :class:`~repro.errors.RoutingInvariantError`; when False it
+            is recorded in :attr:`FabricStats.failures` and the session
+            continues.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        implementation: str = "unrolled",
+        mode: str = "selfrouting",
+        strict: bool = True,
+    ):
+        self.network = build_network(n, implementation)
+        self.n = n
+        self.mode = mode
+        self.strict = strict
+        self.stats = FabricStats()
+
+    def submit(self, assignment: MulticastAssignment) -> RoutingResult:
+        """Route and verify one frame, updating the session statistics."""
+        result = self.network.route(assignment, mode=self.mode)
+        report = verify_result(result)
+        if not report.ok:
+            msg = (
+                f"frame {self.stats.frames}: " + "; ".join(report.violations)
+            )
+            if self.strict:
+                raise RoutingInvariantError(msg)
+            self.stats.failures.append(msg)
+        self.stats.frames += 1
+        self.stats.deliveries += report.deliveries
+        self.stats.splits += result.total_splits
+        self.stats.switch_ops += result.switch_ops
+        for i in assignment.active_inputs:
+            self.stats.fanout_histogram[len(assignment[i])] += 1
+        return result
+
+    def run(self, frames: Iterable[MulticastAssignment]) -> FabricStats:
+        """Route a whole frame sequence; returns the session statistics."""
+        for assignment in frames:
+            self.submit(assignment)
+        return self.stats
+
+    def reset(self) -> None:
+        """Clear the session statistics (the network is stateless)."""
+        self.stats = FabricStats()

@@ -1,0 +1,212 @@
+"""The feedback implementation of the BRSMN (paper Section 7.3, Fig. 13).
+
+All functional components of the BRSMN are recursively-defined reverse
+banyan networks, so the network can *reuse itself*: build one physical
+``n x n`` RBN, feed each output back to the input with the same
+address, and time-multiplex:
+
+* pass 1: the full RBN acts as the scatter network of the level-1 BSN;
+* pass 2: the full RBN acts as its quasisorting network;
+* passes 3-4: the two ``n/2 x n/2`` sub-RBNs (the first ``log n - 1``
+  stages, upper and lower halves) act as the two level-2 BSNs'
+  scatter / quasisort networks — both halves in parallel per pass;
+* ... and so on, down to the final delivery on the size-2 sub-RBNs
+  (the first stage's switches).
+
+Hardware cost collapses from ``O(n log^2 n)`` to the single RBN's
+``O(n log n)`` switches, at the price of ``2 log n - 1`` sequential
+passes (depth in *time* rather than silicon).  This module simulates
+exactly that schedule, reusing the same distributed algorithms per
+slice, and accounts for passes and physical-switch usage so the Fig. 13
+bench can report the cost/passes trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import InvalidAssignmentError
+from ..rbn.cells import Cell
+from ..rbn.permutations import check_network_size
+from ..rbn.quasisort import quasisort
+from ..rbn.scatter import scatter
+from ..rbn.topology import rbn_switch_count
+from ..rbn.trace import Trace
+from .brsmn import RoutingResult, deliver_final_switch, inject_messages
+from .bsn import BsnFrameStats, make_bsn_cells
+from .message import Message
+from .multicast import MulticastAssignment
+from .tags import Tag
+
+__all__ = ["PassRecord", "FeedbackRoutingResult", "FeedbackBRSMN"]
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One time-multiplexed pass over (part of) the physical RBN.
+
+    Attributes:
+        index: 1-based pass number.
+        level: which BRSMN splitting level this pass serves (1-based).
+        role: ``"scatter"``, ``"quasisort"`` or ``"deliver"``.
+        slice_size: size of each sub-RBN slice used.
+        slices: number of parallel slices (= n / slice_size).
+        stages_used: physical switch stages active during the pass
+            (= log2(slice_size)).
+    """
+
+    index: int
+    level: int
+    role: str
+    slice_size: int
+    slices: int
+    stages_used: int
+
+
+@dataclass
+class FeedbackRoutingResult(RoutingResult):
+    """Routing result with the feedback network's pass schedule.
+
+    Attributes:
+        passes: the time-multiplexing schedule actually executed.
+    """
+
+    passes: List[PassRecord] = field(default_factory=list)
+
+    @property
+    def pass_count(self) -> int:
+        """Sequential passes used (= 2 log2 n - 1)."""
+        return len(self.passes)
+
+
+class FeedbackBRSMN:
+    """The feedback (hardware-reusing) BRSMN of paper Fig. 13.
+
+    Functionally identical to :class:`~repro.core.brsmn.BRSMN`; only
+    the physical realisation differs — a single ``n x n`` RBN reused
+    ``2 log2 n - 1`` times on progressively smaller slices.
+
+    Args:
+        n: network size (power of two, >= 2).
+    """
+
+    def __init__(self, n: int):
+        self.m = check_network_size(n)
+        self.n = n
+
+    @property
+    def switch_count(self) -> int:
+        """Physical switches: one RBN, ``(n/2) log2 n`` (Section 7.4)."""
+        return rbn_switch_count(self.n)
+
+    @property
+    def pass_count(self) -> int:
+        """Sequential passes per frame: ``2 log2 n - 1``."""
+        return 2 * self.m - 1
+
+    @property
+    def depth(self) -> int:
+        """Total switch stages traversed over all passes.
+
+        Matches the unrolled network's ``Theta(log^2 n)`` path length:
+        each level-``j`` pass pair crosses ``2 log2(n_j)`` stages.
+        """
+        total = 0
+        size = self.n
+        while size > 2:
+            total += 2 * (size.bit_length() - 1)
+            size //= 2
+        return total + 1
+
+    def route(
+        self,
+        assignment: MulticastAssignment,
+        mode: str = "oracle",
+        payloads: Optional[Sequence] = None,
+        *,
+        collect_trace: bool = False,
+    ) -> FeedbackRoutingResult:
+        """Route one assignment through the time-multiplexed schedule.
+
+        Levels run globally: pass ``2j-1`` scatters *all* level-``j``
+        slices in parallel, pass ``2j`` quasisorts them, and the final
+        pass delivers on the size-2 slices.
+        """
+        if assignment.n != self.n:
+            raise InvalidAssignmentError(
+                f"assignment size {assignment.n} != network size {self.n}"
+            )
+        trace = (
+            Trace(label=f"FeedbackBRSMN(n={self.n}, mode={mode})")
+            if collect_trace
+            else None
+        )
+        result = FeedbackRoutingResult(
+            assignment=assignment, outputs=[], mode=mode, trace=trace
+        )
+        frame: List[Optional[Message]] = inject_messages(assignment, mode, payloads)
+        pass_no = 0
+        level = 0
+        size = self.n
+        while size > 2:
+            level += 1
+            half = size // 2
+            blocks = self.n // size
+            stages = size.bit_length() - 1
+            # --- scatter pass over every slice of this level.
+            cells: List[Cell] = []
+            block_splits: List[int] = []
+            for b in range(blocks):
+                base = b * size
+                block_cells = make_bsn_cells(frame[base : base + size], base, size, mode)
+                block_splits.append(
+                    sum(1 for c in block_cells if c.tag is Tag.ALPHA)
+                )
+                cells.extend(scatter(block_cells, 0, trace=trace, offset=base))
+            pass_no += 1
+            result.passes.append(
+                PassRecord(pass_no, level, "scatter", size, blocks, stages)
+            )
+            # --- quasisort pass over every slice.
+            next_frame: List[Optional[Message]] = []
+            for b in range(blocks):
+                base = b * size
+                sorted_cells = quasisort(
+                    cells[base : base + size], trace=trace, offset=base
+                )
+                counts = {
+                    "n0": sum(1 for c in sorted_cells if c.tag is Tag.ZERO),
+                    "n1": sum(1 for c in sorted_cells if c.tag is Tag.ONE),
+                    "na": 0,
+                    "ne": sum(1 for c in sorted_cells if c.tag is Tag.EPS),
+                }
+                result.bsn_stats.append(
+                    BsnFrameStats(
+                        size=size,
+                        input_counts=counts,
+                        splits=block_splits[b],
+                        switch_ops=2 * half * stages,
+                    )
+                )
+                next_frame.extend(c.data for c in sorted_cells)
+            pass_no += 1
+            result.passes.append(
+                PassRecord(pass_no, level, "quasisort", size, blocks, stages)
+            )
+            frame = next_frame
+            size = half
+        # --- final delivery pass on the size-2 slices (first stage).
+        outputs: List[Optional[Message]] = []
+        for b in range(self.n // 2):
+            out_pair, _setting = deliver_final_switch(
+                frame[2 * b : 2 * b + 2], 2 * b, mode, trace=trace
+            )
+            outputs.extend(out_pair)
+            result.final_switches += 1
+        pass_no += 1
+        result.passes.append(
+            PassRecord(pass_no, level + 1, "deliver", 2, self.n // 2, 1)
+        )
+        result.outputs = outputs
+        return result

@@ -1,0 +1,71 @@
+"""Messages: the payloads routed through multicast networks.
+
+A :class:`Message` is what one network input injects during a routing
+frame.  While cells (:mod:`repro.rbn.cells`) are the RBN-layer view —
+a routing tag plus opaque data — the message is the end-to-end object:
+it knows its source, its *remaining* destination set (which shrinks as
+BSN levels split it), and optionally the self-routing tag stream that
+replaces destination knowledge in the paper's hardware
+(``mode="selfrouting"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, FrozenSet, Optional, Tuple
+
+from ..errors import InvalidAssignmentError
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One multicast message in flight.
+
+    Attributes:
+        source: originating network input.
+        destinations: the *remaining* absolute destination set — the
+            original ``I_i`` at injection, a subset of it after splits.
+        payload: user data carried verbatim to every destination.
+        tag_stream: in self-routing mode, the remaining routing-tag
+            sequence (paper Section 7.1); ``None`` in oracle mode.
+    """
+
+    source: int
+    destinations: FrozenSet[int]
+    payload: Any = None
+    tag_stream: Optional[Tuple] = None
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise InvalidAssignmentError("a message must have >= 1 destination")
+        object.__setattr__(self, "destinations", frozenset(self.destinations))
+
+    def split_at(self, midpoint: int) -> tuple:
+        """Split by an address midpoint into (upper-half, lower-half) parts.
+
+        Returns a pair of messages (either may be ``None``) whose
+        destination sets are the subsets below/above ``midpoint``.  The
+        tag stream, if any, is *not* split here — the BSN layer splits
+        streams by the interleaving rule (see
+        :func:`repro.core.tagtree.split_stream`).
+        """
+        lo = frozenset(d for d in self.destinations if d < midpoint)
+        hi = frozenset(d for d in self.destinations if d >= midpoint)
+        upper = replace(self, destinations=lo) if lo else None
+        lower = replace(self, destinations=hi) if hi else None
+        return upper, lower
+
+    def with_stream(self, stream: Optional[Tuple]) -> "Message":
+        """Return a copy carrying the given remaining tag stream."""
+        return replace(self, tag_stream=None if stream is None else tuple(stream))
+
+    def single_destination(self) -> int:
+        """The unique destination (valid only when fully resolved)."""
+        if len(self.destinations) != 1:
+            raise InvalidAssignmentError(
+                f"message from input {self.source} still has "
+                f"{len(self.destinations)} destinations"
+            )
+        return next(iter(self.destinations))

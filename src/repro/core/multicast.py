@@ -1,0 +1,196 @@
+"""The multicast assignment model of paper Section 2.
+
+A *multicast assignment* for an ``n x n`` network is a family
+``{I_0, I_1, ..., I_{n-1}}`` where ``I_i`` is the *destination set* of
+input ``i``: the subset of outputs input ``i``'s message must reach.
+The sets must be pairwise disjoint (an output hears at most one input)
+but need not cover all outputs.  A *permutation assignment* is the
+special case where every ``|I_i| <= 1``.
+
+The paper's running example (Section 2, Fig. 2) is the 8x8 assignment::
+
+    { {0,1}, {}, {3,4,7}, {2}, {}, {}, {}, {5,6} }
+
+exposed here as :func:`paper_example_assignment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+from ..errors import InvalidAssignmentError
+from ..rbn.permutations import check_network_size
+
+__all__ = ["MulticastAssignment", "paper_example_assignment"]
+
+DestinationsLike = Union[Iterable[int], None]
+
+
+@dataclass(frozen=True)
+class MulticastAssignment:
+    """An immutable, validated multicast assignment.
+
+    Attributes:
+        n: network size (power of two).
+        destinations: tuple of ``n`` frozensets; ``destinations[i]`` is
+            ``I_i``.
+    """
+
+    n: int
+    destinations: tuple
+
+    def __init__(self, n: int, destinations: Sequence[DestinationsLike]):
+        check_network_size(n)
+        if len(destinations) != n:
+            raise InvalidAssignmentError(
+                f"expected {n} destination sets, got {len(destinations)}"
+            )
+        sets: List[FrozenSet[int]] = []
+        seen: set = set()
+        for i, dests in enumerate(destinations):
+            ds = frozenset(dests) if dests is not None else frozenset()
+            for d in ds:
+                if not isinstance(d, int) or not 0 <= d < n:
+                    raise InvalidAssignmentError(
+                        f"input {i}: destination {d!r} out of range [0, {n})"
+                    )
+                if d in seen:
+                    raise InvalidAssignmentError(
+                        f"output {d} appears in more than one destination set"
+                    )
+                seen.add(d)
+            sets.append(ds)
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "destinations", tuple(sets))
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def from_dict(cls, n: int, mapping: Mapping[int, Iterable[int]]) -> "MulticastAssignment":
+        """Build from a sparse ``{input: destinations}`` mapping."""
+        dests: List[DestinationsLike] = [None] * n
+        for i, ds in mapping.items():
+            if not 0 <= i < n:
+                raise InvalidAssignmentError(f"input {i} out of range [0, {n})")
+            dests[i] = ds
+        return cls(n, dests)
+
+    @classmethod
+    def from_permutation(cls, perm: Sequence[int]) -> "MulticastAssignment":
+        """Build the (full or partial) permutation assignment ``i -> perm[i]``.
+
+        ``perm[i]`` may be ``None`` for an idle input.
+        """
+        n = len(perm)
+        return cls(
+            n,
+            [None if p is None else (p,) for p in perm],
+        )
+
+    @classmethod
+    def broadcast(cls, n: int, source: int = 0) -> "MulticastAssignment":
+        """The full broadcast: one input reaches every output."""
+        dests: List[DestinationsLike] = [None] * n
+        dests[source] = range(n)
+        return cls(n, dests)
+
+    @classmethod
+    def identity(cls, n: int) -> "MulticastAssignment":
+        """The identity permutation ``i -> i``."""
+        return cls.from_permutation(list(range(n)))
+
+    @classmethod
+    def empty(cls, n: int) -> "MulticastAssignment":
+        """The empty assignment: every input idle."""
+        return cls(n, [None] * n)
+
+    # -- queries ------------------------------------------------------
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        return iter(self.destinations)
+
+    def __getitem__(self, i: int) -> FrozenSet[int]:
+        return self.destinations[i]
+
+    @property
+    def active_inputs(self) -> List[int]:
+        """Inputs with non-empty destination sets."""
+        return [i for i, ds in enumerate(self.destinations) if ds]
+
+    @property
+    def used_outputs(self) -> FrozenSet[int]:
+        """Union of all destination sets."""
+        out: set = set()
+        for ds in self.destinations:
+            out |= ds
+        return frozenset(out)
+
+    @property
+    def total_fanout(self) -> int:
+        """Sum of destination-set sizes (= number of deliveries)."""
+        return sum(len(ds) for ds in self.destinations)
+
+    @property
+    def max_fanout(self) -> int:
+        """Largest destination-set size."""
+        return max((len(ds) for ds in self.destinations), default=0)
+
+    @property
+    def is_permutation(self) -> bool:
+        """True when every destination set has at most one element."""
+        return all(len(ds) <= 1 for ds in self.destinations)
+
+    @property
+    def load(self) -> float:
+        """Fraction of outputs receiving a message."""
+        return self.total_fanout / self.n
+
+    def inverse_map(self) -> Dict[int, int]:
+        """Map each used output to its (unique) source input."""
+        inv: Dict[int, int] = {}
+        for i, ds in enumerate(self.destinations):
+            for d in ds:
+                inv[d] = i
+        return inv
+
+    def restrict(self, lo: int, hi: int) -> "MulticastAssignment":
+        """Project onto the output window ``[lo, hi)`` re-based to 0.
+
+        Inputs keep their indices modulo the window size only if they
+        fall inside the window — this helper exists for tests that
+        compare against half-size subproblems and requires
+        ``hi - lo`` to be a power of two.
+        """
+        size = hi - lo
+        dests: List[Optional[List[int]]] = [None] * size
+        slot = 0
+        for ds in self.destinations:
+            clipped = sorted(d - lo for d in ds if lo <= d < hi)
+            if clipped:
+                if slot >= size:
+                    raise InvalidAssignmentError(
+                        "window overloaded: more sources than slots"
+                    )
+                dests[slot] = clipped
+                slot += 1
+        return MulticastAssignment(size, dests)
+
+    def to_binary_strings(self) -> List[List[str]]:
+        """Destination sets as binary address strings (paper Section 2)."""
+        m = self.n.bit_length() - 1
+        return [
+            [format(d, f"0{m}b") for d in sorted(ds)] for ds in self.destinations
+        ]
+
+    def __str__(self) -> str:
+        body = ", ".join(
+            "{" + ",".join(map(str, sorted(ds))) + "}" if ds else "{}"
+            for ds in self.destinations
+        )
+        return f"MulticastAssignment(n={self.n}, [{body}])"
+
+
+def paper_example_assignment() -> MulticastAssignment:
+    """The 8x8 worked example of paper Section 2 / Fig. 2."""
+    return MulticastAssignment(
+        8, [{0, 1}, None, {3, 4, 7}, {2}, None, None, None, {5, 6}]
+    )

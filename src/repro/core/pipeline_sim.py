@@ -1,0 +1,189 @@
+"""Discrete-event multi-frame pipeline simulation of the BRSMN.
+
+:mod:`repro.hardware.schedule` computes frame latency and period
+*arithmetically*; this module checks those numbers the honest way — by
+actually simulating frames flowing through the network's pipeline
+segments and detecting structural hazards.
+
+Model: the unrolled BRSMN is a chain of **segments**, one per splitting
+level (each = that level's routing computation + its two datapath
+passes, busy for the level's full service time per frame), ending with
+the delivery level.  Segments are distinct hardware, so different
+frames may occupy different segments simultaneously; a *structural
+hazard* occurs iff a frame arrives at a segment before the previous
+frame has left it.  The feedback BRSMN is a single segment serving a
+frame's whole schedule.
+
+:func:`simulate_stream` pushes ``k`` frames injected every ``period``
+gate-delays and reports per-frame completion times, per-segment
+utilisation and any hazards; :func:`find_min_period` bisects for the
+smallest hazard-free period — which the tests pin to
+:func:`repro.hardware.schedule.pipelined_throughput`'s arithmetic
+(slowest-segment busy time for the unrolled network, whole-frame
+latency for the feedback one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..hardware.cost import CostParameters, DEFAULT_COST
+from ..hardware.schedule import build_frame_schedule
+from ..hardware.timing import TimingParameters
+from ..rbn.permutations import check_network_size
+
+__all__ = ["SegmentStats", "StreamReport", "simulate_stream", "find_min_period"]
+
+
+def _segment_service_times(
+    n: int,
+    implementation: str,
+    timing: TimingParameters,
+    cost: CostParameters,
+) -> List[int]:
+    """Busy time per pipeline segment for one frame.
+
+    Unrolled: one segment per level (level entries of the frame
+    schedule).  Feedback: a single segment covering the whole schedule.
+    """
+    schedule = build_frame_schedule(n, timing, cost)
+    if implementation == "feedback":
+        return [schedule.total_time]
+    if implementation != "unrolled":
+        raise ValueError(f"unknown implementation {implementation!r}")
+    by_level: Dict[int, int] = {}
+    for e in schedule.entries:
+        by_level[e.level] = by_level.get(e.level, 0) + e.duration
+    return [by_level[level] for level in sorted(by_level)]
+
+
+@dataclass
+class SegmentStats:
+    """Occupancy record of one pipeline segment.
+
+    Attributes:
+        service_time: busy time per frame (gate delays).
+        busy: total gate delays spent serving frames.
+        hazards: number of frames that arrived while still busy.
+    """
+
+    service_time: int
+    busy: int = 0
+    hazards: int = 0
+
+
+@dataclass
+class StreamReport:
+    """Outcome of streaming ``k`` frames through the pipeline.
+
+    Attributes:
+        n: network size.
+        period: injection period used (gate delays).
+        completions: per-frame completion times.
+        segments: per-segment statistics, in pipeline order.
+        makespan: completion time of the last frame.
+    """
+
+    n: int
+    period: int
+    completions: List[int] = field(default_factory=list)
+    segments: List[SegmentStats] = field(default_factory=list)
+
+    @property
+    def hazard_free(self) -> bool:
+        """True when no frame ever collided with its predecessor."""
+        return all(s.hazards == 0 for s in self.segments)
+
+    @property
+    def makespan(self) -> int:
+        """Completion time of the last frame."""
+        return max(self.completions, default=0)
+
+    def utilisation(self, segment: int) -> float:
+        """Busy fraction of one segment over the makespan."""
+        if self.makespan == 0:
+            return 0.0
+        return self.segments[segment].busy / self.makespan
+
+    @property
+    def bottleneck_utilisation(self) -> float:
+        """Utilisation of the busiest segment (1.0 = saturated)."""
+        return max(
+            (self.utilisation(i) for i in range(len(self.segments))),
+            default=0.0,
+        )
+
+
+def simulate_stream(
+    n: int,
+    frames: int,
+    period: int,
+    implementation: str = "unrolled",
+    timing: TimingParameters = TimingParameters(),
+    cost: CostParameters = DEFAULT_COST,
+) -> StreamReport:
+    """Stream frames through the pipeline; detect structural hazards.
+
+    Frame ``f`` is injected at time ``f * period`` and visits every
+    segment in order; at each it must wait until the segment is free
+    (a *hazard*, counted) and then occupies it for the segment's
+    service time.
+
+    Args:
+        n: network size (power of two).
+        frames: number of frames to stream (>= 1).
+        period: injection period in gate delays (>= 1).
+        implementation: ``"unrolled"`` or ``"feedback"``.
+        timing, cost: hardware constants (must match the ones used to
+            derive any period being validated).
+    """
+    check_network_size(n)
+    if frames < 1:
+        raise ValueError(f"frames must be >= 1, got {frames}")
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    services = _segment_service_times(n, implementation, timing, cost)
+    report = StreamReport(
+        n=n,
+        period=period,
+        segments=[SegmentStats(service_time=t) for t in services],
+    )
+    free_at = [0] * len(services)  # when each segment becomes free
+    for f in range(frames):
+        t = f * period
+        for i, service in enumerate(services):
+            if t < free_at[i]:
+                report.segments[i].hazards += 1
+                t = free_at[i]
+            free_at[i] = t + service
+            report.segments[i].busy += service
+            t += service
+        report.completions.append(t)
+    return report
+
+
+def find_min_period(
+    n: int,
+    implementation: str = "unrolled",
+    timing: TimingParameters = TimingParameters(),
+    cost: CostParameters = DEFAULT_COST,
+    probe_frames: int = 8,
+) -> int:
+    """Smallest hazard-free injection period, found by bisection.
+
+    For a chain of fixed-service segments this equals the largest
+    segment service time; the simulation-based search exists precisely
+    so tests can confirm the arithmetic instead of assuming it.
+    """
+    services = _segment_service_times(n, implementation, timing, cost)
+    lo, hi = 1, sum(services) + 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if simulate_stream(
+            n, probe_frames, mid, implementation, timing, cost
+        ).hazard_free:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,110 @@
+"""High-level one-call routing API.
+
+Most users want: "give this multicast assignment to the network and
+hand me the verified deliveries".  :func:`route_multicast` does exactly
+that — it builds the requested network implementation, routes, verifies
+and raises on any violation — and :func:`route_and_report` returns the
+raw result plus the verification report for callers that want to
+inspect failures instead.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import RoutingInvariantError
+from .brsmn import BRSMN, RoutingResult
+from .feedback import FeedbackBRSMN
+from .multicast import MulticastAssignment
+from .verification import VerificationReport, verify_result
+
+__all__ = ["build_network", "route_multicast", "route_and_report"]
+
+AssignmentLike = Union[MulticastAssignment, Sequence, Mapping[int, Sequence[int]]]
+
+
+def _coerce_assignment(n: int, assignment: AssignmentLike) -> MulticastAssignment:
+    if isinstance(assignment, MulticastAssignment):
+        return assignment
+    if isinstance(assignment, Mapping):
+        return MulticastAssignment.from_dict(n, assignment)
+    return MulticastAssignment(n, list(assignment))
+
+
+def build_network(n: int, implementation: str = "unrolled"):
+    """Construct a multicast network.
+
+    Args:
+        n: network size (power of two, >= 2).
+        implementation: ``"unrolled"`` for the full
+            :class:`~repro.core.brsmn.BRSMN` (cost ``O(n log^2 n)``,
+            single-pass) or ``"feedback"`` for the hardware-reusing
+            :class:`~repro.core.feedback.FeedbackBRSMN`
+            (cost ``O(n log n)``, ``2 log n - 1`` passes).
+    """
+    if implementation == "unrolled":
+        return BRSMN(n)
+    if implementation == "feedback":
+        return FeedbackBRSMN(n)
+    raise ValueError(
+        f"unknown implementation {implementation!r} "
+        "(expected 'unrolled' or 'feedback')"
+    )
+
+
+def route_and_report(
+    n: int,
+    assignment: AssignmentLike,
+    *,
+    mode: str = "selfrouting",
+    implementation: str = "unrolled",
+    payloads: Optional[Sequence] = None,
+    collect_trace: bool = False,
+) -> Tuple[RoutingResult, VerificationReport]:
+    """Route an assignment and return ``(result, verification report)``.
+
+    Args:
+        n: network size.
+        assignment: a :class:`MulticastAssignment`, a list of
+            destination iterables, or a sparse ``{input: destinations}``
+            mapping.
+        mode: ``"selfrouting"`` (default — the paper's hardware
+            behaviour) or ``"oracle"``.
+        implementation: ``"unrolled"`` or ``"feedback"``.
+        payloads: optional per-input payloads.
+        collect_trace: record the full stage trace.
+    """
+    net = build_network(n, implementation)
+    asg = _coerce_assignment(n, assignment)
+    result = net.route(asg, mode=mode, payloads=payloads, collect_trace=collect_trace)
+    return result, verify_result(result)
+
+
+def route_multicast(
+    n: int,
+    assignment: AssignmentLike,
+    *,
+    mode: str = "selfrouting",
+    implementation: str = "unrolled",
+    payloads: Optional[Sequence] = None,
+    collect_trace: bool = False,
+) -> RoutingResult:
+    """Route an assignment, verify it, and return the result.
+
+    Raises:
+        RoutingInvariantError: if verification finds any violation
+            (missing / spurious / misrouted delivery).
+    """
+    result, report = route_and_report(
+        n,
+        assignment,
+        mode=mode,
+        implementation=implementation,
+        payloads=payloads,
+        collect_trace=collect_trace,
+    )
+    if not report.ok:
+        raise RoutingInvariantError(
+            "routing verification failed: " + "; ".join(report.violations)
+        )
+    return result

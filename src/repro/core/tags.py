@@ -1,0 +1,201 @@
+"""Routing-tag values and the 3-bit encoding scheme of paper Table 1.
+
+The BRSMN routes with four tag values per link (Section 3):
+
+* ``ZERO``  — every destination of this message lies in the *upper* half
+  of the current subnetwork's outputs (the current address bit is 0).
+* ``ONE``   — every destination lies in the *lower* half (bit is 1).
+* ``ALPHA`` — destinations in both halves; the message must be *split*
+  (one copy per half) by a broadcast switch in the scatter network.
+* ``EPS``   — the empty tag: the link carries no message.
+
+The quasisorting network additionally distinguishes *dummy* epsilons
+(Section 5.2): ``EPS0`` (an epsilon re-labelled as a dummy 0) and
+``EPS1`` (dummy 1), so that the 0-population and 1-population are both
+exactly ``n/2`` and plain bit sorting (Theorem 1) applies.
+
+Table 1 of the paper assigns a 3-bit hardware encoding ``b0 b1 b2``:
+
+====== =========
+tag    b0 b1 b2
+====== =========
+0      0  0  0
+1      0  0  1
+alpha  1  0  0
+eps    1  1  X
+eps0   1  1  0
+eps1   1  1  1
+====== =========
+
+so that ``b0 AND NOT b1`` counts alphas and ``b0 AND b1`` counts
+epsilons — the single-gate count predicates used by the forward phases
+of the self-routing circuit (Section 7.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import InvalidTagError
+
+__all__ = [
+    "Tag",
+    "TAG_SYMBOLS",
+    "encode_tag",
+    "decode_tag",
+    "is_alpha_bit",
+    "is_eps_bit",
+    "is_one_bit",
+    "parse_tag_string",
+    "format_tag_string",
+]
+
+
+class Tag(enum.Enum):
+    """A routing-tag value carried by one link of the network.
+
+    Members compare by identity; use :func:`encode_tag` for the Table 1
+    hardware encoding.  ``EPS0``/``EPS1`` only ever appear *inside* the
+    quasisorting network.
+    """
+
+    ZERO = "0"
+    ONE = "1"
+    ALPHA = "a"
+    EPS = "e"
+    EPS0 = "e0"
+    EPS1 = "e1"
+
+    @property
+    def is_eps_like(self) -> bool:
+        """True for ``EPS``, ``EPS0`` and ``EPS1`` (no message carried)."""
+        return self in (Tag.EPS, Tag.EPS0, Tag.EPS1)
+
+    @property
+    def is_chi(self) -> bool:
+        """True for the combined value ``chi`` of Section 5.1 (0 or 1).
+
+        The scatter-network analysis folds ``ZERO`` and ``ONE`` into a
+        single symbol ``chi`` because both travel unicast and neither
+        participates in alpha/epsilon elimination.
+        """
+        return self in (Tag.ZERO, Tag.ONE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tag.{self.name}"
+
+
+#: Human-readable one-character symbols used by the ASCII renderer and in
+#: tag-string literals (``EPS0``/``EPS1`` need two characters).
+TAG_SYMBOLS = {
+    Tag.ZERO: "0",
+    Tag.ONE: "1",
+    Tag.ALPHA: "a",
+    Tag.EPS: "e",
+    Tag.EPS0: "z",
+    Tag.EPS1: "w",
+}
+
+_SYMBOL_TO_TAG = {v: k for k, v in TAG_SYMBOLS.items()}
+
+#: Table 1 of the paper: tag -> (b0, b1, b2).  ``EPS`` encodes with a
+#: don't-care third bit; we canonicalise X to 0 when encoding and accept
+#: both codes when decoding.
+_ENCODING = {
+    Tag.ZERO: (0, 0, 0),
+    Tag.ONE: (0, 0, 1),
+    Tag.ALPHA: (1, 0, 0),
+    Tag.EPS0: (1, 1, 0),
+    Tag.EPS1: (1, 1, 1),
+}
+
+
+def encode_tag(tag: Tag) -> tuple[int, int, int]:
+    """Encode a tag value as the 3-bit tuple ``(b0, b1, b2)`` of Table 1.
+
+    ``EPS`` has a don't-care last bit ``11X``; it is canonicalised to
+    ``(1, 1, 0)``.
+
+    Raises:
+        InvalidTagError: if ``tag`` is not a :class:`Tag`.
+    """
+    if tag is Tag.EPS:
+        return (1, 1, 0)
+    try:
+        return _ENCODING[tag]
+    except (KeyError, TypeError) as exc:
+        raise InvalidTagError(f"not a routing tag: {tag!r}") from exc
+
+
+def decode_tag(bits: tuple[int, int, int], *, dummies: bool = False) -> Tag:
+    """Decode a 3-bit Table 1 code back into a :class:`Tag`.
+
+    Args:
+        bits: the ``(b0, b1, b2)`` triple.
+        dummies: when True, ``110``/``111`` decode to ``EPS0``/``EPS1``
+            (the quasisorting network's view); when False both decode to
+            the plain ``EPS`` (the ``11X`` row of Table 1).
+
+    Raises:
+        InvalidTagError: for the unused code ``101`` or malformed input.
+    """
+    b0, b1, b2 = bits
+    if any(b not in (0, 1) for b in (b0, b1, b2)):
+        raise InvalidTagError(f"bits must be 0/1 triple, got {bits!r}")
+    if (b0, b1) == (0, 0):
+        return Tag.ONE if b2 else Tag.ZERO
+    if (b0, b1) == (1, 0):
+        if b2:
+            raise InvalidTagError("code 101 is unused in Table 1")
+        return Tag.ALPHA
+    if (b0, b1) == (1, 1):
+        if dummies:
+            return Tag.EPS1 if b2 else Tag.EPS0
+        return Tag.EPS
+    raise InvalidTagError(f"code {bits!r} is unused in Table 1")
+
+
+def is_alpha_bit(tag: Tag) -> int:
+    """The hardware alpha-counting predicate ``b0 AND NOT b1`` (Sec 7.2)."""
+    b0, b1, _ = encode_tag(tag)
+    return b0 & (1 - b1)
+
+
+def is_eps_bit(tag: Tag) -> int:
+    """The hardware epsilon-counting predicate ``b0 AND b1`` (Sec 7.2)."""
+    b0, b1, _ = encode_tag(tag)
+    return b0 & b1
+
+
+def is_one_bit(tag: Tag) -> int:
+    """The hardware 1-counting predicate: bit ``b2`` (Section 7.2).
+
+    Valid only in the quasisorting network, where every tag is one of
+    ``ZERO``, ``ONE``, ``EPS0``, ``EPS1`` — there ``b2`` is exactly
+    "counts as a (real or dummy) one".
+    """
+    return encode_tag(tag)[2]
+
+
+def parse_tag_string(text: str) -> list[Tag]:
+    """Parse a compact tag-string literal like ``"00eaeee"`` into tags.
+
+    Symbols: ``0 1 a e`` plus ``z`` (= eps0) and ``w`` (= eps1); spaces
+    are ignored.  This is the format used throughout the tests and the
+    figure-regeneration benches to transcribe the paper's examples
+    (e.g. Fig. 9's sequences ``00eaeee`` and ``a1ae011``).
+    """
+    tags = []
+    for ch in text:
+        if ch.isspace():
+            continue
+        try:
+            tags.append(_SYMBOL_TO_TAG[ch])
+        except KeyError as exc:
+            raise InvalidTagError(f"unknown tag symbol {ch!r} in {text!r}") from exc
+    return tags
+
+
+def format_tag_string(tags) -> str:
+    """Inverse of :func:`parse_tag_string`."""
+    return "".join(TAG_SYMBOLS[t] for t in tags)

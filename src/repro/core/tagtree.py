@@ -1,0 +1,279 @@
+"""Multicast routing-tag trees and the SEQ wire format (paper Section 7.1).
+
+A multicast with destination set ``I`` in an ``n x n`` BRSMN is encoded
+as a complete binary tree of ``log2 n`` levels.  Level ``i`` describes
+the ``i``-th most significant address bit: a node representing a
+sub-multicast gets tag
+
+* ``ALPHA`` if its destinations have both 0 and 1 in bit ``i``,
+* ``ZERO``/``ONE`` if they all have 0 / all have 1,
+* ``EPS`` if the sub-multicast is empty.
+
+The tree is flattened to the *routing tag sequence* ``SEQ`` by
+equations (10)-(12)::
+
+    merge(b_1..b_k; c_1..c_k) = b_1 c_1 b_2 c_2 ... b_k c_k          (10)
+    order(b_1..b_k) = merge(order(first half), order(second half))   (11)
+    SEQ = conc(order(SEQ_1), order(SEQ_2), ..., order(SEQ_log n))    (12)
+
+where ``SEQ_i`` lists level ``i``'s tags left to right.  The point of
+this interleaved order is streaming: after a BSN consumes the head tag
+``a_0``, the odd-position remainder is exactly the left subtree's SEQ
+and the even-position remainder the right subtree's (paper Fig. 10), so
+a constant number of buffers per input suffices.
+
+The full sequence has ``n - 1`` tags (one per tree node).  [Note: the
+paper's prose indexes the sequence ``a_0 ... a_{2n-2}``, but its own
+Fig. 11 / eq. (13) example for n = 16 has 15 = n - 1 tags and the
+Fig. 9 examples for n = 8 have 7; we follow the figures.]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidTagError
+from ..rbn.permutations import check_network_size
+from .tags import Tag, format_tag_string
+
+__all__ = [
+    "TagTreeNode",
+    "TagTree",
+    "merge_sequences",
+    "order_sequence",
+    "split_stream",
+    "tag_of_destinations",
+]
+
+
+def tag_of_destinations(dests: Iterable[int], midpoint: int) -> Tag:
+    """The routing tag of a destination set relative to an address midpoint.
+
+    Destinations strictly below the midpoint are "upper half" (bit 0);
+    at or above are "lower half" (bit 1).
+    """
+    has_lo = any(d < midpoint for d in dests)
+    has_hi = any(d >= midpoint for d in dests)
+    if has_lo and has_hi:
+        return Tag.ALPHA
+    if has_lo:
+        return Tag.ZERO
+    if has_hi:
+        return Tag.ONE
+    return Tag.EPS
+
+
+def merge_sequences(b: Sequence, c: Sequence) -> List:
+    """Equation (10): interleave two equal-length sequences."""
+    if len(b) != len(c):
+        raise InvalidTagError(
+            f"merge requires equal lengths, got {len(b)} and {len(c)}"
+        )
+    out: List = []
+    for x, y in zip(b, c):
+        out.append(x)
+        out.append(y)
+    return out
+
+
+def order_sequence(seq: Sequence) -> List:
+    """Equation (11): the recursive interleaving order of one tree level.
+
+    ``order`` of a ``2^i``-long level listing re-orders it so that the
+    tags belonging to the *left* subtree of the root occupy the odd
+    positions (0-based even indices) and the right subtree's the even
+    positions, recursively.
+    """
+    k = len(seq)
+    if k == 1:
+        return list(seq)
+    if k % 2:
+        raise InvalidTagError(f"order() needs a power-of-two length, got {k}")
+    half = k // 2
+    return merge_sequences(order_sequence(seq[:half]), order_sequence(seq[half:]))
+
+
+def split_stream(stream: Sequence[Tag]) -> Tuple[Tag, Tuple[Tag, ...], Tuple[Tag, ...]]:
+    """Consume the head tag and split the remainder (paper Fig. 10).
+
+    Returns ``(a0, upper_stream, lower_stream)`` where the upper stream
+    (``a1, a3, a5, ...``) is the left subtree's SEQ and the lower stream
+    (``a2, a4, a6, ...``) the right subtree's.  For a length-1 stream
+    both remainders are empty.
+    """
+    if not stream:
+        raise InvalidTagError("cannot split an empty tag stream")
+    head = stream[0]
+    rest = tuple(stream[1:])
+    return head, rest[0::2], rest[1::2]
+
+
+@dataclass(frozen=True)
+class TagTreeNode:
+    """One node of a multicast tag tree.
+
+    Attributes:
+        tag: this node's routing tag.
+        left: child for address bit 0 (``None`` at the last level).
+        right: child for address bit 1.
+    """
+
+    tag: Tag
+    left: Optional["TagTreeNode"] = None
+    right: Optional["TagTreeNode"] = None
+
+    @property
+    def is_last_level(self) -> bool:
+        """True for nodes of level ``log2 n`` (no children)."""
+        return self.left is None
+
+
+class TagTree:
+    """The complete tag tree of one multicast in an ``n x n`` network.
+
+    Build with :meth:`from_destinations` or :meth:`from_sequence`;
+    serialise with :meth:`to_sequence`.  ``TagTree`` instances are
+    immutable value objects (equality = equal n and equal sequences).
+    """
+
+    def __init__(self, n: int, root: TagTreeNode):
+        check_network_size(n)
+        self.n = n
+        self.m = n.bit_length() - 1
+        self.root = root
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_destinations(cls, n: int, destinations: Iterable[int]) -> "TagTree":
+        """Build the (unique) tag tree of a destination set.
+
+        An empty destination set yields the all-epsilon tree, matching
+        the paper's "any network input without a message is always
+        assumed to have a tag eps".
+        """
+        check_network_size(n)
+        dests = frozenset(destinations)
+        for d in dests:
+            if not 0 <= d < n:
+                raise InvalidTagError(f"destination {d} out of range [0, {n})")
+
+        def build(sub: FrozenSet[int], size: int) -> TagTreeNode:
+            mid = size // 2
+            tag = tag_of_destinations(sub, mid)
+            if size == 2:
+                return TagTreeNode(tag)
+            lo = frozenset(d for d in sub if d < mid)
+            hi = frozenset(d - mid for d in sub if d >= mid)
+            return TagTreeNode(tag, build(lo, mid), build(hi, mid))
+
+        return cls(n, build(dests, n))
+
+    @classmethod
+    def from_sequence(cls, n: int, seq: Sequence[Tag]) -> "TagTree":
+        """Parse a SEQ tag sequence (length ``n - 1``) back into a tree."""
+        check_network_size(n)
+        if len(seq) != n - 1:
+            raise InvalidTagError(
+                f"SEQ for n={n} must have {n - 1} tags, got {len(seq)}"
+            )
+
+        def parse(stream: Sequence[Tag], size: int) -> TagTreeNode:
+            head, up, lo = split_stream(stream)
+            if not isinstance(head, Tag):
+                raise InvalidTagError(f"SEQ element {head!r} is not a Tag")
+            if size == 2:
+                return TagTreeNode(head)
+            return TagTreeNode(head, parse(up, size // 2), parse(lo, size // 2))
+
+        return cls(n, parse(tuple(seq), n))
+
+    # -- serialisation --------------------------------------------------
+    def levels(self) -> List[List[Tag]]:
+        """``SEQ_i`` listings: ``levels()[i-1]`` is level ``i``, left to right."""
+        out: List[List[Tag]] = []
+        frontier = [self.root]
+        for _ in range(self.m):
+            out.append([node.tag for node in frontier])
+            nxt: List[TagTreeNode] = []
+            for node in frontier:
+                if node.left is not None:
+                    nxt.append(node.left)
+                    nxt.append(node.right)
+            frontier = nxt
+        return out
+
+    def to_sequence(self) -> Tuple[Tag, ...]:
+        """Equation (12): ``conc(order(SEQ_1), ..., order(SEQ_log n))``."""
+        seq: List[Tag] = []
+        for level in self.levels():
+            seq.extend(order_sequence(level))
+        return tuple(seq)
+
+    # -- queries ---------------------------------------------------------
+    def destinations(self) -> FrozenSet[int]:
+        """Invert the tree back to its destination set."""
+        dests: List[int] = []
+
+        def walk(node: TagTreeNode, prefix: int, size: int) -> None:
+            if node.tag is Tag.EPS:
+                return
+            go_left = node.tag in (Tag.ZERO, Tag.ALPHA)
+            go_right = node.tag in (Tag.ONE, Tag.ALPHA)
+            if node.is_last_level:
+                if go_left:
+                    dests.append(prefix << 1)
+                if go_right:
+                    dests.append((prefix << 1) | 1)
+                return
+            if go_left:
+                walk(node.left, prefix << 1, size // 2)
+            if go_right:
+                walk(node.right, (prefix << 1) | 1, size // 2)
+
+        walk(self.root, 0, self.n)
+        return frozenset(dests)
+
+    def validate(self) -> None:
+        """Check the parent/child tag consistency rules of Section 7.1.
+
+        * an ``ALPHA`` node's children are both non-epsilon;
+        * a ``ZERO`` node's left child is non-epsilon and its right
+          child is epsilon (mirrored for ``ONE``);
+        * an ``EPS`` node's children are both epsilon.
+
+        Raises:
+            InvalidTagError: on the first violated rule.
+        """
+
+        def check(node: TagTreeNode, path: str) -> None:
+            if node.is_last_level:
+                return
+            lt, rt = node.left.tag, node.right.tag
+            tag = node.tag
+            if tag is Tag.ALPHA and (lt is Tag.EPS or rt is Tag.EPS):
+                raise InvalidTagError(f"alpha node {path or 'root'} has an eps child")
+            if tag is Tag.ZERO and (lt is Tag.EPS or rt is not Tag.EPS):
+                raise InvalidTagError(f"zero node {path or 'root'} children invalid")
+            if tag is Tag.ONE and (lt is not Tag.EPS or rt is Tag.EPS):
+                raise InvalidTagError(f"one node {path or 'root'} children invalid")
+            if tag is Tag.EPS and (lt is not Tag.EPS or rt is not Tag.EPS):
+                raise InvalidTagError(f"eps node {path or 'root'} has non-eps child")
+            check(node.left, path + "0")
+            check(node.right, path + "1")
+
+        check(self.root, "")
+
+    # -- dunder ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TagTree):
+            return NotImplemented
+        return self.n == other.n and self.to_sequence() == other.to_sequence()
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.to_sequence()))
+
+    def __str__(self) -> str:
+        return (
+            f"TagTree(n={self.n}, seq={format_tag_string(self.to_sequence())!r})"
+        )

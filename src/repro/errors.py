@@ -1,0 +1,62 @@
+"""Exception hierarchy for the BRSMN reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  The hierarchy distinguishes *user* errors (invalid
+assignments, bad network sizes) from *internal invariant violations*
+(conditions the paper proves can never occur — e.g. a broadcast switch
+whose inputs are not an (alpha, epsilon) pair).  Internal violations are a
+bug in either the implementation or the paper's claims, and tests rely on
+them being raised eagerly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetworkSizeError",
+    "InvalidAssignmentError",
+    "InvalidTagError",
+    "RoutingInvariantError",
+    "BlockingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class NetworkSizeError(ReproError, ValueError):
+    """Raised when a network size is not a power of two (or is < 2)."""
+
+
+class InvalidAssignmentError(ReproError, ValueError):
+    """Raised when a multicast assignment violates the paper's model.
+
+    A valid assignment ``{I_0, ..., I_{n-1}}`` (Section 2) requires the
+    destination sets to be pairwise disjoint subsets of
+    ``{0, ..., n-1}``.
+    """
+
+
+class InvalidTagError(ReproError, ValueError):
+    """Raised when a routing-tag value or tag sequence is malformed."""
+
+
+class RoutingInvariantError(ReproError, RuntimeError):
+    """An invariant the paper proves always holds was violated.
+
+    Examples: a broadcast switch whose inputs are not an
+    (alpha-message, empty) pair; a merge that does not produce the
+    circular compact sequence a lemma promises; an epsilon-dividing
+    count going negative.
+    """
+
+
+class BlockingError(ReproError, RuntimeError):
+    """Raised when two messages contend for one link or output.
+
+    The BRSMN is nonblocking for every valid multicast assignment, so
+    this error firing on a valid assignment indicates an implementation
+    bug; baselines that *can* block (none in this library by default)
+    would raise it legitimately.
+    """

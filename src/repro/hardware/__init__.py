@@ -1,0 +1,78 @@
+"""Hardware substrate: gates, adders, cost and timing models.
+
+The paper's complexity results (Table 2) are stated in logic gates and
+gate delays.  This subpackage grounds those units:
+
+* :mod:`~repro.hardware.gates` — combinational netlists with delay
+  accounting;
+* :mod:`~repro.hardware.adders` — full adders and ripple-carry adders;
+* :mod:`~repro.hardware.pipeline` — the bit-serial pipelined adder and
+  reduction tree of paper Fig. 12;
+* :mod:`~repro.hardware.cost` — gate/switch/depth counts for every
+  network in the library;
+* :mod:`~repro.hardware.timing` — the ``O(log^2 n)`` routing-time
+  model plus instrumented measurement hooks.
+"""
+
+from .adders import (
+    FULL_ADDER_DEPTH,
+    FULL_ADDER_GATES,
+    add_with_circuit,
+    build_full_adder,
+    build_ripple_adder,
+)
+from .cost import DEFAULT_COST, CostModel, CostParameters
+from .counting_circuit import CountReport, PopulationCounter, build_predicate_bank
+from .datapath_sim import GateLevelReplay, gate_level_pass
+from .gates import GATE_OPS, Circuit, Gate
+from .pipeline import BitSerialAdder, PipelinedAdderTree, pipelined_add
+from .schedule import (
+    FrameSchedule,
+    ScheduleEntry,
+    ThroughputReport,
+    build_frame_schedule,
+    pipelined_throughput,
+)
+from .switch_circuit import (
+    build_switch_datapath,
+    build_tag_rewrite,
+    simulate_switch_bit,
+    simulate_tag_rewrite,
+    switch_datapath_gates,
+)
+from .timing import TimingModel, TimingParameters, measure_phase_counters
+
+__all__ = [
+    "FULL_ADDER_DEPTH",
+    "FULL_ADDER_GATES",
+    "add_with_circuit",
+    "build_full_adder",
+    "build_ripple_adder",
+    "DEFAULT_COST",
+    "CostModel",
+    "CostParameters",
+    "GATE_OPS",
+    "Circuit",
+    "Gate",
+    "BitSerialAdder",
+    "PipelinedAdderTree",
+    "pipelined_add",
+    "TimingModel",
+    "TimingParameters",
+    "measure_phase_counters",
+    "CountReport",
+    "PopulationCounter",
+    "build_predicate_bank",
+    "GateLevelReplay",
+    "gate_level_pass",
+    "FrameSchedule",
+    "ScheduleEntry",
+    "ThroughputReport",
+    "build_frame_schedule",
+    "pipelined_throughput",
+    "build_switch_datapath",
+    "build_tag_rewrite",
+    "simulate_switch_bit",
+    "simulate_tag_rewrite",
+    "switch_datapath_gates",
+]

@@ -1,0 +1,104 @@
+"""Adder circuits: the arithmetic work-horses of the routing circuit.
+
+Section 7.2 observes that "the most frequently used operation in the
+distributed algorithms is addition (or addition-like operations)" on
+``log n``-bit counts.  This module builds the adders from the gate
+substrate:
+
+* :func:`build_full_adder` — the classic 2-XOR / 2-AND / 1-OR one-bit
+  full adder (5 gates, 3 gate-delay critical path), the cell that
+  Fig. 12 pipelines;
+* :func:`build_ripple_adder` — a ``w``-bit ripple-carry adder, used to
+  bound the *unpipelined* cost/delay that the pipelined scheme avoids;
+* :func:`add_with_circuit` — evaluate a built adder on integers (the
+  test oracle hook).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .gates import Circuit
+
+__all__ = [
+    "build_full_adder",
+    "build_ripple_adder",
+    "add_with_circuit",
+    "FULL_ADDER_GATES",
+    "FULL_ADDER_DEPTH",
+]
+
+#: Gate count of one full adder (cost constant used by the cost model).
+FULL_ADDER_GATES = 5
+#: Critical path of one full adder in gate delays.
+FULL_ADDER_DEPTH = 3
+
+
+def build_full_adder() -> Circuit:
+    """Build a one-bit full adder.
+
+    Inputs ``a``, ``b``, ``cin``; outputs ``sum``, ``cout``.  Exactly
+    :data:`FULL_ADDER_GATES` gates with a :data:`FULL_ADDER_DEPTH`
+    gate-delay critical path.
+    """
+    c = Circuit()
+    a = c.add_input("a")
+    b = c.add_input("b")
+    cin = c.add_input("cin")
+    axb = c.add_gate("XOR", a, b)
+    s = c.add_gate("XOR", axb, cin)
+    t1 = c.add_gate("AND", a, b)
+    t2 = c.add_gate("AND", axb, cin)
+    cout = c.add_gate("OR", t1, t2)
+    c.add_output("sum", s)
+    c.add_output("cout", cout)
+    return c
+
+
+def build_ripple_adder(width: int) -> Circuit:
+    """Build a ``width``-bit ripple-carry adder.
+
+    Inputs ``a0..a{w-1}``, ``b0..b{w-1}`` (LSB first) and ``cin``;
+    outputs ``s0..s{w-1}`` and ``cout``.  Uses ``5 * width`` gates with
+    an ``O(width)`` critical path — the unpipelined baseline against
+    which Fig. 12's bit-serial scheme is compared.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    c = Circuit()
+    a_w = [c.add_input(f"a{i}") for i in range(width)]
+    b_w = [c.add_input(f"b{i}") for i in range(width)]
+    carry = c.add_input("cin")
+    for i in range(width):
+        axb = c.add_gate("XOR", a_w[i], b_w[i])
+        s = c.add_gate("XOR", axb, carry)
+        t1 = c.add_gate("AND", a_w[i], b_w[i])
+        t2 = c.add_gate("AND", axb, carry)
+        carry = c.add_gate("OR", t1, t2)
+        c.add_output(f"s{i}", s)
+    c.add_output("cout", carry)
+    return c
+
+
+def add_with_circuit(circuit: Circuit, x: int, y: int, width: int) -> Tuple[int, int]:
+    """Evaluate a ripple adder on two integers.
+
+    Args:
+        circuit: a circuit built by :func:`build_ripple_adder`.
+        x, y: operands, ``0 <= x, y < 2**width``.
+        width: operand width.
+
+    Returns:
+        ``(sum, critical_path)`` where ``sum`` includes the carry-out
+        bit (so it equals ``x + y`` exactly).
+    """
+    if not 0 <= x < (1 << width) or not 0 <= y < (1 << width):
+        raise ValueError(f"operands out of range for width {width}")
+    inputs: Dict[str, int] = {"cin": 0}
+    for i in range(width):
+        inputs[f"a{i}"] = (x >> i) & 1
+        inputs[f"b{i}"] = (y >> i) & 1
+    values, critical = circuit.evaluate(inputs)
+    total = sum(values[f"s{i}"] << i for i in range(width))
+    total |= values["cout"] << width
+    return total, critical

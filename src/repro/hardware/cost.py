@@ -1,0 +1,176 @@
+"""Hardware cost and depth models (paper Section 7.4, Table 2).
+
+The paper counts cost in logic gates and depth in gate delays.  Every
+network here is built from 2x2 switches, each carrying a constant
+amount of datapath logic plus a constant amount of distributed routing
+circuit (a few one-bit adders and comparators — Section 7.2), so gate
+counts are ``switch count x constant``.  The model keeps the constants
+explicit and overridable; the *shape* results (Table 2's orders, who
+wins, the feedback version's ``log n`` saving) do not depend on them.
+
+Exact switch counts implemented:
+
+* RBN:        ``(n/2) log2 n``
+* BSN:        ``n log2 n``                      (two RBNs)
+* BRSMN:      ``sum_j 2^{j-1} * n_j log2 n_j + n/2``
+              with ``n_j = n / 2^{j-1}``  —  ``Theta(n log^2 n)``
+* feedback:   ``(n/2) log2 n``                  (one physical RBN)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..rbn.permutations import check_network_size
+from .adders import FULL_ADDER_GATES
+
+__all__ = ["CostParameters", "CostModel", "DEFAULT_COST"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Per-switch hardware constants.
+
+    Attributes:
+        datapath_gates: gates of the 2x2 switching element proper (the
+            4-setting crossbar for a serial data line plus setting
+            latch decode).
+        routing_adders: one-bit serial adders per switch for the
+            distributed routing circuit (forward/backward trees plus
+            the epsilon-divider; Section 7.2 says "a constant number").
+        routing_misc_gates: comparators/muxes of the compact-setting
+            predicate (Table 5) and tag re-coding.
+        switch_delay: gate delays for a cell bit to traverse one
+            switch.
+    """
+
+    datapath_gates: int = 12
+    routing_adders: int = 3
+    routing_misc_gates: int = 14
+    switch_delay: int = 2
+
+    @property
+    def gates_per_switch(self) -> int:
+        """Total gates attributed to one switch."""
+        return (
+            self.datapath_gates
+            + self.routing_adders * FULL_ADDER_GATES
+            + self.routing_misc_gates
+        )
+
+
+DEFAULT_COST = CostParameters()
+
+
+class CostModel:
+    """Cost / depth calculator for all the networks in this library.
+
+    Args:
+        params: per-switch constants (defaults are reasonable for a
+            serial-datapath implementation; all results scale linearly
+            in them).
+    """
+
+    def __init__(self, params: CostParameters = DEFAULT_COST):
+        self.params = params
+
+    # ---- switch counts ------------------------------------------------
+    def rbn_switches(self, n: int) -> int:
+        """Switches in an ``n x n`` RBN: ``(n/2) log2 n``."""
+        m = check_network_size(n)
+        return (n // 2) * m
+
+    def bsn_switches(self, n: int) -> int:
+        """Switches in an ``n x n`` BSN: two RBNs."""
+        return 2 * self.rbn_switches(n)
+
+    def brsmn_switches(self, n: int) -> int:
+        """Switches in the unrolled ``n x n`` BRSMN (Fig. 1 recursion)."""
+        check_network_size(n)
+        total = 0
+        size, blocks = n, 1
+        while size > 2:
+            total += blocks * self.bsn_switches(size)
+            blocks *= 2
+            size //= 2
+        return total + blocks  # final n/2 delivery switches
+
+    def feedback_switches(self, n: int) -> int:
+        """Physical switches of the feedback BRSMN: one RBN."""
+        return self.rbn_switches(n)
+
+    # ---- gate counts ----------------------------------------------------
+    def _gates(self, switches: int) -> int:
+        return switches * self.params.gates_per_switch
+
+    def rbn_gates(self, n: int) -> int:
+        """Gates in an ``n x n`` RBN (= ``O(n log n)``)."""
+        return self._gates(self.rbn_switches(n))
+
+    def bsn_gates(self, n: int) -> int:
+        """Gates in an ``n x n`` BSN (= ``O(n log n)``)."""
+        return self._gates(self.bsn_switches(n))
+
+    def brsmn_gates(self, n: int) -> int:
+        """Gates in the unrolled BRSMN (= ``O(n log^2 n)``, Table 2)."""
+        return self._gates(self.brsmn_switches(n))
+
+    def feedback_gates(self, n: int) -> int:
+        """Gates in the feedback BRSMN (= ``O(n log n)``, Table 2)."""
+        return self._gates(self.feedback_switches(n))
+
+    # ---- depths (gate delays through the datapath) ----------------------
+    def rbn_depth(self, n: int) -> int:
+        """Datapath depth of an RBN: ``log2 n`` stages."""
+        m = check_network_size(n)
+        return m * self.params.switch_delay
+
+    def bsn_depth(self, n: int) -> int:
+        """Datapath depth of a BSN: ``2 log2 n`` stages."""
+        return 2 * self.rbn_depth(n)
+
+    def brsmn_depth(self, n: int) -> int:
+        """Datapath depth of the BRSMN: ``Theta(log^2 n)`` (Table 2)."""
+        check_network_size(n)
+        total = 0
+        size = n
+        while size > 2:
+            total += self.bsn_depth(size)
+            size //= 2
+        return total + self.params.switch_delay  # final switch
+
+    def feedback_depth(self, n: int) -> int:
+        """Stages *traversed in time* by the feedback network.
+
+        Identical to the unrolled depth — the feedback version trades
+        silicon for passes, not path length (Table 2 keeps depth
+        ``log^2 n`` for both rows).
+        """
+        return self.brsmn_depth(n)
+
+    # ---- summaries -------------------------------------------------------
+    def summary(self, n: int) -> Dict[str, Dict[str, int]]:
+        """All cost/depth figures for one size (bench convenience)."""
+        return {
+            "rbn": {
+                "switches": self.rbn_switches(n),
+                "gates": self.rbn_gates(n),
+                "depth": self.rbn_depth(n),
+            },
+            "bsn": {
+                "switches": self.bsn_switches(n),
+                "gates": self.bsn_gates(n),
+                "depth": self.bsn_depth(n),
+            },
+            "brsmn": {
+                "switches": self.brsmn_switches(n),
+                "gates": self.brsmn_gates(n),
+                "depth": self.brsmn_depth(n),
+            },
+            "feedback": {
+                "switches": self.feedback_switches(n),
+                "gates": self.feedback_gates(n),
+                "depth": self.feedback_depth(n),
+            },
+        }

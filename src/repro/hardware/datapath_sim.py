@@ -1,0 +1,144 @@
+"""Gate-level tag-plane replay: a whole RBN pass through real netlists.
+
+The behavioural simulator moves :class:`~repro.rbn.cells.Cell` objects;
+this module re-executes a recorded pass at the *netlist* level: every
+switch is the mux datapath of
+:func:`~repro.hardware.switch_circuit.build_switch_datapath` fed the
+Table 1 tag bits serially, followed by the broadcast tag-rewrite logic
+of :func:`~repro.hardware.switch_circuit.build_tag_rewrite` on each
+output port.  The replay
+
+* must reproduce the behavioural tag movement bit-exactly (tests pin
+  gate-level vs behavioural outputs on scatter and quasisort passes,
+  broadcasts included), and
+* reports the accumulated critical path in gate delays — the measured
+  counterpart of the cost model's ``switch_delay x stages`` datapath
+  depth.
+
+Payloads are not modelled (a payload is an opaque bit stream that
+follows its tag through the same muxes); the tag plane is where all the
+interesting logic lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.tags import Tag, decode_tag, encode_tag
+from ..rbn.switches import is_broadcast
+from ..rbn.trace import StageRecord
+from .switch_circuit import build_switch_datapath, build_tag_rewrite
+
+__all__ = ["GateLevelReplay", "gate_level_pass"]
+
+
+@dataclass(frozen=True)
+class GateLevelReplay:
+    """Outcome of one gate-level pass replay.
+
+    Attributes:
+        tags: the output tag vector.
+        critical_path: accumulated worst-case gate delays through the
+            datapath (sum over stages of the slowest switch).
+        switch_evaluations: total netlist evaluations performed.
+    """
+
+    tags: Tuple[Tag, ...]
+    critical_path: int
+    switch_evaluations: int
+
+
+def gate_level_pass(
+    records: Sequence[StageRecord], width: int
+) -> GateLevelReplay:
+    """Replay one recorded pass with netlist-level switches.
+
+    Args:
+        records: the stage records of exactly one full-width pass.
+        width: the pass width ``n``.
+
+    Returns:
+        The gate-level output tags and delay accounting.
+
+    Raises:
+        ValueError: if the records do not tile one full-width pass.
+    """
+    m = width.bit_length() - 1
+    by_stage: Dict[int, List[StageRecord]] = {}
+    for rec in records:
+        by_stage.setdefault(rec.size.bit_length() - 1, []).append(rec)
+    if sorted(by_stage) != list(range(1, m + 1)):
+        raise ValueError(f"records do not form one pass of width {width}")
+
+    datapath = build_switch_datapath()
+    rewrite = build_tag_rewrite()
+
+    # frame[t] = (b0, b1, b2) of the tag on terminal t
+    frame: List[Optional[Tuple[int, int, int]]] = [None] * width
+    for rec in by_stage[1]:
+        for pos, cell in enumerate(rec.inputs):
+            frame[rec.offset + pos] = encode_tag(cell.tag)
+    if any(b is None for b in frame):
+        raise ValueError("stage-1 records do not cover the full width")
+
+    critical = 0
+    evaluations = 0
+    for k in range(1, m + 1):
+        stage_delay = 0
+        for rec in sorted(by_stage[k], key=lambda r: r.offset):
+            half = rec.size // 2
+            base = rec.offset
+            new = list(frame[base : base + rec.size])
+            for i in range(half):
+                setting = rec.settings[i]
+                r = int(setting)
+                up_bits = frame[base + i]
+                lo_bits = frame[base + i + half]
+                out_u_bits: List[int] = []
+                out_l_bits: List[int] = []
+                bit_delay = 0
+                # stream the three tag bits through the mux datapath
+                for b in range(3):
+                    values, t = datapath.evaluate(
+                        {
+                            "in_u": up_bits[b],
+                            "in_l": lo_bits[b],
+                            "r0": r & 1,
+                            "r1": (r >> 1) & 1,
+                        }
+                    )
+                    out_u_bits.append(values["out_u"])
+                    out_l_bits.append(values["out_l"])
+                    bit_delay = max(bit_delay, t)
+                # broadcast tag rewrite on each output port
+                bcast = int(is_broadcast(setting))
+                ru, tu = rewrite.evaluate(
+                    {
+                        "b0": out_u_bits[0],
+                        "b1": out_u_bits[1],
+                        "b2": out_u_bits[2],
+                        "bcast": bcast,
+                        "lower": 0,
+                    }
+                )
+                rl, tl = rewrite.evaluate(
+                    {
+                        "b0": out_l_bits[0],
+                        "b1": out_l_bits[1],
+                        "b2": out_l_bits[2],
+                        "bcast": bcast,
+                        "lower": 1,
+                    }
+                )
+                new[i] = (ru["o0"], ru["o1"], ru["o2"])
+                new[i + half] = (rl["o0"], rl["o1"], rl["o2"])
+                evaluations += 1
+                stage_delay = max(stage_delay, bit_delay + max(tu, tl))
+            frame[base : base + rec.size] = new
+        critical += stage_delay
+
+    tags = tuple(decode_tag(bits, dummies=True) for bits in frame)  # type: ignore[arg-type]
+    return GateLevelReplay(
+        tags=tags, critical_path=critical, switch_evaluations=evaluations
+    )

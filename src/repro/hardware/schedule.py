@@ -1,0 +1,244 @@
+"""Frame-level timing schedule for the feedback network.
+
+The feedback BRSMN (Section 7.3) time-multiplexes one physical RBN over
+``2 log2 n - 1`` passes, and before each splitting level its routing
+circuit runs the distributed phases (Section 6).  This module lays the
+whole frame out on a wall-clock (gate-delay) timeline:
+
+* per level: routing computation (scatter phases, epsilon-divide +
+  sort phases) followed by the two datapath passes;
+* the final delivery pass.
+
+The resulting :class:`FrameSchedule` is effectively a Gantt chart —
+benches print it, and the total must reconcile with the
+:class:`~repro.hardware.timing.TimingModel` routing time plus the
+datapath occupancy.  It also answers a practical throughput question
+the paper leaves implicit: with one physical RBN, what is the frame
+period (and can routing of frame ``k+1`` overlap the datapath of frame
+``k``)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..rbn.permutations import check_network_size
+from .cost import CostParameters, DEFAULT_COST
+from .timing import TimingModel, TimingParameters
+
+__all__ = [
+    "ScheduleEntry",
+    "FrameSchedule",
+    "build_frame_schedule",
+    "ThroughputReport",
+    "pipelined_throughput",
+]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One activity on the frame timeline.
+
+    Attributes:
+        start: start time (gate delays from frame start).
+        end: end time.
+        level: BRSMN splitting level (1-based; 0 for frame-global).
+        kind: ``"routing"`` (distributed phases) or ``"datapath"``
+            (cells traversing switch stages).
+        label: human-readable description.
+    """
+
+    start: int
+    end: int
+    level: int
+    kind: str
+    label: str
+
+    @property
+    def duration(self) -> int:
+        """Length of this activity in gate delays."""
+        return self.end - self.start
+
+
+@dataclass
+class FrameSchedule:
+    """The computed timeline of one frame through the feedback network.
+
+    Attributes:
+        n: network size.
+        entries: activities in start order.
+    """
+
+    n: int
+    entries: List[ScheduleEntry] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> int:
+        """Frame latency in gate delays (end of the last activity)."""
+        return max((e.end for e in self.entries), default=0)
+
+    @property
+    def routing_time(self) -> int:
+        """Gate delays spent in routing (switch-setting) activities."""
+        return sum(e.duration for e in self.entries if e.kind == "routing")
+
+    @property
+    def datapath_time(self) -> int:
+        """Gate delays spent moving cells through switch stages."""
+        return sum(e.duration for e in self.entries if e.kind == "datapath")
+
+    @property
+    def pass_count(self) -> int:
+        """Datapath passes (must equal ``2 log2 n - 1``)."""
+        return sum(1 for e in self.entries if e.kind == "datapath")
+
+    def render(self) -> str:
+        """Render the timeline as text (one line per activity)."""
+        lines = [f"frame schedule, n = {self.n} (times in gate delays):"]
+        for e in self.entries:
+            lines.append(
+                f"  [{e.start:6d} .. {e.end:6d}] level {e.level}: "
+                f"{e.kind:9s} {e.label}"
+            )
+        lines.append(
+            f"  total {self.total_time} = routing {self.routing_time} "
+            f"+ datapath {self.datapath_time}"
+        )
+        return "\n".join(lines)
+
+
+def build_frame_schedule(
+    n: int,
+    timing: TimingParameters = TimingParameters(),
+    cost: CostParameters = DEFAULT_COST,
+) -> FrameSchedule:
+    """Lay one frame of the feedback BRSMN onto a gate-delay timeline.
+
+    Per splitting level of size ``n_j``: the scatter phases run, the
+    scatter datapath pass crosses ``log2 n_j`` stages, then the
+    epsilon-divide + bit-sort phases run and the quasisort pass crosses
+    the same stages; the final level is one delivery-switch pass.
+
+    Args:
+        n: network size (power of two, >= 2).
+        timing: phase-latency constants.
+        cost: per-switch datapath delay.
+    """
+    check_network_size(n)
+    tm = TimingModel(timing)
+    schedule = FrameSchedule(n=n)
+    now = 0
+    size = n
+    level = 0
+    while size > 2:
+        level += 1
+        m_j = size.bit_length() - 1
+        phase = tm.phase_time(size)
+        stage_cross = m_j * cost.switch_delay
+
+        # scatter: forward + backward phases, then the datapath pass
+        routing = 2 * phase + timing.setting_delay
+        schedule.entries.append(
+            ScheduleEntry(now, now + routing, level, "routing",
+                          f"scatter phases over {size}-input slices")
+        )
+        now += routing
+        schedule.entries.append(
+            ScheduleEntry(now, now + stage_cross, level, "datapath",
+                          f"scatter pass ({m_j} stages)")
+        )
+        now += stage_cross
+
+        # quasisort: eps-divide + sort phases, then the datapath pass
+        routing = 4 * phase + timing.setting_delay
+        schedule.entries.append(
+            ScheduleEntry(now, now + routing, level, "routing",
+                          f"eps-divide + sort phases over {size}-input slices")
+        )
+        now += routing
+        schedule.entries.append(
+            ScheduleEntry(now, now + stage_cross, level, "datapath",
+                          f"quasisort pass ({m_j} stages)")
+        )
+        now += stage_cross
+        size //= 2
+
+    # final delivery pass on the size-2 slices
+    schedule.entries.append(
+        ScheduleEntry(
+            now,
+            now + timing.setting_delay,
+            level + 1,
+            "routing",
+            "final-switch local decisions",
+        )
+    )
+    now += timing.setting_delay
+    schedule.entries.append(
+        ScheduleEntry(now, now + cost.switch_delay, level + 1, "datapath",
+                      "delivery pass (1 stage)")
+    )
+    return schedule
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Latency / frame-period figures for sustained operation.
+
+    Attributes:
+        n: network size.
+        latency: gate delays from a frame's injection to its last
+            delivery.
+        unrolled_period: minimum frame spacing of the unrolled BRSMN.
+            Every splitting level is separate hardware, so frames
+            pipeline across levels: the period is the slowest single
+            level's (routing + datapath) time — ``O(log n)``.
+        feedback_period: minimum frame spacing of the feedback BRSMN.
+            One physical RBN serves every pass, so a new frame can only
+            start when the previous frame has fully drained: the period
+            equals the latency — ``O(log^2 n)``.
+    """
+
+    n: int
+    latency: int
+    unrolled_period: int
+    feedback_period: int
+
+    @property
+    def unrolled_speedup(self) -> float:
+        """Throughput advantage of the unrolled network (= log-n-ish)."""
+        return self.feedback_period / self.unrolled_period
+
+
+def pipelined_throughput(
+    n: int,
+    timing: TimingParameters = TimingParameters(),
+    cost: CostParameters = DEFAULT_COST,
+) -> ThroughputReport:
+    """Sustained-throughput analysis of unrolled vs feedback networks.
+
+    The paper buys the feedback version's ``O(n log n)`` cost with
+    time-multiplexing; this quantifies the other side of that trade —
+    sustained frame rate — using the same constants as
+    :func:`build_frame_schedule`.  Section 7.2's pipelining means each
+    *level* of the unrolled network is busy with a different frame, so
+    its steady-state period is the slowest level's busy time, while the
+    feedback network's period is a whole frame.
+
+    Args:
+        n: network size (power of two, >= 2).
+        timing: phase-latency constants.
+        cost: per-switch datapath delay.
+    """
+    schedule = build_frame_schedule(n, timing, cost)
+    # busy time per level = sum of that level's entries
+    level_busy = {}
+    for e in schedule.entries:
+        level_busy[e.level] = level_busy.get(e.level, 0) + e.duration
+    return ThroughputReport(
+        n=n,
+        latency=schedule.total_time,
+        unrolled_period=max(level_busy.values()),
+        feedback_period=schedule.total_time,
+    )

@@ -1,0 +1,168 @@
+"""Gate-level netlist of one 2x2 switch (datapath + setting decode).
+
+The cost model (:mod:`repro.hardware.cost`) charges a constant number
+of gates per switch; this module *builds* that switch from the gate
+substrate so the constant is grounded in an actual netlist rather than
+hand-waved:
+
+* **datapath** — the switch carries one serial data line per port.
+  Each output port is a 2:1 multiplexer over the two input ports,
+  selected by the decoded setting:
+
+  ====================  =========  =========
+  setting ``r1 r0``     upper out  lower out
+  ====================  =========  =========
+  parallel   (00)       in_u       in_l
+  crossing   (01)       in_l       in_u
+  upper bcast(10)       in_u       in_u
+  lower bcast(11)       in_l       in_l
+  ====================  =========  =========
+
+  which reduces to ``sel_u = r0 XOR r1'...`` — derived below as plain
+  mux select equations: the upper output selects ``in_l`` iff the
+  setting is crossing or lower-broadcast (``r0 AND NOT r1  OR  r1 AND
+  r0``… see :func:`build_switch_datapath` for the exact netlist), and
+  symmetric for the lower output.
+
+* **tag transform** — at a broadcast, the 3-bit Table 1 tag of the
+  source alpha cell (``100``) must be rewritten to ``000`` on the upper
+  output and ``001`` on the lower (Fig. 3c/d).  Built in
+  :func:`build_tag_rewrite`.
+
+The module exposes the measured gate counts so tests can pin the cost
+model's :class:`~repro.hardware.cost.CostParameters` defaults to real
+netlists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.tags import Tag, decode_tag, encode_tag
+from ..rbn.switches import SwitchSetting
+from .gates import Circuit
+
+__all__ = [
+    "build_switch_datapath",
+    "build_tag_rewrite",
+    "switch_datapath_gates",
+    "simulate_switch_bit",
+    "simulate_tag_rewrite",
+]
+
+
+def build_switch_datapath() -> Circuit:
+    """Build the serial-bit datapath of one 2x2 switch.
+
+    Inputs: ``in_u``, ``in_l`` (one data bit per port) and the setting
+    code ``r1 r0`` (MSB/LSB of the paper's ``r_i`` in 0..3).
+    Outputs: ``out_u``, ``out_l``.
+
+    The select equations follow from the table in the module docstring:
+
+    * upper output carries ``in_l`` iff ``r = 01`` (cross) or ``r = 11``
+      (lower bcast) — i.e. ``sel_u = r0``... *except* that upper
+      broadcast (``10``) must keep ``in_u``; working through the four
+      rows gives ``sel_u = r0`` and ``sel_l = r0 XNOR r1``:
+
+      ======== ==== =====================  =====================
+      ``r1r0`` r    upper source (sel_u)   lower source (sel_l)
+      ======== ==== =====================  =====================
+      00       0    in_u (0)               in_l (0)
+      01       1    in_l (1)               in_u (1)
+      10       2    in_u (0)               in_u (1)
+      11       3    in_l (1)               in_l (0)
+      ======== ==== =====================  =====================
+
+      where sel = 1 means "take the *other* port".  Hence
+      ``sel_u = r0`` and ``sel_l = r0 XOR r1``.
+    """
+    c = Circuit()
+    in_u = c.add_input("in_u")
+    in_l = c.add_input("in_l")
+    r0 = c.add_input("r0")
+    r1 = c.add_input("r1")
+
+    # sel_u = r0 ; sel_l = r0 XOR r1
+    sel_l = c.add_gate("XOR", r0, r1)
+
+    def mux(sel: int, a: int, b: int) -> int:
+        """2:1 mux: sel=0 -> a, sel=1 -> b (3 gates)."""
+        ns = c.add_gate("NOT", sel)
+        ta = c.add_gate("AND", ns, a)
+        tb = c.add_gate("AND", sel, b)
+        return c.add_gate("OR", ta, tb)
+
+    c.add_output("out_u", mux(r0, in_u, in_l))
+    c.add_output("out_l", mux(sel_l, in_l, in_u))
+    return c
+
+
+def build_tag_rewrite() -> Circuit:
+    """Build the broadcast tag-rewrite logic for one output port.
+
+    Inputs: the incoming tag bits ``b0 b1 b2`` and two control bits —
+    ``bcast`` (this switch is broadcasting) and ``lower`` (this is the
+    lower output port).  Output: the rewritten tag bits.
+
+    Behaviour (Fig. 3c/d): when ``bcast = 1`` the port emits tag ``0``
+    (``000``) on the upper output and tag ``1`` (``001``) on the lower
+    output, regardless of the incoming bits; when ``bcast = 0`` the
+    tag passes unchanged.  Equations::
+
+        o0 = b0 AND NOT bcast
+        o1 = b1 AND NOT bcast
+        o2 = (b2 AND NOT bcast) OR (bcast AND lower)
+    """
+    c = Circuit()
+    b0 = c.add_input("b0")
+    b1 = c.add_input("b1")
+    b2 = c.add_input("b2")
+    bcast = c.add_input("bcast")
+    lower = c.add_input("lower")
+    nb = c.add_gate("NOT", bcast)
+    c.add_output("o0", c.add_gate("AND", b0, nb))
+    c.add_output("o1", c.add_gate("AND", b1, nb))
+    keep = c.add_gate("AND", b2, nb)
+    force1 = c.add_gate("AND", bcast, lower)
+    c.add_output("o2", c.add_gate("OR", keep, force1))
+    return c
+
+
+def switch_datapath_gates() -> Dict[str, int]:
+    """Measured gate counts of the switch sub-circuits.
+
+    Returns a dict with keys ``datapath``, ``tag_rewrite`` (per port)
+    and ``total`` (datapath + two rewrite ports) — the netlist-grounded
+    counterpart of
+    :attr:`repro.hardware.cost.CostParameters.datapath_gates`.
+    """
+    dp = build_switch_datapath().gate_count
+    tr = build_tag_rewrite().gate_count
+    return {"datapath": dp, "tag_rewrite": tr, "total": dp + 2 * tr}
+
+
+def simulate_switch_bit(
+    setting: SwitchSetting, bit_u: int, bit_l: int
+) -> Tuple[int, int]:
+    """Run one data bit pair through the gate-level datapath.
+
+    Reference implementation for tests: must agree with the behavioural
+    :func:`repro.rbn.switches.apply_switch` on data movement.
+    """
+    circuit = build_switch_datapath()
+    r = int(setting)
+    values, _t = circuit.evaluate(
+        {"in_u": bit_u, "in_l": bit_l, "r0": r & 1, "r1": (r >> 1) & 1}
+    )
+    return values["out_u"], values["out_l"]
+
+
+def simulate_tag_rewrite(tag: Tag, *, bcast: bool, lower: bool) -> Tag:
+    """Run one tag through the gate-level rewrite logic."""
+    b0, b1, b2 = encode_tag(tag)
+    circuit = build_tag_rewrite()
+    values, _t = circuit.evaluate(
+        {"b0": b0, "b1": b1, "b2": b2, "bcast": int(bcast), "lower": int(lower)}
+    )
+    return decode_tag((values["o0"], values["o1"], values["o2"]))

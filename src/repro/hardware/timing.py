@@ -1,0 +1,152 @@
+"""Routing-time model: the ``O(log^2 n)`` switch-setting latency.
+
+Routing time is how long the distributed self-routing circuit takes to
+set every switch, measured in gate delays (Table 2's third column).
+Per Section 7.4:
+
+* one phase (forward or backward) over an ``n'``-input RBN is a
+  ``log2 n'``-level tree of bit-serial adders; pipelined (Fig. 12), its
+  latency is ``O(log n')`` — the fill of the tree plus one cycle per
+  result bit, not ``levels x bits``;
+* a BSN runs a constant number of phase pairs (scatter fwd/bwd,
+  epsilon-divide fwd/bwd, sort fwd/bwd) — ``O(log n')`` total;
+* the BRSMN chains BSNs of sizes ``n, n/2, ..., 4`` plus the final
+  switch: ``T(n) = O(log n) + T(n/2) = O(log^2 n)``.
+
+The model below computes these latencies *exactly* for the declared
+constants, and :func:`measure_phase_counters` extracts the empirical
+tree-level counts from an instrumented run so tests can pin the model
+to the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import random as _random
+
+from ..core.tags import Tag
+from ..rbn.cells import cells_from_tags
+from ..rbn.permutations import check_network_size
+from ..rbn.quasisort import quasisort
+from ..rbn.scatter import scatter
+from ..rbn.trace import PhaseCounters, Trace
+from .adders import FULL_ADDER_DEPTH
+
+__all__ = ["TimingParameters", "TimingModel", "measure_phase_counters"]
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Constants of the routing-time model.
+
+    Attributes:
+        cycle_delay: gate delays per pipeline cycle (one bit-serial
+            adder step; defaults to the full-adder critical path).
+        phases_per_bsn: forward+backward phase pairs per BSN
+            (scatter, epsilon-divide, bit-sort = 3).
+        setting_delay: gate delays of the per-switch setting predicate
+            (Table 5 comparisons), paid once per phase-group.
+    """
+
+    cycle_delay: int = FULL_ADDER_DEPTH
+    phases_per_bsn: int = 3
+    setting_delay: int = 4
+
+
+class TimingModel:
+    """Routing-time calculator for RBN / BSN / BRSMN / feedback networks.
+
+    Args:
+        params: timing constants.
+    """
+
+    def __init__(self, params: TimingParameters = TimingParameters()):
+        self.params = params
+
+    def phase_time(self, n: int) -> int:
+        """One pipelined phase over an ``n``-input RBN, in gate delays.
+
+        Tree fill (``log2 n`` levels) plus draining the ``log2 n + 1``
+        result bits, one per cycle: ``(2 log2 n + 1) * cycle_delay``.
+        """
+        m = check_network_size(n)
+        return (2 * m + 1) * self.params.cycle_delay
+
+    def bsn_routing_time(self, n: int) -> int:
+        """Switch-setting latency of one ``n x n`` BSN: ``O(log n)``.
+
+        ``phases_per_bsn`` pairs of (forward + backward) phases plus
+        the parallel switch-setting step.
+        """
+        p = self.params
+        return p.phases_per_bsn * 2 * self.phase_time(n) + p.setting_delay
+
+    def brsmn_routing_time(self, n: int) -> int:
+        """Routing time of the ``n x n`` BRSMN: ``Theta(log^2 n)``.
+
+        ``T(n) = bsn(n) + T(n/2)`` — all same-level BSNs run their
+        routing circuits in parallel, so only one chain counts.
+        """
+        check_network_size(n)
+        total = 0
+        size = n
+        while size > 2:
+            total += self.bsn_routing_time(size)
+            size //= 2
+        return total + self.params.setting_delay  # final switches decide locally
+
+    def feedback_routing_time(self, n: int) -> int:
+        """Routing time of the feedback BRSMN.
+
+        The routing computations are identical to the unrolled
+        network's (same phases, same sizes, run between passes), so the
+        latency is the same ``Theta(log^2 n)`` — Table 2's last row.
+        """
+        return self.brsmn_routing_time(n)
+
+    def summary(self, n: int) -> Dict[str, int]:
+        """All routing-time figures for one size (bench convenience)."""
+        return {
+            "phase": self.phase_time(n),
+            "bsn": self.bsn_routing_time(n),
+            "brsmn": self.brsmn_routing_time(n),
+            "feedback": self.feedback_routing_time(n),
+        }
+
+
+def measure_phase_counters(
+    n: int, seed: int = 0, load: float = 0.75
+) -> PhaseCounters:
+    """Run one instrumented BSN frame and return its phase counters.
+
+    Generates a random valid BSN input-tag population for size ``n``,
+    routes it through scatter + quasisort with tracing, and returns the
+    accumulated counters.  The key empirical fact (pinned by tests and
+    the routing-time bench): ``forward_levels == backward_levels ==
+    3 log2 n`` — one tree traversal each for scatter, epsilon-divide
+    and sort — matching :class:`TimingModel`'s ``phases_per_bsn = 3``.
+
+    Args:
+        n: BSN size.
+        seed: RNG seed for the tag population.
+        load: approximate fraction of non-epsilon inputs.
+    """
+    rng = _random.Random(seed)
+    half = n // 2
+    # Build a valid population directly (the eq. (2) constraints make
+    # rejection sampling unreliable at large n): aim for ~load active
+    # inputs split between 0s, 1s and alphas within their headroom.
+    active = min(int(load * n), n)
+    na = min(active // 3, half)
+    n0 = min((active - na) // 2, half - na)
+    n1 = min(active - na - n0, half - na)
+    ne = n - n0 - n1 - na
+    tags = [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.ALPHA] * na + [Tag.EPS] * ne
+    rng.shuffle(tags)
+    trace = Trace(label=f"measure_phase_counters(n={n})")
+    cells = cells_from_tags(tags)
+    mid = scatter(cells, 0, trace=trace)
+    quasisort(mid, trace=trace)
+    return trace.counters

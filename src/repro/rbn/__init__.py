@@ -1,0 +1,115 @@
+"""Reverse banyan network (RBN) substrate.
+
+Everything in the paper is built from one component: the reverse banyan
+network of Section 4 — two half-size RBNs followed by a shuffle-wired
+single-stage *merging network*.  This subpackage provides:
+
+* the wiring primitives (:mod:`~repro.rbn.permutations`,
+  :mod:`~repro.rbn.merging`, :mod:`~repro.rbn.topology`);
+* the traffic model (:mod:`~repro.rbn.cells`,
+  :mod:`~repro.rbn.switches`);
+* circular compact sequences and the constructive merge lemmas
+  (:mod:`~repro.rbn.compact`, :mod:`~repro.rbn.lemmas`);
+* the distributed self-routing algorithms over the binary-tree
+  embedding (:mod:`~repro.rbn.tree`): bit sorting
+  (:mod:`~repro.rbn.bitsort`), scattering (:mod:`~repro.rbn.scatter`)
+  and quasisorting with epsilon-dividing
+  (:mod:`~repro.rbn.quasisort`);
+* frame tracing and phase counters (:mod:`~repro.rbn.trace`).
+"""
+
+from .cells import Cell, cells_from_tags, empty_cell, tags_of
+from .bitsort import BitSortAlgorithm, route_to_compact, sort_by_tags
+from .fast import (
+    fast_divide_epsilons,
+    fast_quasisort,
+    fast_sort_cells,
+    fast_sort_permutation,
+)
+from .graph import count_paths, rbn_link_graph, unique_path_property
+from .compact import (
+    binary_compact_setting,
+    compact_sequence,
+    find_compact,
+    is_compact,
+    trinary_compact_setting,
+)
+from .lemmas import MergePlan, lemma1, lemma2, lemma3, lemma4, lemma5
+from .merging import apply_merging, merging_switch_count
+from .permutations import (
+    bit_of,
+    bit_reverse,
+    check_network_size,
+    exchange,
+    is_power_of_two,
+    log2_int,
+    shuffle,
+    switch_of_terminal,
+    terminal_pair_of_switch,
+    unshuffle,
+)
+from .quasisort import divide_epsilons, quasisort
+from .scatter import ScatterAlgorithm, count_tags, scatter, scatter_plan
+from .switches import SwitchSetting, apply_switch, legal_tag_operations
+from .topology import RBNTopology, rbn_stage_count, rbn_switch_count
+from .trace import PhaseCounters, StageRecord, Trace
+from .tree import RBNAlgorithm, RBNEngine, run_rbn, tree_node_count
+
+__all__ = [
+    "Cell",
+    "cells_from_tags",
+    "empty_cell",
+    "tags_of",
+    "BitSortAlgorithm",
+    "route_to_compact",
+    "sort_by_tags",
+    "fast_divide_epsilons",
+    "fast_quasisort",
+    "fast_sort_cells",
+    "fast_sort_permutation",
+    "count_paths",
+    "rbn_link_graph",
+    "unique_path_property",
+    "binary_compact_setting",
+    "compact_sequence",
+    "find_compact",
+    "is_compact",
+    "trinary_compact_setting",
+    "MergePlan",
+    "lemma1",
+    "lemma2",
+    "lemma3",
+    "lemma4",
+    "lemma5",
+    "apply_merging",
+    "merging_switch_count",
+    "bit_of",
+    "bit_reverse",
+    "check_network_size",
+    "exchange",
+    "is_power_of_two",
+    "log2_int",
+    "shuffle",
+    "switch_of_terminal",
+    "terminal_pair_of_switch",
+    "unshuffle",
+    "divide_epsilons",
+    "quasisort",
+    "ScatterAlgorithm",
+    "count_tags",
+    "scatter",
+    "scatter_plan",
+    "SwitchSetting",
+    "apply_switch",
+    "legal_tag_operations",
+    "RBNTopology",
+    "rbn_stage_count",
+    "rbn_switch_count",
+    "PhaseCounters",
+    "StageRecord",
+    "Trace",
+    "RBNAlgorithm",
+    "RBNEngine",
+    "run_rbn",
+    "tree_node_count",
+]

@@ -1,0 +1,120 @@
+"""The RBN as a bit-sorting network (Theorem 1, Table 3).
+
+Theorem 1: for *any* beta/gamma marking of the inputs of an RBN, a
+circular compact sequence ``C^n_{s,l}`` with any starting position ``s``
+is achievable at the outputs.  The distributed algorithm (paper Table 3)
+instantiates the tree engine with:
+
+* forward: ``l = l0 + l1`` (gamma counts add);
+* backward: ``s0 = s mod n'/2``, ``s1 = (s + l0) mod n'/2``;
+* setting: ``b = ((s + l0) div n'/2) mod 2`` and the unicast compact
+  setting ``W^{n'/2}_{0, s1; b-bar, b}`` — i.e. the first ``s1``
+  switches (circularly from 0) are set to ``b`` and the rest to the
+  opposite.
+
+Sorting a full permutation's address bits (``gamma = 1``, ``s = l =
+n/2``) yields ``0^{n/2} 1^{n/2}``; the quasisorting network reuses this
+with dummy-extended populations (Section 5.2).
+
+This module also exposes :func:`sort_by_tags`, the general entry point
+used by the quasisorting network, where "gamma" is an arbitrary
+predicate over tags (real *and* dummy ones count).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..core.tags import Tag
+from .cells import Cell
+from .compact import binary_compact_setting
+from .switches import SwitchSetting
+from .trace import Trace
+from .tree import RBNAlgorithm, run_rbn
+
+__all__ = ["BitSortAlgorithm", "route_to_compact", "sort_by_tags"]
+
+
+class BitSortAlgorithm(RBNAlgorithm[int]):
+    """Table 3's distributed self-routing algorithm.
+
+    The forward value of a node is the gamma-count ``l`` of its
+    sub-RBN's inputs.
+
+    Args:
+        is_gamma: predicate selecting the gamma (compacted) tags.
+    """
+
+    def __init__(self, is_gamma: Callable[[Tag], bool]):
+        self.is_gamma = is_gamma
+
+    def leaf_forward(self, cell: Cell) -> int:
+        return 1 if self.is_gamma(cell.tag) else 0
+
+    def combine(self, f0: int, f1: int) -> int:
+        return f0 + f1
+
+    def backward(self, size: int, f0: int, f1: int, s: int):
+        half = size // 2
+        s0 = s % half
+        s1 = (s + f0) % half
+        return s0, s1
+
+    def settings(self, size: int, f0: int, f1: int, s: int) -> Sequence[SwitchSetting]:
+        half = size // 2
+        s1 = (s + f0) % half
+        b = ((s + f0) // half) % 2
+        return binary_compact_setting(size, 0, s1, 1 - b, b)
+
+
+def route_to_compact(
+    cells: Sequence[Cell],
+    s: int,
+    is_gamma: Callable[[Tag], bool],
+    *,
+    trace: Optional[Trace] = None,
+    offset: int = 0,
+) -> List[Cell]:
+    """Route ``cells`` so the gamma-tagged ones form ``C^n_{s,l}``.
+
+    Args:
+        cells: input vector (power-of-two length).
+        s: target starting position of the gamma block, ``0 <= s < n``.
+        is_gamma: tag predicate defining gamma.
+        trace: optional recorder.
+        offset: absolute terminal offset (trace metadata).
+
+    Returns:
+        Output cell vector; gamma cells occupy positions
+        ``s, s+1, ..., s+l-1 (mod n)``.
+    """
+    n = len(cells)
+    if not 0 <= s < n:
+        raise ValueError(f"s={s} out of range [0, {n})")
+    return run_rbn(cells, s, BitSortAlgorithm(is_gamma), trace=trace, offset=offset)
+
+
+def sort_by_tags(
+    cells: Sequence[Cell],
+    one_tags: Sequence[Tag] = (Tag.ONE, Tag.EPS1),
+    *,
+    trace: Optional[Trace] = None,
+    offset: int = 0,
+) -> List[Cell]:
+    """Bit-sort a full 0/1 population into ascending order.
+
+    With the populations balanced to ``n/2`` each (the quasisorting
+    network's precondition after epsilon-dividing), the ascending sort
+    target is ``C^n_{n/2, n/2}`` — zeros in the upper half, ones in the
+    lower half.  For unbalanced populations the "ones" block is placed
+    at the bottom, i.e. ``s = n - l``.
+
+    Args:
+        cells: input vector whose tags are all 0-like or 1-like.
+        one_tags: the tags counting as 1.
+    """
+    ones = set(one_tags)
+    l = sum(1 for c in cells if c.tag in ones)
+    n = len(cells)
+    s = (n - l) % n
+    return route_to_compact(cells, s, lambda t: t in ones, trace=trace, offset=offset)

@@ -1,0 +1,125 @@
+"""The unit of traffic inside a reverse banyan network: the :class:`Cell`.
+
+A *cell* is what one link of an RBN carries during one routing frame: a
+routing tag (Section 3's four values, extended with the quasisorting
+network's dummy values) plus an opaque payload.  The RBN algorithms in
+this package (:mod:`repro.rbn.bitsort`, :mod:`repro.rbn.scatter`,
+:mod:`repro.rbn.quasisort`) only ever inspect the *tag*; payloads ride
+along untouched, except at broadcast switches where an ``ALPHA`` cell is
+replicated into its two pre-computed *branch* payloads.
+
+Pre-computed branches keep the RBN layer ignorant of multicast
+semantics: the BSN layer (which knows the current address bit being
+split) prepares ``branch0``/``branch1`` — the payloads of the copy
+that continues toward the upper half (tag 0) and the lower half
+(tag 1) respectively — before handing cells to the scatter network.
+This mirrors the hardware, where the routing-tag *stream* is forwarded
+alternately to the two copies (paper Fig. 10) while the switch itself
+only duplicates bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from ..core.tags import Tag
+from ..errors import InvalidTagError
+
+__all__ = ["Cell", "EMPTY_CELL", "empty_cell", "tags_of", "cells_from_tags"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One link's content during a routing frame.
+
+    Attributes:
+        tag: the routing-tag value steering this cell.
+        data: opaque payload (``None`` for epsilon cells).  The core
+            layer stores a message or a (message, tag-stream) pair here.
+        branch0: payload for the tag-0 copy when this ``ALPHA`` cell is
+            split by a broadcast switch; ``None`` for non-alpha cells.
+        branch1: payload for the tag-1 copy, likewise.
+    """
+
+    tag: Tag
+    data: Any = None
+    branch0: Any = None
+    branch1: Any = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tag, Tag):
+            raise InvalidTagError(f"cell tag must be a Tag, got {self.tag!r}")
+        if self.tag.is_eps_like and self.data is not None:
+            raise InvalidTagError("epsilon cells carry no payload")
+        if self.tag is not Tag.ALPHA and (
+            self.branch0 is not None or self.branch1 is not None
+        ):
+            raise InvalidTagError("only ALPHA cells carry split branches")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the link is idle (eps / dummy-eps)."""
+        return self.tag.is_eps_like
+
+    def with_tag(self, tag: Tag) -> "Cell":
+        """Return a copy of this cell re-labelled with ``tag``.
+
+        Used by the quasisorting network to mark dummy epsilons
+        (``EPS -> EPS0/EPS1``) and to strip the marks afterwards.
+        """
+        if tag.is_eps_like and not self.tag.is_eps_like:
+            raise InvalidTagError("cannot re-label a message cell as epsilon")
+        return Cell(tag, self.data, self.branch0, self.branch1)
+
+    def split(self) -> tuple["Cell", "Cell"]:
+        """Split this ``ALPHA`` cell into its (tag-0, tag-1) copies.
+
+        Called exactly once per alpha cell, at the broadcast switch that
+        eliminates it (Theorem 2 guarantees every alpha is paired with
+        one epsilon).
+        """
+        if self.tag is not Tag.ALPHA:
+            raise InvalidTagError(f"cannot split a {self.tag} cell")
+        return Cell(Tag.ZERO, self.branch0), Cell(Tag.ONE, self.branch1)
+
+
+#: The canonical idle-link cell.
+EMPTY_CELL = Cell(Tag.EPS)
+
+
+def empty_cell() -> Cell:
+    """Return the idle-link cell (shared immutable instance)."""
+    return EMPTY_CELL
+
+
+def tags_of(cells: Iterable[Cell]) -> list[Tag]:
+    """Project a cell vector onto its tag vector."""
+    return [c.tag for c in cells]
+
+
+def cells_from_tags(tags: Iterable[Tag], payload: Optional[str] = "auto") -> list[Cell]:
+    """Build a cell vector from bare tags (test/bench convenience).
+
+    Args:
+        tags: tag values; alphas get synthetic branch payloads.
+        payload: ``"auto"`` attaches ``"m<i>"`` style payloads so tests
+            can track cell identity; ``None`` leaves payloads empty.
+    """
+    cells = []
+    for i, t in enumerate(tags):
+        if t.is_eps_like:
+            cells.append(Cell(t))
+        elif t is Tag.ALPHA:
+            base = f"m{i}" if payload == "auto" else None
+            cells.append(
+                Cell(
+                    Tag.ALPHA,
+                    data=base,
+                    branch0=None if base is None else f"{base}.0",
+                    branch1=None if base is None else f"{base}.1",
+                )
+            )
+        else:
+            cells.append(Cell(t, data=f"m{i}" if payload == "auto" else None))
+    return cells

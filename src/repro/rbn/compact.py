@@ -1,0 +1,207 @@
+"""Circular compact sequences ``C`` and compact switch settings ``W``.
+
+Equation (5) of the paper defines the *n-bit circular compact sequence*
+of two symbols beta/gamma::
+
+    C(n, s, l) = beta^[s] gamma^[l] beta^[n-s-l]          if s + l <= n
+               = gamma^[l-n+s] beta^[n-l] gamma^[n-s]     if s + l >  n
+
+i.e. the ``l`` gamma symbols occupy positions ``s, s+1, ..., s+l-1``
+modulo ``n`` and the remaining ``n - l`` positions hold beta.  The whole
+network design reduces to the question of when two half-size compact
+sequences can be merged into one (Lemmas 1-5), and the answers are
+*compact switch settings*: Section 4 defines ``W(n/2, s, l; b1, b2)``
+(``l`` consecutive switches set to ``b2`` starting at switch ``s``,
+circularly, the rest ``b1``) and its trinary extension
+``W(n/2, s, l1, l2; b1, b2, b3)``.
+
+This module implements the sequences and settings as plain Python lists
+plus recognisers used heavily by the property-based tests (is a given
+vector compact? at which ``(s, l)``?).  Table 5's
+``BinaryCompactSetting`` / ``TrinaryCompactSetting`` procedures are
+:func:`binary_compact_setting` and :func:`trinary_compact_setting`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import RoutingInvariantError
+from .switches import SwitchSetting
+
+T = TypeVar("T")
+
+__all__ = [
+    "compact_sequence",
+    "compact_positions",
+    "find_compact",
+    "is_compact",
+    "compact_of_predicate",
+    "binary_compact_setting",
+    "trinary_compact_setting",
+]
+
+
+def compact_sequence(n: int, s: int, l: int, beta: T, gamma: T) -> List[T]:
+    """Materialise ``C^n_{s,l;beta,gamma}`` (paper eq. (5)) as a list.
+
+    Args:
+        n: sequence length.
+        s: starting position of the gamma block, ``0 <= s < n``.
+        l: gamma count, ``0 <= l <= n``.
+        beta: symbol filling the other ``n - l`` positions.
+        gamma: the compacted symbol.
+    """
+    if not 0 <= s < n:
+        raise ValueError(f"starting position s={s} out of range [0, {n})")
+    if not 0 <= l <= n:
+        raise ValueError(f"block length l={l} out of range [0, {n}]")
+    seq = [beta] * n
+    for k in range(l):
+        seq[(s + k) % n] = gamma
+    return seq
+
+
+def compact_positions(n: int, s: int, l: int) -> List[int]:
+    """The positions occupied by the gamma block of ``C^n_{s,l}``."""
+    return [(s + k) % n for k in range(l)]
+
+
+def find_compact(seq: Sequence[T], gamma: T) -> Optional[Tuple[int, int]]:
+    """Recognise a circular compact arrangement of ``gamma`` in ``seq``.
+
+    Returns ``(s, l)`` such that ``seq`` equals
+    ``C^n_{s,l;<non-gamma>,gamma}`` — i.e. all occurrences of ``gamma``
+    are circularly consecutive starting at ``s`` — or ``None`` if the
+    gammas are not compact.  With ``l == 0`` or ``l == n`` any ``s`` is
+    valid and 0 is returned; otherwise ``s`` is unique.
+    """
+    n = len(seq)
+    marks = [x == gamma for x in seq]
+    l = sum(marks)
+    if l == 0 or l == n:
+        return (0, l)
+    # A circular run of exactly l marks exists iff there is exactly one
+    # False->True transition around the circle.
+    starts = [
+        i for i in range(n) if marks[i] and not marks[(i - 1) % n]
+    ]
+    if len(starts) != 1:
+        return None
+    s = starts[0]
+    if all(marks[(s + k) % n] for k in range(l)):
+        return (s, l)
+    return None
+
+
+def is_compact(seq: Sequence[T], gamma: T, s: int, l: int) -> bool:
+    """True iff ``seq`` is exactly ``C^n_{s,l;*,gamma}``.
+
+    When ``l`` is 0 or ``len(seq)`` the starting position is immaterial
+    and only the count is checked.
+    """
+    n = len(seq)
+    found = find_compact(seq, gamma)
+    if found is None:
+        return False
+    fs, fl = found
+    if fl != l:
+        return False
+    if l in (0, n):
+        return True
+    return fs == s % n
+
+
+def compact_of_predicate(
+    seq: Sequence[T], pred: Callable[[T], bool]
+) -> Optional[Tuple[int, int]]:
+    """Like :func:`find_compact` but marking elements by a predicate.
+
+    Used e.g. to check that epsilon-like tags (``EPS | EPS0 | EPS1``)
+    form a compact block regardless of their dummy sub-labels.
+    """
+    n = len(seq)
+    marks = [bool(pred(x)) for x in seq]
+    l = sum(marks)
+    if l == 0 or l == n:
+        return (0, l)
+    starts = [i for i in range(n) if marks[i] and not marks[(i - 1) % n]]
+    if len(starts) != 1:
+        return None
+    s = starts[0]
+    if all(marks[(s + k) % n] for k in range(l)):
+        return (s, l)
+    return None
+
+
+def _coerce_setting(value) -> SwitchSetting:
+    if isinstance(value, SwitchSetting):
+        return value
+    return SwitchSetting(int(value))
+
+
+def binary_compact_setting(
+    n_prime: int, s: int, l: int, setting1, setting2
+) -> List[SwitchSetting]:
+    """Table 5's ``BinaryCompactSetting``: realise ``W^{n'/2}_{s,l;b1,b2}``.
+
+    Produces the setting vector for the ``n'/2`` switches of the last
+    stage (the merging network) of an ``n' x n'`` RBN: ``l`` consecutive
+    switches starting at switch ``s`` (circularly) get ``setting2``; the
+    rest get ``setting1``.
+
+    Every switch computes its own value from ``(s, l)`` and its address
+    — the comparison logic in Table 5 — which is what makes the scheme
+    *self-routing*; here we evaluate the same per-switch predicate in a
+    loop.
+    """
+    half = n_prime // 2
+    if half < 1:
+        raise ValueError(f"network size {n_prime} too small")
+    s1 = _coerce_setting(setting1)
+    s2 = _coerce_setting(setting2)
+    s %= half
+    if not 0 <= l <= half:
+        raise RoutingInvariantError(
+            f"compact setting length l={l} out of range [0, {half}]"
+        )
+    settings = []
+    for i in range(half):
+        # Is switch i within the circular block [s, s+l) (mod half)?
+        offset = (i - s) % half
+        settings.append(s2 if offset < l else s1)
+    return settings
+
+
+def trinary_compact_setting(
+    n_prime: int, s: int, l: int, setting1, setting2, setting3
+) -> List[SwitchSetting]:
+    """Table 5's ``TrinaryCompactSetting``: ``W^{n'/2}_{s,l,n'/2-s-l;b1,b2,b3}``.
+
+    Starting at switch ``s``: ``l`` switches of ``setting2``, then
+    ``n'/2 - s - l`` switches of ``setting3``, and the remaining ``s``
+    switches (wrapping to the top) of ``setting1``.  The lemmas only
+    invoke this with ``s + l <= n'/2`` (verified here), so the setting3
+    block is the tail ``[s+l, n'/2)`` and the setting1 block is
+    ``[0, s)``.
+    """
+    half = n_prime // 2
+    if half < 1:
+        raise ValueError(f"network size {n_prime} too small")
+    b1 = _coerce_setting(setting1)
+    b2 = _coerce_setting(setting2)
+    b3 = _coerce_setting(setting3)
+    s %= half
+    if not 0 <= l <= half or s + l > half:
+        raise RoutingInvariantError(
+            f"trinary setting requires 0 <= s + l <= n'/2, got s={s}, l={l}, half={half}"
+        )
+    settings: List[SwitchSetting] = []
+    for i in range(half):
+        if s <= i < s + l:
+            settings.append(b2)
+        elif i >= s + l:
+            settings.append(b3)
+        else:
+            settings.append(b1)
+    return settings

@@ -1,0 +1,215 @@
+"""NumPy-vectorised fast path for bit sorting and quasisorting.
+
+The reference implementations (:mod:`repro.rbn.bitsort`,
+:mod:`repro.rbn.quasisort`) mirror the paper's distributed algorithms
+with per-switch Python loops — ideal for inspection and tracing, but
+interpreted-loop-bound at large ``n``.  This module reimplements the
+same mathematics as whole-array NumPy operations:
+
+* the forward phase is a level-synchronous ``reshape(...).sum(axis=1)``
+  over the count vector;
+* the backward phase computes all of one level's ``(s0, s1)`` pairs
+  with vector arithmetic;
+* each merging stage's compact switch settings become one boolean
+  comparison per (node, switch) matrix, and the data movement becomes a
+  gather-index permutation composed across stages.
+
+The result is a pure *permutation* ``pi`` with ``out[i] = in[pi[i]]``,
+so callers apply it to any payload sequence.  Broadcast-bearing passes
+(the scatter network) keep the reference path — duplication does not
+vectorise into a permutation — which is fine: for permutation traffic
+and for the quasisorting half of every BSN, the fast path covers the
+hot loop.
+
+Equivalence with the reference implementation is property-tested
+(``tests/rbn/test_fast.py``) and the speedup is measured by
+``benchmarks/bench_fast_engine.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.tags import Tag
+from ..errors import RoutingInvariantError
+from .cells import Cell
+from .permutations import check_network_size
+
+__all__ = [
+    "fast_sort_permutation",
+    "fast_divide_epsilons",
+    "fast_quasisort",
+    "fast_sort_cells",
+]
+
+
+def fast_sort_permutation(gamma: np.ndarray, s: int) -> np.ndarray:
+    """Vectorised Theorem 1: the routing permutation of a bit sort.
+
+    Args:
+        gamma: boolean (or 0/1) vector of length ``n`` marking the
+            gamma cells.
+        s: target starting position of the gamma block.
+
+    Returns:
+        An index array ``pi`` with ``out[i] = in[pi[i]]``; applying it
+        places the gamma cells at ``C^n_{s, l}`` exactly as the
+        reference :func:`repro.rbn.bitsort.route_to_compact` does.
+    """
+    gamma = np.asarray(gamma, dtype=np.int64)
+    n = gamma.shape[0]
+    m = check_network_size(n)
+    if not 0 <= s < n:
+        raise ValueError(f"s={s} out of range [0, {n})")
+
+    # ---- forward phase: per-level gamma counts, leaves up.
+    # counts[level] has one entry per node at that level (level m = leaves).
+    counts: List[np.ndarray] = [None] * (m + 1)  # type: ignore[list-item]
+    counts[m] = gamma
+    for level in range(m - 1, -1, -1):
+        counts[level] = counts[level + 1].reshape(-1, 2).sum(axis=1)
+
+    # ---- backward phase + per-stage permutation, root down.
+    # s_vals[j] is the backward input of node j at the current level.
+    s_vals = np.array([s], dtype=np.int64)
+    # perm maps output position -> input position, composed across stages
+    # applied from the *outermost* stage inward; we build it by walking
+    # top-down and composing child permutations afterwards, which is
+    # equivalent to the recursive order (stage permutations at different
+    # levels act on disjoint block structures).
+    perm = np.arange(n, dtype=np.int64)
+    for level in range(m):
+        size = n >> level
+        half = size // 2
+        child = counts[level + 1]
+        l0 = child[0::2]
+        s0 = s_vals % half
+        s1 = (s_vals + l0) % half
+        b = ((s_vals + l0) // half) % 2
+
+        # Stage permutation for this level's merging networks:
+        # switch i of node j is CROSS iff (i < s1_j) == (b_j == 1),
+        # i.e. setting = b for i in [0, s1), else 1 - b.
+        nodes = 1 << level
+        i_idx = np.arange(half, dtype=np.int64)[None, :]        # (1, half)
+        in_block = i_idx < s1[:, None]                           # (nodes, half)
+        cross = np.where(in_block, b[:, None], 1 - b[:, None])   # 0/1
+
+        base = (np.arange(nodes, dtype=np.int64) * size)[:, None]
+        out_u = base + i_idx            # output positions 0..half-1 per node
+        out_l = out_u + half
+        src_u = base + i_idx + half * cross          # cross -> take lower
+        src_l = base + i_idx + half * (1 - cross)    # cross -> take upper
+        stage_perm = np.empty(n, dtype=np.int64)
+        stage_perm[out_u.ravel()] = src_u.ravel()
+        stage_perm[out_l.ravel()] = src_l.ravel()
+
+        # Stages run innermost-first physically, so with y_m = input and
+        # y_l[i] = y_{l+1}[stage_l[i]], the total map is
+        # pi[i] = stage_{m-1}[...stage_1[stage_0[i]]...]; walking
+        # top-down (outermost first) we accumulate pi' = stage[pi].
+        perm = stage_perm[perm]
+        # next level's backward inputs
+        s_next = np.empty(2 * s_vals.shape[0], dtype=np.int64)
+        s_next[0::2] = s0
+        s_next[1::2] = s1
+        s_vals = s_next
+
+    return perm
+
+
+def fast_divide_epsilons(codes: np.ndarray) -> np.ndarray:
+    """Vectorised Table 6: assign dummy labels to epsilon entries.
+
+    Args:
+        codes: int vector with 0 = tag ZERO, 1 = tag ONE, 2 = EPS.
+
+    Returns:
+        A vector where every 2 became 3 (dummy 0, eps0) or 4 (dummy 1,
+        eps1) with the same greedy top-down split as the reference
+        :func:`repro.rbn.quasisort.divide_epsilons` (upper child's
+        demand satisfied with dummy 0s first).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    n = codes.shape[0]
+    m = check_network_size(n)
+    is_eps = (codes == 2).astype(np.int64)
+    n_one = int((codes == 1).sum())
+    n_zero = int((codes == 0).sum())
+    half = n // 2
+    if n_one > half or n_zero > half:
+        raise RoutingInvariantError(
+            f"quasisort precondition violated: n0={n_zero}, n1={n_one}"
+        )
+
+    # forward: eps counts per node per level
+    ne: List[np.ndarray] = [None] * (m + 1)  # type: ignore[list-item]
+    ne[m] = is_eps
+    for level in range(m - 1, -1, -1):
+        ne[level] = ne[level + 1].reshape(-1, 2).sum(axis=1)
+
+    root_e1 = half - n_one
+    root_e0 = int(ne[0][0]) - root_e1
+    if root_e0 < 0 or root_e1 < 0:
+        raise RoutingInvariantError("epsilon-division counts went negative")
+
+    e0 = np.array([root_e0], dtype=np.int64)
+    for level in range(m):
+        ne_u = ne[level + 1][0::2]
+        e0_u = np.minimum(e0, ne_u)
+        e0_l = e0 - e0_u
+        nxt = np.empty(2 * e0.shape[0], dtype=np.int64)
+        nxt[0::2] = e0_u
+        nxt[1::2] = e0_l
+        e0 = nxt
+
+    out = codes.copy()
+    eps_mask = codes == 2
+    # at the leaves, e0 is 1 where the eps becomes a dummy 0
+    out[eps_mask & (e0 == 1)] = 3
+    out[eps_mask & (e0 == 0)] = 4
+    return out
+
+
+_CODE_OF_TAG = {Tag.ZERO: 0, Tag.ONE: 1, Tag.EPS: 2}
+
+
+def fast_sort_cells(cells: Sequence[Cell], s: int, one_tags=(Tag.ONE, Tag.EPS1)) -> List[Cell]:
+    """Fast-path replacement for ``route_to_compact`` on cell lists."""
+    ones = set(one_tags)
+    gamma = np.fromiter((c.tag in ones for c in cells), dtype=np.int64, count=len(cells))
+    perm = fast_sort_permutation(gamma, s)
+    return [cells[int(i)] for i in perm]
+
+
+def fast_quasisort(cells: Sequence[Cell], *, keep_dummies: bool = False) -> List[Cell]:
+    """Fast-path replacement for :func:`repro.rbn.quasisort.quasisort`.
+
+    Produces byte-identical results (same cells, same positions, same
+    dummy assignment) via the vectorised divide + sort kernels.
+    """
+    n = len(cells)
+    check_network_size(n)
+    try:
+        codes = np.fromiter(
+            (_CODE_OF_TAG[c.tag] for c in cells), dtype=np.int64, count=n
+        )
+    except KeyError as exc:
+        raise RoutingInvariantError(
+            f"quasisort input must be 0/1/eps, got {exc.args[0]}"
+        ) from exc
+    divided_codes = fast_divide_epsilons(codes)
+    divided = [
+        c if codes[i] != 2 else c.with_tag(Tag.EPS0 if divided_codes[i] == 3 else Tag.EPS1)
+        for i, c in enumerate(cells)
+    ]
+    one_mask = (divided_codes == 1) | (divided_codes == 4)
+    perm = fast_sort_permutation(one_mask.astype(np.int64), n // 2)
+    out = [divided[int(i)] for i in perm]
+    if keep_dummies:
+        return out
+    return [
+        c.with_tag(Tag.EPS) if c.tag in (Tag.EPS0, Tag.EPS1) else c for c in out
+    ]

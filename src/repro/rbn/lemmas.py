@@ -1,0 +1,190 @@
+"""Constructive merge settings: Lemmas 1-5 of the paper.
+
+Each lemma answers one instance of the central question (paper
+Questions 1 and 2): given target parameters ``(s, l)`` for the merged
+``n``-long circular compact sequence, which starting positions
+``(s0, s1)`` must the two half-size compact sequences take, and which
+switch-setting vector merges them through the ``n x n`` merging network?
+
+* :func:`lemma1` — *addition*: both halves compact in the same symbol
+  (``gamma``-counts ``l0 + l1 = l``).  Unicast settings only.  This is
+  the inductive step of Theorem 1 (bit sorting) and of the
+  "epsilon/alpha-addition" case of Theorem 3.
+* :func:`lemma2` — *elimination*, upper half dominated by alpha
+  (``l = l0 - l1``, result compact in alpha).  ``l1`` upper-broadcast
+  switches neutralise the overlapping alpha/epsilon blocks.
+* :func:`lemma3` — elimination, lower half dominated by epsilon
+  (``l = l1 - l0``, result compact in epsilon); upper broadcasts.
+* :func:`lemma4` — mirror of lemma 2 with alpha/epsilon swapped
+  (upper epsilon dominates, ``l = l0 - l1``); lower broadcasts.
+* :func:`lemma5` — mirror of lemma 3 (lower alpha dominates,
+  ``l = l1 - l0``); lower broadcasts.
+
+Each function returns a :class:`MergePlan` with the half-sequence
+starting positions and the switch settings; the plan is *pure data*, so
+tests can both (a) verify the construction against a brute-force merge
+and (b) cross-check that the distributed algorithms (Tables 3/4)
+reproduce exactly these plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .compact import binary_compact_setting, trinary_compact_setting
+from .switches import SwitchSetting
+
+__all__ = ["MergePlan", "lemma1", "lemma2", "lemma3", "lemma4", "lemma5"]
+
+
+@dataclass(frozen=True)
+class MergePlan:
+    """The output of a merge lemma.
+
+    Attributes:
+        s0: starting position required of the *upper* half sequence.
+        s1: starting position required of the *lower* half sequence.
+        settings: per-switch settings for the ``n x n`` merging network.
+    """
+
+    s0: int
+    s1: int
+    settings: Tuple[SwitchSetting, ...]
+
+
+def _validate(n: int, s: int, l: int) -> int:
+    if n < 2 or n % 2:
+        raise ValueError(f"n must be even and >= 2, got {n}")
+    if not 0 <= s < n:
+        raise ValueError(f"s={s} out of range [0, {n})")
+    if not 0 <= l <= n:
+        raise ValueError(f"l={l} out of range [0, {n}]")
+    return n // 2
+
+
+def lemma1(n: int, s: int, l0: int, l1: int) -> MergePlan:
+    """Lemma 1: merge same-symbol compacts ``(l0) + (l1) -> l0 + l1``.
+
+    Given the target start ``s`` for ``C^n_{s, l0+l1}``, returns
+    ``s0 = s mod n/2``, ``s1 = (s + l0) mod n/2`` and the unicast
+    setting ``W^{n/2}_{0, s1; b-bar, b}`` with
+    ``b = ((s + l0) div (n/2)) mod 2``.
+    """
+    half = _validate(n, s, l0 + l1)
+    if not 0 <= l0 <= half or not 0 <= l1 <= half:
+        raise ValueError(f"half lengths out of range: l0={l0}, l1={l1}, half={half}")
+    s0 = s % half
+    s1 = (s + l0) % half
+    b = ((s + l0) // half) % 2
+    b_bar = 1 - b
+    settings = binary_compact_setting(n, 0, s1, b_bar, b)
+    return MergePlan(s0=s0, s1=s1, settings=tuple(settings))
+
+
+def _elimination_settings(
+    half: int,
+    s: int,
+    l: int,
+    s_tmp: int,
+    l_tmp: int,
+    ucast: int,
+    bcast: SwitchSetting,
+) -> Tuple[SwitchSetting, ...]:
+    """Shared four-case body of Lemmas 2-5 (= Table 4's setting phase).
+
+    ``ucast`` is the unicast setting (0 parallel / 1 crossing) used for
+    the block co-located with the broadcasts; ``u_bar`` is its opposite.
+    The four cases select binary vs trinary compact settings according
+    to where the target block ``[s, s+l)`` falls relative to the two
+    halves of the output.
+    """
+    n = 2 * half
+    u = SwitchSetting(ucast)
+    u_bar = SwitchSetting(1 - ucast)
+    if s + l < half:
+        return tuple(binary_compact_setting(n, s_tmp, l_tmp, u, bcast))
+    if s < half:  # and s + l >= half
+        return tuple(
+            trinary_compact_setting(n, s_tmp, l_tmp, u_bar, bcast, u)
+        )
+    if s + l < n:  # and s >= half
+        return tuple(binary_compact_setting(n, s_tmp, l_tmp, u_bar, bcast))
+    return tuple(trinary_compact_setting(n, s_tmp, l_tmp, u, bcast, u_bar))
+
+
+def lemma2(n: int, s: int, l0: int, l1: int) -> MergePlan:
+    """Lemma 2: upper ``C_{s0,l0;chi,alpha}`` + lower ``C_{s1,l1;chi,eps}``
+    with ``l1 <= l0`` merge to ``C^n_{s, l0-l1; chi, alpha}``.
+
+    ``l1`` upper-broadcast switches (block starting at ``s1``)
+    neutralise the overlapping alpha/epsilon runs; the surviving
+    ``l = l0 - l1`` alphas land compact at ``s``.
+    """
+    half = _validate(n, s, l0 - l1)
+    if not 0 <= l1 <= l0 <= half:
+        raise ValueError(f"lemma2 requires 0 <= l1 <= l0 <= n/2, got {l0}, {l1}")
+    l = l0 - l1
+    s0 = s % half
+    s1 = (s + l) % half
+    settings = _elimination_settings(
+        half, s, l, s_tmp=s1, l_tmp=l1, ucast=0, bcast=SwitchSetting.UPPER_BCAST
+    )
+    return MergePlan(s0=s0, s1=s1, settings=settings)
+
+
+def lemma3(n: int, s: int, l0: int, l1: int) -> MergePlan:
+    """Lemma 3: upper ``C_{s0,l0;chi,alpha}`` + lower ``C_{s1,l1;chi,eps}``
+    with ``l0 <= l1`` merge to ``C^n_{s, l1-l0; chi, eps}``.
+
+    All ``l0`` alphas are neutralised by upper-broadcasts; the surviving
+    epsilons form the result block.
+    """
+    half = _validate(n, s, l1 - l0)
+    if not 0 <= l0 <= l1 <= half:
+        raise ValueError(f"lemma3 requires 0 <= l0 <= l1 <= n/2, got {l0}, {l1}")
+    l = l1 - l0
+    s0 = (s + l) % half
+    s1 = s % half
+    settings = _elimination_settings(
+        half, s, l, s_tmp=s0, l_tmp=l0, ucast=1, bcast=SwitchSetting.UPPER_BCAST
+    )
+    return MergePlan(s0=s0, s1=s1, settings=settings)
+
+
+def lemma4(n: int, s: int, l0: int, l1: int) -> MergePlan:
+    """Lemma 4: upper ``C_{s0,l0;chi,eps}`` + lower ``C_{s1,l1;chi,alpha}``
+    with ``l1 <= l0`` merge to ``C^n_{s, l0-l1; chi, eps}``.
+
+    Mirror of Lemma 2 with alpha and epsilon swapped: the alphas now sit
+    in the *lower* half, so ``l1`` lower-broadcast switches fire.
+    """
+    half = _validate(n, s, l0 - l1)
+    if not 0 <= l1 <= l0 <= half:
+        raise ValueError(f"lemma4 requires 0 <= l1 <= l0 <= n/2, got {l0}, {l1}")
+    l = l0 - l1
+    s0 = s % half
+    s1 = (s + l) % half
+    settings = _elimination_settings(
+        half, s, l, s_tmp=s1, l_tmp=l1, ucast=0, bcast=SwitchSetting.LOWER_BCAST
+    )
+    return MergePlan(s0=s0, s1=s1, settings=settings)
+
+
+def lemma5(n: int, s: int, l0: int, l1: int) -> MergePlan:
+    """Lemma 5: upper ``C_{s0,l0;chi,eps}`` + lower ``C_{s1,l1;chi,alpha}``
+    with ``l0 <= l1`` merge to ``C^n_{s, l1-l0; chi, alpha}``.
+
+    Mirror of Lemma 3: lower-half alphas dominate; ``l0`` lower
+    broadcasts neutralise every upper epsilon.
+    """
+    half = _validate(n, s, l1 - l0)
+    if not 0 <= l0 <= l1 <= half:
+        raise ValueError(f"lemma5 requires 0 <= l0 <= l1 <= n/2, got {l0}, {l1}")
+    l = l1 - l0
+    s0 = (s + l) % half
+    s1 = s % half
+    settings = _elimination_settings(
+        half, s, l, s_tmp=s0, l_tmp=l0, ucast=1, bcast=SwitchSetting.LOWER_BCAST
+    )
+    return MergePlan(s0=s0, s1=s1, settings=settings)

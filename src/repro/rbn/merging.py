@@ -1,0 +1,88 @@
+"""The single-stage merging network of paper Section 4 (Figs. 5-7).
+
+An ``n x n`` merging network is one column of ``n/2`` 2x2 switches whose
+input and output links are both wired with the perfect shuffle, which
+works out to: switch ``i`` connects terminals ``i`` (upper port) and
+``i + n/2`` (lower port) on both sides.  It merges the outputs of the
+two half-size RBNs in front of it — terminals ``0..n/2-1`` carry the
+upper sub-RBN's outputs and ``n/2..n-1`` the lower's.
+
+Consequences used throughout the lemma proofs:
+
+* ``PARALLEL`` maps terminal ``j -> j`` and ``j+n/2 -> j+n/2``;
+* ``CROSS`` maps ``j -> j+n/2`` and ``j+n/2 -> j`` (paper Fig. 7);
+* a broadcast switch writes the alpha cell's tag-0 copy to terminal
+  ``j`` and the tag-1 copy to ``j + n/2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import RoutingInvariantError
+from .cells import Cell
+from .switches import SwitchSetting, apply_switch
+from .trace import Trace
+
+__all__ = ["apply_merging", "merging_switch_count"]
+
+
+def merging_switch_count(n: int) -> int:
+    """Number of 2x2 switches in an ``n x n`` merging network (= n/2)."""
+    if n % 2:
+        raise ValueError(f"merging network size must be even, got {n}")
+    return n // 2
+
+
+def apply_merging(
+    upper: Sequence[Cell],
+    lower: Sequence[Cell],
+    settings: Sequence[SwitchSetting],
+    *,
+    trace: Optional[Trace] = None,
+    offset: int = 0,
+) -> List[Cell]:
+    """Route one frame through an ``n x n`` merging network.
+
+    Args:
+        upper: the ``n/2`` cells from the upper sub-RBN (terminals
+            ``0..n/2-1``).
+        lower: the ``n/2`` cells from the lower sub-RBN (terminals
+            ``n/2..n-1``).
+        settings: per-switch settings, ``settings[i]`` for switch ``i``.
+        trace: optional recorder.
+        offset: absolute terminal offset of this sub-network inside the
+            outermost RBN (trace metadata only).
+
+    Returns:
+        The ``n`` output cells in terminal order.
+
+    Raises:
+        RoutingInvariantError: on a mismatched broadcast input pair
+            (propagated from :func:`~repro.rbn.switches.apply_switch`)
+            or mismatched vector lengths.
+    """
+    half = len(upper)
+    if len(lower) != half:
+        raise RoutingInvariantError(
+            f"merging halves differ in size: {half} vs {len(lower)}"
+        )
+    if len(settings) != half:
+        raise RoutingInvariantError(
+            f"expected {half} switch settings, got {len(settings)}"
+        )
+    n = 2 * half
+    out: List[Cell] = [None] * n  # type: ignore[list-item]
+    for i in range(half):
+        out_u, out_l = apply_switch(settings[i], upper[i], lower[i])
+        out[i] = out_u
+        out[i + half] = out_l
+    if trace is not None:
+        trace.record_stage(
+            size=n,
+            offset=offset,
+            settings=settings,
+            inputs=tuple(upper) + tuple(lower),
+            outputs=out,
+        )
+    return out

@@ -1,0 +1,145 @@
+"""Address arithmetic: perfect shuffle / exchange interconnection functions.
+
+Section 4 of the paper wires the single-stage *merging network* with the
+perfect shuffle function on both its input and output links (paper
+Fig. 6), and the key observation used throughout Appendix A/B is::
+
+    |shuffle(a) - shuffle(exchange(a))| = n/2
+
+i.e. the two inputs of any 2x2 switch map to merging-network terminals
+exactly ``n/2`` apart, so a switch connects terminal pair
+``(j, j + n/2)`` either straight (parallel) or swapped (crossing).
+
+Naming note: this module follows the textbook convention where
+:func:`shuffle` is the *left* rotation of the address bits.  The rotation
+with the ``n/2``-apart property quoted above — the one the paper calls
+*shuffle* — is the right rotation, exposed here as :func:`unshuffle`
+(``unshuffle(2i) = i`` and ``unshuffle(2i+1) = i + n/2``).  The physical
+wiring is identical either way: switch ``i`` of a merging network
+connects terminals ``i`` and ``i + n/2`` on both sides, which is what
+:func:`terminal_pair_of_switch` encodes and what the simulator uses.
+
+All functions here operate on integer addresses ``0 <= a < n`` where
+``n = 2^m``.  They are deliberately tiny and allocation-free: the RBN
+simulator calls them inside per-stage loops.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetworkSizeError
+
+__all__ = [
+    "is_power_of_two",
+    "log2_int",
+    "check_network_size",
+    "shuffle",
+    "unshuffle",
+    "exchange",
+    "bit_reverse",
+    "bit_of",
+    "switch_of_terminal",
+    "terminal_pair_of_switch",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Return ``m`` such that ``n == 2**m``.
+
+    Raises:
+        NetworkSizeError: if ``n`` is not a power of two.
+    """
+    if not is_power_of_two(n):
+        raise NetworkSizeError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def check_network_size(n: int, minimum: int = 2) -> int:
+    """Validate a network size and return ``m = log2(n)``.
+
+    Args:
+        n: candidate network size.
+        minimum: smallest acceptable size (default 2, a single switch).
+
+    Raises:
+        NetworkSizeError: if ``n < minimum`` or not a power of two.
+    """
+    if not is_power_of_two(n) or n < minimum:
+        raise NetworkSizeError(
+            f"network size must be a power of two >= {minimum}, got {n}"
+        )
+    return n.bit_length() - 1
+
+
+def shuffle(a: int, n: int) -> int:
+    """Perfect shuffle: left-rotate the ``log2 n``-bit address ``a``.
+
+    ``shuffle(a_{m-1} a_{m-2} ... a_0) = a_{m-2} ... a_0 a_{m-1}``.
+
+    Equivalently ``(2a mod n) + (2a div n)``; see Hwang [15] in the
+    paper's reference list.
+    """
+    m = n.bit_length() - 1
+    return ((a << 1) | (a >> (m - 1))) & (n - 1)
+
+
+def unshuffle(a: int, n: int) -> int:
+    """Inverse perfect shuffle: right-rotate the ``log2 n``-bit address."""
+    m = n.bit_length() - 1
+    return (a >> 1) | ((a & 1) << (m - 1))
+
+
+def exchange(a: int) -> int:
+    """Exchange function: flip the least-significant bit of ``a``.
+
+    ``exchange(a)`` is the other input of the 2x2 switch that ``a``
+    belongs to (paper Fig. 6 writes it ``a-bar``).
+    """
+    return a ^ 1
+
+
+def bit_reverse(a: int, n: int) -> int:
+    """Reverse the ``log2 n``-bit representation of ``a``."""
+    m = n.bit_length() - 1
+    r = 0
+    for _ in range(m):
+        r = (r << 1) | (a & 1)
+        a >>= 1
+    return r
+
+
+def bit_of(address: int, level: int, m: int) -> int:
+    """Return the ``level``-th most significant bit of an ``m``-bit address.
+
+    ``level`` is 1-based to match the paper's "the *i*-th most
+    significant bit" phrasing (Section 2): ``bit_of(a, 1, m)`` is the
+    MSB, ``bit_of(a, m, m)`` the LSB.
+    """
+    if not 1 <= level <= m:
+        raise ValueError(f"level must be in [1, {m}], got {level}")
+    return (address >> (m - level)) & 1
+
+
+def switch_of_terminal(j: int, n: int) -> int:
+    """Index of the merging-network switch that terminal ``j`` attaches to.
+
+    With the perfect-shuffle wiring, merging-network terminals ``j`` and
+    ``j + n/2`` (for ``0 <= j < n/2``) attach to switch ``j`` — ``j`` on
+    the upper port and ``j + n/2`` on the lower port.
+    """
+    half = n // 2
+    return j if j < half else j - half
+
+
+def terminal_pair_of_switch(i: int, n: int) -> tuple[int, int]:
+    """Merging-network terminal pair ``(upper, lower)`` of switch ``i``.
+
+    Inverse of :func:`switch_of_terminal`: switch ``i`` connects
+    terminals ``i`` and ``i + n/2`` on both its input and output side
+    (the wiring is shuffle on both sides, paper Fig. 5).
+    """
+    return i, i + n // 2

@@ -1,0 +1,182 @@
+"""The RBN as a quasisorting network (Section 5.2, Table 6).
+
+The quasisorting network is the second half of a binary splitting
+network.  Its inputs (the scatter network's outputs) carry only tags
+``0``, ``1`` and ``EPS``, with at most ``n/2`` zeros and at most ``n/2``
+ones.  It must deliver every 0 to the upper half of its outputs and
+every 1 to the lower half; epsilons fill the remaining positions.
+
+Bit sorting (Theorem 1) handles *full* 0/1 populations, so the paper
+first runs the distributed **epsilon-dividing algorithm** (Table 6): it
+re-labels each epsilon as a dummy 0 (``EPS0``) or dummy 1 (``EPS1``)
+such that the total 0-population and 1-population both become exactly
+``n/2``, maintaining the invariants of eqs. (6)-(9) at every tree node.
+Then ascending bit sorting with target ``C^n_{n/2, n/2}`` places all
+(real + dummy) zeros in the upper half and ones in the lower half.
+
+:func:`quasisort` performs divide + sort and strips the dummy labels
+from its result, so its output carries ``{0, 1, EPS}`` like its input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.tags import Tag
+from ..errors import RoutingInvariantError
+from .bitsort import route_to_compact
+from .cells import Cell
+from .permutations import check_network_size
+from .trace import PhaseCounters, Trace
+
+__all__ = ["divide_epsilons", "quasisort"]
+
+#: Forward value of the epsilon-dividing tree: (n_eps, n_one).
+_Fwd = Tuple[int, int]
+
+
+def divide_epsilons(
+    cells: Sequence[Cell], *, trace: Optional[Trace] = None
+) -> List[Cell]:
+    """Table 6: re-label epsilons as dummy 0s/1s to balance populations.
+
+    Args:
+        cells: vector with tags in {0, 1, EPS}; requires
+            ``n0 <= n/2`` and ``n1 <= n/2`` (guaranteed by eq. (4) for
+            scatter outputs).
+        trace: optional counter recorder (no switches are set by this
+            phase, only the forward/backward tree runs).
+
+    Returns:
+        A new vector where every ``EPS`` became ``EPS0`` or ``EPS1``;
+        exactly ``n/2`` cells count as zeros (``ZERO | EPS0``) and
+        ``n/2`` as ones (``ONE | EPS1``).
+
+    Raises:
+        RoutingInvariantError: if the population preconditions fail or
+            an alpha tag is present.
+    """
+    n = len(cells)
+    m = check_network_size(n)
+    counters = trace.counters if trace is not None else PhaseCounters()
+
+    for c in cells:
+        if c.tag not in (Tag.ZERO, Tag.ONE, Tag.EPS):
+            raise RoutingInvariantError(
+                f"epsilon-dividing input must be 0/1/eps, got {c.tag}"
+            )
+
+    # ---- forward phase: (n_eps, n_one) per node, leaves up.
+    levels: List[List[_Fwd]] = [[] for _ in range(m + 1)]
+    levels[m] = [
+        (1 if c.tag is Tag.EPS else 0, 1 if c.tag is Tag.ONE else 0) for c in cells
+    ]
+    for level in range(m - 1, -1, -1):
+        child = levels[level + 1]
+        levels[level] = [
+            (child[2 * i][0] + child[2 * i + 1][0],
+             child[2 * i][1] + child[2 * i + 1][1])
+            for i in range(len(child) // 2)
+        ]
+        counters.forward_ops += 2 * len(levels[level])
+    counters.forward_levels += m
+
+    n_eps, n_one = levels[0][0]
+    n_zero = n - n_eps - n_one
+    half = n // 2
+    if n_one > half or n_zero > half:
+        raise RoutingInvariantError(
+            f"quasisort precondition violated: n0={n_zero}, n1={n_one} "
+            f"must both be <= n/2={half}"
+        )
+
+    # ---- backward phase: split (n_eps0, n_eps1) down the tree.
+    # Root initialisation balances the populations (Section 6.2):
+    #   n_eps1 = n/2 - n1 ,   n_eps0 = n_eps - n_eps1 .
+    root_e1 = half - n_one
+    root_e0 = n_eps - root_e1
+    if root_e0 < 0 or root_e1 < 0:
+        raise RoutingInvariantError(
+            f"epsilon-division counts went negative: e0={root_e0}, e1={root_e1}"
+        )
+    b_levels: List[List[Tuple[int, int]]] = [
+        [(0, 0)] * (1 << level) for level in range(m + 1)
+    ]
+    b_levels[0][0] = (root_e0, root_e1)
+    for level in range(m):
+        child = levels[level + 1]
+        for i in range(1 << level):
+            e0, e1 = b_levels[level][i]
+            ne_u = child[2 * i][0]
+            ne_l = child[2 * i + 1][0]
+            # Invariants (6)-(9): greedily satisfy the upper child's
+            # epsilon demand with dummy 0s, remainder with dummy 1s.
+            e0_u = min(e0, ne_u)
+            e1_u = ne_u - e0_u
+            e0_l = e0 - e0_u
+            e1_l = ne_l - e0_l
+            if min(e0_u, e1_u, e0_l, e1_l) < 0 or e1_u + e1_l != e1:
+                raise RoutingInvariantError(
+                    "epsilon-division invariant (eqs. 6-9) violated at "
+                    f"level {level}, node {i}"
+                )
+            b_levels[level + 1][2 * i] = (e0_u, e1_u)
+            b_levels[level + 1][2 * i + 1] = (e0_l, e1_l)
+            counters.backward_ops += 4
+    counters.backward_levels += m
+    counters.phases += 1
+
+    # ---- leaf assignment: an epsilon leaf with n_eps0 = 1 becomes a
+    # dummy 0, with n_eps1 = 1 a dummy 1.
+    out: List[Cell] = []
+    for c, (e0, e1) in zip(cells, b_levels[m]):
+        if c.tag is Tag.EPS:
+            out.append(c.with_tag(Tag.EPS0 if e0 == 1 else Tag.EPS1))
+        else:
+            out.append(c)
+    return out
+
+
+def quasisort(
+    cells: Sequence[Cell],
+    *,
+    trace: Optional[Trace] = None,
+    offset: int = 0,
+    keep_dummies: bool = False,
+) -> List[Cell]:
+    """Quasisort one frame: 0s to the upper half, 1s to the lower half.
+
+    Runs the epsilon-dividing phase then ascending bit sorting with
+    target ``C^n_{n/2, n/2}`` over the (real + dummy) one-population.
+
+    Args:
+        cells: vector with tags in {0, 1, EPS}; populations of 0s and 1s
+            each at most ``n/2``.
+        trace: optional recorder (collects both the dividing-phase
+            counters and the sorting stages).
+        offset: absolute terminal offset (trace metadata).
+        keep_dummies: when True, the output keeps the ``EPS0``/``EPS1``
+            labels (useful for tests); by default they are stripped back
+            to plain ``EPS``.
+
+    Returns:
+        Output cells: every ``ZERO`` in positions ``[0, n/2)``, every
+        ``ONE`` in ``[n/2, n)``.
+    """
+    n = len(cells)
+    check_network_size(n)
+    divided = divide_epsilons(cells, trace=trace)
+    one_like = (Tag.ONE, Tag.EPS1)
+    sorted_cells = route_to_compact(
+        divided,
+        n // 2,
+        lambda t: t in one_like,
+        trace=trace,
+        offset=offset,
+    )
+    if keep_dummies:
+        return sorted_cells
+    return [
+        c.with_tag(Tag.EPS) if c.tag in (Tag.EPS0, Tag.EPS1) else c
+        for c in sorted_cells
+    ]

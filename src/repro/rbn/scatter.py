@@ -1,0 +1,159 @@
+"""The RBN as a scatter network (Theorems 2-3, Table 4).
+
+The scatter network is the first half of a binary splitting network.
+Its inputs carry the four tag values; its job is to pair every ``ALPHA``
+(a multicast that must be split) with an ``EPS`` (an idle link) at some
+broadcast switch, so that the outputs carry only ``0``, ``1`` and
+``EPS`` — eq. (4) of the paper::
+
+    n0_hat = n0 + na,  n1_hat = n1 + na,  ne_hat = ne - na,  na_hat = 0.
+
+The distributed algorithm (paper Table 4) tracks per-sub-RBN the
+*dominating type* among alphas and epsilons and the surplus count
+``l = |na - ne|``:
+
+* forward — equal child types add their surpluses
+  (epsilon/alpha-*addition*, Lemma 1); unequal types subtract them and
+  the larger surplus's type dominates (epsilon/alpha-*elimination*,
+  Lemmas 2-5);
+* backward — child starting positions per the applicable lemma;
+* setting — the lemma's compact switch setting, including the
+  upper/lower-broadcast blocks that neutralise alpha/epsilon pairs.
+
+Because each node's plan is exactly a lemma plan, this module delegates
+to :mod:`repro.rbn.lemmas`; the test-suite cross-checks the delegation
+against a literal transcription of Table 4's switch-setting phase.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.tags import Tag
+from ..errors import RoutingInvariantError
+from .cells import Cell
+from .lemmas import MergePlan, lemma1, lemma2, lemma3, lemma4, lemma5
+from .switches import SwitchSetting
+from .trace import Trace
+from .tree import RBNAlgorithm, run_rbn
+
+__all__ = [
+    "ScatterForward",
+    "ScatterAlgorithm",
+    "scatter_plan",
+    "scatter",
+    "count_tags",
+]
+
+#: Forward value of the scatter tree: (surplus count, dominating type).
+ScatterForward = Tuple[int, Tag]
+
+
+def count_tags(cells: Sequence[Cell]) -> dict:
+    """Count the four base tag populations of a cell vector.
+
+    Returns a dict with keys ``n0, n1, na, ne`` (paper notation).
+    """
+    n0 = sum(1 for c in cells if c.tag is Tag.ZERO)
+    n1 = sum(1 for c in cells if c.tag is Tag.ONE)
+    na = sum(1 for c in cells if c.tag is Tag.ALPHA)
+    ne = sum(1 for c in cells if c.tag.is_eps_like)
+    return {"n0": n0, "n1": n1, "na": na, "ne": ne}
+
+
+def scatter_plan(
+    size: int, s: int, l0: int, type0: Tag, l1: int, type1: Tag
+) -> MergePlan:
+    """One tree node's merge plan (Table 4 backward + setting phases).
+
+    Args:
+        size: the node's sub-RBN size ``n'``.
+        s: the node's backward input (target block start).
+        l0, type0: upper child's surplus count and dominating type.
+        l1, type1: lower child's surplus count and dominating type.
+
+    Returns:
+        The applicable lemma's :class:`~repro.rbn.lemmas.MergePlan`.
+    """
+    if type0 is type1:
+        return lemma1(size, s, l0, l1)
+    if type0 is Tag.ALPHA and type1 is Tag.EPS:
+        return lemma2(size, s, l0, l1) if l0 >= l1 else lemma3(size, s, l0, l1)
+    if type0 is Tag.EPS and type1 is Tag.ALPHA:
+        return lemma4(size, s, l0, l1) if l0 >= l1 else lemma5(size, s, l0, l1)
+    raise RoutingInvariantError(
+        f"invalid dominating types ({type0}, {type1}) at size {size}"
+    )
+
+
+class ScatterAlgorithm(RBNAlgorithm[ScatterForward]):
+    """Table 4's distributed self-routing algorithm for the scatter RBN."""
+
+    def leaf_forward(self, cell: Cell) -> ScatterForward:
+        if cell.tag is Tag.ALPHA:
+            return (1, Tag.ALPHA)
+        if cell.tag.is_eps_like:
+            return (1, Tag.EPS)
+        # chi (0 or 1): zero surplus; the conventional type is EPS so
+        # that all-chi subnetworks behave as epsilon-dominated with l=0.
+        return (0, Tag.EPS)
+
+    def combine(self, f0: ScatterForward, f1: ScatterForward) -> ScatterForward:
+        l0, t0 = f0
+        l1, t1 = f1
+        if t0 is t1:
+            return (l0 + l1, t0)
+        if l0 >= l1:
+            return (l0 - l1, t0)
+        return (l1 - l0, t1)
+
+    def backward(
+        self, size: int, f0: ScatterForward, f1: ScatterForward, s: int
+    ) -> Tuple[int, int]:
+        plan = scatter_plan(size, s, f0[0], f0[1], f1[0], f1[1])
+        return plan.s0, plan.s1
+
+    def settings(
+        self, size: int, f0: ScatterForward, f1: ScatterForward, s: int
+    ) -> Sequence[SwitchSetting]:
+        plan = scatter_plan(size, s, f0[0], f0[1], f1[0], f1[1])
+        return plan.settings
+
+
+def scatter(
+    cells: Sequence[Cell],
+    s: int = 0,
+    *,
+    trace: Optional[Trace] = None,
+    offset: int = 0,
+    require_bsn_precondition: bool = True,
+) -> List[Cell]:
+    """Run one frame through the scatter network.
+
+    Args:
+        cells: input cells carrying tags in {0, 1, alpha, eps}.
+        s: target starting position of the residual block (the epsilons
+            left over after every alpha is neutralised).  Any value in
+            ``[0, n)`` works (Theorem 3); the BSN uses 0.
+        trace: optional recorder.
+        offset: absolute terminal offset (trace metadata).
+        require_bsn_precondition: when True (the default), validate
+            eq. (3) — ``na <= ne`` — which holds for any valid BSN input
+            and guarantees *all* alphas are eliminated (Theorem 2).  Set
+            False to exercise the general Theorem 3 behaviour where
+            alphas may dominate and epsilons are eliminated instead.
+
+    Returns:
+        Output cells.  Under the BSN precondition the outputs carry no
+        ``ALPHA`` tags and satisfy eq. (4).
+    """
+    counts = count_tags(cells)
+    if require_bsn_precondition and counts["na"] > counts["ne"]:
+        raise RoutingInvariantError(
+            "scatter precondition violated: na={na} > ne={ne} "
+            "(eq. (3) of the paper)".format(**counts)
+        )
+    n = len(cells)
+    if not 0 <= s < n:
+        raise ValueError(f"s={s} out of range [0, {n})")
+    return run_rbn(cells, s, ScatterAlgorithm(), trace=trace, offset=offset)

@@ -1,0 +1,150 @@
+"""Static structure of a reverse banyan network (paper Fig. 5).
+
+The routing algorithms in this package work recursively and never need
+an explicit wiring table, but the cost model, the structural tests and
+the Fig. 5 bench do: this module materialises the stage-by-stage
+topology of an ``n x n`` RBN.
+
+Physically, an ``n x n`` RBN has ``log2 n`` columns (stages) of ``n/2``
+switches each.  Stage ``k`` (1-based) consists of the merging networks
+of all the size-``2^k`` sub-RBNs: ``n / 2^k`` merging networks, each of
+``2^{k-1}`` switches, the ``j``-th covering terminals
+``[j * 2^k, (j+1) * 2^k)``.  Within a merging network of size ``q``
+rooted at offset ``base``, switch ``i`` connects local terminals ``i``
+and ``i + q/2`` on both its input and output side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .permutations import check_network_size
+
+__all__ = [
+    "SwitchLocation",
+    "RBNTopology",
+    "rbn_switch_count",
+    "rbn_stage_count",
+]
+
+
+def rbn_switch_count(n: int) -> int:
+    """Total 2x2 switches in an ``n x n`` RBN: ``(n/2) * log2 n``."""
+    m = check_network_size(n)
+    return (n // 2) * m
+
+
+def rbn_stage_count(n: int) -> int:
+    """Number of switch columns in an ``n x n`` RBN: ``log2 n``."""
+    return check_network_size(n)
+
+
+@dataclass(frozen=True)
+class SwitchLocation:
+    """Position of one physical switch inside an RBN.
+
+    Attributes:
+        stage: 1-based stage (column) index; stage ``k`` holds the
+            size-``2^k`` merging networks.
+        block: which merging network within the stage (0-based, top to
+            bottom).
+        index: switch index within its merging network.
+        upper_terminal: absolute input/output terminal of the upper port.
+        lower_terminal: absolute terminal of the lower port
+            (= ``upper_terminal + 2^{k-1}``).
+    """
+
+    stage: int
+    block: int
+    index: int
+    upper_terminal: int
+    lower_terminal: int
+
+
+class RBNTopology:
+    """Materialised wiring of an ``n x n`` reverse banyan network.
+
+    Args:
+        n: network size (power of two, >= 2).
+    """
+
+    def __init__(self, n: int):
+        self.m = check_network_size(n)
+        self.n = n
+
+    @property
+    def stage_count(self) -> int:
+        """Number of switch columns (= log2 n)."""
+        return self.m
+
+    @property
+    def switches_per_stage(self) -> int:
+        """Switches in each column (= n/2)."""
+        return self.n // 2
+
+    @property
+    def switch_count(self) -> int:
+        """Total switches (= (n/2) log2 n)."""
+        return self.switches_per_stage * self.m
+
+    def merging_blocks(self, stage: int) -> int:
+        """Number of merging networks in the given 1-based stage."""
+        self._check_stage(stage)
+        return self.n >> stage
+
+    def merging_size(self, stage: int) -> int:
+        """Size of each merging network in the given stage (= 2^stage)."""
+        self._check_stage(stage)
+        return 1 << stage
+
+    def switches_in_stage(self, stage: int) -> Iterator[SwitchLocation]:
+        """Yield every switch of one stage with its absolute terminals."""
+        self._check_stage(stage)
+        q = self.merging_size(stage)
+        half = q // 2
+        for block in range(self.merging_blocks(stage)):
+            base = block * q
+            for i in range(half):
+                yield SwitchLocation(
+                    stage=stage,
+                    block=block,
+                    index=i,
+                    upper_terminal=base + i,
+                    lower_terminal=base + i + half,
+                )
+
+    def all_switches(self) -> Iterator[SwitchLocation]:
+        """Yield every switch of the network, stage by stage."""
+        for stage in range(1, self.m + 1):
+            yield from self.switches_in_stage(stage)
+
+    def stage_permutation(self, stage: int) -> List[Tuple[int, int]]:
+        """The terminal pairs bridged by one stage's switches.
+
+        Returns a list of ``(upper_terminal, lower_terminal)`` pairs;
+        together with a per-switch setting this fully determines the
+        stage's input->output relation.
+        """
+        return [
+            (sw.upper_terminal, sw.lower_terminal)
+            for sw in self.switches_in_stage(stage)
+        ]
+
+    def sub_rbn_terminals(self, stage: int, block: int) -> range:
+        """Absolute terminal range of one sub-RBN.
+
+        The sub-RBN whose merging network sits at ``(stage, block)``
+        covers terminals ``[block * 2^stage, (block+1) * 2^stage)``.
+        This is what the feedback implementation (Section 7.3) re-uses
+        as the half-size BSNs of later splitting levels.
+        """
+        self._check_stage(stage)
+        q = 1 << stage
+        if not 0 <= block < self.n // q:
+            raise ValueError(f"block {block} out of range for stage {stage}")
+        return range(block * q, (block + 1) * q)
+
+    def _check_stage(self, stage: int) -> None:
+        if not 1 <= stage <= self.m:
+            raise ValueError(f"stage must be in [1, {self.m}], got {stage}")

@@ -1,0 +1,151 @@
+"""Trace recording for RBN routing frames.
+
+The figure-regeneration benches and the ASCII renderer need to see the
+*intermediate* state of a network: the cell (tag) on every link after
+every merging stage and the setting of every switch.  Algorithms accept
+an optional :class:`Trace`; when present they record one
+:class:`StageRecord` per merging stage applied, in application order
+(innermost sub-RBN stages first, exactly the physical stage order of
+the banyan since all size-``2^k`` merges happen in parallel at physical
+stage ``k``).
+
+Traces also aggregate the operation counters used by the empirical
+routing-time study (:mod:`repro.hardware.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..core.tags import Tag
+from .cells import Cell
+from .switches import SwitchSetting, is_broadcast
+
+__all__ = ["StageRecord", "Trace", "PhaseCounters"]
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One merging network's application within a routing frame.
+
+    Attributes:
+        size: the merging network's size ``n'`` (it has ``n'/2``
+            switches).
+        offset: absolute position of this sub-network's first terminal
+            within the outermost RBN (0 for the outermost merge).
+        settings: the per-switch settings used.
+        inputs: cells entering the merge, terminal order (upper
+            sub-RBN outputs then lower sub-RBN outputs).
+        outputs: cells leaving the merge, terminal order.
+    """
+
+    size: int
+    offset: int
+    settings: Tuple[SwitchSetting, ...]
+    inputs: Tuple[Cell, ...]
+    outputs: Tuple[Cell, ...]
+
+    @property
+    def input_tags(self) -> List[Tag]:
+        """Tags entering this stage (rendering convenience)."""
+        return [c.tag for c in self.inputs]
+
+    @property
+    def output_tags(self) -> List[Tag]:
+        """Tags leaving this stage (rendering convenience)."""
+        return [c.tag for c in self.outputs]
+
+    @property
+    def broadcast_count(self) -> int:
+        """Number of broadcast settings in this stage."""
+        return sum(1 for r in self.settings if is_broadcast(r))
+
+
+@dataclass
+class PhaseCounters:
+    """Operation counters for the distributed self-routing algorithms.
+
+    These model the hardware quantities of Section 7.2/7.4: the number
+    of additive operations performed by tree nodes, how many tree-level
+    *steps* each phase takes (the pipelined critical path is
+    proportional to this), and how many switches were set.
+
+    Attributes:
+        forward_ops: additions (or addition-like ops) in forward phases.
+        backward_ops: additions/mods in backward phases.
+        forward_levels: total tree levels traversed by forward phases
+            (one phase over an ``n``-input RBN contributes ``log2 n``).
+        backward_levels: likewise for backward phases.
+        switch_settings: number of individual switch settings computed.
+        phases: number of (forward + backward) phase pairs executed.
+    """
+
+    forward_ops: int = 0
+    backward_ops: int = 0
+    forward_levels: int = 0
+    backward_levels: int = 0
+    switch_settings: int = 0
+    phases: int = 0
+
+    def merge(self, other: "PhaseCounters") -> None:
+        """Accumulate ``other`` into this counter set."""
+        self.forward_ops += other.forward_ops
+        self.backward_ops += other.backward_ops
+        self.forward_levels += other.forward_levels
+        self.backward_levels += other.backward_levels
+        self.switch_settings += other.switch_settings
+        self.phases += other.phases
+
+    @property
+    def total_levels(self) -> int:
+        """Total sequential tree-level steps (forward + backward)."""
+        return self.forward_levels + self.backward_levels
+
+
+@dataclass
+class Trace:
+    """Recorder threaded (optionally) through RBN routing calls.
+
+    Attributes:
+        label: free-form description (which network / which pass).
+        stages: records in application order.
+        counters: aggregated operation counters.
+    """
+
+    label: str = ""
+    stages: List[StageRecord] = field(default_factory=list)
+    counters: PhaseCounters = field(default_factory=PhaseCounters)
+
+    def record_stage(
+        self,
+        size: int,
+        offset: int,
+        settings: Sequence[SwitchSetting],
+        inputs: Sequence[Cell],
+        outputs: Sequence[Cell],
+    ) -> None:
+        """Append one merging-stage record."""
+        self.stages.append(
+            StageRecord(
+                size=size,
+                offset=offset,
+                settings=tuple(settings),
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+            )
+        )
+
+    def stages_of_size(self, size: int) -> List[StageRecord]:
+        """All records for merging networks of the given size."""
+        return [st for st in self.stages if st.size == size]
+
+    @property
+    def total_broadcasts(self) -> int:
+        """Total broadcast switch firings recorded."""
+        return sum(st.broadcast_count for st in self.stages)
+
+    @property
+    def switch_count(self) -> int:
+        """Total switch applications recorded (one per switch per stage)."""
+        return sum(len(st.settings) for st in self.stages)

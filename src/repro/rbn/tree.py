@@ -1,0 +1,200 @@
+"""The binary-tree distributed computation engine (paper Section 6, Fig. 8).
+
+Every self-routing algorithm in the paper has the same skeleton.  The
+recursive structure of an ``n x n`` RBN is formulated as a complete
+binary tree: the root is the whole RBN, its children are the two
+half-size sub-RBNs, and the leaves are the individual inputs.  An
+algorithm then runs
+
+1. a **forward phase** — each node combines its children's values
+   (e.g. gamma-counts ``l``, dominating types) and passes the result up;
+2. a **backward phase** — starting from the root's target parameters
+   (e.g. the starting position ``s``), each node derives the parameters
+   of its children and passes them down;
+3. a **switch-setting phase** — each node sets the ``n'/2`` switches of
+   the *last stage* of its sub-RBN (its merging network) from its
+   forward and backward values, every switch in parallel.
+
+This module factors that skeleton out of the individual algorithms
+(Tables 3, 4 and 6 instantiate it).  The engine is *level-synchronous*,
+mirroring the pipelined hardware: all nodes of one tree level compute in
+the same step, so the counters it maintains measure exactly the
+quantities behind the paper's ``O(log n)``-per-phase routing-time claim.
+
+The engine also performs the *data* movement: after the phases it
+routes the cell vector through the RBN by applying merging stages
+innermost-first (which is the physical stage order of the banyan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from .cells import Cell
+from .merging import apply_merging
+from .permutations import check_network_size
+from .switches import SwitchSetting
+from .trace import PhaseCounters, Trace
+
+F = TypeVar("F")  # forward value type
+
+__all__ = ["RBNAlgorithm", "RBNEngine", "run_rbn", "tree_node_count"]
+
+
+def tree_node_count(n: int) -> int:
+    """Number of internal nodes of the RBN computation tree (= n - 1).
+
+    Each internal node owns one merging network; leaves (the ``n``
+    inputs) are not counted.
+    """
+    check_network_size(n)
+    return n - 1
+
+
+class RBNAlgorithm(Generic[F]):
+    """Strategy interface: one distributed self-routing algorithm.
+
+    Subclasses implement the three phases for a single tree node; the
+    engine handles tree construction, level-synchronous scheduling,
+    instrumentation and the cell routing itself.
+    """
+
+    def leaf_forward(self, cell: Cell) -> F:
+        """Forward value contributed by one network input (tree leaf)."""
+        raise NotImplementedError
+
+    def combine(self, f0: F, f1: F) -> F:
+        """Forward phase at an internal node.
+
+        Args:
+            f0: forward value of the upper child.
+            f1: forward value of the lower child.
+        """
+        raise NotImplementedError
+
+    def backward(self, size: int, f0: F, f1: F, s: int) -> Tuple[int, int]:
+        """Backward phase at an internal node of sub-RBN size ``size``.
+
+        Returns the backward values ``(s0, s1)`` for the two children.
+        """
+        raise NotImplementedError
+
+    def settings(
+        self, size: int, f0: F, f1: F, s: int
+    ) -> Sequence[SwitchSetting]:
+        """Switch-setting phase: settings for this node's merging stage."""
+        raise NotImplementedError
+
+
+@dataclass
+class _NodeState(Generic[F]):
+    """Forward/backward values attached to one tree node (engine internal)."""
+
+    forward: F
+    backward: Optional[int] = None
+
+
+class RBNEngine(Generic[F]):
+    """Executes an :class:`RBNAlgorithm` over one RBN routing frame.
+
+    The engine is reusable across frames; it holds no per-frame state.
+
+    Args:
+        algo: the distributed algorithm to run.
+    """
+
+    def __init__(self, algo: RBNAlgorithm[F]):
+        self.algo = algo
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        s_root: int,
+        *,
+        trace: Optional[Trace] = None,
+        offset: int = 0,
+    ) -> List[Cell]:
+        """Route one frame of ``n`` cells; return the ``n`` output cells.
+
+        Args:
+            cells: input cell vector (``n`` a power of two, >= 2).
+            s_root: the root's backward input — the target starting
+                position of the output compact sequence.
+            trace: optional stage/counter recorder.
+            offset: absolute terminal offset (trace metadata).
+        """
+        n = len(cells)
+        m = check_network_size(n)
+        counters = trace.counters if trace is not None else PhaseCounters()
+
+        # ---- forward phase: levels[m] are leaves, levels[0] the root.
+        levels: List[List[F]] = [[] for _ in range(m + 1)]
+        levels[m] = [self.algo.leaf_forward(c) for c in cells]
+        for level in range(m - 1, -1, -1):
+            child = levels[level + 1]
+            levels[level] = [
+                self.algo.combine(child[2 * i], child[2 * i + 1])
+                for i in range(len(child) // 2)
+            ]
+            counters.forward_ops += len(levels[level])
+        counters.forward_levels += m
+
+        # ---- backward phase: compute per-node s values top-down.
+        s_levels: List[List[int]] = [[0] * (1 << level) for level in range(m + 1)]
+        s_levels[0][0] = s_root
+        for level in range(m):
+            size = n >> level
+            child = levels[level + 1]
+            for i in range(1 << level):
+                f0 = child[2 * i]
+                f1 = child[2 * i + 1]
+                s0, s1 = self.algo.backward(size, f0, f1, s_levels[level][i])
+                s_levels[level + 1][2 * i] = s0
+                s_levels[level + 1][2 * i + 1] = s1
+                counters.backward_ops += 2
+        counters.backward_levels += m
+
+        # ---- switch-setting phase (all nodes in parallel in hardware).
+        settings: List[List[Sequence[SwitchSetting]]] = [
+            [] for _ in range(m)
+        ]
+        for level in range(m):
+            size = n >> level
+            child = levels[level + 1]
+            for i in range(1 << level):
+                st = self.algo.settings(
+                    size, child[2 * i], child[2 * i + 1], s_levels[level][i]
+                )
+                settings[level].append(st)
+                counters.switch_settings += len(st)
+        counters.phases += 1
+
+        # ---- data movement: apply merges innermost-first.
+        def route(level: int, idx: int, lo: int, hi: int) -> List[Cell]:
+            if hi - lo == 1:
+                return [cells[lo]]
+            mid = (lo + hi) // 2
+            up = route(level + 1, 2 * idx, lo, mid)
+            lw = route(level + 1, 2 * idx + 1, mid, hi)
+            return apply_merging(
+                up,
+                lw,
+                settings[level][idx],
+                trace=trace,
+                offset=offset + lo,
+            )
+
+        return route(0, 0, 0, n)
+
+
+def run_rbn(
+    cells: Sequence[Cell],
+    s_root: int,
+    algo: RBNAlgorithm,
+    *,
+    trace: Optional[Trace] = None,
+    offset: int = 0,
+) -> List[Cell]:
+    """One-shot convenience wrapper around :class:`RBNEngine`."""
+    return RBNEngine(algo).run(cells, s_root, trace=trace, offset=offset)

@@ -1,0 +1,25 @@
+"""Text rendering of networks and routing frames (figure regeneration)."""
+
+from .ascii import (
+    format_cells,
+    format_settings,
+    render_assignment,
+    render_delivery,
+    render_pass_grid,
+    render_stage,
+    render_trace,
+    split_rbn_passes,
+)
+from .gantt import render_gantt
+
+__all__ = [
+    "format_cells",
+    "format_settings",
+    "render_assignment",
+    "render_delivery",
+    "render_gantt",
+    "render_pass_grid",
+    "render_stage",
+    "render_trace",
+    "split_rbn_passes",
+]

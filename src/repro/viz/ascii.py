@@ -1,0 +1,162 @@
+"""ASCII rendering of assignments, frames and traces.
+
+The paper explains the design through worked figures (Fig. 2's 8x8
+routing, Fig. 4b's scatter-then-quasisort tag flow).  These renderers
+regenerate such views as plain text: the figure benches print them, and
+debugging a misroute is vastly easier with the stage-by-stage tag
+picture in front of you.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.multicast import MulticastAssignment
+from ..core.tags import TAG_SYMBOLS
+from ..rbn.cells import Cell
+from ..rbn.switches import SwitchSetting
+from ..rbn.trace import StageRecord, Trace
+
+__all__ = [
+    "format_cells",
+    "format_settings",
+    "render_stage",
+    "render_trace",
+    "render_assignment",
+    "render_delivery",
+    "split_rbn_passes",
+    "render_pass_grid",
+]
+
+_SETTING_SYMBOLS = {
+    SwitchSetting.PARALLEL: "=",
+    SwitchSetting.CROSS: "x",
+    SwitchSetting.UPPER_BCAST: "^",
+    SwitchSetting.LOWER_BCAST: "v",
+}
+
+
+def format_cells(cells: Sequence[Cell]) -> str:
+    """One-character-per-link tag string (``0 1 a e``; ``z/w`` dummies)."""
+    return "".join(TAG_SYMBOLS[c.tag] for c in cells)
+
+
+def format_settings(settings: Sequence[SwitchSetting]) -> str:
+    """One-character-per-switch settings string (``= x ^ v``)."""
+    return "".join(_SETTING_SYMBOLS[s] for s in settings)
+
+
+def render_stage(record: StageRecord) -> str:
+    """Render one merging-stage record as a single line."""
+    return (
+        f"merge n={record.size:<4d} @{record.offset:<4d} "
+        f"in={format_cells(record.inputs)} "
+        f"set={format_settings(record.settings)} "
+        f"out={format_cells(record.outputs)}"
+    )
+
+
+def render_trace(trace: Trace, max_stages: Optional[int] = None) -> str:
+    """Render a whole trace, one line per stage, in application order.
+
+    Args:
+        trace: the recorded trace.
+        max_stages: truncate long traces (``None`` = render all).
+    """
+    lines: List[str] = [f"trace: {trace.label or '(unlabelled)'}"]
+    stages = trace.stages if max_stages is None else trace.stages[:max_stages]
+    for rec in stages:
+        lines.append("  " + render_stage(rec))
+    if max_stages is not None and len(trace.stages) > max_stages:
+        lines.append(f"  ... ({len(trace.stages) - max_stages} more stages)")
+    return "\n".join(lines)
+
+
+def render_assignment(assignment: MulticastAssignment) -> str:
+    """Render an assignment as an input -> destinations table."""
+    m = assignment.n.bit_length() - 1
+    lines = [f"multicast assignment, n={assignment.n}:"]
+    for i, dests in enumerate(assignment.destinations):
+        if dests:
+            bits = ", ".join(format(d, f"0{m}b") for d in sorted(dests))
+            lines.append(
+                f"  input {i}: -> {sorted(dests)}  (binary: {bits})"
+            )
+    if not assignment.active_inputs:
+        lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+def split_rbn_passes(trace: Trace, width: int) -> List[List[StageRecord]]:
+    """Split a trace into full-width RBN passes.
+
+    A pass over ``width`` terminals starting at offset 0 ends with its
+    outermost (size = ``width``) merge; records after it belong to the
+    next pass.  Works for traces of repeated full-width passes (e.g. a
+    BSN: scatter pass then quasisort pass); sub-width records (deeper
+    BRSMN levels) terminate the splitting.
+
+    Returns:
+        One list of records per complete pass, in order.
+    """
+    passes: List[List[StageRecord]] = []
+    current: List[StageRecord] = []
+    for rec in trace.stages:
+        if rec.offset >= width:
+            break
+        current.append(rec)
+        if rec.size == width and rec.offset == 0:
+            passes.append(current)
+            current = []
+    return passes
+
+
+def render_pass_grid(records: Sequence[StageRecord], width: int) -> str:
+    """Render one full-width RBN pass as a terminals-by-stages grid.
+
+    Each row is one terminal; columns show the tag on that terminal's
+    link at the pass inputs and after each physical stage — the Fig. 4b
+    view of how tags move through an RBN.
+
+    Args:
+        records: the records of exactly one pass (see
+            :func:`split_rbn_passes`).
+        width: pass width ``n`` (a power of two).
+    """
+    m = width.bit_length() - 1
+    # columns[k][t]: tag symbol at terminal t after stage k (0 = inputs)
+    columns: List[List[str]] = [["?"] * width for _ in range(m + 1)]
+    by_stage = {}
+    for rec in records:
+        k = rec.size.bit_length() - 1
+        by_stage.setdefault(k, []).append(rec)
+    if sorted(by_stage) != list(range(1, m + 1)):
+        raise ValueError(
+            f"records do not form one complete pass of width {width}"
+        )
+    for rec in by_stage[1]:
+        for pos, cell in enumerate(rec.inputs):
+            columns[0][rec.offset + pos] = TAG_SYMBOLS[cell.tag]
+    for k in range(1, m + 1):
+        for rec in by_stage[k]:
+            for pos, cell in enumerate(rec.outputs):
+                columns[k][rec.offset + pos] = TAG_SYMBOLS[cell.tag]
+    header = "terminal  in  " + "  ".join(f"s{k}" for k in range(1, m + 1))
+    lines = [header, "-" * len(header)]
+    for t in range(width):
+        lines.append(
+            f"{t:8d}  {columns[0][t]:2s}  "
+            + "  ".join(f"{columns[k][t]:2s}" for k in range(1, m + 1))
+        )
+    return "\n".join(lines)
+
+
+def render_delivery(outputs: Sequence) -> str:
+    """Render a delivered frame as an output <- source table."""
+    lines = ["deliveries:"]
+    for o, msg in enumerate(outputs):
+        if msg is not None:
+            lines.append(f"  output {o} <- input {msg.source} ({msg.payload!r})")
+    if len(lines) == 1:
+        lines.append("  (none)")
+    return "\n".join(lines)

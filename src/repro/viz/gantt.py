@@ -1,0 +1,64 @@
+"""ASCII Gantt rendering for frame schedules.
+
+Turns a :class:`~repro.hardware.schedule.FrameSchedule` into a
+proportional bar chart — one row per activity, bar length scaled to the
+activity's duration — so the routing-vs-datapath balance and the
+level-by-level shrinkage are visible at a glance:
+
+.. code-block:: text
+
+    L1 routing   |##############################................| 70
+    L1 datapath  |####..........................................| 10
+    ...
+
+Used by the Section 7.3 bench artefact and the VoD example.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hardware.schedule import FrameSchedule
+
+__all__ = ["render_gantt"]
+
+_BAR = {"routing": "#", "datapath": "="}
+
+
+def render_gantt(schedule: FrameSchedule, width: int = 60) -> str:
+    """Render a frame schedule as proportional ASCII bars.
+
+    Args:
+        schedule: the computed timeline.
+        width: character width of the time axis.
+
+    Returns:
+        One row per activity: the bar starts at the activity's start
+        time and spans its duration, both scaled to ``width`` columns;
+        ``#`` marks routing, ``=`` datapath.
+    """
+    total = schedule.total_time
+    if total <= 0:
+        return f"frame schedule, n = {schedule.n}: (empty)"
+    lines: List[str] = [
+        f"frame schedule, n = {schedule.n} "
+        f"(1 column ~ {total / width:.1f} gate delays)"
+    ]
+    label_w = max(
+        len(f"L{e.level} {e.kind}") for e in schedule.entries
+    )
+    for e in schedule.entries:
+        start_col = min(round(e.start / total * width), width - 1)
+        end_col = min(max(start_col + 1, round(e.end / total * width)), width)
+        bar = (
+            " " * start_col
+            + _BAR[e.kind] * (end_col - start_col)
+            + " " * (width - end_col)
+        )
+        label = f"L{e.level} {e.kind}".ljust(label_w)
+        lines.append(f"  {label} |{bar}| {e.duration}")
+    lines.append(
+        f"  total {schedule.total_time} gate delays "
+        f"(routing {schedule.routing_time}, datapath {schedule.datapath_time})"
+    )
+    return "\n".join(lines)

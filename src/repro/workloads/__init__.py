@@ -1,0 +1,54 @@
+"""Workload generators: the traffic the benches and tests route.
+
+* :mod:`~repro.workloads.random_assignments` — seeded random multicast
+  assignments with load / fanout knobs;
+* :mod:`~repro.workloads.patterns` — parallel-computing patterns the
+  paper's introduction motivates (matrix multiply, FFT, barriers,
+  classic permutations);
+* :mod:`~repro.workloads.scenarios` — telecom sessions (video
+  conferencing, video-on-demand, replicated databases).
+"""
+
+from .hotspot import hotspot_multicast, incast_rounds, tenant_partitioned
+from .patterns import (
+    barrier_fanout_rounds,
+    bit_reversal_permutation,
+    fft_butterfly_rounds,
+    matrix_multiply_rounds,
+    shuffle_permutation,
+    transpose_permutation,
+    tree_broadcast_rounds,
+)
+from .random_assignments import (
+    assignment_suite,
+    broadcast_heavy,
+    fixed_fanout_multicast,
+    geometric_multicast,
+    random_multicast,
+    random_partial_permutation,
+    random_permutation,
+)
+from .scenarios import replicated_db_frames, videoconference_frames, vod_frames
+
+__all__ = [
+    "hotspot_multicast",
+    "incast_rounds",
+    "tenant_partitioned",
+    "barrier_fanout_rounds",
+    "bit_reversal_permutation",
+    "fft_butterfly_rounds",
+    "matrix_multiply_rounds",
+    "shuffle_permutation",
+    "transpose_permutation",
+    "tree_broadcast_rounds",
+    "assignment_suite",
+    "broadcast_heavy",
+    "fixed_fanout_multicast",
+    "geometric_multicast",
+    "random_multicast",
+    "random_partial_permutation",
+    "random_permutation",
+    "replicated_db_frames",
+    "videoconference_frames",
+    "vod_frames",
+]

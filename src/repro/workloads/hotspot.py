@@ -1,0 +1,163 @@
+"""Hotspot and multi-tenant traffic generators.
+
+Switching fabrics degrade under *skew*: a few popular outputs (hotspot
+servers) or a few chatty sources.  A nonblocking multicast network
+claims immunity — any *valid* assignment routes — but skew still
+changes the internal work profile (where alphas concentrate, how long
+epsilon blocks get), so these generators matter for exercising the
+scatter/quasisort machinery off the uniform path:
+
+* :func:`hotspot_multicast` — most traffic targets a small hot set of
+  outputs (think: popular storage shards); the remaining load is
+  uniform background.
+* :func:`tenant_partitioned` — the port space is split between tenants;
+  each tenant's traffic stays inside its partition (the isolation
+  pattern of shared switch deployments).
+* :func:`incast_rounds` — many sources target one sink over successive
+  frames (the classic datacenter incast, serialised into valid
+  one-frame assignments).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.multicast import MulticastAssignment
+from ..rbn.permutations import check_network_size
+
+__all__ = ["hotspot_multicast", "tenant_partitioned", "incast_rounds"]
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def hotspot_multicast(
+    n: int,
+    hot_outputs: int = 4,
+    hot_fraction: float = 0.75,
+    seed=0,
+) -> MulticastAssignment:
+    """Skewed multicast: hot outputs absorb most destination slots.
+
+    ``hot_outputs`` random outputs are always all claimed; of the cold
+    outputs only ``hot_fraction``-dependent leftovers are used (roughly
+    half by default).  Destination sets are small (1-3 outputs) and the
+    hot outputs are handed out first, so early multicasts concentrate
+    on the hot region — several connection trees funnel through the
+    same sub-network, the skew case uniform generators never produce.
+
+    Args:
+        n: network size.
+        hot_outputs: size of the hot set (must be <= n).
+        hot_fraction: fraction of the cold output space left *unused*
+            (higher = more skew), in ``[0, 1]``.
+        seed: RNG seed or Generator.
+    """
+    check_network_size(n)
+    if not 1 <= hot_outputs <= n:
+        raise ValueError(f"hot_outputs must be in [1, {n}]")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    rng = _rng(seed)
+    outs = list(map(int, rng.permutation(n)))
+    hot = outs[:hot_outputs]
+    cold = outs[hot_outputs:]
+    cold_used = cold[: int(len(cold) * (1.0 - hot_fraction))]
+    sources = list(map(int, rng.permutation(n)))
+
+    dests: List[Optional[List[int]]] = [None] * n
+    pool = list(hot) + cold_used
+    si = 0
+    while pool:
+        src = sources[si]
+        si += 1
+        take = min(int(rng.integers(1, 4)), len(pool))
+        dests[src] = pool[:take]
+        pool = pool[take:]
+    return MulticastAssignment(n, dests)
+
+
+def tenant_partitioned(
+    n: int,
+    tenants: int = 4,
+    load: float = 0.8,
+    seed=0,
+) -> MulticastAssignment:
+    """Multi-tenant traffic: each tenant multicasts inside its partition.
+
+    The port space is cut into ``tenants`` equal contiguous partitions;
+    each tenant independently generates a random multicast among its
+    own ports at the given load.  Isolation here is a *workload*
+    property (the network itself imposes none) — the test value is that
+    per-partition traffic exercises the BRSMN's deeper recursion levels
+    heavily while the top levels mostly pass through.
+
+    Args:
+        n: network size; ``tenants`` must divide it into power-of-two
+            partitions of size >= 2.
+    """
+    check_network_size(n)
+    part = n // tenants
+    if tenants * part != n or part < 2 or part & (part - 1):
+        raise ValueError(
+            f"{tenants} tenants must split n={n} into equal power-of-two "
+            "partitions of size >= 2"
+        )
+    rng = _rng(seed)
+    dests: List[Optional[List[int]]] = [None] * n
+    for t in range(tenants):
+        base = t * part
+        ports = [base + int(p) for p in rng.permutation(part)]
+        k = int(round(load * part))
+        used = ports[:k]
+        sources = [base + int(s) for s in rng.permutation(part)]
+        si = 0
+        while used:
+            take = min(int(rng.integers(1, part + 1)), len(used))
+            dests[sources[si]] = used[:take]
+            used = used[take:]
+            si += 1
+    return MulticastAssignment(n, dests)
+
+
+def incast_rounds(
+    n: int,
+    sink: int = 0,
+    senders: Optional[int] = None,
+    seed=0,
+) -> List[MulticastAssignment]:
+    """Datacenter incast: many sources to one sink, one per frame.
+
+    A single frame can deliver only one message to the sink (an output
+    hears one input), so incast is inherently multi-frame: round ``k``
+    carries sender ``k``'s unicast to the sink, plus uniform background
+    traffic on the other ports so each frame still loads the fabric.
+
+    Args:
+        n: network size.
+        sink: the victim output.
+        senders: number of rounds (default ``n - 1``).
+        seed: RNG seed or Generator.
+    """
+    check_network_size(n)
+    if not 0 <= sink < n:
+        raise ValueError(f"sink {sink} out of range")
+    rng = _rng(seed)
+    count = senders if senders is not None else n - 1
+    others = [i for i in range(n) if i != sink]
+    rounds: List[MulticastAssignment] = []
+    for k in range(count):
+        sender = others[k % len(others)]
+        dests: List[Optional[List[int]]] = [None] * n
+        dests[sender] = [sink]
+        # background: a random partial permutation on the other ports
+        free_out = [int(o) for o in rng.permutation(n) if o != sink]
+        free_in = [int(i) for i in rng.permutation(n) if i != sender]
+        background = len(free_out) // 2
+        for i, o in zip(free_in[:background], free_out[:background]):
+            dests[i] = [o]
+        rounds.append(MulticastAssignment(n, dests))
+    return rounds

@@ -1,0 +1,144 @@
+"""Structured multicast patterns from parallel computing.
+
+Section 1 of the paper motivates hardware multicast with concrete
+parallel-computing operations: replicated-database updates, matrix
+multiplication, FFT, barrier synchronisation, message passing.  These
+generators produce the communication patterns of those algorithms as
+multicast assignments, so the benches exercise the network on the
+workloads the paper cares about rather than only uniform noise.
+
+A multicast *assignment* requires disjoint destination sets, so
+operations that are inherently many-rounds (e.g. all-to-all broadcast)
+are expressed as a *sequence* of assignments, one per round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.multicast import MulticastAssignment
+from ..rbn.permutations import check_network_size
+
+__all__ = [
+    "matrix_multiply_rounds",
+    "fft_butterfly_rounds",
+    "barrier_fanout_rounds",
+    "tree_broadcast_rounds",
+    "transpose_permutation",
+    "shuffle_permutation",
+    "bit_reversal_permutation",
+]
+
+
+def matrix_multiply_rounds(n: int, row_major_sources: bool = True) -> List[MulticastAssignment]:
+    """One-to-row multicast rounds of parallel matrix multiplication.
+
+    For a ``sqrt(n) x sqrt(n)`` processor grid computing ``C = A B``
+    (SUMMA-style), round ``k`` has the ``k``-th column of the grid
+    broadcast its ``A`` block along its row — i.e. processor
+    ``(i, k)`` multicasts to ``{(i, 0..q-1)}``.  Each round is one
+    valid multicast assignment; there are ``q = sqrt(n)`` rounds.
+
+    Requires ``n`` to be an even power of two (so the grid is square).
+    """
+    m = check_network_size(n)
+    if m % 2:
+        raise ValueError(f"matrix grid needs an even power of two, got n={n}")
+    q = 1 << (m // 2)
+    rounds: List[MulticastAssignment] = []
+    for k in range(q):
+        dests: List[Optional[List[int]]] = [None] * n
+        for i in range(q):
+            src = i * q + k if row_major_sources else k * q + i
+            dests[src] = [i * q + j for j in range(q)]
+        rounds.append(MulticastAssignment(n, dests))
+    return rounds
+
+
+def fft_butterfly_rounds(n: int) -> List[MulticastAssignment]:
+    """The butterfly exchange rounds of an ``n``-point FFT.
+
+    Round ``k`` (``k = 0 .. log2 n - 1``) pairs processor ``i`` with
+    ``i XOR 2^k``; each processor sends to its partner.  These are
+    permutation assignments (fanout 1) — the unicast-regular traffic a
+    multicast network must also handle gracefully.
+    """
+    m = check_network_size(n)
+    rounds: List[MulticastAssignment] = []
+    for k in range(m):
+        perm = [i ^ (1 << k) for i in range(n)]
+        rounds.append(MulticastAssignment.from_permutation(perm))
+    return rounds
+
+
+def barrier_fanout_rounds(n: int, root: int = 0) -> List[MulticastAssignment]:
+    """The release (fan-out) phase of a tree barrier.
+
+    After the last processor arrives, the root releases everyone along
+    a binomial tree: in round ``k`` every already-released processor
+    ``p`` notifies ``p + n / 2^{k+1}``-style partners.  Expressed here
+    as ``log2 n`` permutation assignments whose union covers all
+    processors exactly once.
+    """
+    m = check_network_size(n)
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    rounds: List[MulticastAssignment] = []
+    released = [root]
+    stride = n
+    for _k in range(m):
+        stride //= 2
+        dests: List[Optional[List[int]]] = [None] * n
+        new = []
+        for p in released:
+            target = (p + stride) % n
+            dests[p] = [target]
+            new.append(target)
+        rounds.append(MulticastAssignment(n, dests))
+        released = released + new
+    return rounds
+
+
+def tree_broadcast_rounds(n: int, root: int = 0) -> List[MulticastAssignment]:
+    """Single-round hardware broadcast vs ``log n`` software rounds.
+
+    Returns the software binomial-tree broadcast as rounds — the very
+    pattern hardware multicast collapses to *one* frame
+    (:meth:`MulticastAssignment.broadcast`).  The motivation bench
+    contrasts the two.
+    """
+    return barrier_fanout_rounds(n, root)
+
+
+def transpose_permutation(n: int) -> MulticastAssignment:
+    """The matrix-transpose permutation on a square processor grid."""
+    m = check_network_size(n)
+    if m % 2:
+        raise ValueError(f"transpose needs an even power of two, got n={n}")
+    q = 1 << (m // 2)
+    perm = [0] * n
+    for i in range(q):
+        for j in range(q):
+            perm[i * q + j] = j * q + i
+    return MulticastAssignment.from_permutation(perm)
+
+
+def shuffle_permutation(n: int) -> MulticastAssignment:
+    """The perfect-shuffle permutation (left bit rotation)."""
+    m = check_network_size(n)
+    perm = [((i << 1) | (i >> (m - 1))) & (n - 1) for i in range(n)]
+    return MulticastAssignment.from_permutation(perm)
+
+
+def bit_reversal_permutation(n: int) -> MulticastAssignment:
+    """The FFT bit-reversal reordering permutation."""
+    m = check_network_size(n)
+
+    def rev(i: int) -> int:
+        r = 0
+        for _ in range(m):
+            r = (r << 1) | (i & 1)
+            i >>= 1
+        return r
+
+    return MulticastAssignment.from_permutation([rev(i) for i in range(n)])

@@ -1,0 +1,180 @@
+"""Random multicast-assignment generators.
+
+All generators are deterministic given a seed (they draw from a
+:class:`numpy.random.Generator`) and always produce *valid*
+assignments — destination sets pairwise disjoint — so every generated
+workload is routable by a nonblocking multicast network by definition.
+
+Knobs:
+
+* ``load`` — the fraction of outputs that receive a message;
+* fanout discipline — how the used outputs are grouped into
+  destination sets (uniform random, geometric "few big trees",
+  fixed-fanout, permutation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.multicast import MulticastAssignment
+from ..rbn.permutations import check_network_size
+
+__all__ = [
+    "random_multicast",
+    "random_permutation",
+    "random_partial_permutation",
+    "fixed_fanout_multicast",
+    "geometric_multicast",
+    "broadcast_heavy",
+    "assignment_suite",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def _partition_outputs(
+    used: np.ndarray, sources: List[int], sizes: Sequence[int], n: int
+) -> MulticastAssignment:
+    dests: List[Optional[List[int]]] = [None] * n
+    pos = 0
+    for src, k in zip(sources, sizes):
+        dests[src] = [int(d) for d in used[pos : pos + k]]
+        pos += k
+    return MulticastAssignment(n, dests)
+
+
+def random_multicast(
+    n: int, load: float = 1.0, seed=0, max_fanout: Optional[int] = None
+) -> MulticastAssignment:
+    """A uniformly random multicast assignment.
+
+    The ``round(load * n)`` used outputs are shuffled and cut into
+    destination sets of uniformly random sizes, assigned to distinct
+    random inputs.
+
+    Args:
+        n: network size.
+        load: fraction of outputs used, in ``[0, 1]``.
+        seed: RNG seed or Generator.
+        max_fanout: optional cap on destination-set size.
+    """
+    check_network_size(n)
+    if not 0.0 <= load <= 1.0:
+        raise ValueError(f"load must be in [0, 1], got {load}")
+    rng = _rng(seed)
+    k = int(round(load * n))
+    used = rng.permutation(n)[:k]
+    sources = [int(s) for s in rng.permutation(n)]
+    cap = max_fanout if max_fanout is not None else n
+    sizes: List[int] = []
+    remaining = k
+    while remaining > 0:
+        take = int(rng.integers(1, min(remaining, cap) + 1))
+        sizes.append(take)
+        remaining -= take
+    return _partition_outputs(used, sources[: len(sizes)], sizes, n)
+
+
+def random_permutation(n: int, seed=0) -> MulticastAssignment:
+    """A uniformly random full permutation assignment."""
+    check_network_size(n)
+    rng = _rng(seed)
+    return MulticastAssignment.from_permutation(
+        [int(p) for p in rng.permutation(n)]
+    )
+
+
+def random_partial_permutation(n: int, load: float = 0.5, seed=0) -> MulticastAssignment:
+    """A random partial permutation: ``round(load * n)`` unicasts."""
+    check_network_size(n)
+    rng = _rng(seed)
+    k = int(round(load * n))
+    ins = rng.permutation(n)[:k]
+    outs = rng.permutation(n)[:k]
+    perm: List[Optional[int]] = [None] * n
+    for i, o in zip(ins, outs):
+        perm[int(i)] = int(o)
+    return MulticastAssignment.from_permutation(perm)
+
+
+def fixed_fanout_multicast(n: int, fanout: int, seed=0) -> MulticastAssignment:
+    """Every active input multicasts to exactly ``fanout`` outputs.
+
+    Uses ``n // fanout`` active inputs covering ``(n // fanout) *
+    fanout`` outputs.
+    """
+    check_network_size(n)
+    if not 1 <= fanout <= n:
+        raise ValueError(f"fanout must be in [1, {n}], got {fanout}")
+    rng = _rng(seed)
+    groups = n // fanout
+    used = rng.permutation(n)[: groups * fanout]
+    sources = [int(s) for s in rng.permutation(n)[:groups]]
+    return _partition_outputs(used, sources, [fanout] * groups, n)
+
+
+def geometric_multicast(n: int, p: float = 0.5, load: float = 1.0, seed=0) -> MulticastAssignment:
+    """Geometric fanout distribution: few big trees, many unicasts.
+
+    Destination-set sizes are drawn geometric(``p``) (so mean ``1/p``),
+    truncated to the outputs still available.
+    """
+    check_network_size(n)
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    rng = _rng(seed)
+    k = int(round(load * n))
+    used = rng.permutation(n)[:k]
+    sources = [int(s) for s in rng.permutation(n)]
+    sizes: List[int] = []
+    remaining = k
+    while remaining > 0:
+        take = min(int(rng.geometric(p)), remaining)
+        sizes.append(take)
+        remaining -= take
+    return _partition_outputs(used, sources[: len(sizes)], sizes, n)
+
+
+def broadcast_heavy(n: int, broadcasters: int = 1, seed=0) -> MulticastAssignment:
+    """A few inputs share the whole output space evenly.
+
+    The extreme-fanout stress case: ``broadcasters`` inputs each
+    multicast to ``n / broadcasters`` outputs (maximum alpha-splitting
+    work per BSN level).
+    """
+    check_network_size(n)
+    if not 1 <= broadcasters <= n:
+        raise ValueError(f"broadcasters must be in [1, {n}]")
+    rng = _rng(seed)
+    used = rng.permutation(n)
+    sources = [int(s) for s in rng.permutation(n)[:broadcasters]]
+    base = n // broadcasters
+    sizes = [base] * broadcasters
+    for i in range(n - base * broadcasters):
+        sizes[i] += 1
+    return _partition_outputs(used, sources, sizes, n)
+
+
+def assignment_suite(n: int, seed=0) -> List[MulticastAssignment]:
+    """A representative workload mix for one size (bench convenience).
+
+    Covers: full/partial permutations, uniform multicast at three
+    loads, fixed fanout, geometric fanout and a near-broadcast.
+    """
+    rng = _rng(seed)
+    return [
+        random_permutation(n, rng),
+        random_partial_permutation(n, 0.5, rng),
+        random_multicast(n, 1.0, rng),
+        random_multicast(n, 0.75, rng),
+        random_multicast(n, 0.25, rng),
+        fixed_fanout_multicast(n, min(4, n), rng),
+        geometric_multicast(n, 0.5, 1.0, rng),
+        broadcast_heavy(n, 1, rng),
+        broadcast_heavy(n, max(2, n // 8), rng),
+    ]

@@ -1,0 +1,163 @@
+"""Telecom scenario workloads (video conferencing, replicated databases).
+
+The paper's introduction names multicast as "a critical operation for
+video/teleconference calls, video-on-demand services and distance
+learning" and for "updates in replicated and distributed databases".
+These generators model such systems as sequences of multicast frames:
+
+* :func:`videoconference_frames` — a switch hosting several concurrent
+  conferences; per frame, each conference's current speaker multicasts
+  to the other participants.
+* :func:`vod_frames` — video-on-demand: a few server ports each
+  streaming to a (Zipf-skewed) audience of subscriber ports.
+* :func:`replicated_db_frames` — a primary commits updates to its
+  replica group; several independent shard groups per frame.
+
+All generators take seeds and return lists of
+:class:`~repro.core.multicast.MulticastAssignment` (one per frame), so
+benches can replay a realistic session through any network
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.multicast import MulticastAssignment
+from ..rbn.permutations import check_network_size
+
+__all__ = ["videoconference_frames", "vod_frames", "replicated_db_frames"]
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def videoconference_frames(
+    n: int,
+    conferences: int = 4,
+    frames: int = 32,
+    seed=0,
+) -> List[MulticastAssignment]:
+    """A multi-conference switch session.
+
+    Ports are partitioned into ``conferences`` disjoint groups (plus
+    possibly idle ports).  Every frame, each conference picks one
+    member as the active speaker; the speaker's input multicasts to
+    all *other* members' outputs.
+
+    Args:
+        n: switch size.
+        conferences: number of concurrent conferences (each needs >= 2
+            ports).
+        frames: number of frames to generate.
+        seed: RNG seed or Generator.
+    """
+    check_network_size(n)
+    if conferences * 2 > n:
+        raise ValueError(
+            f"{conferences} conferences need >= {2 * conferences} ports, have {n}"
+        )
+    rng = _rng(seed)
+    ports = rng.permutation(n)
+    # Split ports into conference groups of random size >= 2.
+    groups: List[List[int]] = []
+    remaining = list(map(int, ports))
+    spare = len(remaining) - 2 * conferences
+    for c in range(conferences):
+        extra = int(rng.integers(0, spare + 1)) if spare > 0 else 0
+        size = 2 + extra
+        spare -= extra
+        groups.append(remaining[:size])
+        remaining = remaining[size:]
+    out: List[MulticastAssignment] = []
+    for _ in range(frames):
+        dests: List[Optional[List[int]]] = [None] * n
+        for group in groups:
+            speaker = group[int(rng.integers(len(group)))]
+            listeners = [p for p in group if p != speaker]
+            dests[speaker] = listeners
+        out.append(MulticastAssignment(n, dests))
+    return out
+
+
+def vod_frames(
+    n: int,
+    servers: int = 2,
+    frames: int = 32,
+    zipf_a: float = 1.5,
+    seed=0,
+) -> List[MulticastAssignment]:
+    """Video-on-demand streaming with Zipf-skewed channel popularity.
+
+    ``servers`` ports stream channels; the remaining ports subscribe,
+    each to one channel chosen Zipf(``zipf_a``) — so one hot channel
+    typically has a large multicast tree and the tail channels small
+    ones.  Subscriptions re-shuffle slowly across frames (10% churn).
+    """
+    check_network_size(n)
+    if not 1 <= servers < n:
+        raise ValueError(f"servers must be in [1, {n}), got {servers}")
+    rng = _rng(seed)
+    ports = list(map(int, rng.permutation(n)))
+    server_ports = ports[:servers]
+    subscribers = ports[servers:]
+    choice = {
+        s: int(min(rng.zipf(zipf_a), servers) - 1) for s in subscribers
+    }
+    out: List[MulticastAssignment] = []
+    for _ in range(frames):
+        # churn: ~10% of subscribers re-pick a channel
+        for s in subscribers:
+            if rng.random() < 0.1:
+                choice[s] = int(min(rng.zipf(zipf_a), servers) - 1)
+        dests: List[Optional[List[int]]] = [None] * n
+        for k, sp in enumerate(server_ports):
+            audience = [s for s in subscribers if choice[s] == k]
+            if audience:
+                dests[sp] = audience
+        out.append(MulticastAssignment(n, dests))
+    return out
+
+
+def replicated_db_frames(
+    n: int,
+    shards: int = 4,
+    replicas: int = 3,
+    frames: int = 32,
+    commit_prob: float = 0.7,
+    seed=0,
+) -> List[MulticastAssignment]:
+    """Replicated-database commit traffic.
+
+    ``shards`` primaries each own a disjoint replica group of
+    ``replicas`` ports.  Per frame, each primary independently commits
+    (probability ``commit_prob``), multicasting the update to its
+    replica group.
+
+    Args:
+        n: network size; needs ``shards * (1 + replicas) <= n``.
+    """
+    check_network_size(n)
+    need = shards * (1 + replicas)
+    if need > n:
+        raise ValueError(f"need {need} ports for this topology, have {n}")
+    rng = _rng(seed)
+    ports = list(map(int, rng.permutation(n)))
+    primaries = []
+    groups = []
+    pos = 0
+    for _ in range(shards):
+        primaries.append(ports[pos])
+        groups.append(ports[pos + 1 : pos + 1 + replicas])
+        pos += 1 + replicas
+    out: List[MulticastAssignment] = []
+    for _ in range(frames):
+        dests: List[Optional[List[int]]] = [None] * n
+        for p, grp in zip(primaries, groups):
+            if rng.random() < commit_prob:
+                dests[p] = list(grp)
+        out.append(MulticastAssignment(n, dests))
+    return out

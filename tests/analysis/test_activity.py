@@ -1,0 +1,61 @@
+"""Tests for the switch-activity profiler."""
+
+from repro.analysis.activity import profile_trace, profile_workload
+from repro.core.brsmn import BRSMN
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.rbn.switches import SwitchSetting
+from repro.workloads.random_assignments import random_multicast, random_permutation
+
+
+class TestProfileTrace:
+    def test_paper_example_profile(self):
+        res = BRSMN(8).route(paper_example_assignment(), collect_trace=True)
+        p = profile_trace(res.trace)
+        # the profile sees every replication: BSN alpha splits plus
+        # final-switch broadcasts = total copies - active inputs = 8 - 4
+        a = paper_example_assignment()
+        assert p.broadcast_total == a.total_fanout - len(a.active_inputs)
+        assert p.frames == 1
+
+    def test_fractions_sum_to_one(self):
+        res = BRSMN(16).route(
+            random_multicast(16, seed=1), mode="selfrouting", collect_trace=True
+        )
+        p = profile_trace(res.trace)
+        for size in p.counts:
+            total = sum(
+                p.fraction(size, s) for s in SwitchSetting
+            )
+            assert abs(total - 1.0) < 1e-12
+
+
+class TestProfileWorkload:
+    def test_permutations_never_broadcast(self):
+        """Multicast machinery is pay-per-use: unicast traffic fires no
+        broadcast switches anywhere."""
+        frames = [random_permutation(16, seed=s) for s in range(5)]
+        p = profile_workload(16, frames)
+        assert p.broadcast_total == 0
+        assert p.frames == 5
+
+    def test_broadcast_heavy_fires_many(self):
+        frames = [MulticastAssignment.broadcast(16)]
+        p = profile_workload(16, frames)
+        # a full broadcast replicates n-1 times in total (binary tree)
+        assert p.broadcast_total == 16 - 1
+
+    def test_switch_totals_match_structure(self):
+        """Every physical switch application appears exactly once."""
+        frames = [random_multicast(16, seed=2)]
+        p = profile_workload(16, frames)
+        # level 1 BSN(16): two RBN passes, each with merges of sizes
+        # 2..16; level 2: two BSN(8) passes, ... final switches size 2.
+        net = BRSMN(16)
+        assert sum(p.total(size) for size in p.counts) == net.switch_count
+
+    def test_rows_shape(self):
+        frames = [random_multicast(16, seed=3)]
+        rows = profile_workload(16, frames).rows()
+        assert [r[0] for r in rows] == [2, 4, 8, 16]
+        for r in rows:
+            assert len(r) == 5

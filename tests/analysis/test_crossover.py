@@ -1,0 +1,54 @@
+"""Tests for the cost-crossover finder."""
+
+import pytest
+
+from repro.analysis.crossover import crossover_size
+from repro.baselines.crossbar import CrossbarMulticast
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+
+
+class TestCrossoverSize:
+    def test_crossbar_vs_brsmn(self):
+        """The motivating crossover: n^2 loses to n log^2 n from n=32."""
+        n = crossover_size(
+            lambda n: CrossbarMulticast(n).switch_count,
+            lambda n: BRSMN(n).switch_count,
+        )
+        assert n == 32
+        assert CrossbarMulticast(n).switch_count > BRSMN(n).switch_count
+        # just below the crossover, the crossbar is (still) cheaper
+        assert CrossbarMulticast(16).switch_count <= BRSMN(16).switch_count
+
+    def test_crossbar_vs_feedback_not_later(self):
+        """The O(n log n) feedback design wins no later than the
+        unrolled network does."""
+        unrolled = crossover_size(
+            lambda n: CrossbarMulticast(n).switch_count,
+            lambda n: BRSMN(n).switch_count,
+        )
+        feedback = crossover_size(
+            lambda n: CrossbarMulticast(n).switch_count,
+            lambda n: FeedbackBRSMN(n).switch_count,
+        )
+        assert feedback <= unrolled
+
+    def test_final_crossover_skips_degenerate_dip(self):
+        """BRSMN is cheaper at n=2 but dearer at 4..16; the finder must
+        report the *stable* crossover (32), not the n=2 blip."""
+        n = crossover_size(
+            lambda n: CrossbarMulticast(n).switch_count,
+            lambda n: BRSMN(n).switch_count,
+        )
+        assert n > 2
+
+    def test_never_crossing_returns_none(self):
+        assert crossover_size(lambda n: 1.0, lambda n: 2.0, max_m=10) is None
+
+    def test_synthetic_known_crossover(self):
+        # n^2 vs 100 n: equal at n = 100; first power of two beyond: 128
+        assert crossover_size(lambda n: n**2, lambda n: 100 * n) == 128
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            crossover_size(lambda n: n, lambda n: n, max_m=0)

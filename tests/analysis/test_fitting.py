@@ -1,0 +1,83 @@
+"""Tests for growth-law fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import (
+    GROWTH_MODELS,
+    best_model,
+    doubling_ratios,
+    fit_constant,
+    loglog_slope,
+)
+
+
+class TestFitConstant:
+    def test_exact_fit(self):
+        ns = [8, 16, 32, 64]
+        ys = [3.0 * n * math.log2(n) for n in ns]
+        c, resid = fit_constant(ns, ys, GROWTH_MODELS["n log n"])
+        assert abs(c - 3.0) < 1e-12
+        assert resid < 1e-12
+
+    def test_noisy_fit(self):
+        ns = [8, 16, 32, 64, 128]
+        ys = [2.0 * n * (1 + 0.01 * (-1) ** i) for i, n in enumerate(ns)]
+        c, resid = fit_constant(ns, ys, GROWTH_MODELS["n"])
+        assert abs(c - 2.0) < 0.05
+        assert resid < 0.02
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_constant([], [], GROWTH_MODELS["n"])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_constant([2, 4], [1.0, -1.0], GROWTH_MODELS["n"])
+
+
+class TestBestModel:
+    def test_discriminates_polylog_factors(self):
+        ns = [2**k for k in range(3, 14)]
+        for name in ("n", "n log n", "n log^2 n", "n^2"):
+            ys = [GROWTH_MODELS[name](n) * 7.0 for n in ns]
+            got, c, resid = best_model(ns, ys)
+            assert got == name
+            assert abs(c - 7.0) < 1e-9
+
+    def test_sublinear_laws(self):
+        ns = [2**k for k in range(3, 14)]
+        ys = [GROWTH_MODELS["log^2 n"](n) for n in ns]
+        got, _c, _r = best_model(ns, ys)
+        assert got == "log^2 n"
+
+
+class TestLogLogSlope:
+    def test_power_law_exact(self):
+        ns = [2**k for k in range(3, 10)]
+        assert abs(loglog_slope(ns, [n**2 for n in ns]) - 2.0) < 1e-9
+
+    def test_polylog_between_degrees(self):
+        ns = [2**k for k in range(3, 14)]
+        slope = loglog_slope(ns, [n * math.log2(n) ** 2 for n in ns])
+        assert 1.0 < slope < 2.0
+
+
+class TestDoublingRatios:
+    def test_nlogn_ratio_formula(self):
+        ns = [64, 128]
+        ys = [n * math.log2(n) for n in ns]
+        r = doubling_ratios(ns, ys)[0]
+        assert abs(r - 2 * 7 / 6) < 1e-12
+
+    def test_discriminates_table2_rows(self):
+        """At n=64->128 the n log n and n log^2 n rows differ by ~17%."""
+        ns = [64, 128]
+        r1 = doubling_ratios(ns, [n * math.log2(n) for n in ns])[0]
+        r2 = doubling_ratios(ns, [n * math.log2(n) ** 2 for n in ns])[0]
+        assert r2 / r1 > 1.15
+
+    def test_requires_doublings(self):
+        with pytest.raises(ValueError):
+            doubling_ratios([8, 24], [1.0, 2.0])

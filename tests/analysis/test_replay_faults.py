@@ -1,0 +1,158 @@
+"""Tests for trace replay and the stuck-switch fault study."""
+
+import random
+
+import pytest
+
+from repro.analysis.faults import misplacement_rate, stuck_switch_study
+from repro.analysis.replay import replay_pass
+from repro.core.tags import Tag
+from repro.errors import RoutingInvariantError
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.quasisort import quasisort
+from repro.rbn.scatter import scatter
+from repro.rbn.switches import SwitchSetting
+from repro.rbn.trace import Trace
+from repro.viz.ascii import split_rbn_passes
+
+
+def _record_quasisort(n, seed):
+    rng = random.Random(seed)
+    half = n // 2
+    n0 = rng.randint(0, half)
+    n1 = rng.randint(0, half)
+    tags = [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.EPS] * (n - n0 - n1)
+    rng.shuffle(tags)
+    trace = Trace()
+    out = quasisort(cells_from_tags(tags), trace=trace, keep_dummies=True)
+    return split_rbn_passes(trace, n)[0], out
+
+
+class TestReplayFidelity:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_replay_reproduces_recorded_outputs(self, n):
+        """Replaying the recorded settings gives the recorded frame."""
+        records, expected = _record_quasisort(n, seed=n)
+        replayed = replay_pass(records, n)
+        assert [(c.tag, c.data) for c in replayed] == [
+            (c.tag, c.data) for c in expected
+        ]
+
+    def test_replay_scatter_pass_with_broadcasts(self):
+        """Broadcast stages replay exactly (alpha splits re-fire)."""
+        tags = [Tag.ALPHA, Tag.EPS, Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS, Tag.EPS, Tag.EPS]
+        trace = Trace()
+        out = scatter(cells_from_tags(tags), 0, trace=trace)
+        records = split_rbn_passes(trace, 8)[0]
+        replayed = replay_pass(records, 8)
+        assert [(c.tag, c.data) for c in replayed] == [
+            (c.tag, c.data) for c in out
+        ]
+
+    def test_incomplete_pass_rejected(self):
+        records, _ = _record_quasisort(8, seed=1)
+        with pytest.raises(ValueError):
+            replay_pass(records[:3], 8)
+
+
+class TestOverrides:
+    def test_last_stage_fault_displaces_at_most_two(self):
+        """A stuck switch in the outermost merge hurts only its pair."""
+        n = 16
+        records, _ = _record_quasisort(n, seed=2)
+        baseline = replay_pass(records, n)
+        outer = [r for r in records if r.size == n][0]
+        for i, setting in enumerate(outer.settings):
+            flipped = (
+                SwitchSetting.CROSS
+                if setting is SwitchSetting.PARALLEL
+                else SwitchSetting.PARALLEL
+            )
+            faulty = replay_pass(records, n, overrides={(n, 0, i): flipped})
+            moved = sum(
+                1
+                for b, f in zip(baseline, faulty)
+                if (b.data, b.tag) != (f.data, f.tag)
+            )
+            assert moved <= 2
+
+    def test_override_to_broadcast_raises_strict(self):
+        n = 8
+        records, _ = _record_quasisort(n, seed=3)
+        # find a switch whose inputs are (message, message): broadcast illegal
+        with pytest.raises(RoutingInvariantError):
+            for rec in records:
+                for i in range(rec.size // 2):
+                    replay_pass(
+                        records,
+                        n,
+                        overrides={(rec.size, rec.offset, i): SwitchSetting.UPPER_BCAST},
+                    )
+
+    def test_non_strict_falls_back_to_parallel(self):
+        n = 8
+        records, _ = _record_quasisort(n, seed=3)
+        out = replay_pass(
+            records,
+            n,
+            overrides={(records[-1].size, 0, 0): SwitchSetting.UPPER_BCAST},
+            strict_broadcast=False,
+        )
+        assert len(out) == n  # survived
+
+
+class TestMisplacementRate:
+    def test_identical_frames_zero(self):
+        cells = cells_from_tags([Tag.ZERO, Tag.ONE])
+        assert misplacement_rate(cells, cells) == 0.0
+
+    def test_swapped_messages_full(self):
+        a = cells_from_tags([Tag.ZERO, Tag.ONE])
+        b = [a[1], a[0]]
+        assert misplacement_rate(a, b) == 1.0
+
+    def test_idle_links_ignored(self):
+        a = cells_from_tags([Tag.ZERO, Tag.EPS, Tag.EPS, Tag.EPS])
+        assert misplacement_rate(a, a) == 0.0
+
+
+class TestStuckSwitchStudy:
+    def test_study_structure(self):
+        s = stuck_switch_study(16, seed=4)
+        assert s.faults_injected > 0
+        assert set(s.per_stage) <= {2, 4, 8, 16}
+        for rates in s.per_stage.values():
+            assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_stuck_cross_variant(self):
+        s = stuck_switch_study(16, seed=4, stuck_at=SwitchSetting.CROSS)
+        assert s.faults_injected > 0
+
+    def test_deterministic(self):
+        a = stuck_switch_study(16, seed=6)
+        b = stuck_switch_study(16, seed=6)
+        assert a.per_stage == b.per_stage
+
+    def test_single_fault_is_one_transposition_at_any_depth(self):
+        """In a permutation pass, one stuck switch misplaces exactly its
+        own two cells regardless of stage depth (the measured structural
+        fact the fault study documents)."""
+        n = 16
+        records, _ = _record_quasisort(n, seed=7)
+        baseline = replay_pass(records, n)
+        for rec in records:
+            for i, setting in enumerate(rec.settings):
+                flipped = (
+                    SwitchSetting.CROSS
+                    if setting is SwitchSetting.PARALLEL
+                    else SwitchSetting.PARALLEL
+                )
+                faulty = replay_pass(
+                    records, n, overrides={(rec.size, rec.offset, i): flipped}
+                )
+                moved = sum(
+                    1
+                    for b, f in zip(baseline, faulty)
+                    if (b.data, b.tag) != (f.data, f.tag)
+                )
+                assert moved <= 2, (rec.size, rec.offset, i, moved)

@@ -1,0 +1,37 @@
+"""Tests for the one-call reproduction report."""
+
+from repro.analysis.report import CheckResult, ReproductionReport, reproduction_report
+
+
+class TestReproductionReport:
+    def test_all_claims_pass(self):
+        report = reproduction_report()
+        failing = [c for c in report.checks if not c.passed]
+        assert report.ok, failing
+
+    def test_expected_claims_present(self):
+        names = [c.name for c in reproduction_report().checks]
+        assert "Fig.2 worked example" in names
+        assert "Fig.9 tag sequences" in names
+        assert "Table 1 encoding" in names
+        assert any("n log^2 n" in n for n in names)
+        assert len(names) >= 10
+
+    def test_render_contains_verdict(self):
+        text = reproduction_report().render()
+        assert "ALL CLAIMS REPRODUCED" in text
+        assert "PASS" in text
+
+    def test_failed_check_changes_verdict(self):
+        report = ReproductionReport(
+            checks=[CheckResult("claim", False, "broken")]
+        )
+        assert not report.ok
+        assert "SOME CLAIMS FAILED" in report.render()
+
+    def test_crashing_check_reported_not_raised(self):
+        from repro.analysis.report import _check
+
+        result = _check("boom", lambda: 1 / 0)
+        assert not result.passed
+        assert "ZeroDivisionError" in result.detail

@@ -1,0 +1,39 @@
+"""Tests for text-table formatting."""
+
+import pytest
+
+from repro.analysis.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(["name", "n"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_column_alignment(self):
+        text = format_table(["x", "y"], [["long-value", 1]])
+        header, rule, row = text.splitlines()
+        assert header.index("y") == row.index("1")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159], [12345.6], [0.0001]])
+        assert "3.142" in text
+        assert "1.23e+04" in text or "12345" in text.replace(",", "")
+        assert "0.0001" in text
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv({"a": 1, "long_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""

@@ -1,0 +1,75 @@
+"""Tests for connection-tree extraction (the edge-disjoint-trees claim)."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.analysis.trees import extract_connection_trees
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+
+from conftest import assignments
+
+
+class TestPaperExampleTrees:
+    def test_trees_extracted_per_source(self):
+        res = BRSMN(8).route(paper_example_assignment(), collect_trace=True)
+        ct = extract_connection_trees(res.trace, 8)
+        assert ct.ok, ct.violations
+        assert set(ct.trees) == {0, 2, 3, 7}
+
+    def test_fanouts_match_destination_sets(self):
+        a = paper_example_assignment()
+        res = BRSMN(8).route(a, collect_trace=True)
+        ct = extract_connection_trees(res.trace, 8)
+        for src in ct.trees:
+            assert ct.fanout(src) == len(a[src])
+
+    def test_trees_are_arborescences(self):
+        res = BRSMN(8).route(paper_example_assignment(), collect_trace=True)
+        ct = extract_connection_trees(res.trace, 8)
+        for g in ct.trees.values():
+            assert nx.is_arborescence(g)
+
+
+class TestEdgeDisjointness:
+    @settings(max_examples=100, deadline=None)
+    @given(assignments(max_m=5))
+    def test_random_assignments_edge_disjoint(self, a):
+        """The paper's multicast-network definition, checked per link."""
+        res = BRSMN(a.n).route(a, mode="selfrouting", collect_trace=True)
+        ct = extract_connection_trees(res.trace, a.n)
+        assert ct.ok, ct.violations
+        for src in ct.trees:
+            assert ct.fanout(src) == len(a[src])
+
+    @settings(max_examples=40, deadline=None)
+    @given(assignments(max_m=4))
+    def test_feedback_network_edge_disjoint(self, a):
+        res = FeedbackBRSMN(a.n).route(a, collect_trace=True)
+        ct = extract_connection_trees(res.trace, a.n)
+        assert ct.ok, ct.violations
+
+
+class TestBroadcastTree:
+    def test_broadcast_is_one_big_tree(self):
+        n = 16
+        res = BRSMN(n).route(
+            MulticastAssignment.broadcast(n), collect_trace=True
+        )
+        ct = extract_connection_trees(res.trace, n)
+        assert ct.ok
+        assert list(ct.trees) == [0]
+        assert ct.fanout(0) == n
+
+    def test_unicast_tree_is_a_path(self):
+        n = 8
+        res = BRSMN(n).route(
+            MulticastAssignment(8, [{5}, None, None, None, None, None, None, None]),
+            collect_trace=True,
+        )
+        ct = extract_connection_trees(res.trace, n)
+        g = ct.trees[0]
+        # a unicast tree is a simple path: every node has out-degree <= 1
+        assert all(g.out_degree(v) <= 1 for v in g)
+        assert ct.fanout(0) == 1

@@ -1,0 +1,82 @@
+"""Tests for the Batcher bitonic sorting network substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bitonic import BitonicSorter, bitonic_schedule
+
+from conftest import sizes
+
+
+class TestSchedule:
+    def test_stage_count_formula(self):
+        """m(m+1)/2 stages."""
+        for m in range(1, 8):
+            n = 1 << m
+            assert len(bitonic_schedule(n)) == m * (m + 1) // 2
+
+    def test_each_stage_touches_every_lane_once(self):
+        for n in (2, 8, 32):
+            for stage in bitonic_schedule(n):
+                lanes = [x for i, j, _a in stage for x in (i, j)]
+                assert sorted(lanes) == list(range(n))
+
+    def test_comparators_per_stage(self):
+        for stage in bitonic_schedule(16):
+            assert len(stage) == 8
+
+
+class TestSorterStructure:
+    def test_counts(self):
+        s = BitonicSorter(16)
+        assert s.stage_count == 10
+        assert s.comparator_count == 8 * 10
+        assert s.depth == s.stage_count
+
+    def test_cost_is_n_log2n(self):
+        from repro.analysis.fitting import best_model
+
+        ns = [2**k for k in range(2, 12)]
+        name, _c, _r = best_model(
+            ns, [BitonicSorter(n).comparator_count for n in ns]
+        )
+        assert name == "n log^2 n"
+
+
+class TestSorting:
+    @settings(max_examples=300)
+    @given(sizes(max_m=7), st.data())
+    def test_sorts_random_integers(self, n, data):
+        items = data.draw(
+            st.lists(
+                st.integers(min_value=-100, max_value=100),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        assert BitonicSorter(n).sort(items, key=lambda x: x) == sorted(items)
+
+    @settings(max_examples=100)
+    @given(sizes(max_m=6), st.data())
+    def test_zero_one_principle(self, n, data):
+        """Sorting networks are correct iff correct on 0/1 inputs."""
+        bits = data.draw(
+            st.lists(st.integers(min_value=0, max_value=1), min_size=n, max_size=n)
+        )
+        out = BitonicSorter(n).sort(bits, key=lambda x: x)
+        assert out == sorted(bits)
+
+    def test_sorts_by_key_carrying_payload(self):
+        items = [("d", 3), ("a", 0), ("c", 2), ("b", 1)]
+        out = BitonicSorter(4).sort(items, key=lambda t: t[1])
+        assert [x[0] for x in out] == ["a", "b", "c", "d"]
+
+    def test_permutation_preserved(self):
+        items = [5, 3, 5, 1]
+        out = BitonicSorter(4).sort(items, key=lambda x: x)
+        assert sorted(out) == sorted(items)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitonicSorter(4).sort([1, 2, 3], key=lambda x: x)

@@ -1,0 +1,68 @@
+"""Tests for the Cheng-Chen permutation network restriction (ref. [14])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cheng_chen import ChengChenPermutationNetwork
+from repro.core.multicast import MulticastAssignment
+from repro.core.verification import verify_result
+from repro.errors import InvalidAssignmentError
+from repro.workloads.random_assignments import (
+    random_partial_permutation,
+    random_permutation,
+)
+
+from conftest import sizes
+
+
+class TestPermutationRouting:
+    @settings(max_examples=100, deadline=None)
+    @given(sizes(max_m=6), st.integers(min_value=0, max_value=2**31))
+    def test_random_full_permutations(self, n, seed):
+        a = random_permutation(n, seed=seed)
+        net = ChengChenPermutationNetwork(n)
+        assert verify_result(net.route(a)).ok
+
+    def test_partial_permutations(self):
+        for seed in range(10):
+            a = random_partial_permutation(32, load=0.6, seed=seed)
+            net = ChengChenPermutationNetwork(32)
+            assert verify_result(net.route(a)).ok
+
+    def test_identity_and_reversal(self):
+        n = 16
+        net = ChengChenPermutationNetwork(n)
+        assert verify_result(net.route(MulticastAssignment.identity(n))).ok
+        rev = MulticastAssignment.from_permutation(list(reversed(range(n))))
+        assert verify_result(net.route(rev)).ok
+
+    def test_no_splits_ever(self):
+        net = ChengChenPermutationNetwork(32)
+        res = net.route(random_permutation(32, seed=3))
+        assert res.total_splits == 0
+
+
+class TestUnicastOnly:
+    def test_multicast_rejected(self):
+        net = ChengChenPermutationNetwork(8)
+        a = MulticastAssignment(8, [{0, 1}, None, None, None, None, None, None, None])
+        with pytest.raises(InvalidAssignmentError):
+            net.route(a)
+
+
+class TestCostClass:
+    def test_single_rbn_cost(self):
+        """[14]'s O(n log n): one physical RBN."""
+        assert ChengChenPermutationNetwork(256).switch_count == 128 * 8
+
+    def test_same_cost_as_feedback_brsmn(self):
+        """Paper Section 7.4: the feedback BRSMN matches Cheng-Chen's
+        cost order — here they are literally equal switch counts."""
+        from repro.core.feedback import FeedbackBRSMN
+
+        for n in (8, 64, 1024):
+            assert (
+                ChengChenPermutationNetwork(n).switch_count
+                == FeedbackBRSMN(n).switch_count
+            )

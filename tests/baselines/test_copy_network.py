@@ -1,0 +1,90 @@
+"""Tests for the nonblocking copy network."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.copy_network import CopyNetwork
+from repro.core.brsmn import inject_messages
+from repro.core.message import Message
+from repro.errors import BlockingError, InvalidAssignmentError
+
+from conftest import assignments
+
+
+class TestRunningSums:
+    def test_prefix_intervals(self):
+        cn = CopyNetwork(8)
+        fans = [2, 0, 3, 0, 1, 0, 0, 0]
+        assert cn.running_sums(fans)[:5] == [
+            (0, 2), (2, 2), (2, 5), (5, 5), (5, 6),
+        ]
+
+    def test_overflow_detected(self):
+        cn = CopyNetwork(4)
+        with pytest.raises(BlockingError):
+            cn.running_sums([2, 2, 1, 0])
+
+    def test_exact_capacity_ok(self):
+        cn = CopyNetwork(4)
+        cn.running_sums([2, 2, 0, 0])
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            CopyNetwork(4).running_sums([-1, 0, 0, 0])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            CopyNetwork(4).running_sums([1, 1])
+
+
+class TestReplicate:
+    @settings(max_examples=200)
+    @given(assignments(max_m=5))
+    def test_copy_counts_and_destinations(self, a):
+        """Each message yields exactly |I_i| copies, collectively
+        carrying its destination set."""
+        cn = CopyNetwork(a.n)
+        frame = inject_messages(a)
+        out = cn.replicate(frame)
+        by_source = {}
+        for cell in out:
+            if cell is not None:
+                by_source.setdefault(cell.message.source, []).append(cell)
+        for i, dests in enumerate(a.destinations):
+            if dests:
+                copies = by_source.get(i, [])
+                assert len(copies) == len(dests)
+                assert {c.destination for c in copies} == set(dests)
+            else:
+                assert i not in by_source
+
+    @settings(max_examples=100)
+    @given(assignments(max_m=5))
+    def test_copies_contiguous(self, a):
+        """A message's copies sit on consecutive copy-network outputs,
+        in ascending destination order (the running-sum discipline)."""
+        cn = CopyNetwork(a.n)
+        out = cn.replicate(inject_messages(a))
+        runs = {}
+        for pos, cell in enumerate(out):
+            if cell is not None:
+                runs.setdefault(cell.message.source, []).append((pos, cell))
+        for src, entries in runs.items():
+            positions = [p for p, _c in entries]
+            assert positions == list(range(positions[0], positions[0] + len(positions)))
+            dests = [c.destination for _p, c in entries]
+            assert dests == sorted(dests)
+            indices = [c.copy_index for _p, c in entries]
+            assert indices == list(range(len(indices)))
+
+    def test_broadcast_fills_everything(self):
+        n = 8
+        cn = CopyNetwork(n)
+        frame = [Message(source=0, destinations=frozenset(range(n)))] + [None] * (n - 1)
+        out = cn.replicate(frame)
+        assert all(c is not None and c.message.source == 0 for c in out)
+
+    def test_structure(self):
+        cn = CopyNetwork(16)
+        assert cn.switch_count == 8 * 4
+        assert cn.depth == 8

@@ -1,0 +1,51 @@
+"""Tests for the crossbar multicast baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.crossbar import CrossbarMulticast
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.core.verification import verify_result
+from repro.errors import InvalidAssignmentError
+
+from conftest import assignments
+
+
+class TestRouting:
+    @settings(max_examples=200)
+    @given(assignments(max_m=6))
+    def test_all_assignments_realised(self, a):
+        res = CrossbarMulticast(a.n).route(a)
+        assert verify_result(res).ok
+
+    def test_paper_example(self):
+        res = CrossbarMulticast(8).route(paper_example_assignment())
+        assert verify_result(res).ok
+
+    def test_payloads(self):
+        res = CrossbarMulticast(4).route(
+            MulticastAssignment(4, [{1, 2}, None, None, None]),
+            payloads=["hi", None, None, None],
+        )
+        assert res.delivered[1].payload == "hi"
+
+    def test_size_mismatch(self):
+        with pytest.raises(InvalidAssignmentError):
+            CrossbarMulticast(8).route(MulticastAssignment.identity(4))
+
+
+class TestCost:
+    def test_quadratic_crosspoints(self):
+        assert CrossbarMulticast(8).crosspoint_count == 64
+        assert CrossbarMulticast(64).crosspoint_count == 4096
+
+    def test_unit_depth(self):
+        assert CrossbarMulticast(128).depth == 1
+
+    def test_crossbar_loses_to_brsmn_at_scale(self):
+        """The motivating cost comparison: n^2 overtakes n log^2 n."""
+        from repro.core.brsmn import BRSMN
+
+        small, large = 8, 1024
+        assert CrossbarMulticast(small).switch_count < BRSMN(small).switch_count
+        assert CrossbarMulticast(large).switch_count > BRSMN(large).switch_count

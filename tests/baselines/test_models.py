@@ -1,0 +1,62 @@
+"""Tests for the analytic Table 2 models."""
+
+import math
+
+from repro.baselines.models import PAPER_TABLE2, TABLE2_MODELS, table2_rows
+
+
+class TestTableShape:
+    def test_four_rows(self):
+        assert len(TABLE2_MODELS) == 4
+        names = [m.name for m in TABLE2_MODELS]
+        assert names == [
+            "Nassimi and Sahni's",
+            "Lee and Oruc's",
+            "New design",
+            "Feedback version",
+        ]
+
+    def test_printed_formulas_match_paper(self):
+        assert PAPER_TABLE2[0]["routing_time"] == "log^3 n"
+        assert PAPER_TABLE2[2]["routing_time"] == "log^2 n"
+        assert PAPER_TABLE2[3]["cost"] == "n log n"
+        # depth column identical across all rows
+        assert {r["depth"] for r in PAPER_TABLE2} == {"log^2 n"}
+
+
+class TestModelEvaluation:
+    def test_values_at_n(self):
+        rows = {r["network"]: r for r in table2_rows(256)}
+        lg = 8.0
+        assert rows["New design"]["cost"] == 256 * lg**2
+        assert rows["Feedback version"]["cost"] == 256 * lg
+        assert rows["Lee and Oruc's"]["routing_time"] == lg**3
+        assert rows["New design"]["routing_time"] == lg**2
+
+    def test_new_design_strictly_faster_routing(self):
+        """The paper's headline comparison: log^2 vs log^3 routing."""
+        for n in (8, 64, 1024, 2**16):
+            rows = {r["network"]: r for r in table2_rows(n)}
+            if n > 2:
+                assert (
+                    rows["New design"]["routing_time"]
+                    < rows["Nassimi and Sahni's"]["routing_time"]
+                )
+
+    def test_feedback_cheapest_cost(self):
+        for n in (8, 1024):
+            rows = {r["network"]: r for r in table2_rows(n)}
+            costs = [r["cost"] for r in rows.values()]
+            assert rows["Feedback version"]["cost"] == min(costs)
+
+    def test_routing_advantage_grows(self):
+        """log^3/log^2 = log n: the gap widens with network size."""
+        gaps = []
+        for n in (16, 256, 4096):
+            rows = {r["network"]: r for r in table2_rows(n)}
+            gaps.append(
+                rows["Lee and Oruc's"]["routing_time"]
+                / rows["New design"]["routing_time"]
+            )
+        assert gaps == sorted(gaps)
+        assert math.isclose(gaps[-1], math.log2(4096))

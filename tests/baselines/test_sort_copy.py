@@ -1,0 +1,63 @@
+"""Tests for the copy + bitonic-sort multicast baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.sort_copy import CopySortMulticast
+from repro.core.brsmn import BRSMN
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.core.verification import verify_result
+from repro.errors import InvalidAssignmentError
+
+from conftest import assignments
+
+
+class TestRouting:
+    @settings(max_examples=200, deadline=None)
+    @given(assignments(max_m=5))
+    def test_all_assignments_realised(self, a):
+        res = CopySortMulticast(a.n).route(a)
+        assert verify_result(res).ok
+
+    def test_paper_example(self):
+        res = CopySortMulticast(8).route(paper_example_assignment())
+        assert verify_result(res).ok
+
+    def test_broadcast(self):
+        res = CopySortMulticast(16).route(MulticastAssignment.broadcast(16))
+        assert len(res.delivered) == 16
+
+    def test_empty(self):
+        res = CopySortMulticast(8).route(MulticastAssignment.empty(8))
+        assert all(m is None for m in res.outputs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(assignments(max_m=5))
+    def test_agrees_with_brsmn(self, a):
+        """Independent implementations must deliver identical frames."""
+        r1 = CopySortMulticast(a.n).route(a)
+        r2 = BRSMN(a.n).route(a, mode="selfrouting")
+        assert [
+            None if m is None else (m.source, m.payload) for m in r1.outputs
+        ] == [None if m is None else (m.source, m.payload) for m in r2.outputs]
+
+    def test_size_mismatch(self):
+        with pytest.raises(InvalidAssignmentError):
+            CopySortMulticast(8).route(MulticastAssignment.identity(4))
+
+
+class TestCost:
+    def test_components(self):
+        net = CopySortMulticast(16)
+        assert net.switch_count == net.copy_network.switch_count + net.sorter.comparator_count
+        assert net.depth == net.copy_network.depth + net.sorter.depth
+
+    def test_same_cost_class_as_brsmn(self):
+        """Both are Theta(n log^2 n) — same Table 2 cost column."""
+        from repro.analysis.fitting import best_model
+
+        ns = [2**k for k in range(3, 12)]
+        name, _c, _r = best_model(
+            ns, [CopySortMulticast(n).switch_count for n in ns]
+        )
+        assert name == "n log^2 n"

@@ -1,0 +1,155 @@
+"""Tests for call admission and frame scheduling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import (
+    Request,
+    ScheduleOutcome,
+    conflicts,
+    frame_lower_bound,
+    route_requests,
+    schedule_frames,
+)
+from repro.errors import InvalidAssignmentError
+
+from conftest import sizes
+
+
+@st.composite
+def request_batches(draw, min_m=2, max_m=5, max_requests=24):
+    n = draw(sizes(min_m, max_m))
+    count = draw(st.integers(min_value=1, max_value=max_requests))
+    reqs = []
+    for i in range(count):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dests = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=min(n, 6),
+            )
+        )
+        reqs.append(Request(source=src, destinations=dests, payload=f"req{i}"))
+    return n, reqs
+
+
+class TestConflicts:
+    def test_shared_source(self):
+        a = Request(0, {1})
+        b = Request(0, {2})
+        assert conflicts(a, b)
+
+    def test_shared_destination(self):
+        assert conflicts(Request(0, {3}), Request(1, {3, 4}))
+
+    def test_disjoint(self):
+        assert not conflicts(Request(0, {1}), Request(2, {3}))
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            Request(0, set())
+
+
+class TestLowerBound:
+    def test_output_multiplicity(self):
+        reqs = [Request(i, {7}) for i in range(5)]
+        assert frame_lower_bound(reqs) == 5
+
+    def test_input_multiplicity(self):
+        reqs = [Request(3, {i}) for i in range(4)]
+        assert frame_lower_bound(reqs) == 4
+
+    def test_empty_batch(self):
+        assert frame_lower_bound([]) == 0
+
+
+class TestScheduleFrames:
+    @settings(max_examples=150, deadline=None)
+    @given(request_batches())
+    def test_every_request_placed_once(self, batch):
+        n, reqs = batch
+        outcome = schedule_frames(n, reqs)
+        assert sorted(outcome.placement) == list(range(len(reqs)))
+        # each frame is a valid assignment with exactly its members
+        for idx, f in outcome.placement.items():
+            assert outcome.frames[f][reqs[idx].source] == reqs[idx].destinations
+
+    @settings(max_examples=100, deadline=None)
+    @given(request_batches())
+    def test_no_intra_frame_conflicts(self, batch):
+        n, reqs = batch
+        outcome = schedule_frames(n, reqs)
+        by_frame = {}
+        for idx, f in outcome.placement.items():
+            by_frame.setdefault(f, []).append(reqs[idx])
+        for members in by_frame.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    assert not conflicts(members[i], members[j])
+
+    @settings(max_examples=100, deadline=None)
+    @given(request_batches())
+    def test_frame_count_at_least_lower_bound(self, batch):
+        n, reqs = batch
+        outcome = schedule_frames(n, reqs)
+        assert outcome.frame_count >= outcome.lower_bound
+        assert outcome.frame_count <= len(reqs)
+
+    def test_conflict_free_batch_single_frame(self):
+        reqs = [Request(0, {1}), Request(2, {3}), Request(4, {5, 6})]
+        outcome = schedule_frames(8, reqs)
+        assert outcome.frame_count == 1
+        assert outcome.optimal
+
+    def test_hot_output_serialised(self):
+        reqs = [Request(i, {0}) for i in range(4)]
+        outcome = schedule_frames(8, reqs)
+        assert outcome.frame_count == 4
+        assert outcome.optimal
+
+    def test_policies_differ_on_skew(self):
+        """largest_first packs a big tree with small ones; first_fit in
+        adversarial arrival order can need more frames."""
+        reqs = [
+            Request(0, {1}),
+            Request(1, {2}),
+            Request(2, {1, 2, 3, 4}),
+        ]
+        ff = schedule_frames(8, reqs, policy="first_fit")
+        lf = schedule_frames(8, reqs, policy="largest_first")
+        assert lf.frame_count <= ff.frame_count
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            schedule_frames(8, [Request(0, {1})], policy="random")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            schedule_frames(8, [Request(8, {1})])
+        with pytest.raises(InvalidAssignmentError):
+            schedule_frames(8, [Request(0, {8})])
+
+
+class TestRouteRequests:
+    @settings(max_examples=40, deadline=None)
+    @given(request_batches(max_m=4, max_requests=12))
+    def test_all_payloads_delivered(self, batch):
+        n, reqs = batch
+        schedule, deliveries = route_requests(n, reqs)
+        for idx, r in enumerate(reqs):
+            frame = schedule.placement[idx]
+            for d in r.destinations:
+                assert deliveries[frame][d] == r.payload
+
+    def test_feedback_implementation(self):
+        reqs = [Request(0, {1, 2}, "a"), Request(1, {1, 3}, "b")]
+        schedule, deliveries = route_requests(
+            8, reqs, implementation="feedback"
+        )
+        assert schedule.frame_count == 2  # output 1 contested
+        assert deliveries[schedule.placement[0]][2] == "a"
+        assert deliveries[schedule.placement[1]][3] == "b"

@@ -1,0 +1,203 @@
+"""Tests for the full BRSMN (Section 2, Figs. 1-2) — the headline result."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brsmn import BRSMN, deliver_final_switch, inject_messages
+from repro.core.message import Message
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.core.tags import Tag
+from repro.core.verification import verify_delivery, verify_result
+from repro.errors import InvalidAssignmentError, RoutingInvariantError
+from repro.rbn.switches import SwitchSetting
+
+from conftest import assignments
+
+
+class TestPaperExample:
+    """The worked 8x8 example of Section 2 / Fig. 2."""
+
+    def test_oracle_mode(self):
+        res = BRSMN(8).route(paper_example_assignment(), mode="oracle")
+        assert verify_result(res).ok
+
+    def test_selfrouting_mode(self):
+        res = BRSMN(8).route(paper_example_assignment(), mode="selfrouting")
+        assert verify_result(res).ok
+
+    def test_exact_deliveries(self):
+        res = BRSMN(8).route(paper_example_assignment())
+        by_output = {o: m.source for o, m in res.delivered.items()}
+        assert by_output == {0: 0, 1: 0, 2: 3, 3: 2, 4: 2, 5: 7, 6: 7, 7: 2}
+
+    def test_split_count(self):
+        """Total replications = copies - active inputs = 8 - 4 = 4, of
+        which one happens at a final 2x2 switch (input 0's {0,1}); the
+        BSN levels perform the other 3 alpha splits (visible in Fig. 2)."""
+        res = BRSMN(8).route(paper_example_assignment())
+        assert res.total_splits == 3
+
+
+class TestNonblockingProperty:
+    """The paper's main theorem: every multicast assignment is realised."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(assignments(max_m=5), st.sampled_from(["oracle", "selfrouting"]))
+    def test_arbitrary_assignments(self, a, mode):
+        res = BRSMN(a.n).route(a, mode=mode)
+        report = verify_result(res)
+        assert report.ok, report.violations
+
+    @settings(max_examples=60, deadline=None)
+    @given(assignments(min_m=6, max_m=7))
+    def test_larger_networks(self, a):
+        res = BRSMN(a.n).route(a, mode="selfrouting")
+        assert verify_result(res).ok
+
+    @settings(max_examples=150, deadline=None)
+    @given(assignments(max_m=5))
+    def test_modes_agree(self, a):
+        """Oracle and self-routing produce identical deliveries."""
+        net = BRSMN(a.n)
+        r1 = net.route(a, mode="oracle")
+        r2 = net.route(a, mode="selfrouting")
+        assert [
+            None if m is None else (m.source, m.payload) for m in r1.outputs
+        ] == [None if m is None else (m.source, m.payload) for m in r2.outputs]
+
+    def test_full_broadcast(self):
+        for n in (2, 4, 8, 16, 32):
+            a = MulticastAssignment.broadcast(n, source=n // 3)
+            res = BRSMN(n).route(a, mode="selfrouting")
+            assert verify_result(res).ok
+            # Copies double per BSN level: 1 + 2 + ... + n/4 = n/2 - 1
+            # alpha splits; the remaining n/2 replications happen in the
+            # final delivery switches.
+            assert res.total_splits == n // 2 - 1
+
+    def test_identity_permutation(self):
+        for n in (2, 8, 32):
+            res = BRSMN(n).route(MulticastAssignment.identity(n))
+            assert verify_result(res).ok
+            assert res.total_splits == 0
+
+    def test_empty_assignment(self):
+        res = BRSMN(8).route(MulticastAssignment.empty(8))
+        assert all(m is None for m in res.outputs)
+        assert verify_result(res).ok
+
+    def test_payloads_carried(self):
+        a = paper_example_assignment()
+        res = BRSMN(8).route(a, payloads=[f"P{i}" for i in range(8)])
+        for o, m in res.delivered.items():
+            assert m.payload == f"P{m.source}"
+
+
+class TestStructuralProperties:
+    def test_switch_count_recursion(self):
+        """C(n) = n log n (BSN) summed over levels + n/2 final switches."""
+        net = BRSMN(8)
+        # level 1: BSN(8) = 2*4*3 = 24; level 2: 2 x BSN(4) = 2*2*2*2=16;
+        # final: 4 switches
+        assert net.switch_count == 24 + 16 + 4
+
+    def test_depth_recursion(self):
+        net = BRSMN(8)
+        # 2*3 (BSN 8) + 2*2 (BSN 4) + 1 (final switch)
+        assert net.depth == 6 + 4 + 1
+
+    def test_n2_base_case(self):
+        net = BRSMN(2)
+        assert net.switch_count == 1
+        assert net.depth == 1
+        res = net.route(MulticastAssignment(2, [{0, 1}, None]))
+        assert verify_result(res).ok
+
+    def test_assignment_size_mismatch(self):
+        with pytest.raises(InvalidAssignmentError):
+            BRSMN(8).route(MulticastAssignment.identity(4))
+
+
+class TestInjectMessages:
+    def test_oracle_frame(self):
+        frame = inject_messages(paper_example_assignment(), "oracle")
+        assert frame[1] is None
+        assert frame[0].destinations == {0, 1}
+        assert frame[0].tag_stream is None
+
+    def test_selfrouting_frame_has_streams(self):
+        frame = inject_messages(paper_example_assignment(), "selfrouting")
+        assert frame[2].tag_stream is not None
+        assert len(frame[2].tag_stream) == 7
+
+
+class TestFinalSwitch:
+    def test_parallel_delivery(self):
+        msgs = [
+            Message(source=0, destinations={4}),
+            Message(source=1, destinations={5}),
+        ]
+        out, setting = deliver_final_switch(msgs, 4)
+        assert out[0].source == 0 and out[1].source == 1
+        assert setting is SwitchSetting.PARALLEL
+
+    def test_cross_delivery(self):
+        msgs = [
+            Message(source=0, destinations={5}),
+            Message(source=1, destinations={4}),
+        ]
+        out, setting = deliver_final_switch(msgs, 4)
+        assert out[0].source == 1 and out[1].source == 0
+        assert setting is SwitchSetting.CROSS
+
+    def test_broadcast_delivery(self):
+        msgs = [None, Message(source=1, destinations={4, 5})]
+        out, setting = deliver_final_switch(msgs, 4)
+        assert out[0].source == out[1].source == 1
+        assert setting is SwitchSetting.LOWER_BCAST
+
+    def test_conflict_detected(self):
+        msgs = [
+            Message(source=0, destinations={4}),
+            Message(source=1, destinations={4}),
+        ]
+        with pytest.raises(RoutingInvariantError):
+            deliver_final_switch(msgs, 4)
+
+    def test_selfrouting_residual_stream(self):
+        msg = Message(source=0, destinations={5}).with_stream((Tag.ONE,))
+        out, _ = deliver_final_switch([msg, None], 4, "selfrouting")
+        assert out[1] is msg
+
+    def test_selfrouting_malformed_stream(self):
+        msg = Message(source=0, destinations={5}).with_stream(
+            (Tag.ONE, Tag.ZERO)
+        )
+        with pytest.raises(RoutingInvariantError):
+            deliver_final_switch([msg, None], 4, "selfrouting")
+
+
+class TestVerificationCatchesErrors:
+    def test_misdelivery_detected(self):
+        a = MulticastAssignment(4, [{0}, {1}, None, None])
+        res = BRSMN(4).route(a)
+        # sabotage: swap two outputs
+        res.outputs[0], res.outputs[1] = res.outputs[1], res.outputs[0]
+        assert not verify_delivery(a, res.outputs).ok
+
+    def test_missing_delivery_detected(self):
+        a = MulticastAssignment(4, [{0}, None, None, None])
+        res = BRSMN(4).route(a)
+        res.outputs[0] = None
+        report = verify_delivery(a, res.outputs)
+        assert not report.ok
+        assert any("missing" in v for v in report.violations)
+
+    def test_spurious_delivery_detected(self):
+        a = MulticastAssignment(4, [{0}, None, None, None])
+        res = BRSMN(4).route(a)
+        res.outputs[3] = res.outputs[0]
+        report = verify_delivery(a, res.outputs)
+        assert not report.ok
+        assert any("spurious" in v for v in report.violations)

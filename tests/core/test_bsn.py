@@ -1,0 +1,145 @@
+"""Tests for the binary splitting network (Section 3, Fig. 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bsn import BinarySplittingNetwork, make_bsn_cells
+from repro.core.message import Message
+from repro.core.tags import Tag
+from repro.core.tagtree import TagTree
+from repro.errors import InvalidAssignmentError, RoutingInvariantError
+from repro.rbn.cells import cells_from_tags
+
+from conftest import assignments, bsn_tag_vectors
+
+
+def _messages_from_assignment(a):
+    frame = []
+    for i, dests in enumerate(a.destinations):
+        frame.append(
+            None if not dests else Message(source=i, destinations=dests)
+        )
+    return frame
+
+
+class TestMakeBsnCells:
+    def test_oracle_tags(self):
+        msgs = [
+            Message(source=0, destinations={0}),       # upper only -> 0
+            Message(source=1, destinations={2, 3}),    # lower only -> 1
+            Message(source=2, destinations={1, 2}),    # both -> alpha
+            None,                                       # idle -> eps
+        ]
+        cells = make_bsn_cells(msgs, 0, 4, "oracle")
+        assert [c.tag for c in cells] == [Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS]
+
+    def test_alpha_branches_split_destinations(self):
+        msgs = [Message(source=0, destinations={1, 3}), None, None, None]
+        cells = make_bsn_cells(msgs, 0, 4, "oracle")
+        assert cells[0].branch0.destinations == {1}
+        assert cells[0].branch1.destinations == {3}
+
+    def test_rebased_midpoint_tags(self):
+        msgs = [
+            Message(source=0, destinations={4, 5}),  # all < 6 -> ZERO
+            Message(source=1, destinations={6, 7}),  # all >= 6 -> ONE
+            Message(source=2, destinations={5, 7}),  # straddles -> ALPHA
+            None,
+        ]
+        cells = make_bsn_cells(msgs, 4, 4, "oracle")
+        assert [c.tag for c in cells] == [Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS]
+
+    def test_out_of_window_destination_rejected(self):
+        msgs = [Message(source=0, destinations={5}), None, None, None]
+        with pytest.raises(InvalidAssignmentError):
+            make_bsn_cells(msgs, 0, 4, "oracle")
+
+    def test_selfrouting_uses_stream_head(self):
+        msg = Message(source=0, destinations={1, 3}).with_stream(
+            TagTree.from_destinations(4, {1, 3}).to_sequence()
+        )
+        cells = make_bsn_cells([msg, None, None, None], 0, 4, "selfrouting")
+        assert cells[0].tag is Tag.ALPHA
+        # branches carry the split streams
+        assert cells[0].branch0.tag_stream == TagTree.from_destinations(
+            2, {1}
+        ).to_sequence()
+
+    def test_selfrouting_requires_stream(self):
+        msg = Message(source=0, destinations={1})
+        with pytest.raises(InvalidAssignmentError):
+            make_bsn_cells([msg, None, None, None], 0, 4, "selfrouting")
+
+    def test_selfrouting_detects_corrupt_stream(self):
+        """A head tag contradicting the destinations is caught."""
+        good = TagTree.from_destinations(4, {3}).to_sequence()
+        msg = Message(source=0, destinations={0}).with_stream(good)
+        with pytest.raises(RoutingInvariantError):
+            make_bsn_cells([msg, None, None, None], 0, 4, "selfrouting")
+
+    def test_unknown_mode_rejected(self):
+        msgs = [Message(source=0, destinations={1}), None, None, None]
+        with pytest.raises(ValueError):
+            make_bsn_cells(msgs, 0, 4, "psychic")
+
+
+class TestRouteCells:
+    @settings(max_examples=200)
+    @given(bsn_tag_vectors(max_m=5))
+    def test_output_halves_clean(self, tags):
+        n = len(tags)
+        bsn = BinarySplittingNetwork(n)
+        out, stats = bsn.route_cells(cells_from_tags(tags))
+        half = n // 2
+        assert all(c.tag in (Tag.ZERO, Tag.EPS) for c in out[:half])
+        assert all(c.tag in (Tag.ONE, Tag.EPS) for c in out[half:])
+        assert stats.splits == tags.count(Tag.ALPHA)
+
+    def test_eq2_violation_rejected(self):
+        bsn = BinarySplittingNetwork(4)
+        tags = [Tag.ZERO, Tag.ZERO, Tag.ZERO, Tag.EPS]  # n0 = 3 > 2
+        with pytest.raises(RoutingInvariantError):
+            bsn.route_cells(cells_from_tags(tags))
+
+    def test_wrong_cell_count_rejected(self):
+        bsn = BinarySplittingNetwork(4)
+        with pytest.raises(InvalidAssignmentError):
+            bsn.route_cells(cells_from_tags([Tag.EPS] * 8))
+
+
+class TestRouteMessages:
+    @settings(max_examples=150)
+    @given(assignments(min_m=2, max_m=5))
+    def test_split_destination_windows(self, a):
+        """Every upper message's destinations < mid; lower's >= mid."""
+        n = a.n
+        bsn = BinarySplittingNetwork(n)
+        frame = _messages_from_assignment(a)
+        upper, lower, _stats = bsn.route_messages(frame, 0, "oracle")
+        mid = n // 2
+        for msg in upper:
+            if msg is not None:
+                assert all(d < mid for d in msg.destinations)
+        for msg in lower:
+            if msg is not None:
+                assert all(d >= mid for d in msg.destinations)
+
+    @settings(max_examples=150)
+    @given(assignments(min_m=2, max_m=5))
+    def test_no_destination_lost(self, a):
+        n = a.n
+        bsn = BinarySplittingNetwork(n)
+        upper, lower, _ = bsn.route_messages(
+            _messages_from_assignment(a), 0, "oracle"
+        )
+        delivered = set()
+        for msg in upper + lower:
+            if msg is not None:
+                delivered |= msg.destinations
+        assert delivered == set(a.used_outputs)
+
+    def test_structure_properties(self):
+        bsn = BinarySplittingNetwork(16)
+        assert bsn.switch_count == 2 * 8 * 4
+        assert bsn.depth == 8

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRouteCommand:
+    def test_example_route(self, capsys):
+        assert main(["route", "--n", "8", "--example"]) == 0
+        out = capsys.readouterr().out
+        assert "verified: 8 deliveries" in out
+        assert "output 7 <- input 2" in out
+
+    def test_json_assignment(self, capsys):
+        assign = json.dumps({"0": [1, 2], "3": [0]})
+        assert main(["route", "--n", "4", "--assign", assign]) == 0
+        out = capsys.readouterr().out
+        assert "verified: 3 deliveries" in out
+
+    def test_feedback_and_oracle(self, capsys):
+        assign = json.dumps({"0": [0, 1, 2, 3]})
+        rc = main(
+            [
+                "route", "--n", "4", "--assign", assign,
+                "--implementation", "feedback", "--mode", "oracle",
+            ]
+        )
+        assert rc == 0
+        assert "4 deliveries" in capsys.readouterr().out
+
+    def test_trace_flag(self, capsys):
+        assert main(["route", "--n", "8", "--example", "--trace"]) == 0
+        assert "merge n=8" in capsys.readouterr().out
+
+    def test_example_requires_n8(self, capsys):
+        assert main(["route", "--n", "4", "--example"]) == 2
+
+    def test_missing_assignment(self):
+        assert main(["route", "--n", "4"]) == 2
+
+    def test_bad_json(self):
+        assert main(["route", "--n", "4", "--assign", "{not json"]) == 2
+
+    def test_invalid_assignment_rejected(self, capsys):
+        assign = json.dumps({"0": [0], "1": [0]})  # duplicate output
+        assert main(["route", "--n", "4", "--assign", assign]) == 2
+        assert "bad --assign" in capsys.readouterr().err
+
+
+class TestTagsCommand:
+    def test_fig9b_sequence(self, capsys):
+        assert main(["tags", "--n", "8", "--dests", "3,4,7"]) == 0
+        assert "a1ae011" in capsys.readouterr().out
+
+    def test_singleton(self, capsys):
+        assert main(["tags", "--n", "4", "--dests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SEQ" in out and "3 tags" in out
+
+
+class TestStructureCommand:
+    def test_structure_output(self, capsys):
+        assert main(["structure", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "1 x BSN(16)" in out
+        assert "8 x 2x2 switch" in out
+        assert "feedback" in out
+
+
+class TestTable2Command:
+    def test_table2_output(self, capsys):
+        assert main(["table2", "--sizes", "8,64"]) == 0
+        out = capsys.readouterr().out
+        assert "Nassimi and Sahni's" in out
+        assert "n log^2 n" in out
+        assert "measured" in out
+
+
+class TestScheduleCommand:
+    def test_schedule_output(self, capsys):
+        assert main(["schedule", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "frame schedule" in out
+        assert "delivery pass" in out
+
+
+class TestReportCommand:
+    def test_report_passes(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CLAIMS REPRODUCED" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])

@@ -1,0 +1,91 @@
+"""Tests for the session-level MulticastFabric facade."""
+
+import pytest
+
+from repro.core.fabric import MulticastFabric
+from repro.core.multicast import MulticastAssignment
+from repro.errors import RoutingInvariantError
+from repro.workloads.random_assignments import assignment_suite
+from repro.workloads.scenarios import videoconference_frames
+
+
+class TestSessions:
+    def test_run_aggregates(self):
+        fabric = MulticastFabric(16)
+        frames = assignment_suite(16, seed=1)
+        stats = fabric.run(frames)
+        assert stats.frames == len(frames)
+        assert stats.deliveries == sum(a.total_fanout for a in frames)
+        assert not stats.failures
+
+    def test_fanout_histogram(self):
+        fabric = MulticastFabric(8)
+        fabric.submit(MulticastAssignment(8, [{0, 1, 2}, None, {3}, None, None, None, None, None]))
+        assert fabric.stats.fanout_histogram == {3: 1, 1: 1}
+        assert fabric.stats.mean_fanout == 2.0
+
+    def test_mean_fanout_empty_session(self):
+        assert MulticastFabric(8).stats.mean_fanout == 0.0
+
+    def test_reset(self):
+        fabric = MulticastFabric(8)
+        fabric.submit(MulticastAssignment.identity(8))
+        fabric.reset()
+        assert fabric.stats.frames == 0
+
+    def test_feedback_implementation(self):
+        fabric = MulticastFabric(16, implementation="feedback")
+        frames = videoconference_frames(16, conferences=2, frames=5, seed=2)
+        stats = fabric.run(frames)
+        assert stats.frames == 5
+        assert not stats.failures
+
+    def test_oracle_mode(self):
+        fabric = MulticastFabric(8, mode="oracle")
+        res = fabric.submit(MulticastAssignment.broadcast(8))
+        assert len(res.delivered) == 8
+
+    def test_splits_and_switch_ops_accumulate(self):
+        fabric = MulticastFabric(8)
+        fabric.submit(MulticastAssignment.broadcast(8))
+        fabric.submit(MulticastAssignment.identity(8))
+        assert fabric.stats.splits == 3  # broadcast: n/2 - 1; identity: 0
+        assert fabric.stats.switch_ops > 0
+
+
+class TestStrictness:
+    def test_strict_default(self):
+        fabric = MulticastFabric(8)
+        assert fabric.strict
+
+    def test_non_strict_records_instead_of_raising(self):
+        """Verification failures can be recorded; exercised by feeding a
+        network wrapper that sabotages its own deliveries."""
+        fabric = MulticastFabric(8, strict=False)
+
+        class Saboteur:
+            def route(self, assignment, mode=None, payloads=None, **kw):
+                res = fabric_net.route(assignment, mode=mode)
+                res.outputs[0], res.outputs[1] = res.outputs[1], res.outputs[0]
+                return res
+
+        fabric_net = fabric.network
+        fabric.network = Saboteur()
+        a = MulticastAssignment(8, [{0}, {1}, None, None, None, None, None, None])
+        fabric.submit(a)
+        assert len(fabric.stats.failures) == 1
+
+    def test_strict_raises(self):
+        fabric = MulticastFabric(8, strict=True)
+
+        class Saboteur:
+            def route(self, assignment, mode=None, payloads=None, **kw):
+                res = inner.route(assignment, mode=mode)
+                res.outputs[0] = None
+                return res
+
+        inner = fabric.network
+        fabric.network = Saboteur()
+        a = MulticastAssignment(8, [{0}, None, None, None, None, None, None, None])
+        with pytest.raises(RoutingInvariantError):
+            fabric.submit(a)

@@ -1,0 +1,100 @@
+"""Tests for the feedback implementation (Section 7.3, Fig. 13)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.core.verification import verify_result
+from repro.errors import InvalidAssignmentError
+
+from conftest import assignments
+
+
+class TestFunctionalEquivalence:
+    """The feedback network must deliver exactly like the unrolled one."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(assignments(max_m=5), st.sampled_from(["oracle", "selfrouting"]))
+    def test_matches_unrolled(self, a, mode):
+        unrolled = BRSMN(a.n).route(a, mode=mode)
+        feedback = FeedbackBRSMN(a.n).route(a, mode=mode)
+        assert verify_result(feedback).ok
+        assert [
+            None if m is None else (m.source, m.payload) for m in feedback.outputs
+        ] == [None if m is None else (m.source, m.payload) for m in unrolled.outputs]
+
+    def test_paper_example(self):
+        res = FeedbackBRSMN(8).route(paper_example_assignment(), mode="selfrouting")
+        assert verify_result(res).ok
+        assert {o: m.source for o, m in res.delivered.items()} == {
+            0: 0, 1: 0, 2: 3, 3: 2, 4: 2, 5: 7, 6: 7, 7: 2,
+        }
+
+
+class TestPassSchedule:
+    def test_pass_count(self):
+        """2 log2 n - 1 passes: scatter+quasisort per level, 1 delivery."""
+        for n in (2, 4, 8, 64):
+            net = FeedbackBRSMN(n)
+            res = net.route(MulticastAssignment.identity(n))
+            assert res.pass_count == net.pass_count == 2 * net.m - 1
+
+    def test_schedule_structure(self):
+        res = FeedbackBRSMN(16).route(MulticastAssignment.identity(16))
+        roles = [(p.level, p.role) for p in res.passes]
+        assert roles == [
+            (1, "scatter"), (1, "quasisort"),
+            (2, "scatter"), (2, "quasisort"),
+            (3, "scatter"), (3, "quasisort"),
+            (4, "deliver"),
+        ]
+
+    def test_slices_shrink_and_multiply(self):
+        res = FeedbackBRSMN(16).route(MulticastAssignment.identity(16))
+        sizes = [(p.slice_size, p.slices) for p in res.passes]
+        assert sizes == [
+            (16, 1), (16, 1), (8, 2), (8, 2), (4, 4), (4, 4), (2, 8),
+        ]
+        # every pass covers the full terminal space
+        for p in res.passes:
+            assert p.slice_size * p.slices == 16
+
+    def test_pass_indices_sequential(self):
+        res = FeedbackBRSMN(8).route(MulticastAssignment.identity(8))
+        assert [p.index for p in res.passes] == list(range(1, len(res.passes) + 1))
+
+
+class TestHardwareSavings:
+    def test_physical_switch_count(self):
+        """One RBN: (n/2) log2 n switches — the O(n log n) Table 2 row."""
+        assert FeedbackBRSMN(1024).switch_count == 512 * 10
+
+    def test_cost_ratio_grows_with_n(self):
+        """unrolled/feedback switch ratio grows ~ log n / 2."""
+        ratios = []
+        for m in (4, 6, 8, 10):
+            n = 1 << m
+            ratios.append(BRSMN(n).switch_count / FeedbackBRSMN(n).switch_count)
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 4  # already >4x cheaper at n=1024
+
+    def test_depth_matches_unrolled(self):
+        """Table 2: both rows have log^2 n depth (time-multiplexed)."""
+        for n in (8, 64, 256):
+            assert FeedbackBRSMN(n).depth == BRSMN(n).depth
+
+
+class TestValidation:
+    def test_size_mismatch(self):
+        with pytest.raises(InvalidAssignmentError):
+            FeedbackBRSMN(8).route(MulticastAssignment.identity(4))
+
+    def test_trace_collection(self):
+        res = FeedbackBRSMN(8).route(
+            paper_example_assignment(), collect_trace=True
+        )
+        assert res.trace is not None
+        assert len(res.trace.stages) > 0

@@ -1,0 +1,66 @@
+"""Tests for the Message model."""
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.tags import Tag
+from repro.errors import InvalidAssignmentError
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Message(source=1, destinations={2, 3}, payload="x")
+        assert m.source == 1
+        assert m.destinations == frozenset({2, 3})
+        assert m.payload == "x"
+        assert m.tag_stream is None
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            Message(source=0, destinations=set())
+
+    def test_frozen(self):
+        m = Message(source=0, destinations={1})
+        with pytest.raises(AttributeError):
+            m.source = 2  # type: ignore[misc]
+
+
+class TestSplit:
+    def test_split_both_halves(self):
+        m = Message(source=0, destinations={1, 5}, payload="p")
+        up, lo = m.split_at(4)
+        assert up.destinations == {1} and lo.destinations == {5}
+        assert up.payload == lo.payload == "p"
+        assert up.source == lo.source == 0
+
+    def test_split_one_sided(self):
+        m = Message(source=0, destinations={1, 2})
+        up, lo = m.split_at(4)
+        assert up.destinations == {1, 2}
+        assert lo is None
+
+    def test_split_other_side(self):
+        m = Message(source=0, destinations={6})
+        up, lo = m.split_at(4)
+        assert up is None and lo.destinations == {6}
+
+
+class TestStream:
+    def test_with_stream(self):
+        m = Message(source=0, destinations={1})
+        m2 = m.with_stream((Tag.ZERO, Tag.ONE))
+        assert m2.tag_stream == (Tag.ZERO, Tag.ONE)
+        assert m.tag_stream is None  # original untouched
+
+    def test_with_stream_none_clears(self):
+        m = Message(source=0, destinations={1}, tag_stream=(Tag.ZERO,))
+        assert m.with_stream(None).tag_stream is None
+
+
+class TestSingleDestination:
+    def test_resolved(self):
+        assert Message(source=0, destinations={3}).single_destination() == 3
+
+    def test_unresolved_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            Message(source=0, destinations={1, 2}).single_destination()

@@ -1,0 +1,126 @@
+"""Tests for the multicast assignment model (Section 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.errors import InvalidAssignmentError
+
+from conftest import assignments
+
+
+class TestConstruction:
+    def test_paper_example(self):
+        a = paper_example_assignment()
+        assert a.n == 8
+        assert a[0] == {0, 1}
+        assert a[2] == {3, 4, 7}
+        assert a[3] == {2}
+        assert a[7] == {5, 6}
+        assert a[1] == frozenset()
+
+    def test_overlapping_destinations_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            MulticastAssignment(4, [{0, 1}, {1}, None, None])
+
+    def test_out_of_range_destination_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            MulticastAssignment(4, [{4}, None, None, None])
+        with pytest.raises(InvalidAssignmentError):
+            MulticastAssignment(4, [{-1}, None, None, None])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            MulticastAssignment(4, [None, None])
+
+    def test_non_power_of_two_rejected(self):
+        from repro.errors import NetworkSizeError
+
+        with pytest.raises(NetworkSizeError):
+            MulticastAssignment(6, [None] * 6)
+
+    def test_from_dict(self):
+        a = MulticastAssignment.from_dict(8, {2: [3, 4], 0: [1]})
+        assert a[2] == {3, 4} and a[0] == {1}
+        assert a[1] == frozenset()
+
+    def test_from_dict_bad_input_index(self):
+        with pytest.raises(InvalidAssignmentError):
+            MulticastAssignment.from_dict(8, {9: [1]})
+
+    def test_from_permutation(self):
+        a = MulticastAssignment.from_permutation([2, None, 0, 1])
+        assert a[0] == {2} and a[1] == frozenset() and a[2] == {0}
+        assert a.is_permutation
+
+    def test_broadcast(self):
+        a = MulticastAssignment.broadcast(8, source=3)
+        assert a[3] == frozenset(range(8))
+        assert a.max_fanout == 8
+
+    def test_identity_and_empty(self):
+        assert MulticastAssignment.identity(4)[2] == {2}
+        assert MulticastAssignment.empty(4).active_inputs == []
+
+
+class TestQueries:
+    def test_statistics(self):
+        a = paper_example_assignment()
+        assert a.active_inputs == [0, 2, 3, 7]
+        assert a.used_outputs == frozenset(range(8))
+        assert a.total_fanout == 8
+        assert a.max_fanout == 3
+        assert a.load == 1.0
+        assert not a.is_permutation
+
+    def test_inverse_map(self):
+        a = paper_example_assignment()
+        inv = a.inverse_map()
+        assert inv[0] == 0 and inv[1] == 0
+        assert inv[3] == 2 and inv[4] == 2 and inv[7] == 2
+        assert inv[2] == 3
+        assert inv[5] == 7 and inv[6] == 7
+
+    def test_binary_strings(self):
+        a = paper_example_assignment()
+        bs = a.to_binary_strings()
+        assert bs[2] == ["011", "100", "111"]
+
+    def test_str(self):
+        a = MulticastAssignment(4, [{0}, None, {2, 3}, None])
+        s = str(a)
+        assert "{0}" in s and "{2,3}" in s
+
+    @settings(max_examples=100)
+    @given(assignments(max_m=5))
+    def test_inverse_map_consistency(self, a):
+        inv = a.inverse_map()
+        assert len(inv) == a.total_fanout
+        for out, src in inv.items():
+            assert out in a[src]
+
+
+class TestRestrict:
+    def test_restrict_window(self):
+        a = MulticastAssignment(8, [{0, 5}, None, {1}, None, None, {6}, None, None])
+        upper = a.restrict(0, 4)
+        assert upper.n == 4
+        # {0} from input 0's clipped set, {1} from input 2's
+        all_dests = [set(d) for d in upper.destinations if d]
+        assert {0} in all_dests and {1} in all_dests
+
+    def test_restrict_rebased(self):
+        a = MulticastAssignment(8, [None, None, None, None, {5, 6}, None, None, None])
+        lower = a.restrict(4, 8)
+        assert any(set(d) == {1, 2} for d in lower.destinations if d)
+
+
+class TestImmutability:
+    def test_destinations_are_frozen(self):
+        a = paper_example_assignment()
+        assert isinstance(a[0], frozenset)
+
+    def test_hashable_components(self):
+        a = paper_example_assignment()
+        assert isinstance(hash(a.destinations), int)

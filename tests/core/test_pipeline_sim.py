@@ -1,0 +1,79 @@
+"""Tests: the discrete-event stream simulation vs the throughput arithmetic."""
+
+import pytest
+
+from repro.core.pipeline_sim import find_min_period, simulate_stream
+from repro.hardware.schedule import build_frame_schedule, pipelined_throughput
+
+
+class TestSimulateStream:
+    def test_single_frame_latency_matches_schedule(self):
+        for n in (8, 64):
+            report = simulate_stream(n, frames=1, period=10**9)
+            assert report.completions == [build_frame_schedule(n).total_time]
+
+    def test_slow_injection_is_hazard_free(self):
+        n = 32
+        latency = build_frame_schedule(n).total_time
+        report = simulate_stream(n, frames=5, period=latency)
+        assert report.hazard_free
+        assert report.completions == [
+            latency + k * latency for k in range(5)
+        ]
+
+    def test_fast_injection_hazards_detected(self):
+        n = 32
+        report = simulate_stream(n, frames=5, period=1)
+        assert not report.hazard_free
+
+    def test_hazards_delay_but_never_corrupt(self):
+        """With hazards, frames queue: completions stay monotonic and
+        spaced by at least the bottleneck service time."""
+        n = 32
+        report = simulate_stream(n, frames=6, period=1)
+        gaps = [
+            b - a for a, b in zip(report.completions, report.completions[1:])
+        ]
+        bottleneck = max(s.service_time for s in report.segments)
+        assert all(g >= bottleneck for g in gaps)
+
+    def test_feedback_is_single_segment(self):
+        report = simulate_stream(16, frames=3, period=10**6, implementation="feedback")
+        assert len(report.segments) == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            simulate_stream(8, frames=0, period=10)
+        with pytest.raises(ValueError):
+            simulate_stream(8, frames=1, period=0)
+        with pytest.raises(ValueError):
+            simulate_stream(8, frames=1, period=1, implementation="warp")
+
+
+class TestMinPeriod:
+    @pytest.mark.parametrize("n", [8, 64, 256])
+    def test_unrolled_min_period_is_slowest_segment(self, n):
+        """The simulation-derived minimum period equals the arithmetic
+        prediction (slowest level's busy time)."""
+        assert find_min_period(n) == pipelined_throughput(n).unrolled_period
+
+    @pytest.mark.parametrize("n", [8, 64])
+    def test_feedback_min_period_is_latency(self, n):
+        assert (
+            find_min_period(n, implementation="feedback")
+            == pipelined_throughput(n).feedback_period
+        )
+
+    def test_min_period_saturates_bottleneck(self):
+        """At the minimum period the bottleneck approaches full
+        utilisation as the stream lengthens."""
+        n = 64
+        period = find_min_period(n)
+        report = simulate_stream(n, frames=64, period=period)
+        assert report.hazard_free
+        assert report.bottleneck_utilisation > 0.9
+
+    def test_below_min_period_hazards(self):
+        n = 64
+        period = find_min_period(n)
+        assert not simulate_stream(n, frames=8, period=period - 1).hazard_free

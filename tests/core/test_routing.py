@@ -1,0 +1,64 @@
+"""Tests for the high-level routing API."""
+
+import pytest
+
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.multicast import MulticastAssignment
+from repro.core.routing import build_network, route_and_report, route_multicast
+from repro.errors import RoutingInvariantError
+
+
+class TestBuildNetwork:
+    def test_unrolled_default(self):
+        assert isinstance(build_network(8), BRSMN)
+
+    def test_feedback(self):
+        assert isinstance(build_network(8, "feedback"), FeedbackBRSMN)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_network(8, "quantum")
+
+
+class TestRouteMulticast:
+    def test_assignment_object(self):
+        a = MulticastAssignment(4, [{1}, {0}, None, {2, 3}])
+        res = route_multicast(4, a)
+        assert res.delivered[1].source == 0
+        assert res.delivered[2].source == 3
+
+    def test_list_coercion(self):
+        res = route_multicast(4, [{1}, {0}, None, {2, 3}])
+        assert res.delivered[0].source == 1
+
+    def test_dict_coercion(self):
+        res = route_multicast(8, {0: [3, 4], 5: [0]})
+        assert res.delivered[3].source == 0
+        assert res.delivered[0].source == 5
+
+    def test_payloads(self):
+        res = route_multicast(4, {0: [1, 2]}, payloads=["hello", None, None, None])
+        assert res.delivered[1].payload == "hello"
+
+    def test_feedback_implementation(self):
+        res = route_multicast(8, {0: list(range(8))}, implementation="feedback")
+        assert len(res.delivered) == 8
+
+    def test_both_modes(self):
+        for mode in ("oracle", "selfrouting"):
+            res = route_multicast(8, {1: [0, 7]}, mode=mode)
+            assert res.delivered[0].source == 1
+            assert res.delivered[7].source == 1
+
+    def test_trace_collection(self):
+        res = route_multicast(4, {0: [1]}, collect_trace=True)
+        assert res.trace is not None
+
+
+class TestRouteAndReport:
+    def test_report_returned(self):
+        result, report = route_and_report(4, {0: [1, 2]})
+        assert report.ok
+        assert report.deliveries == 2
+        assert result.mode == "selfrouting"

@@ -1,0 +1,109 @@
+"""Tests for JSON serialisation and CLI file I/O."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cli import main
+from repro.core.admission import Request
+from repro.core.brsmn import BRSMN
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.core.serialization import (
+    assignment_from_json,
+    assignment_to_json,
+    requests_from_json,
+    requests_to_json,
+    result_to_json,
+)
+from repro.errors import InvalidAssignmentError
+
+from conftest import assignments
+
+
+class TestAssignmentRoundTrip:
+    @settings(max_examples=100)
+    @given(assignments(max_m=5))
+    def test_roundtrip(self, a):
+        parsed = assignment_from_json(assignment_to_json(a))
+        assert parsed.n == a.n
+        assert parsed.destinations == a.destinations
+
+    def test_document_shape(self):
+        doc = json.loads(assignment_to_json(paper_example_assignment()))
+        assert doc["kind"] == "assignment"
+        assert doc["n"] == 8
+        assert doc["destinations"]["2"] == [3, 4, 7]
+        assert "1" not in doc["destinations"]  # idle inputs omitted
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            assignment_from_json("{nope")
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            assignment_from_json('{"kind": "banana", "n": 4}')
+
+    def test_malformed_destinations_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            assignment_from_json(
+                '{"kind": "assignment", "n": 4, "destinations": "zero"}'
+            )
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            assignment_from_json(
+                '{"kind": "assignment", "n": 4, '
+                '"destinations": {"0": [1], "2": [1]}}'
+            )
+
+
+class TestRequestsRoundTrip:
+    def test_roundtrip(self):
+        reqs = [
+            Request(0, {1, 2}, "a"),
+            Request(3, {0}, None),
+        ]
+        n, parsed = requests_from_json(requests_to_json(8, reqs))
+        assert n == 8
+        assert parsed == reqs
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            requests_from_json('{"kind": "assignment", "n": 4}')
+
+
+class TestResultSerialisation:
+    def test_result_document(self):
+        res = BRSMN(8).route(paper_example_assignment())
+        doc = json.loads(result_to_json(res))
+        assert doc["kind"] == "result"
+        assert doc["deliveries"]["0"]["source"] == 0
+        assert doc["deliveries"]["7"]["source"] == 2
+        assert doc["stats"]["splits"] == 3
+        assert doc["stats"]["final_switches"] == 4
+
+
+class TestCliFileIO:
+    def test_route_from_file_and_save(self, tmp_path, capsys):
+        a = MulticastAssignment(4, [{1, 2}, None, {0}, None])
+        infile = tmp_path / "assign.json"
+        outfile = tmp_path / "result.json"
+        infile.write_text(assignment_to_json(a))
+        rc = main(
+            ["route", "--n", "4", "--file", str(infile), "--save", str(outfile)]
+        )
+        assert rc == 0
+        doc = json.loads(outfile.read_text())
+        assert doc["deliveries"]["0"]["source"] == 2
+        assert doc["deliveries"]["1"]["source"] == 0
+
+    def test_size_mismatch_detected(self, tmp_path, capsys):
+        infile = tmp_path / "assign.json"
+        infile.write_text(assignment_to_json(MulticastAssignment.identity(4)))
+        assert main(["route", "--n", "8", "--file", str(infile)]) == 2
+        assert "n=4" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["route", "--n", "4", "--file", "/nonexistent.json"]) == 2
+        assert "bad --file" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Tests for tag values and the Table 1 encoding."""
+
+import pytest
+
+from repro.core.tags import (
+    Tag,
+    decode_tag,
+    encode_tag,
+    format_tag_string,
+    is_alpha_bit,
+    is_eps_bit,
+    is_one_bit,
+    parse_tag_string,
+)
+from repro.errors import InvalidTagError
+
+
+class TestTable1Encoding:
+    def test_paper_codes(self):
+        """The exact Table 1 rows."""
+        assert encode_tag(Tag.ZERO) == (0, 0, 0)
+        assert encode_tag(Tag.ONE) == (0, 0, 1)
+        assert encode_tag(Tag.ALPHA) == (1, 0, 0)
+        assert encode_tag(Tag.EPS0) == (1, 1, 0)
+        assert encode_tag(Tag.EPS1) == (1, 1, 1)
+
+    def test_eps_dont_care_canonicalised(self):
+        assert encode_tag(Tag.EPS) == (1, 1, 0)
+
+    def test_decode_roundtrip(self):
+        for tag in (Tag.ZERO, Tag.ONE, Tag.ALPHA):
+            assert decode_tag(encode_tag(tag)) is tag
+        for tag in (Tag.EPS0, Tag.EPS1):
+            assert decode_tag(encode_tag(tag), dummies=True) is tag
+
+    def test_decode_eps_dont_care(self):
+        """11X decodes to EPS regardless of b2 (outside the quasisorter)."""
+        assert decode_tag((1, 1, 0)) is Tag.EPS
+        assert decode_tag((1, 1, 1)) is Tag.EPS
+
+    def test_unused_code_rejected(self):
+        with pytest.raises(InvalidTagError):
+            decode_tag((1, 0, 1))
+
+    def test_malformed_bits_rejected(self):
+        with pytest.raises(InvalidTagError):
+            decode_tag((2, 0, 0))
+
+    def test_encode_rejects_non_tag(self):
+        with pytest.raises(InvalidTagError):
+            encode_tag("alpha")  # type: ignore[arg-type]
+
+
+class TestHardwarePredicates:
+    """Section 7.2's single-gate counting predicates."""
+
+    def test_alpha_predicate(self):
+        assert is_alpha_bit(Tag.ALPHA) == 1
+        for t in (Tag.ZERO, Tag.ONE, Tag.EPS, Tag.EPS0, Tag.EPS1):
+            assert is_alpha_bit(t) == 0
+
+    def test_eps_predicate(self):
+        for t in (Tag.EPS, Tag.EPS0, Tag.EPS1):
+            assert is_eps_bit(t) == 1
+        for t in (Tag.ZERO, Tag.ONE, Tag.ALPHA):
+            assert is_eps_bit(t) == 0
+
+    def test_one_predicate_in_quasisorter(self):
+        """b2 counts (real + dummy) ones over {0,1,eps0,eps1}."""
+        assert is_one_bit(Tag.ONE) == 1
+        assert is_one_bit(Tag.EPS1) == 1
+        assert is_one_bit(Tag.ZERO) == 0
+        assert is_one_bit(Tag.EPS0) == 0
+
+
+class TestTagProperties:
+    def test_eps_like(self):
+        assert Tag.EPS.is_eps_like
+        assert Tag.EPS0.is_eps_like
+        assert Tag.EPS1.is_eps_like
+        assert not Tag.ALPHA.is_eps_like
+
+    def test_chi(self):
+        assert Tag.ZERO.is_chi and Tag.ONE.is_chi
+        assert not Tag.ALPHA.is_chi and not Tag.EPS.is_chi
+
+
+class TestTagStrings:
+    def test_parse_basic(self):
+        assert parse_tag_string("01ae") == [Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS]
+
+    def test_parse_dummies(self):
+        assert parse_tag_string("zw") == [Tag.EPS0, Tag.EPS1]
+
+    def test_parse_ignores_spaces(self):
+        assert parse_tag_string("0 1  a") == [Tag.ZERO, Tag.ONE, Tag.ALPHA]
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(InvalidTagError):
+            parse_tag_string("0x1")
+
+    def test_format_roundtrip(self):
+        s = "00eaeee"
+        assert format_tag_string(parse_tag_string(s)) == s

@@ -1,0 +1,167 @@
+"""Tests for multicast tag trees and the SEQ wire format (Section 7.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tags import Tag, format_tag_string, parse_tag_string
+from repro.core.tagtree import (
+    TagTree,
+    merge_sequences,
+    order_sequence,
+    split_stream,
+    tag_of_destinations,
+)
+from repro.errors import InvalidTagError
+
+from conftest import sizes
+
+
+class TestTagOfDestinations:
+    def test_four_cases(self):
+        assert tag_of_destinations([0, 1], 4) is Tag.ZERO
+        assert tag_of_destinations([5, 6], 4) is Tag.ONE
+        assert tag_of_destinations([1, 6], 4) is Tag.ALPHA
+        assert tag_of_destinations([], 4) is Tag.EPS
+
+
+class TestOrderFunction:
+    def test_eq10_merge(self):
+        assert merge_sequences("abc", "xyz") == list("axbycz")
+
+    def test_merge_rejects_unequal(self):
+        with pytest.raises(InvalidTagError):
+            merge_sequences("ab", "xyz")
+
+    def test_eq11_order_len2(self):
+        assert order_sequence(["b1", "b2"]) == ["b1", "b2"]
+
+    def test_eq11_order_len4(self):
+        assert order_sequence(["b1", "b2", "b3", "b4"]) == ["b1", "b3", "b2", "b4"]
+
+    def test_eq11_order_len8_matches_fig11(self):
+        """Fig. 11 / eq. (13): order(SEQ_4) = t41 t45 t43 t47 t42 t46 t44 t48."""
+        level4 = [f"t4{i}" for i in range(1, 9)]
+        assert order_sequence(level4) == [
+            "t41", "t45", "t43", "t47", "t42", "t46", "t44", "t48",
+        ]
+
+    def test_order_rejects_odd(self):
+        with pytest.raises(InvalidTagError):
+            order_sequence(["a", "b", "c"])
+
+
+class TestFig11SequenceOrder:
+    def test_full_n16_concatenation(self):
+        """The complete eq. (13) ordering for n = 16 from symbolic tags."""
+        seq = (
+            order_sequence(["t11"])
+            + order_sequence(["t21", "t22"])
+            + order_sequence(["t31", "t32", "t33", "t34"])
+            + order_sequence([f"t4{i}" for i in range(1, 9)])
+        )
+        assert seq == [
+            "t11",
+            "t21", "t22",
+            "t31", "t33", "t32", "t34",
+            "t41", "t45", "t43", "t47", "t42", "t46", "t44", "t48",
+        ]
+
+
+class TestFromDestinations:
+    def test_fig9a_sequence(self):
+        """Fig. 9a: multicast {000, 001} -> SEQ '00eaeee'."""
+        tree = TagTree.from_destinations(8, {0, 1})
+        assert format_tag_string(tree.to_sequence()) == "00eaeee"
+
+    def test_fig9b_sequence(self):
+        """Fig. 9b: multicast {011, 100, 111} -> SEQ 'a1ae011'."""
+        tree = TagTree.from_destinations(8, {3, 4, 7})
+        assert format_tag_string(tree.to_sequence()) == "a1ae011"
+
+    def test_empty_multicast_all_eps(self):
+        tree = TagTree.from_destinations(8, set())
+        assert all(t is Tag.EPS for t in tree.to_sequence())
+
+    def test_broadcast_all_alpha(self):
+        tree = TagTree.from_destinations(8, range(8))
+        assert all(t is Tag.ALPHA for t in tree.to_sequence())
+
+    def test_sequence_length(self):
+        """n - 1 tags (the paper's Fig. 11, not its 2n-2 prose index)."""
+        for n in (2, 4, 8, 16, 64):
+            tree = TagTree.from_destinations(n, {0})
+            assert len(tree.to_sequence()) == n - 1
+
+    def test_destination_out_of_range(self):
+        with pytest.raises(InvalidTagError):
+            TagTree.from_destinations(8, {8})
+
+
+class TestRoundTrip:
+    @settings(max_examples=300)
+    @given(sizes(max_m=6), st.data())
+    def test_destinations_roundtrip(self, n, data):
+        dests = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1))
+        )
+        tree = TagTree.from_destinations(n, dests)
+        tree.validate()
+        parsed = TagTree.from_sequence(n, tree.to_sequence())
+        assert parsed.destinations() == frozenset(dests)
+        assert parsed == tree
+
+    @settings(max_examples=200)
+    @given(sizes(min_m=2, max_m=6), st.data())
+    def test_split_stream_matches_subtrees(self, n, data):
+        """Fig. 10: odd remainder = left subtree SEQ, even = right."""
+        dests = data.draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+        tree = TagTree.from_destinations(n, dests)
+        head, up, lo = split_stream(tree.to_sequence())
+        assert head is tree.root.tag
+        assert up == TagTree(n // 2, tree.root.left).to_sequence()
+        assert lo == TagTree(n // 2, tree.root.right).to_sequence()
+
+    def test_from_sequence_length_checked(self):
+        with pytest.raises(InvalidTagError):
+            TagTree.from_sequence(8, parse_tag_string("00e"))
+
+    def test_split_empty_stream_rejected(self):
+        with pytest.raises(InvalidTagError):
+            split_stream(())
+
+
+class TestValidate:
+    def test_valid_trees_pass(self):
+        for dests in (set(), {0}, {7}, {0, 7}, {1, 2, 3}, set(range(8))):
+            TagTree.from_destinations(8, dests).validate()
+
+    def test_corrupted_tree_detected(self):
+        """A zero node whose right child is non-eps violates Sec 7.1."""
+        seq = parse_tag_string("00eaeee")
+        bad = list(seq)
+        bad[2] = Tag.ONE  # right child of the zero root must be eps
+        tree = TagTree.from_sequence(8, bad)
+        with pytest.raises(InvalidTagError):
+            tree.validate()
+
+    def test_alpha_with_eps_child_detected(self):
+        seq = parse_tag_string("a1ae011")
+        bad = list(seq)
+        bad[1] = Tag.EPS  # alpha root's left child
+        tree = TagTree.from_sequence(8, bad)
+        with pytest.raises(InvalidTagError):
+            tree.validate()
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = TagTree.from_destinations(8, {1, 2})
+        b = TagTree.from_destinations(8, {1, 2})
+        c = TagTree.from_destinations(8, {1, 3})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_str_contains_seq(self):
+        t = TagTree.from_destinations(8, {0, 1})
+        assert "00eaeee" in str(t)

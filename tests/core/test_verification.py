@@ -1,0 +1,66 @@
+"""Tests for delivery and edge-disjointness verification."""
+
+from repro.core.brsmn import BRSMN
+from repro.core.message import Message
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.core.verification import (
+    VerificationReport,
+    verify_delivery,
+    verify_edge_disjoint,
+    verify_result,
+)
+
+
+class TestVerifyDelivery:
+    def test_correct_delivery_passes(self):
+        a = MulticastAssignment(4, [{0, 1}, None, {3}, None])
+        msg0 = Message(source=0, destinations={0, 1})
+        msg2 = Message(source=2, destinations={3})
+        report = verify_delivery(a, [msg0, msg0, None, msg2])
+        assert report.ok and report.deliveries == 3
+
+    def test_wrong_length(self):
+        a = MulticastAssignment(4, [None] * 4)
+        assert not verify_delivery(a, [None] * 3).ok
+
+    def test_wrong_source(self):
+        a = MulticastAssignment(4, [{0}, {1}, None, None])
+        m0 = Message(source=0, destinations={0})
+        report = verify_delivery(a, [m0, m0, None, None])
+        assert not report.ok
+        assert any("expected 1" in v for v in report.violations)
+
+    def test_report_bool(self):
+        assert bool(VerificationReport(True))
+        assert not bool(VerificationReport(False, ["x"]))
+
+
+class TestVerifyEdgeDisjoint:
+    def test_real_trace_passes(self):
+        res = BRSMN(8).route(paper_example_assignment(), collect_trace=True)
+        assert verify_edge_disjoint(res.trace).ok
+
+    def test_message_conservation_violation_detected(self):
+        """A stage record with a vanished message is flagged."""
+        from repro.core.tags import Tag
+        from repro.rbn.cells import Cell
+        from repro.rbn.switches import SwitchSetting
+        from repro.rbn.trace import Trace
+
+        trace = Trace()
+        trace.record_stage(
+            size=2,
+            offset=0,
+            settings=(SwitchSetting.PARALLEL,),
+            inputs=(Cell(Tag.ZERO, data="m"), Cell(Tag.EPS)),
+            outputs=(Cell(Tag.EPS), Cell(Tag.EPS)),  # message vanished!
+        )
+        assert not verify_edge_disjoint(trace).ok
+
+
+class TestVerifyResult:
+    def test_combined(self):
+        res = BRSMN(8).route(paper_example_assignment(), collect_trace=True)
+        report = verify_result(res)
+        assert report.ok
+        assert report.deliveries == 8

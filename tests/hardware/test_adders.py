@@ -1,0 +1,63 @@
+"""Tests for the adder circuits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.adders import (
+    FULL_ADDER_DEPTH,
+    FULL_ADDER_GATES,
+    add_with_circuit,
+    build_full_adder,
+    build_ripple_adder,
+)
+
+
+class TestFullAdder:
+    def test_exhaustive_truth_table(self):
+        fa = build_full_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    values, _t = fa.evaluate({"a": a, "b": b, "cin": cin})
+                    total = a + b + cin
+                    assert values["sum"] == total & 1
+                    assert values["cout"] == total >> 1
+
+    def test_declared_constants(self):
+        fa = build_full_adder()
+        assert fa.gate_count == FULL_ADDER_GATES
+        assert fa.critical_path() == FULL_ADDER_DEPTH
+
+
+class TestRippleAdder:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.data(),
+    )
+    def test_correct_for_random_operands(self, width, data):
+        x = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        y = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        adder = build_ripple_adder(width)
+        total, _t = add_with_circuit(adder, x, y, width)
+        assert total == x + y
+
+    def test_gate_count_linear(self):
+        assert build_ripple_adder(4).gate_count == 4 * FULL_ADDER_GATES
+        assert build_ripple_adder(10).gate_count == 10 * FULL_ADDER_GATES
+
+    def test_critical_path_grows_linearly(self):
+        """The carry chain makes the unpipelined adder O(width) deep —
+        the cost Fig. 12's bit-serial scheme avoids.  Exactly 2w + 1
+        gate delays (2 per carry hop, plus the first XOR)."""
+        for w in (1, 2, 4, 8, 16):
+            assert build_ripple_adder(w).critical_path() == 2 * w + 1
+
+    def test_operand_range_checked(self):
+        adder = build_ripple_adder(4)
+        with pytest.raises(ValueError):
+            add_with_circuit(adder, 16, 0, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            build_ripple_adder(0)

@@ -1,0 +1,121 @@
+"""Tests for the cost model (Section 7.4 / Table 2 cost and depth)."""
+
+import pytest
+
+from repro.analysis.fitting import best_model, fit_constant
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.hardware.cost import DEFAULT_COST, CostModel, CostParameters
+
+
+class TestSwitchCounts:
+    def test_rbn(self):
+        cm = CostModel()
+        assert cm.rbn_switches(8) == 12
+        assert cm.rbn_switches(1024) == 5120
+
+    def test_bsn_is_two_rbns(self):
+        cm = CostModel()
+        for n in (2, 16, 256):
+            assert cm.bsn_switches(n) == 2 * cm.rbn_switches(n)
+
+    def test_brsmn_matches_network_object(self):
+        """Model and the actual recursive network must agree exactly."""
+        cm = CostModel()
+        for n in (2, 4, 8, 32, 128):
+            assert cm.brsmn_switches(n) == BRSMN(n).switch_count
+
+    def test_feedback_matches_network_object(self):
+        cm = CostModel()
+        for n in (2, 8, 64):
+            assert cm.feedback_switches(n) == FeedbackBRSMN(n).switch_count
+
+    def test_brsmn_closed_form(self):
+        """C(n) = sum_j 2^{j-1} n_j log n_j + n/2 with n_j = n/2^{j-1}."""
+        cm = CostModel()
+        n = 64
+        expected = 0
+        size, blocks = n, 1
+        while size > 2:
+            m = size.bit_length() - 1
+            expected += blocks * size * m  # BSN(size) has size*log(size)
+            blocks *= 2
+            size //= 2
+        expected += blocks
+        assert cm.brsmn_switches(n) == expected
+
+
+class TestGateCounts:
+    def test_gates_scale_with_switches(self):
+        cm = CostModel()
+        g = DEFAULT_COST.gates_per_switch
+        assert cm.rbn_gates(16) == cm.rbn_switches(16) * g
+        assert cm.brsmn_gates(16) == cm.brsmn_switches(16) * g
+
+    def test_custom_parameters(self):
+        params = CostParameters(datapath_gates=2, routing_adders=0, routing_misc_gates=0)
+        cm = CostModel(params)
+        assert cm.rbn_gates(8) == 12 * 2
+
+
+class TestGrowthShapes:
+    """The Table 2 cost column, verified on measured counts."""
+
+    def test_brsmn_is_n_log2n(self):
+        cm = CostModel()
+        ns = [2**k for k in range(3, 13)]
+        name, _c, resid = best_model(ns, [cm.brsmn_gates(n) for n in ns])
+        assert name == "n log^2 n"
+        assert resid < 0.15
+
+    def test_feedback_is_n_logn(self):
+        cm = CostModel()
+        ns = [2**k for k in range(3, 13)]
+        name, _c, resid = best_model(ns, [cm.feedback_gates(n) for n in ns])
+        assert name == "n log n"
+        assert resid < 1e-9  # exact
+
+    def test_rbn_is_n_logn_exact(self):
+        cm = CostModel()
+        ns = [2**k for k in range(1, 14)]
+        c, resid = fit_constant(
+            ns, [cm.rbn_switches(n) for n in ns], lambda n: n * (n.bit_length() - 1)
+        )
+        assert abs(c - 0.5) < 1e-12 and resid < 1e-12
+
+
+class TestDepths:
+    def test_rbn_depth(self):
+        cm = CostModel()
+        assert cm.rbn_depth(8) == 3 * DEFAULT_COST.switch_delay
+
+    def test_brsmn_depth_matches_network(self):
+        cm = CostModel(CostParameters(switch_delay=1))
+        for n in (2, 8, 64):
+            assert cm.brsmn_depth(n) == BRSMN(n).depth
+
+    def test_feedback_depth_equals_unrolled(self):
+        cm = CostModel()
+        for n in (4, 32):
+            assert cm.feedback_depth(n) == cm.brsmn_depth(n)
+
+    def test_depth_is_log2_squared(self):
+        from repro.analysis.fitting import GROWTH_MODELS
+
+        cm = CostModel()
+        ns = [2**k for k in range(3, 13)]
+        sublinear = {
+            k: v for k, v in GROWTH_MODELS.items() if k.startswith("log") or k == "1"
+        }
+        name, _c, _resid = best_model(
+            ns, [cm.brsmn_depth(n) for n in ns], sublinear
+        )
+        assert name == "log^2 n"
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        s = CostModel().summary(16)
+        assert set(s) == {"rbn", "bsn", "brsmn", "feedback"}
+        for row in s.values():
+            assert set(row) == {"switches", "gates", "depth"}

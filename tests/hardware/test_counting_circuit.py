@@ -1,0 +1,81 @@
+"""Tests for the gate-level population counter (Section 7.2 hardware)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tags import Tag
+from repro.hardware.counting_circuit import PopulationCounter, build_predicate_bank
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.scatter import count_tags
+
+from conftest import sizes
+
+
+class TestPredicateBank:
+    def test_four_gates_per_input(self):
+        assert build_predicate_bank(8).gate_count == 4 * 8
+
+    def test_predicates_for_each_tag(self):
+        bank = build_predicate_bank(1)
+        from repro.core.tags import encode_tag
+
+        expected = {
+            Tag.ZERO: (0, 0, 0),
+            Tag.ONE: (0, 0, 1),
+            Tag.ALPHA: (1, 0, 0),
+            Tag.EPS: (0, 1, 0),
+            Tag.EPS1: (0, 1, 1),
+        }
+        for tag, (a, e, o) in expected.items():
+            b0, b1, b2 = encode_tag(tag)
+            values, _t = bank.evaluate({"b0_0": b0, "b1_0": b1, "b2_0": b2})
+            assert (values["alpha_0"], values["eps_0"], values["one_0"]) == (a, e, o)
+
+
+class TestPopulationCounter:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes(max_m=5), st.data())
+    def test_matches_behavioural_counts(self, n, data):
+        """Gate-level counts equal the algorithm-level count_tags()."""
+        tags = data.draw(
+            st.lists(
+                st.sampled_from([Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS]),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        counter = PopulationCounter(n)
+        report = counter.count(tags)
+        behavioural = count_tags(cells_from_tags(tags))
+        assert report.n_alpha == behavioural["na"]
+        assert report.n_eps == behavioural["ne"]
+        assert report.n_one == behavioural["n1"]
+
+    def test_latency_logarithmic(self):
+        """Adder-tree latency grows by a constant per doubling."""
+        lat = []
+        for m in (2, 4, 6):
+            counter = PopulationCounter(1 << m)
+            rep = counter.count([Tag.EPS] * (1 << m))
+            lat.append(rep.adder_latency)
+        assert lat[1] - lat[0] == lat[2] - lat[1] == 4
+
+    def test_predicate_delay_constant(self):
+        """Predicates are one gate level deep regardless of n."""
+        for n in (4, 64):
+            rep = PopulationCounter(n).count([Tag.ALPHA] * 0 + [Tag.EPS] * n)
+            assert rep.predicate_delay == 2  # NOT + AND
+
+    def test_gate_count_linear(self):
+        g16 = PopulationCounter(16).gate_count
+        g32 = PopulationCounter(32).gate_count
+        g64 = PopulationCounter(64).gate_count
+        # predicates 3n + three adder trees 3*5*(n-1): linear in n
+        assert g32 - g16 == (g64 - g32) / 2
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            PopulationCounter(8).count([Tag.EPS] * 4)

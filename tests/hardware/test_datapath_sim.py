@@ -1,0 +1,91 @@
+"""Tests: gate-level pass replay agrees with the behavioural simulator."""
+
+import random
+
+import pytest
+
+from repro.core.tags import Tag, encode_tag
+from repro.hardware.datapath_sim import gate_level_pass
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.quasisort import quasisort
+from repro.rbn.scatter import scatter
+from repro.rbn.trace import Trace
+from repro.viz.ascii import split_rbn_passes
+
+
+def _bsn_passes(n, seed):
+    """Record a scatter + quasisort frame; return passes and the
+    behavioural intermediate/final tag vectors."""
+    rng = random.Random(seed)
+    half = n // 2
+    na = rng.randint(0, half // 2)
+    n0 = rng.randint(0, half - na)
+    n1 = rng.randint(0, half - na)
+    tags = (
+        [Tag.ZERO] * n0
+        + [Tag.ONE] * n1
+        + [Tag.ALPHA] * na
+        + [Tag.EPS] * (n - n0 - n1 - na)
+    )
+    rng.shuffle(tags)
+    trace = Trace()
+    mid = scatter(cells_from_tags(tags), 0, trace=trace)
+    out = quasisort(mid, trace=trace, keep_dummies=True)
+    return split_rbn_passes(trace, n), mid, out
+
+
+class TestGateLevelAgreement:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_scatter_pass_tags_identical(self, n):
+        """Netlist muxes + rewrites reproduce the scatter tag plane,
+        including the alpha -> (0, 1) broadcast transformations."""
+        passes, mid, _out = _bsn_passes(n, seed=n)
+        g = gate_level_pass(passes[0], n)
+        assert [encode_tag(t) for t in g.tags] == [
+            encode_tag(c.tag) for c in mid
+        ]
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_quasisort_pass_tags_identical(self, n):
+        passes, _mid, out = _bsn_passes(n, seed=n + 1)
+        g = gate_level_pass(passes[1], n)
+        assert [encode_tag(t) for t in g.tags] == [
+            encode_tag(c.tag) for c in out
+        ]
+
+    def test_many_seeds(self):
+        for seed in range(15):
+            passes, mid, out = _bsn_passes(8, seed=seed)
+            assert [encode_tag(t) for t in gate_level_pass(passes[0], 8).tags] == [
+                encode_tag(c.tag) for c in mid
+            ]
+            assert [encode_tag(t) for t in gate_level_pass(passes[1], 8).tags] == [
+                encode_tag(c.tag) for c in out
+            ]
+
+
+class TestDelayAccounting:
+    def test_critical_path_linear_in_stages(self):
+        """Per-stage delay is constant, so the pass critical path is
+        proportional to log2 n."""
+        paths = {}
+        for n in (4, 16, 64):
+            passes, _m, _o = _bsn_passes(n, seed=3)
+            paths[n] = gate_level_pass(passes[0], n).critical_path
+        per_stage_4 = paths[4] / 2
+        per_stage_16 = paths[16] / 4
+        per_stage_64 = paths[64] / 6
+        assert per_stage_4 == per_stage_16 == per_stage_64
+
+    def test_every_switch_evaluated_once(self):
+        n = 16
+        passes, _m, _o = _bsn_passes(n, seed=4)
+        g = gate_level_pass(passes[0], n)
+        assert g.switch_evaluations == (n // 2) * 4  # (n/2) log2 n
+
+
+class TestValidation:
+    def test_incomplete_pass_rejected(self):
+        passes, _m, _o = _bsn_passes(8, seed=5)
+        with pytest.raises(ValueError):
+            gate_level_pass(passes[0][:2], 8)

@@ -1,0 +1,93 @@
+"""Tests for the gate-level netlist substrate."""
+
+import pytest
+
+from repro.hardware.gates import GATE_OPS, Circuit
+
+
+class TestGateOps:
+    def test_truth_tables(self):
+        cases = {
+            "NOT": {(0,): 1, (1,): 0},
+            "AND": {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+            "OR": {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1},
+            "XOR": {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+            "NAND": {(0, 0): 1, (1, 1): 0},
+            "NOR": {(0, 0): 1, (0, 1): 0},
+            "XNOR": {(0, 0): 1, (0, 1): 0, (1, 1): 1},
+        }
+        for op, table in cases.items():
+            _arity, fn = GATE_OPS[op]
+            for ins, want in table.items():
+                assert fn(*ins) == want, (op, ins)
+
+
+class TestCircuit:
+    def test_alpha_predicate_circuit(self):
+        """Section 7.2: is_alpha = b0 AND NOT b1."""
+        c = Circuit()
+        b0 = c.add_input("b0")
+        b1 = c.add_input("b1")
+        nb1 = c.add_gate("NOT", b1)
+        c.add_output("is_alpha", c.add_gate("AND", b0, nb1))
+        from repro.core.tags import Tag, encode_tag
+
+        for tag in (Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS):
+            bits = encode_tag(tag)
+            values, _t = c.evaluate({"b0": bits[0], "b1": bits[1]})
+            assert values["is_alpha"] == (1 if tag is Tag.ALPHA else 0)
+
+    def test_arrival_times(self):
+        c = Circuit()
+        a = c.add_input("a")
+        b = c.add_input("b")
+        x = c.add_gate("AND", a, b)        # t = 1
+        y = c.add_gate("OR", x, a)         # t = 2
+        c.add_output("y", y)
+        _v, t = c.evaluate({"a": 1, "b": 0})
+        assert t == 2
+        assert c.critical_path() == 2
+
+    def test_custom_delay(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output("o", c.add_gate("BUF", a, delay=5))
+        assert c.critical_path() == 5
+
+    def test_gate_count(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output("o", c.add_gate("NOT", c.add_gate("NOT", a)))
+        assert c.gate_count == 2
+
+    def test_unknown_op_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_gate("MAJ", a)
+
+    def test_wrong_arity_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_gate("AND", a)
+
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_input("a")
+
+    def test_non_binary_input_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output("o", c.add_gate("BUF", a))
+        with pytest.raises(ValueError):
+            c.evaluate({"a": 2})
+
+    def test_missing_input_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output("o", c.add_gate("BUF", a))
+        with pytest.raises(KeyError):
+            c.evaluate({})

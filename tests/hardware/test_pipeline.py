@@ -1,0 +1,102 @@
+"""Tests for the pipelined bit-serial adder (Fig. 12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.adders import FULL_ADDER_GATES
+from repro.hardware.pipeline import BitSerialAdder, PipelinedAdderTree, pipelined_add
+
+
+class TestBitSerialAdder:
+    def test_single_bits(self):
+        a = BitSerialAdder()
+        assert a.step(1, 1) == 0 and a.carry == 1
+        assert a.step(0, 0) == 1 and a.carry == 0
+
+    def test_carry_persists_across_cycles(self):
+        a = BitSerialAdder()
+        # 3 + 1 = 4, LSB first: (1,1)->0 c1, (1,0)->0 c1, (0,0)->1
+        assert [a.step(1, 1), a.step(1, 0), a.step(0, 0)] == [0, 0, 1]
+
+    def test_reset(self):
+        a = BitSerialAdder()
+        a.step(1, 1)
+        a.reset()
+        assert a.carry == 0
+
+    def test_bit_validation(self):
+        with pytest.raises(ValueError):
+            BitSerialAdder().step(2, 0)
+
+    def test_gate_count_constant(self):
+        assert BitSerialAdder().gate_count == FULL_ADDER_GATES
+
+
+class TestPipelinedAdd:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.data(),
+    )
+    def test_exact_sums(self, width, data):
+        x = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        y = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        total, cycles = pipelined_add(x, y, width)
+        assert total == x + y
+        assert cycles == width + 1
+
+
+class TestPipelinedAdderTree:
+    @given(st.integers(min_value=1, max_value=5), st.data())
+    def test_reduction_correct(self, m, data):
+        n = 1 << m
+        width = 4
+        ops = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << width) - 1),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        tree = PipelinedAdderTree(n)
+        total, _lat = tree.reduce(ops, width)
+        assert total == sum(ops)
+
+    def test_structure(self):
+        tree = PipelinedAdderTree(16)
+        assert tree.depth == 4
+        assert tree.node_count == 15
+        assert tree.gate_count == 15 * FULL_ADDER_GATES
+
+    def test_latency_is_fill_plus_drain(self):
+        """Latency = log n (fill) + result bits (drain) — O(log n), not
+        O(log n * bits): the Section 7.2 pipelining claim."""
+        width = 4
+        for m in (1, 2, 3, 4):
+            n = 1 << m
+            tree = PipelinedAdderTree(n)
+            _total, lat = tree.reduce([1] * n, width)
+            assert lat == m + (width + m)
+
+    def test_latency_grows_logarithmically(self):
+        width = 8
+        lat = []
+        for m in (2, 4, 6):
+            tree = PipelinedAdderTree(1 << m)
+            lat.append(tree.reduce([0] * (1 << m), width)[1])
+        # doubling m adds a constant, not a multiple
+        assert lat[1] - lat[0] == lat[2] - lat[1] == 4
+
+    def test_operand_count_checked(self):
+        tree = PipelinedAdderTree(4)
+        with pytest.raises(ValueError):
+            tree.reduce([1, 2, 3], 4)
+
+    def test_operand_range_checked(self):
+        tree = PipelinedAdderTree(4)
+        with pytest.raises(ValueError):
+            tree.reduce([16, 0, 0, 0], 4)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedAdderTree(6)

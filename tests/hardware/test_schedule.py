@@ -1,0 +1,115 @@
+"""Tests for the feedback-frame timing schedule."""
+
+import pytest
+
+from repro.hardware.schedule import build_frame_schedule
+from repro.hardware.timing import TimingModel, TimingParameters
+
+
+class TestScheduleStructure:
+    def test_pass_count(self):
+        for n in (4, 16, 256):
+            s = build_frame_schedule(n)
+            m = n.bit_length() - 1
+            assert s.pass_count == 2 * m - 1
+
+    def test_entries_contiguous_and_ordered(self):
+        s = build_frame_schedule(64)
+        now = 0
+        for e in s.entries:
+            assert e.start == now
+            assert e.end > e.start or e.kind == "routing"
+            now = e.end
+        assert s.total_time == now
+
+    def test_levels_monotonic(self):
+        s = build_frame_schedule(32)
+        levels = [e.level for e in s.entries]
+        assert levels == sorted(levels)
+
+    def test_alternating_kinds_within_levels(self):
+        s = build_frame_schedule(16)
+        kinds = [e.kind for e in s.entries]
+        # routing, datapath, routing, datapath ... per level, ending with
+        # the delivery pair
+        assert kinds[0::2] == ["routing"] * (len(kinds) // 2)
+        assert kinds[1::2] == ["datapath"] * (len(kinds) // 2)
+
+
+class TestScheduleTimes:
+    def test_total_is_routing_plus_datapath(self):
+        s = build_frame_schedule(128)
+        assert s.total_time == s.routing_time + s.datapath_time
+
+    def test_routing_time_reconciles_with_model(self):
+        """Schedule routing = model routing + one extra setting_delay
+        per level (the schedule charges the parallel setting step per
+        pass-group, the model once per BSN)."""
+        p = TimingParameters()
+        tm = TimingModel(p)
+        for n in (8, 64, 512):
+            s = build_frame_schedule(n, p)
+            levels = n.bit_length() - 2  # BSN levels above the final switch
+            assert s.routing_time == tm.brsmn_routing_time(n) + levels * p.setting_delay
+
+    def test_datapath_time_is_stage_crossings(self):
+        from repro.hardware.cost import DEFAULT_COST
+
+        n = 16
+        s = build_frame_schedule(n)
+        # 2*(4+3) stages of the BSN levels (sizes 16, 8, 4) + 1 delivery
+        expected_stages = 2 * (4 + 3 + 2) + 1
+        assert s.datapath_time == expected_stages * DEFAULT_COST.switch_delay
+
+    def test_grows_as_log_squared(self):
+        from repro.analysis.fitting import GROWTH_MODELS, best_model
+
+        ns = [2**k for k in range(3, 13)]
+        totals = [build_frame_schedule(n).total_time for n in ns]
+        sub = {k: v for k, v in GROWTH_MODELS.items() if k.startswith("log")}
+        name, _c, _r = best_model(ns, totals, sub)
+        assert name == "log^2 n"
+
+
+class TestRender:
+    def test_render_mentions_every_level(self):
+        s = build_frame_schedule(16)
+        text = s.render()
+        for level in (1, 2, 3, 4):
+            assert f"level {level}" in text
+        assert "total" in text
+
+
+class TestPipelinedThroughput:
+    def test_feedback_period_is_latency(self):
+        from repro.hardware.schedule import pipelined_throughput
+
+        for n in (8, 128):
+            r = pipelined_throughput(n)
+            assert r.feedback_period == r.latency
+            assert r.unrolled_period < r.feedback_period
+
+    def test_unrolled_period_is_slowest_level(self):
+        from repro.hardware.schedule import build_frame_schedule, pipelined_throughput
+
+        n = 64
+        r = pipelined_throughput(n)
+        s = build_frame_schedule(n)
+        level1 = sum(e.duration for e in s.entries if e.level == 1)
+        assert r.unrolled_period == level1  # the widest level dominates
+
+    def test_speedup_grows_with_n(self):
+        from repro.hardware.schedule import pipelined_throughput
+
+        speedups = [pipelined_throughput(1 << m).unrolled_speedup for m in (3, 6, 10)]
+        assert speedups == sorted(speedups)
+
+    def test_unrolled_period_is_order_log_n(self):
+        from repro.analysis.fitting import GROWTH_MODELS, best_model
+        from repro.hardware.schedule import pipelined_throughput
+
+        ns = [2**k for k in range(3, 13)]
+        periods = [pipelined_throughput(n).unrolled_period for n in ns]
+        sub = {k: v for k, v in GROWTH_MODELS.items() if k.startswith("log")}
+        name, _c, _r = best_model(ns, periods, sub)
+        assert name == "log n"

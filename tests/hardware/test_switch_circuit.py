@@ -1,0 +1,72 @@
+"""Tests for the gate-level 2x2 switch netlist."""
+
+import itertools
+
+import pytest
+
+from repro.core.tags import Tag
+from repro.hardware.switch_circuit import (
+    build_switch_datapath,
+    build_tag_rewrite,
+    simulate_switch_bit,
+    simulate_tag_rewrite,
+    switch_datapath_gates,
+)
+from repro.rbn.switches import SwitchSetting
+
+
+class TestDatapath:
+    def test_all_settings_all_bits(self):
+        """Gate-level datapath realises the full setting table."""
+        expected = {
+            SwitchSetting.PARALLEL: lambda u, l: (u, l),
+            SwitchSetting.CROSS: lambda u, l: (l, u),
+            SwitchSetting.UPPER_BCAST: lambda u, l: (u, u),
+            SwitchSetting.LOWER_BCAST: lambda u, l: (l, l),
+        }
+        for setting, fn in expected.items():
+            for u, l in itertools.product((0, 1), repeat=2):
+                assert simulate_switch_bit(setting, u, l) == fn(u, l), (
+                    setting, u, l,
+                )
+
+    def test_gate_count_constant(self):
+        counts = switch_datapath_gates()
+        assert counts["datapath"] == build_switch_datapath().gate_count
+        assert counts["total"] == counts["datapath"] + 2 * counts["tag_rewrite"]
+
+    def test_netlist_within_cost_model_budget(self):
+        """The cost model's per-switch datapath constant must cover the
+        actual netlist (datapath + both ports' tag rewrite)."""
+        from repro.hardware.cost import DEFAULT_COST
+
+        assert switch_datapath_gates()["total"] <= DEFAULT_COST.datapath_gates + 10
+        # and the netlist isn't trivially over-budgeted either
+        assert switch_datapath_gates()["total"] >= DEFAULT_COST.datapath_gates - 10
+
+    def test_critical_path_small(self):
+        """A serial bit crosses the switch in a handful of gate delays."""
+        assert build_switch_datapath().critical_path() <= 4
+
+
+class TestTagRewrite:
+    def test_broadcast_rewrites_alpha(self):
+        assert simulate_tag_rewrite(Tag.ALPHA, bcast=True, lower=False) is Tag.ZERO
+        assert simulate_tag_rewrite(Tag.ALPHA, bcast=True, lower=True) is Tag.ONE
+
+    def test_passthrough_preserves_tags(self):
+        for tag in (Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS):
+            for lower in (False, True):
+                assert simulate_tag_rewrite(tag, bcast=False, lower=lower) is tag
+
+    def test_gate_count(self):
+        assert build_tag_rewrite().gate_count == 6
+
+    def test_matches_behavioural_broadcast(self):
+        """Gate-level rewrite agrees with Cell.split()'s tag outcome."""
+        from repro.rbn.cells import Cell
+
+        cell = Cell(Tag.ALPHA, data="m", branch0="a", branch1="b")
+        up, lo = cell.split()
+        assert simulate_tag_rewrite(Tag.ALPHA, bcast=True, lower=False) is up.tag
+        assert simulate_tag_rewrite(Tag.ALPHA, bcast=True, lower=True) is lo.tag

@@ -1,0 +1,91 @@
+"""Tests for the routing-time model (Table 2's third column)."""
+
+from repro.analysis.fitting import GROWTH_MODELS, best_model
+from repro.hardware.timing import (
+    TimingModel,
+    TimingParameters,
+    measure_phase_counters,
+)
+
+
+class TestPhaseTime:
+    def test_phase_is_linear_in_log_n(self):
+        tm = TimingModel(TimingParameters(cycle_delay=1))
+        # (2m + 1) cycles
+        assert tm.phase_time(2) == 3
+        assert tm.phase_time(8) == 7
+        assert tm.phase_time(1024) == 21
+
+    def test_cycle_delay_scales(self):
+        a = TimingModel(TimingParameters(cycle_delay=1)).phase_time(64)
+        b = TimingModel(TimingParameters(cycle_delay=3)).phase_time(64)
+        assert b == 3 * a
+
+
+class TestBsnRoutingTime:
+    def test_composition(self):
+        p = TimingParameters(cycle_delay=1, phases_per_bsn=3, setting_delay=0)
+        tm = TimingModel(p)
+        assert tm.bsn_routing_time(8) == 3 * 2 * 7
+
+    def test_log_growth(self):
+        tm = TimingModel()
+        ns = [2**k for k in range(3, 14)]
+        sub = {k: v for k, v in GROWTH_MODELS.items() if k.startswith("log")}
+        name, _c, _r = best_model(ns, [tm.bsn_routing_time(n) for n in ns], sub)
+        assert name == "log n"
+
+
+class TestBrsmnRoutingTime:
+    def test_recurrence(self):
+        """T(n) = bsn(n) + T(n/2)."""
+        tm = TimingModel()
+        for n in (8, 64, 512):
+            assert tm.brsmn_routing_time(n) == tm.bsn_routing_time(
+                n
+            ) + tm.brsmn_routing_time(n // 2)
+
+    def test_log_squared_growth(self):
+        """Table 2: the new design's routing time is log^2 n — strictly
+        below the log^3 n of Nassimi-Sahni and Lee-Oruc."""
+        tm = TimingModel()
+        ns = [2**k for k in range(3, 14)]
+        sub = {k: v for k, v in GROWTH_MODELS.items() if k.startswith("log")}
+        name, _c, _r = best_model(
+            ns, [tm.brsmn_routing_time(n) for n in ns], sub
+        )
+        assert name == "log^2 n"
+
+    def test_feedback_same_latency(self):
+        tm = TimingModel()
+        for n in (8, 256):
+            assert tm.feedback_routing_time(n) == tm.brsmn_routing_time(n)
+
+    def test_summary(self):
+        s = TimingModel().summary(64)
+        assert set(s) == {"phase", "bsn", "brsmn", "feedback"}
+        assert s["brsmn"] > s["bsn"] > s["phase"]
+
+
+class TestMeasuredCounters:
+    def test_three_phase_pairs_per_bsn(self):
+        """Empirically: one BSN frame runs exactly 3 forward and 3
+        backward tree traversals (scatter, eps-divide, sort) — the
+        phases_per_bsn constant is measured, not assumed."""
+        for n, m in ((8, 3), (32, 5), (128, 7)):
+            pc = measure_phase_counters(n, seed=1)
+            assert pc.forward_levels == 3 * m
+            assert pc.backward_levels == 3 * m
+            assert pc.phases == 3
+
+    def test_every_switch_set_twice(self):
+        """Scatter RBN + sort RBN each set all (n/2) log n switches."""
+        n, m = 64, 6
+        pc = measure_phase_counters(n, seed=2)
+        assert pc.switch_settings == 2 * (n // 2) * m
+
+    def test_deterministic_given_seed(self):
+        a = measure_phase_counters(32, seed=9)
+        b = measure_phase_counters(32, seed=9)
+        assert a.forward_ops == b.forward_ops
+        assert a.backward_ops == b.backward_ops

@@ -1,0 +1,61 @@
+"""Closed-form constants (docs/complexity_derivations.md), pinned exactly."""
+
+import pytest
+
+from repro.core.brsmn import BRSMN
+from repro.core.bsn import BinarySplittingNetwork
+from repro.core.feedback import FeedbackBRSMN
+
+SIZES = [2**k for k in range(1, 13)]
+
+
+class TestSwitchCountClosedForms:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_rbn_and_bsn(self, n):
+        from repro.rbn.topology import rbn_switch_count
+
+        m = n.bit_length() - 1
+        assert rbn_switch_count(n) == (n // 2) * m
+        if n >= 2:
+            assert BinarySplittingNetwork(n).switch_count == n * m
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_brsmn_closed_form(self, n):
+        """C(n) = n (m(m+1)/2 - 1) + n/2."""
+        m = n.bit_length() - 1
+        expected = n * (m * (m + 1) // 2 - 1) + n // 2
+        assert BRSMN(n).switch_count == expected
+
+    def test_worked_values(self):
+        assert BRSMN(8).switch_count == 44
+        assert BRSMN(1024).switch_count == 55808
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_feedback_closed_form(self, n):
+        m = n.bit_length() - 1
+        assert FeedbackBRSMN(n).switch_count == (n // 2) * m
+        assert FeedbackBRSMN(n).pass_count == 2 * m - 1
+
+
+class TestDepthClosedForm:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_depth_is_m2_plus_m_minus_1(self, n):
+        m = n.bit_length() - 1
+        assert BRSMN(n).depth == m * m + m - 1
+
+    def test_worked_values(self):
+        assert BRSMN(8).depth == 11
+        assert BRSMN(64).depth == 41
+
+
+class TestRoutingTimeClosedForm:
+    @pytest.mark.parametrize("n", [2**k for k in range(2, 13)])
+    def test_timing_model_closed_form(self, n):
+        """T(n) = 12c (m(m+1)/2 - 1) + (m-1)(6c + s) + s."""
+        from repro.hardware.timing import TimingModel, TimingParameters
+
+        p = TimingParameters()
+        c, s = p.cycle_delay, p.setting_delay
+        m = n.bit_length() - 1
+        expected = 12 * c * (m * (m + 1) // 2 - 1) + (m - 1) * (6 * c + s) + s
+        assert TimingModel(p).brsmn_routing_time(n) == expected

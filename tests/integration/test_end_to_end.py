@@ -1,0 +1,105 @@
+"""Integration: all four network implementations agree on all workloads."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.crossbar import CrossbarMulticast
+from repro.baselines.sort_copy import CopySortMulticast
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.verification import verify_result
+from repro.workloads.patterns import (
+    fft_butterfly_rounds,
+    matrix_multiply_rounds,
+)
+from repro.workloads.random_assignments import assignment_suite
+from repro.workloads.scenarios import (
+    replicated_db_frames,
+    videoconference_frames,
+    vod_frames,
+)
+
+from conftest import assignments
+
+
+def _delivery_signature(result):
+    return [
+        None if m is None else (m.source, m.payload) for m in result.outputs
+    ]
+
+
+ALL_IMPLEMENTATIONS = [
+    ("brsmn", lambda n: BRSMN(n)),
+    ("feedback", lambda n: FeedbackBRSMN(n)),
+    ("crossbar", lambda n: CrossbarMulticast(n)),
+    ("copy+sort", lambda n: CopySortMulticast(n)),
+]
+
+
+class TestCrossImplementationEquivalence:
+    @settings(max_examples=100, deadline=None)
+    @given(assignments(max_m=5))
+    def test_four_implementations_agree(self, a):
+        """Crossbar is the functional gold standard; everything must
+        match it delivery-for-delivery."""
+        reference = _delivery_signature(CrossbarMulticast(a.n).route(a))
+        for name, make in ALL_IMPLEMENTATIONS:
+            got = _delivery_signature(make(a.n).route(a))
+            assert got == reference, name
+
+
+class TestWorkloadSweeps:
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_random_suite_all_networks(self, n):
+        for a in assignment_suite(n, seed=11):
+            for name, make in ALL_IMPLEMENTATIONS:
+                report = verify_result(make(n).route(a))
+                assert report.ok, (name, report.violations)
+
+    def test_matrix_multiply_session(self):
+        n = 16
+        net = BRSMN(n)
+        for a in matrix_multiply_rounds(n):
+            assert verify_result(net.route(a, mode="selfrouting")).ok
+
+    def test_fft_session(self):
+        n = 32
+        net = FeedbackBRSMN(n)
+        for a in fft_butterfly_rounds(n):
+            assert verify_result(net.route(a, mode="selfrouting")).ok
+
+    def test_videoconference_session(self):
+        n = 32
+        net = BRSMN(n)
+        for a in videoconference_frames(n, conferences=4, frames=16, seed=12):
+            assert verify_result(net.route(a, mode="selfrouting")).ok
+
+    def test_vod_session(self):
+        n = 64
+        net = BRSMN(n)
+        for a in vod_frames(n, servers=3, frames=12, seed=13):
+            assert verify_result(net.route(a, mode="selfrouting")).ok
+
+    def test_replicated_db_session(self):
+        n = 32
+        net = FeedbackBRSMN(n)
+        for a in replicated_db_frames(n, shards=4, replicas=3, frames=12, seed=14):
+            assert verify_result(net.route(a, mode="selfrouting")).ok
+
+
+class TestScale:
+    def test_n256_heavy_multicast(self):
+        from repro.workloads.random_assignments import random_multicast
+
+        n = 256
+        a = random_multicast(n, load=1.0, seed=15)
+        res = BRSMN(n).route(a, mode="selfrouting")
+        assert verify_result(res).ok
+
+    def test_n512_broadcast_feedback(self):
+        from repro.core.multicast import MulticastAssignment
+
+        n = 512
+        res = FeedbackBRSMN(n).route(MulticastAssignment.broadcast(n))
+        assert verify_result(res).ok
+        assert res.pass_count == 2 * 9 - 1

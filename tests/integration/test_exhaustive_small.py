@@ -1,0 +1,148 @@
+"""Exhaustive verification on small instances.
+
+Property tests sample; these tests *enumerate*.  At n = 4 the entire
+multicast-assignment space is small enough to route completely: an
+assignment is a map from each output to (the input that feeds it |
+unused), so there are 5^4 = 625 assignments — every single one is
+routed in both modes through both implementations.  Combined with the
+exhaustive n = 2 cases and the full destination-set space of the SEQ
+codec at n = 8, the base of the paper's induction is machine-checked
+with no sampling gaps.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.brsmn import BRSMN
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.multicast import MulticastAssignment
+from repro.core.tagtree import TagTree
+from repro.core.verification import verify_result
+
+
+def _all_assignments(n):
+    """Every multicast assignment of an n x n network.
+
+    Enumerated as all maps output -> (source input | unused).
+    """
+    for owners in itertools.product(range(n + 1), repeat=n):
+        dests = [[] for _ in range(n)]
+        for out, owner in enumerate(owners):
+            if owner < n:
+                dests[owner].append(out)
+        yield MulticastAssignment(n, dests)
+
+
+class TestExhaustiveN4:
+    def test_all_625_assignments_both_modes(self):
+        """The complete n=4 assignment space through the BRSMN."""
+        net = BRSMN(4)
+        count = 0
+        for a in _all_assignments(4):
+            for mode in ("oracle", "selfrouting"):
+                report = verify_result(net.route(a, mode=mode))
+                assert report.ok, (str(a), mode, report.violations)
+            count += 1
+        assert count == 5**4
+
+    def test_all_625_assignments_feedback(self):
+        net = FeedbackBRSMN(4)
+        for a in _all_assignments(4):
+            assert verify_result(net.route(a, mode="selfrouting")).ok
+
+    def test_implementations_agree_everywhere(self):
+        unrolled = BRSMN(4)
+        feedback = FeedbackBRSMN(4)
+        for a in _all_assignments(4):
+            sig = lambda r: [None if m is None else m.source for m in r.outputs]
+            assert sig(unrolled.route(a)) == sig(feedback.route(a))
+
+
+class TestExhaustiveN2:
+    def test_all_9_assignments(self):
+        net = BRSMN(2)
+        count = 0
+        for a in _all_assignments(2):
+            for mode in ("oracle", "selfrouting"):
+                assert verify_result(net.route(a, mode=mode)).ok
+            count += 1
+        assert count == 9
+
+
+class TestExhaustiveSeqCodec:
+    def test_all_destination_sets_n8(self):
+        """All 256 destination subsets of an 8-output network round-trip
+        through the SEQ codec with valid trees."""
+        for bits in range(256):
+            dests = frozenset(i for i in range(8) if (bits >> i) & 1)
+            tree = TagTree.from_destinations(8, dests)
+            tree.validate()
+            assert TagTree.from_sequence(8, tree.to_sequence()).destinations() == dests
+
+    def test_all_destination_sets_n4(self):
+        for bits in range(16):
+            dests = frozenset(i for i in range(4) if (bits >> i) & 1)
+            tree = TagTree.from_destinations(4, dests)
+            tree.validate()
+            assert tree.destinations() == dests
+            assert len(tree.to_sequence()) == 3
+
+
+class TestExhaustiveQuasisortN4:
+    def test_all_valid_populations_all_arrangements(self):
+        """Every tag arrangement over {0,1,eps}^4 with n0,n1 <= 2."""
+        from repro.core.tags import Tag
+        from repro.rbn.cells import cells_from_tags
+        from repro.rbn.quasisort import quasisort
+
+        count = 0
+        for tags in itertools.product([Tag.ZERO, Tag.ONE, Tag.EPS], repeat=4):
+            if tags.count(Tag.ZERO) > 2 or tags.count(Tag.ONE) > 2:
+                continue
+            out = quasisort(cells_from_tags(list(tags)))
+            assert all(c.tag in (Tag.ZERO, Tag.EPS) for c in out[:2])
+            assert all(c.tag in (Tag.ONE, Tag.EPS) for c in out[2:])
+            count += 1
+        assert count == 3**4 - 18  # 9 arrangements exceed each cap, overlaps impossible
+
+    def test_population_count_arithmetic(self):
+        """Sanity on the previous test's expected count."""
+        import itertools as it
+
+        from repro.core.tags import Tag
+
+        valid = sum(
+            1
+            for tags in it.product([Tag.ZERO, Tag.ONE, Tag.EPS], repeat=4)
+            if tags.count(Tag.ZERO) <= 2 and tags.count(Tag.ONE) <= 2
+        )
+        assert valid == 63
+
+
+class TestExhaustiveScatterN4:
+    def test_all_valid_bsn_populations(self):
+        """Every 4-tag arrangement satisfying eqs. (1)-(2)."""
+        from repro.core.tags import Tag
+        from repro.rbn.cells import cells_from_tags
+        from repro.rbn.compact import compact_of_predicate
+        from repro.rbn.scatter import count_tags, scatter
+
+        count = 0
+        base = [Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS]
+        for tags in itertools.product(base, repeat=4):
+            c = {
+                "n0": tags.count(Tag.ZERO),
+                "n1": tags.count(Tag.ONE),
+                "na": tags.count(Tag.ALPHA),
+            }
+            if c["n0"] + c["na"] > 2 or c["n1"] + c["na"] > 2:
+                continue
+            for s in range(4):
+                out = scatter(cells_from_tags(list(tags)), s)
+                oc = count_tags(out)
+                assert oc["na"] == 0
+                assert oc["n0"] == c["n0"] + c["na"]
+                assert oc["n1"] == c["n1"] + c["na"]
+            count += 1
+        assert count > 80  # exhaustiveness sanity

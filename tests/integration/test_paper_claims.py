@@ -1,0 +1,157 @@
+"""Integration: the paper's numbered claims, checked mechanically.
+
+One test per claim, cross-referencing the paper's section/equation so
+EXPERIMENTS.md can cite this file as the machine-checked record.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brsmn import BRSMN, inject_messages
+from repro.core.bsn import BinarySplittingNetwork, make_bsn_cells
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.multicast import MulticastAssignment
+from repro.core.tags import Tag
+from repro.core.verification import verify_result
+from repro.rbn.scatter import count_tags
+
+from conftest import assignments, make_random_assignment
+
+
+class TestSection2Definitions:
+    def test_permutation_is_special_case(self):
+        """'A permutation assignment is a special case of a multicast
+        assignment where each I_i has at most one element.'"""
+        a = MulticastAssignment.from_permutation([1, 0, None, 2])
+        assert a.is_permutation
+        assert verify_result(BRSMN(4).route(a)).ok
+
+    @settings(max_examples=100, deadline=None)
+    @given(assignments(min_m=2, max_m=5))
+    def test_four_case_analysis(self, a):
+        """Section 2's case analysis: each input is case 1 (upper), 2
+        (lower), 3 (split) or 4 (idle) — and the BSN realises it."""
+        n = a.n
+        mid = n // 2
+        frame = inject_messages(a)
+        cells = make_bsn_cells(frame, 0, n, "oracle")
+        for msg, cell in zip(frame, cells):
+            if msg is None:
+                assert cell.tag is Tag.EPS                      # case 4
+            elif all(d < mid for d in msg.destinations):
+                assert cell.tag is Tag.ZERO                     # case 1
+            elif all(d >= mid for d in msg.destinations):
+                assert cell.tag is Tag.ONE                      # case 2
+            else:
+                assert cell.tag is Tag.ALPHA                    # case 3
+
+
+class TestSection3Equations:
+    @settings(max_examples=150, deadline=None)
+    @given(assignments(min_m=2, max_m=5))
+    def test_eq1_eq2_eq3_on_valid_assignments(self, a):
+        """Any valid assignment induces BSN inputs obeying eqs. (1)-(3)."""
+        n = a.n
+        cells = make_bsn_cells(inject_messages(a), 0, n, "oracle")
+        c = count_tags(cells)
+        assert c["n0"] + c["n1"] + c["na"] + c["ne"] == n        # eq. (1)
+        assert c["n0"] + c["na"] <= n // 2                       # eq. (2)
+        assert c["n1"] + c["na"] <= n // 2                       # eq. (2)
+        assert c["na"] <= c["ne"]                                # eq. (3)
+
+    @settings(max_examples=100, deadline=None)
+    @given(assignments(min_m=2, max_m=5))
+    def test_eq4_bsn_output_counts(self, a):
+        """Eq. (4): output populations after the BSN."""
+        n = a.n
+        bsn = BinarySplittingNetwork(n)
+        cells = make_bsn_cells(inject_messages(a), 0, n, "oracle")
+        before = count_tags(cells)
+        out, _stats = bsn.route_cells(cells)
+        after = count_tags(out)
+        assert after["n0"] == before["n0"] + before["na"]
+        assert after["n1"] == before["n1"] + before["na"]
+        assert after["ne"] == before["ne"] - before["na"]
+        assert after["na"] == 0
+
+
+class TestHeadlineTheorem:
+    """'...can realize arbitrary multicast assignments ... without any
+    blocking' — the paper's abstract, on dense random sweeps."""
+
+    def test_dense_sweep_small_sizes(self):
+        rng = random.Random(0xFEED)
+        for n in (2, 4, 8):
+            for _ in range(150):
+                a = make_random_assignment(n, rng)
+                for mode in ("oracle", "selfrouting"):
+                    assert verify_result(BRSMN(n).route(a, mode=mode)).ok
+
+    def test_exhaustive_n2(self):
+        """Every one of the 7 distinct n=2 assignments routes."""
+        cases = [
+            [None, None],
+            [{0}, None], [{1}, None], [None, {0}], [None, {1}],
+            [{0, 1}, None], [None, {0, 1}],
+            [{0}, {1}], [{1}, {0}],
+        ]
+        for dests in cases:
+            a = MulticastAssignment(2, dests)
+            assert verify_result(BRSMN(2).route(a, mode="selfrouting")).ok
+
+    def test_exhaustive_n4_unicast_pairs(self):
+        """All partial permutations of n=4 (625 input/output maps)."""
+        import itertools
+
+        count = 0
+        for perm in itertools.product([None, 0, 1, 2, 3], repeat=4):
+            used = [p for p in perm if p is not None]
+            if len(used) != len(set(used)):
+                continue
+            a = MulticastAssignment.from_permutation(list(perm))
+            assert verify_result(BRSMN(4).route(a)).ok
+            count += 1
+        assert count == 209  # number of partial injections on 4 elements
+
+
+class TestSection73Feedback:
+    def test_feedback_is_single_rbn(self):
+        """'the feedback version of an n x n BRSMN is simply an n x n
+        RBN' — physical cost = (n/2) log n."""
+        from repro.rbn.topology import rbn_switch_count
+
+        for n in (4, 16, 256):
+            assert FeedbackBRSMN(n).switch_count == rbn_switch_count(n)
+
+    @settings(max_examples=60, deadline=None)
+    @given(assignments(max_m=4))
+    def test_feedback_functionally_complete(self, a):
+        assert verify_result(FeedbackBRSMN(a.n).route(a, mode="selfrouting")).ok
+
+
+class TestSection74Complexities:
+    def test_cost_recurrence_c_n(self):
+        """C(n) = O(n log n) + 2 C(n/2) — checked as exact recurrence."""
+        for n in (8, 16, 64, 256):
+            bsn_cost = BinarySplittingNetwork(n).switch_count
+            assert (
+                BRSMN(n).switch_count
+                == bsn_cost + 2 * BRSMN(n // 2).switch_count
+            )
+
+    def test_depth_recurrence_d_n(self):
+        """D(n) = O(log n) + D(n/2)."""
+        for n in (8, 64):
+            assert BRSMN(n).depth == 2 * (n.bit_length() - 1) + BRSMN(n // 2).depth
+
+    def test_routing_time_recurrence_t_n(self):
+        """T(n) = O(log n) + T(n/2) via the timing model."""
+        from repro.hardware.timing import TimingModel
+
+        tm = TimingModel()
+        for n in (8, 64, 1024):
+            assert tm.brsmn_routing_time(n) == tm.bsn_routing_time(
+                n
+            ) + tm.brsmn_routing_time(n // 2)

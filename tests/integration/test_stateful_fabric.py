@@ -1,0 +1,70 @@
+"""Stateful property test: a long-lived fabric session never misroutes.
+
+Hypothesis drives a :class:`~repro.core.fabric.MulticastFabric` through
+an arbitrary interleaving of frame submissions (across workload
+families and fanout regimes) and resets; after every step, the
+aggregate statistics must remain consistent and every delivery
+verified.  This simulates the lifetime of a deployed switch rather than
+one-shot frames.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core.fabric import MulticastFabric
+from repro.core.multicast import MulticastAssignment
+
+from conftest import make_random_assignment
+
+N = 16
+
+
+class FabricSession(RuleBasedStateMachine):
+    """A random long-lived session on a 16-port fabric."""
+
+    @initialize(implementation=st.sampled_from(["unrolled", "feedback"]))
+    def start(self, implementation):
+        self.fabric = MulticastFabric(N, implementation=implementation)
+        self.expected_frames = 0
+        self.expected_deliveries = 0
+
+    @rule(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def submit_random_frame(self, seed):
+        a = make_random_assignment(N, random.Random(seed))
+        self.fabric.submit(a)
+        self.expected_frames += 1
+        self.expected_deliveries += a.total_fanout
+
+    @rule(source=st.integers(min_value=0, max_value=N - 1))
+    def submit_broadcast(self, source):
+        self.fabric.submit(MulticastAssignment.broadcast(N, source))
+        self.expected_frames += 1
+        self.expected_deliveries += N
+
+    @rule()
+    def submit_empty(self):
+        self.fabric.submit(MulticastAssignment.empty(N))
+        self.expected_frames += 1
+
+    @rule()
+    def reset(self):
+        self.fabric.reset()
+        self.expected_frames = 0
+        self.expected_deliveries = 0
+
+    @invariant()
+    def stats_consistent(self):
+        if not hasattr(self, "fabric"):
+            return
+        assert self.fabric.stats.frames == self.expected_frames
+        assert self.fabric.stats.deliveries == self.expected_deliveries
+        assert not self.fabric.stats.failures  # strict mode would raise
+
+
+FabricSession.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestFabricSession = FabricSession.TestCase

@@ -1,0 +1,118 @@
+"""Tests for the RBN as a bit-sorting network (Theorem 1, Table 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tags import Tag
+from repro.rbn.bitsort import BitSortAlgorithm, route_to_compact, sort_by_tags
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.compact import is_compact
+
+from conftest import binary_tag_vectors
+
+
+class TestTheorem1:
+    """Any 0/1 marking can reach any circular compact output position."""
+
+    def test_exhaustive_n4(self):
+        for bits in range(16):
+            tags = [Tag.ONE if (bits >> i) & 1 else Tag.ZERO for i in range(4)]
+            l = sum(1 for t in tags if t is Tag.ONE)
+            for s in range(4):
+                out = route_to_compact(
+                    cells_from_tags(tags), s, lambda t: t is Tag.ONE
+                )
+                assert is_compact([c.tag for c in out], Tag.ONE, s, l)
+
+    def test_exhaustive_n8_all_positions(self):
+        for bits in range(256):
+            tags = [Tag.ONE if (bits >> i) & 1 else Tag.ZERO for i in range(8)]
+            l = sum(1 for t in tags if t is Tag.ONE)
+            for s in (0, 3, 7):
+                out = route_to_compact(
+                    cells_from_tags(tags), s, lambda t: t is Tag.ONE
+                )
+                assert is_compact([c.tag for c in out], Tag.ONE, s, l)
+
+    @settings(max_examples=300)
+    @given(binary_tag_vectors(max_m=7), st.data())
+    def test_property_any_size_any_start(self, tags, data):
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        out = route_to_compact(cells_from_tags(tags), s, lambda t: t is Tag.ONE)
+        l = sum(1 for t in tags if t is Tag.ONE)
+        assert is_compact([c.tag for c in out], Tag.ONE, s, l)
+
+    @settings(max_examples=200)
+    @given(binary_tag_vectors(max_m=6), st.data())
+    def test_payloads_are_permuted_not_lost(self, tags, data):
+        """Bit sorting is a permutation: every payload survives."""
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        cells = cells_from_tags(tags)
+        out = route_to_compact(cells, s, lambda t: t is Tag.ONE)
+        assert sorted(c.data for c in out) == sorted(c.data for c in cells)
+
+    @settings(max_examples=100)
+    @given(binary_tag_vectors(max_m=6), st.data())
+    def test_tags_travel_with_payloads(self, tags, data):
+        """A cell's tag is not separated from its payload."""
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        cells = cells_from_tags(tags)
+        by_payload = {c.data: c.tag for c in cells}
+        out = route_to_compact(cells, s, lambda t: t is Tag.ONE)
+        for c in out:
+            assert by_payload[c.data] is c.tag
+
+
+class TestSortByTags:
+    def test_ascending_sort(self):
+        tags = [Tag.ONE, Tag.ZERO, Tag.ONE, Tag.ZERO]
+        out = sort_by_tags(cells_from_tags(tags), one_tags=(Tag.ONE,))
+        assert [c.tag for c in out] == [Tag.ZERO, Tag.ZERO, Tag.ONE, Tag.ONE]
+
+    def test_dummy_ones_counted(self):
+        tags = [Tag.EPS1, Tag.ZERO, Tag.ONE, Tag.ZERO]
+        out = sort_by_tags(cells_from_tags(tags))
+        assert [c.tag for c in out[:2]] == [Tag.ZERO, Tag.ZERO]
+        assert sorted(c.tag.name for c in out[2:]) == ["EPS1", "ONE"]
+
+    def test_all_zeros(self):
+        tags = [Tag.ZERO] * 8
+        out = sort_by_tags(cells_from_tags(tags))
+        assert [c.tag for c in out] == tags
+
+    def test_all_ones(self):
+        tags = [Tag.ONE] * 8
+        out = sort_by_tags(cells_from_tags(tags))
+        assert [c.tag for c in out] == tags
+
+
+class TestValidation:
+    def test_s_out_of_range(self):
+        cells = cells_from_tags([Tag.ZERO, Tag.ONE])
+        with pytest.raises(ValueError):
+            route_to_compact(cells, 2, lambda t: t is Tag.ONE)
+        with pytest.raises(ValueError):
+            route_to_compact(cells, -1, lambda t: t is Tag.ONE)
+
+
+class TestAlgorithmPhases:
+    def test_backward_matches_lemma1(self):
+        """Table 3's backward outputs are Lemma 1's (s0, s1)."""
+        algo = BitSortAlgorithm(lambda t: t is Tag.ONE)
+        # size 8 node, l0 = 3, s = 5: s0 = 5 mod 4 = 1, s1 = (5+3) mod 4 = 0
+        assert algo.backward(8, 3, 2, 5) == (1, 0)
+
+    def test_settings_match_lemma1(self):
+        from repro.rbn.lemmas import lemma1
+
+        algo = BitSortAlgorithm(lambda t: t is Tag.ONE)
+        for size in (2, 4, 8, 16):
+            for l0 in range(size // 2 + 1):
+                for l1 in range(size // 2 + 1):
+                    for s in range(size):
+                        got = tuple(algo.settings(size, l0, l1, s))
+                        assert got == lemma1(size, s, l0, l1).settings

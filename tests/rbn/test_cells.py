@@ -1,0 +1,84 @@
+"""Unit tests for the Cell traffic model."""
+
+import pytest
+
+from repro.core.tags import Tag
+from repro.errors import InvalidTagError
+from repro.rbn.cells import EMPTY_CELL, Cell, cells_from_tags, empty_cell, tags_of
+
+
+class TestCellConstruction:
+    def test_message_cell(self):
+        c = Cell(Tag.ZERO, data="m")
+        assert not c.is_empty
+        assert c.data == "m"
+
+    def test_eps_cell_is_empty(self):
+        assert Cell(Tag.EPS).is_empty
+        assert Cell(Tag.EPS0).is_empty
+        assert Cell(Tag.EPS1).is_empty
+
+    def test_eps_cell_rejects_payload(self):
+        with pytest.raises(InvalidTagError):
+            Cell(Tag.EPS, data="x")
+
+    def test_non_alpha_rejects_branches(self):
+        with pytest.raises(InvalidTagError):
+            Cell(Tag.ZERO, data="m", branch0="a")
+
+    def test_tag_type_checked(self):
+        with pytest.raises(InvalidTagError):
+            Cell("0")  # type: ignore[arg-type]
+
+    def test_empty_cell_singleton(self):
+        assert empty_cell() is EMPTY_CELL
+
+
+class TestSplit:
+    def test_alpha_split(self):
+        c = Cell(Tag.ALPHA, data="m", branch0="m.up", branch1="m.lo")
+        up, lo = c.split()
+        assert up.tag is Tag.ZERO and up.data == "m.up"
+        assert lo.tag is Tag.ONE and lo.data == "m.lo"
+
+    def test_split_non_alpha_rejected(self):
+        with pytest.raises(InvalidTagError):
+            Cell(Tag.ONE, data="m").split()
+        with pytest.raises(InvalidTagError):
+            Cell(Tag.EPS).split()
+
+
+class TestWithTag:
+    def test_relabel_eps_to_dummy(self):
+        c = Cell(Tag.EPS)
+        assert c.with_tag(Tag.EPS0).tag is Tag.EPS0
+        assert c.with_tag(Tag.EPS1).tag is Tag.EPS1
+
+    def test_relabel_dummy_back(self):
+        c = Cell(Tag.EPS1)
+        assert c.with_tag(Tag.EPS).tag is Tag.EPS
+
+    def test_cannot_erase_message(self):
+        with pytest.raises(InvalidTagError):
+            Cell(Tag.ONE, data="m").with_tag(Tag.EPS)
+
+    def test_message_relabel_keeps_payload(self):
+        c = Cell(Tag.ONE, data="m")
+        assert c.with_tag(Tag.ZERO).data == "m"
+
+
+class TestHelpers:
+    def test_tags_of(self):
+        cells = [Cell(Tag.ZERO, data="a"), Cell(Tag.EPS)]
+        assert tags_of(cells) == [Tag.ZERO, Tag.EPS]
+
+    def test_cells_from_tags_auto_payloads(self):
+        cells = cells_from_tags([Tag.ONE, Tag.EPS, Tag.ALPHA])
+        assert cells[0].data == "m0"
+        assert cells[1].data is None
+        assert cells[2].branch0 == "m2.0" and cells[2].branch1 == "m2.1"
+
+    def test_cells_from_tags_no_payloads(self):
+        cells = cells_from_tags([Tag.ONE, Tag.ALPHA], payload=None)
+        assert cells[0].data is None
+        assert cells[1].branch0 is None

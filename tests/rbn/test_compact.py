@@ -1,0 +1,145 @@
+"""Tests for circular compact sequences C and compact settings W (eq. 5, Table 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RoutingInvariantError
+from repro.rbn.compact import (
+    binary_compact_setting,
+    compact_of_predicate,
+    compact_positions,
+    compact_sequence,
+    find_compact,
+    is_compact,
+    trinary_compact_setting,
+)
+from repro.rbn.switches import SwitchSetting
+
+
+class TestCompactSequence:
+    def test_eq5_first_case(self):
+        """s + l <= n: beta^s gamma^l beta^(n-s-l)."""
+        assert compact_sequence(8, 2, 3, "b", "g") == list("bbgggbbb")
+
+    def test_eq5_wraparound_case(self):
+        """s + l > n: gamma^(l-n+s) beta^(n-l) gamma^(n-s)."""
+        assert compact_sequence(8, 6, 5, "b", "g") == list("gggbbbgg")
+
+    def test_zero_length_block(self):
+        assert compact_sequence(4, 1, 0, 0, 1) == [0, 0, 0, 0]
+
+    def test_full_block(self):
+        assert compact_sequence(4, 3, 4, 0, 1) == [1, 1, 1, 1]
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            compact_sequence(4, 4, 1, 0, 1)
+        with pytest.raises(ValueError):
+            compact_sequence(4, 0, 5, 0, 1)
+
+    def test_sorted_target_shape(self):
+        """C^n_{n/2, n/2; 0, 1} = 0^(n/2) 1^(n/2) — the sort target."""
+        assert compact_sequence(8, 4, 4, 0, 1) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.data(),
+    )
+    def test_positions_match_sequence(self, n, data):
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        l = data.draw(st.integers(min_value=0, max_value=n))
+        seq = compact_sequence(n, s, l, "b", "g")
+        pos = set(compact_positions(n, s, l))
+        assert all((seq[i] == "g") == (i in pos) for i in range(n))
+
+
+class TestFindCompact:
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    def test_roundtrip(self, n, data):
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        l = data.draw(st.integers(min_value=0, max_value=n))
+        seq = compact_sequence(n, s, l, "b", "g")
+        found = find_compact(seq, "g")
+        assert found is not None
+        fs, fl = found
+        assert fl == l
+        if 0 < l < n:
+            assert fs == s
+
+    def test_non_compact_detected(self):
+        assert find_compact(list("gbgb"), "g") is None
+        assert find_compact(list("gbbgbb"), "g") is None
+
+    def test_is_compact_checks_start(self):
+        seq = compact_sequence(8, 3, 2, "b", "g")
+        assert is_compact(seq, "g", 3, 2)
+        assert not is_compact(seq, "g", 4, 2)
+        assert not is_compact(seq, "g", 3, 3)
+
+    def test_is_compact_degenerate_any_start(self):
+        assert is_compact(list("bbbb"), "g", 2, 0)
+        assert is_compact(list("gggg"), "g", 1, 4)
+
+    def test_predicate_variant(self):
+        seq = ["x", "e0", "e1", "x"]
+        found = compact_of_predicate(seq, lambda v: v.startswith("e"))
+        assert found == (1, 2)
+
+
+class TestBinaryCompactSetting:
+    def test_no_wrap(self):
+        out = binary_compact_setting(8, 1, 2, 0, 1)
+        assert [int(s) for s in out] == [0, 1, 1, 0]
+
+    def test_wrap(self):
+        out = binary_compact_setting(8, 3, 2, 0, 1)
+        assert [int(s) for s in out] == [1, 0, 0, 1]
+
+    def test_zero_block(self):
+        out = binary_compact_setting(8, 2, 0, 1, 2)
+        assert all(int(s) == 1 for s in out)
+
+    def test_full_block(self):
+        out = binary_compact_setting(8, 2, 4, 0, 3)
+        assert all(s is SwitchSetting.LOWER_BCAST for s in out)
+
+    def test_start_position_modular(self):
+        assert binary_compact_setting(8, 5, 2, 0, 1) == binary_compact_setting(
+            8, 1, 2, 0, 1
+        )
+
+    def test_length_out_of_range(self):
+        with pytest.raises(RoutingInvariantError):
+            binary_compact_setting(8, 0, 5, 0, 1)
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    def test_matches_compact_sequence(self, m, data):
+        """W^{n/2}_{s,l;b1,b2} is C^{n/2}_{s,l} over settings."""
+        n = 1 << m
+        half = n // 2
+        s = data.draw(st.integers(min_value=0, max_value=half - 1))
+        l = data.draw(st.integers(min_value=0, max_value=half))
+        out = binary_compact_setting(n, s, l, 0, 1)
+        assert [int(x) for x in out] == compact_sequence(half, s, l, 0, 1)
+
+
+class TestTrinaryCompactSetting:
+    def test_three_blocks(self):
+        # half=4: s=1, l=2 -> [b1, b2, b2, b3]
+        out = trinary_compact_setting(8, 1, 2, 0, 2, 1)
+        assert [int(s) for s in out] == [0, 2, 2, 1]
+
+    def test_empty_middle_block(self):
+        out = trinary_compact_setting(8, 2, 0, 0, 2, 1)
+        assert [int(s) for s in out] == [0, 0, 1, 1]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(RoutingInvariantError):
+            trinary_compact_setting(8, 3, 2, 0, 2, 1)
+
+    def test_degenerate_to_binary(self):
+        """With s = 0 the trinary setting is binary (no setting1 block)."""
+        tri = trinary_compact_setting(8, 0, 2, 1, 2, 1)
+        binary = binary_compact_setting(8, 0, 2, 1, 2)
+        assert tri == binary

@@ -1,0 +1,110 @@
+"""Equivalence tests: the NumPy fast path vs the reference algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tags import Tag
+from repro.errors import RoutingInvariantError
+from repro.rbn.bitsort import route_to_compact
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.compact import is_compact
+from repro.rbn.fast import (
+    fast_divide_epsilons,
+    fast_quasisort,
+    fast_sort_cells,
+    fast_sort_permutation,
+)
+from repro.rbn.quasisort import divide_epsilons, quasisort
+
+from conftest import binary_tag_vectors, sizes
+
+
+@st.composite
+def quasisort_vectors(draw, min_m=1, max_m=6):
+    n = draw(sizes(min_m, max_m))
+    half = n // 2
+    n0 = draw(st.integers(min_value=0, max_value=half))
+    n1 = draw(st.integers(min_value=0, max_value=half))
+    tags = [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.EPS] * (n - n0 - n1)
+    return list(draw(st.permutations(tags)))
+
+
+class TestFastSortPermutation:
+    @settings(max_examples=300)
+    @given(binary_tag_vectors(max_m=7), st.data())
+    def test_identical_to_reference(self, tags, data):
+        """Same cells at same positions as the distributed algorithm."""
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        cells = cells_from_tags(tags)
+        ref = route_to_compact(cells, s, lambda t: t is Tag.ONE)
+        fast = fast_sort_cells(cells, s, one_tags=(Tag.ONE,))
+        assert [c.data for c in fast] == [c.data for c in ref]
+
+    @settings(max_examples=100)
+    @given(binary_tag_vectors(max_m=7), st.data())
+    def test_is_a_permutation(self, tags, data):
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        gamma = np.array([t is Tag.ONE for t in tags], dtype=np.int64)
+        perm = fast_sort_permutation(gamma, s)
+        assert sorted(perm.tolist()) == list(range(n))
+
+    @settings(max_examples=100)
+    @given(binary_tag_vectors(max_m=8), st.data())
+    def test_achieves_compact_target(self, tags, data):
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        out = fast_sort_cells(cells_from_tags(tags), s, one_tags=(Tag.ONE,))
+        l = sum(1 for t in tags if t is Tag.ONE)
+        assert is_compact([c.tag for c in out], Tag.ONE, s, l)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fast_sort_permutation(np.zeros(4, dtype=np.int64), 4)
+
+
+class TestFastDivideEpsilons:
+    @settings(max_examples=300)
+    @given(quasisort_vectors())
+    def test_identical_to_reference(self, tags):
+        codes = np.array(
+            [{Tag.ZERO: 0, Tag.ONE: 1, Tag.EPS: 2}[t] for t in tags],
+            dtype=np.int64,
+        )
+        fast = fast_divide_epsilons(codes)
+        ref = divide_epsilons(cells_from_tags(tags))
+        ref_codes = [
+            {Tag.ZERO: 0, Tag.ONE: 1, Tag.EPS0: 3, Tag.EPS1: 4}[c.tag]
+            for c in ref
+        ]
+        assert fast.tolist() == ref_codes
+
+    def test_precondition_enforced(self):
+        codes = np.array([1, 1, 1, 2], dtype=np.int64)
+        with pytest.raises(RoutingInvariantError):
+            fast_divide_epsilons(codes)
+
+
+class TestFastQuasisort:
+    @settings(max_examples=300)
+    @given(quasisort_vectors())
+    def test_identical_to_reference(self, tags):
+        cells = cells_from_tags(tags)
+        ref = quasisort(cells, keep_dummies=True)
+        fast = fast_quasisort(cells, keep_dummies=True)
+        assert [(c.tag, c.data) for c in fast] == [(c.tag, c.data) for c in ref]
+
+    @settings(max_examples=100)
+    @given(quasisort_vectors())
+    def test_dummy_stripping_matches(self, tags):
+        cells = cells_from_tags(tags)
+        ref = quasisort(cells)
+        fast = fast_quasisort(cells)
+        assert [(c.tag, c.data) for c in fast] == [(c.tag, c.data) for c in ref]
+
+    def test_rejects_alpha(self):
+        with pytest.raises(RoutingInvariantError):
+            fast_quasisort(cells_from_tags([Tag.ALPHA, Tag.EPS]))

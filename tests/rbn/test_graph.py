@@ -1,0 +1,53 @@
+"""Tests for the RBN link graph and its banyan properties."""
+
+import networkx as nx
+import pytest
+
+from repro.rbn.graph import count_paths, rbn_link_graph, unique_path_property
+
+
+class TestGraphStructure:
+    def test_node_and_edge_counts(self):
+        """log n + 1 layers of n nodes; 4 edges per switch."""
+        for n in (4, 16):
+            m = n.bit_length() - 1
+            g = rbn_link_graph(n)
+            assert g.number_of_nodes() == (m + 1) * n
+            assert g.number_of_edges() == 4 * (n // 2) * m
+
+    def test_is_dag(self):
+        assert nx.is_directed_acyclic_graph(rbn_link_graph(16))
+
+    def test_degrees(self):
+        """Inputs have out-degree 2, outputs in-degree 2, internal both."""
+        g = rbn_link_graph(8)
+        for node in g:
+            kind = node[0]
+            if kind == "in":
+                assert g.out_degree(node) == 2 and g.in_degree(node) == 0
+            elif kind == "out":
+                assert g.in_degree(node) == 2 and g.out_degree(node) == 0
+            else:
+                assert g.in_degree(node) == 2 and g.out_degree(node) == 2
+
+
+class TestBanyanProperties:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_unique_path(self, n):
+        """Exactly one path per (input, output) pair — the property that
+        makes self-routing deterministic."""
+        assert unique_path_property(n)
+
+    def test_full_access(self):
+        """Every input reaches every output."""
+        n = 16
+        g = rbn_link_graph(n)
+        for src in range(n):
+            reachable = nx.descendants(g, ("in", src))
+            outs = {t for kind, *rest in reachable if kind == "out" for t in rest}
+            assert outs == set(range(n))
+
+    def test_count_paths_explicit(self):
+        g = rbn_link_graph(8)
+        assert count_paths(g, 8, 3, 5) == 1
+        assert count_paths(g, 8, 0, 0) == 1

@@ -1,0 +1,202 @@
+"""Exhaustive and property-based verification of merge Lemmas 1-5.
+
+Each lemma claims: given target parameters (s, l), the prescribed half
+starting positions (s0, s1) and switch settings merge the two half-size
+circular compact sequences into the full-size one.  We verify by
+actually building the half sequences as cells, applying the real
+merging network, and recognising the output — for every valid
+parameter combination at small n (exhaustive) and random combinations
+at larger n (hypothesis).
+
+This mechanically checks the constructions of Appendices A and B
+(Figs. 14 and 15).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tags import Tag
+from repro.rbn.cells import Cell, cells_from_tags
+from repro.rbn.compact import compact_of_predicate, compact_sequence, is_compact
+from repro.rbn.lemmas import lemma1, lemma2, lemma3, lemma4, lemma5
+from repro.rbn.merging import apply_merging
+
+
+def _merge_binary(n, s, l0, l1):
+    """Build halves per lemma1's (s0, s1) and merge; return output tags."""
+    plan = lemma1(n, s, l0, l1)
+    half = n // 2
+    upper = cells_from_tags(
+        compact_sequence(half, plan.s0, l0, Tag.ZERO, Tag.ONE)
+    )
+    lower = cells_from_tags(
+        compact_sequence(half, plan.s1, l1, Tag.ZERO, Tag.ONE)
+    )
+    out = apply_merging(upper, lower, plan.settings)
+    return [c.tag for c in out]
+
+
+def _merge_elimination(n, s, l0, l1, lemma, upper_sym, lower_sym, result_sym):
+    """Generic harness for lemmas 2-5.
+
+    upper_sym/lower_sym/result_sym are the non-chi tags of the upper
+    input, lower input and expected output compact sequences.
+    """
+    plan = lemma(n, s, l0, l1)
+    half = n // 2
+    upper = cells_from_tags(
+        compact_sequence(half, plan.s0, l0, Tag.ZERO, upper_sym)
+    )
+    lower = cells_from_tags(
+        compact_sequence(half, plan.s1, l1, Tag.ZERO, lower_sym)
+    )
+    out = apply_merging(upper, lower, plan.settings)
+    tags = [c.tag for c in out]
+    l = abs(l0 - l1)
+    # Surviving non-chi block compact at s with length l:
+    marks = compact_of_predicate(tags, lambda t: t is result_sym)
+    assert marks is not None, (n, s, l0, l1, tags)
+    ms, ml = marks
+    assert ml == l, (n, s, l0, l1, tags)
+    if 0 < l < n:
+        assert ms == s, (n, s, l0, l1, tags)
+    # Everything else must be chi (no residue of the eliminated type).
+    other = {Tag.ALPHA, Tag.EPS} - {result_sym}
+    assert not any(t in other for t in tags), (n, s, l0, l1, tags)
+    return out
+
+
+def _valid_lemma1_params():
+    for n in (2, 4, 8, 16):
+        half = n // 2
+        for l0 in range(half + 1):
+            for l1 in range(half + 1):
+                for s in range(n):
+                    yield n, s, l0, l1
+
+
+class TestLemma1Exhaustive:
+    def test_all_small_parameters(self):
+        """Question 1 answered for every (n, s, l0, l1), n <= 16."""
+        count = 0
+        for n, s, l0, l1 in _valid_lemma1_params():
+            tags = _merge_binary(n, s, l0, l1)
+            assert is_compact(tags, Tag.ONE, s, l0 + l1), (n, s, l0, l1, tags)
+            count += 1
+        assert count > 500  # exhaustiveness sanity
+
+    def test_sorting_special_case(self):
+        """s = l = n/2 gives the ascending bit-sort target (Section 4)."""
+        n = 16
+        tags = _merge_binary(n, n // 2, 4, 4)
+        assert tags == [Tag.ZERO] * 8 + [Tag.ONE] * 8
+
+
+class TestLemma1Random:
+    @settings(max_examples=200)
+    @given(st.integers(min_value=5, max_value=8), st.data())
+    def test_random_large(self, m, data):
+        n = 1 << m
+        half = n // 2
+        l0 = data.draw(st.integers(min_value=0, max_value=half))
+        l1 = data.draw(st.integers(min_value=0, max_value=half))
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        tags = _merge_binary(n, s, l0, l1)
+        assert is_compact(tags, Tag.ONE, s, l0 + l1)
+
+
+_ELIMINATION_CASES = [
+    # (lemma, upper tag, lower tag, result tag, upper_dominates)
+    (lemma2, Tag.ALPHA, Tag.EPS, Tag.ALPHA, True),
+    (lemma3, Tag.ALPHA, Tag.EPS, Tag.EPS, False),
+    (lemma4, Tag.EPS, Tag.ALPHA, Tag.EPS, True),
+    (lemma5, Tag.EPS, Tag.ALPHA, Tag.ALPHA, False),
+]
+
+
+class TestEliminationLemmasExhaustive:
+    @pytest.mark.parametrize(
+        "lemma,upper_sym,lower_sym,result_sym,upper_dominates",
+        _ELIMINATION_CASES,
+        ids=["lemma2", "lemma3", "lemma4", "lemma5"],
+    )
+    def test_all_small_parameters(
+        self, lemma, upper_sym, lower_sym, result_sym, upper_dominates
+    ):
+        count = 0
+        for n in (2, 4, 8, 16):
+            half = n // 2
+            for big in range(half + 1):
+                for small in range(big + 1):
+                    l0, l1 = (big, small) if upper_dominates else (small, big)
+                    for s in range(n):
+                        _merge_elimination(
+                            n, s, l0, l1, lemma, upper_sym, lower_sym, result_sym
+                        )
+                        count += 1
+        assert count > 300
+
+    @pytest.mark.parametrize(
+        "lemma,upper_sym,lower_sym,result_sym,upper_dominates",
+        _ELIMINATION_CASES,
+        ids=["lemma2", "lemma3", "lemma4", "lemma5"],
+    )
+    def test_broadcast_count_equals_min(self, lemma, upper_sym, lower_sym, result_sym, upper_dominates):
+        """Exactly min(l0, l1) broadcasts fire: one per neutralised pair."""
+        n = 16
+        l0, l1 = (6, 2) if upper_dominates else (2, 6)
+        plan = lemma(n, 3, l0, l1)
+        bcasts = sum(1 for st_ in plan.settings if int(st_) >= 2)
+        assert bcasts == min(l0, l1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            lemma2(8, 0, 1, 3)  # l1 > l0
+        with pytest.raises(ValueError):
+            lemma3(8, 0, 3, 1)  # l0 > l1
+        with pytest.raises(ValueError):
+            lemma1(8, 8, 1, 1)  # s out of range
+
+
+class TestEliminationLemmasRandom:
+    @settings(max_examples=150)
+    @given(
+        st.integers(min_value=5, max_value=7),
+        st.sampled_from(list(range(4))),
+        st.data(),
+    )
+    def test_random_large(self, m, case_idx, data):
+        n = 1 << m
+        half = n // 2
+        lemma, upper_sym, lower_sym, result_sym, upper_dom = _ELIMINATION_CASES[
+            case_idx
+        ]
+        big = data.draw(st.integers(min_value=0, max_value=half))
+        small = data.draw(st.integers(min_value=0, max_value=big))
+        l0, l1 = (big, small) if upper_dom else (small, big)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        _merge_elimination(n, s, l0, l1, lemma, upper_sym, lower_sym, result_sym)
+
+
+class TestPayloadConservation:
+    def test_broadcast_copies_carry_branches(self):
+        """After elimination, every alpha's two copies exist as chi cells."""
+        n = 8
+        plan = lemma2(n, 0, 3, 3)  # all alphas neutralised
+        half = n // 2
+        upper = cells_from_tags(
+            compact_sequence(half, plan.s0, 3, Tag.ZERO, Tag.ALPHA)
+        )
+        lower = cells_from_tags(
+            compact_sequence(half, plan.s1, 3, Tag.ZERO, Tag.EPS)
+        )
+        out = apply_merging(upper, lower, plan.settings)
+        payloads = sorted(c.data for c in out if c.data is not None)
+        alpha_sources = [c.data for c in upper if c.tag is Tag.ALPHA]
+        expected = sorted(
+            [f"{p}.0" for p in alpha_sources]
+            + [f"{p}.1" for p in alpha_sources]
+            + [c.data for c in upper + lower if c.tag is Tag.ZERO]
+        )
+        assert payloads == expected

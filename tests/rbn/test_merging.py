@@ -1,0 +1,100 @@
+"""Tests for the single-stage merging network (Figs. 5-7)."""
+
+import pytest
+
+from repro.core.tags import Tag
+from repro.errors import RoutingInvariantError
+from repro.rbn.cells import Cell, cells_from_tags
+from repro.rbn.merging import apply_merging, merging_switch_count
+from repro.rbn.switches import SwitchSetting
+
+
+def _msg_cells(*names):
+    return [Cell(Tag.ZERO, data=nm) if nm else Cell(Tag.EPS) for nm in names]
+
+
+class TestStructure:
+    def test_switch_count(self):
+        assert merging_switch_count(2) == 1
+        assert merging_switch_count(8) == 4
+        assert merging_switch_count(1024) == 512
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            merging_switch_count(7)
+
+
+class TestWiring:
+    def test_parallel_identity(self):
+        """Fig. 7a: parallel maps terminal j -> j, j+n/2 -> j+n/2."""
+        upper = _msg_cells("u0", "u1")
+        lower = _msg_cells("l0", "l1")
+        out = apply_merging(upper, lower, [SwitchSetting.PARALLEL] * 2)
+        assert [c.data for c in out] == ["u0", "u1", "l0", "l1"]
+
+    def test_cross_swaps_halves(self):
+        """Fig. 7b: crossing maps terminal j -> j+n/2 and back."""
+        upper = _msg_cells("u0", "u1")
+        lower = _msg_cells("l0", "l1")
+        out = apply_merging(upper, lower, [SwitchSetting.CROSS] * 2)
+        assert [c.data for c in out] == ["l0", "l1", "u0", "u1"]
+
+    def test_mixed_settings_independent(self):
+        upper = _msg_cells("u0", "u1", "u2", "u3")
+        lower = _msg_cells("l0", "l1", "l2", "l3")
+        settings = [
+            SwitchSetting.PARALLEL,
+            SwitchSetting.CROSS,
+            SwitchSetting.PARALLEL,
+            SwitchSetting.CROSS,
+        ]
+        out = apply_merging(upper, lower, settings)
+        assert [c.data for c in out] == [
+            "u0", "l1", "u2", "l3", "l0", "u1", "l2", "u3",
+        ]
+
+    def test_broadcast_places_copies_across_halves(self):
+        """Fig. 7c: the two copies land n/2 apart (tag 0 up, tag 1 down)."""
+        upper = cells_from_tags([Tag.ALPHA, Tag.ZERO])
+        lower = cells_from_tags([Tag.EPS, Tag.ZERO])
+        out = apply_merging(
+            upper, lower, [SwitchSetting.UPPER_BCAST, SwitchSetting.PARALLEL]
+        )
+        assert out[0].tag is Tag.ZERO and out[0].data == "m0.0"
+        assert out[2].tag is Tag.ONE and out[2].data == "m0.1"
+
+
+class TestValidation:
+    def test_halves_must_match(self):
+        with pytest.raises(RoutingInvariantError):
+            apply_merging(_msg_cells("a"), _msg_cells("b", "c"), [SwitchSetting.PARALLEL])
+
+    def test_setting_count_must_match(self):
+        with pytest.raises(RoutingInvariantError):
+            apply_merging(
+                _msg_cells("a", "b"),
+                _msg_cells("c", "d"),
+                [SwitchSetting.PARALLEL],
+            )
+
+    def test_bad_broadcast_pair_rejected(self):
+        upper = _msg_cells("a")
+        lower = _msg_cells("b")
+        with pytest.raises(RoutingInvariantError):
+            apply_merging(upper, lower, [SwitchSetting.UPPER_BCAST])
+
+
+class TestTracing:
+    def test_trace_records_stage(self):
+        from repro.rbn.trace import Trace
+
+        trace = Trace()
+        upper = _msg_cells("u0")
+        lower = _msg_cells("l0")
+        apply_merging(upper, lower, [SwitchSetting.CROSS], trace=trace, offset=4)
+        assert len(trace.stages) == 1
+        rec = trace.stages[0]
+        assert rec.size == 2 and rec.offset == 4
+        assert rec.settings == (SwitchSetting.CROSS,)
+        assert [c.data for c in rec.inputs] == ["u0", "l0"]
+        assert [c.data for c in rec.outputs] == ["l0", "u0"]

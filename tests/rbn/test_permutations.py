@@ -1,0 +1,138 @@
+"""Unit tests for shuffle/exchange address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetworkSizeError
+from repro.rbn.permutations import (
+    bit_of,
+    bit_reverse,
+    check_network_size,
+    exchange,
+    is_power_of_two,
+    log2_int,
+    shuffle,
+    switch_of_terminal,
+    terminal_pair_of_switch,
+    unshuffle,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers_accepted(self):
+        for m in range(11):
+            assert is_power_of_two(1 << m)
+
+    def test_non_powers_rejected(self):
+        for n in (0, 3, 5, 6, 7, 9, 12, 100, -2, -4):
+            assert not is_power_of_two(n)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(2) == 1
+        assert log2_int(1024) == 10
+
+    def test_log2_int_rejects(self):
+        with pytest.raises(NetworkSizeError):
+            log2_int(12)
+
+    def test_check_network_size_minimum(self):
+        with pytest.raises(NetworkSizeError):
+            check_network_size(1)
+        assert check_network_size(2) == 1
+        with pytest.raises(NetworkSizeError):
+            check_network_size(2, minimum=4)
+
+
+class TestShuffle:
+    def test_shuffle_n8_explicit(self):
+        # left rotation of 3-bit addresses
+        expected = {0: 0, 1: 2, 2: 4, 3: 6, 4: 1, 5: 3, 6: 5, 7: 7}
+        for a, want in expected.items():
+            assert shuffle(a, 8) == want
+
+    def test_unshuffle_n8_explicit(self):
+        expected = {0: 0, 1: 4, 2: 1, 3: 5, 4: 2, 5: 6, 6: 3, 7: 7}
+        for a, want in expected.items():
+            assert unshuffle(a, 8) == want
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_shuffle_unshuffle_inverse(self, m, data):
+        n = 1 << m
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert unshuffle(shuffle(a, n), n) == a
+        assert shuffle(unshuffle(a, n), n) == a
+
+    @given(st.integers(min_value=2, max_value=10), st.data())
+    def test_paper_shuffle_pair_distance(self, m, data):
+        """|paper-shuffle(a) - paper-shuffle(a-bar)| = n/2 (Section 4).
+
+        The paper's shuffle is the right rotation (our unshuffle): the
+        two ports of one switch map to terminals exactly n/2 apart.
+        """
+        n = 1 << m
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert abs(unshuffle(a, n) - unshuffle(exchange(a), n)) == n // 2
+
+    def test_shuffle_fixed_points(self):
+        # 0 and n-1 are fixed points of any rotation
+        for n in (2, 4, 16, 256):
+            assert shuffle(0, n) == 0
+            assert shuffle(n - 1, n) == n - 1
+
+
+class TestExchange:
+    def test_exchange_flips_lsb(self):
+        assert exchange(6) == 7
+        assert exchange(7) == 6
+
+    def test_exchange_involution(self):
+        for a in range(32):
+            assert exchange(exchange(a)) == a
+
+
+class TestBitHelpers:
+    def test_bit_reverse_n8(self):
+        assert bit_reverse(1, 8) == 4
+        assert bit_reverse(3, 8) == 6
+        assert bit_reverse(7, 8) == 7
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_bit_reverse_involution(self, m, data):
+        n = 1 << m
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert bit_reverse(bit_reverse(a, n), n) == a
+
+    def test_bit_of_msb_first(self):
+        # address 0b011 in a 3-bit space
+        assert bit_of(0b011, 1, 3) == 0
+        assert bit_of(0b011, 2, 3) == 1
+        assert bit_of(0b011, 3, 3) == 1
+
+    def test_bit_of_range_check(self):
+        with pytest.raises(ValueError):
+            bit_of(0, 0, 3)
+        with pytest.raises(ValueError):
+            bit_of(0, 4, 3)
+
+
+class TestTerminalSwitchMaps:
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_pair_roundtrip(self, m, data):
+        n = 1 << m
+        i = data.draw(st.integers(min_value=0, max_value=n // 2 - 1))
+        up, lo = terminal_pair_of_switch(i, n)
+        assert up == i and lo == i + n // 2
+        assert switch_of_terminal(up, n) == i
+        assert switch_of_terminal(lo, n) == i
+
+    def test_every_terminal_has_one_switch(self):
+        n = 16
+        seen = {}
+        for i in range(n // 2):
+            up, lo = terminal_pair_of_switch(i, n)
+            for t in (up, lo):
+                assert t not in seen
+                seen[t] = i
+        assert sorted(seen) == list(range(n))

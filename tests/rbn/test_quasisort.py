@@ -1,0 +1,131 @@
+"""Tests for epsilon-dividing (Table 6) and the quasisorting network."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tags import Tag
+from repro.errors import RoutingInvariantError
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.quasisort import divide_epsilons, quasisort
+from repro.rbn.trace import Trace
+
+from conftest import sizes
+
+
+@st.composite
+def quasisort_inputs(draw, min_m=1, max_m=6):
+    """Tag vectors over {0,1,eps} with n0 <= n/2 and n1 <= n/2."""
+    n = draw(sizes(min_m, max_m))
+    half = n // 2
+    n0 = draw(st.integers(min_value=0, max_value=half))
+    n1 = draw(st.integers(min_value=0, max_value=half))
+    tags = [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.EPS] * (n - n0 - n1)
+    return list(draw(st.permutations(tags)))
+
+
+class TestDivideEpsilons:
+    @settings(max_examples=300)
+    @given(quasisort_inputs())
+    def test_balanced_populations(self, tags):
+        """After dividing, #(0|eps0) = #(1|eps1) = n/2 (Section 5.2)."""
+        n = len(tags)
+        out = divide_epsilons(cells_from_tags(tags))
+        zeros = sum(1 for c in out if c.tag in (Tag.ZERO, Tag.EPS0))
+        ones = sum(1 for c in out if c.tag in (Tag.ONE, Tag.EPS1))
+        assert zeros == ones == n // 2
+
+    @settings(max_examples=200)
+    @given(quasisort_inputs())
+    def test_only_epsilons_relabelled(self, tags):
+        out = divide_epsilons(cells_from_tags(tags))
+        for before, after in zip(tags, out):
+            if before is Tag.EPS:
+                assert after.tag in (Tag.EPS0, Tag.EPS1)
+            else:
+                assert after.tag is before
+
+    def test_rejects_alpha(self):
+        with pytest.raises(RoutingInvariantError):
+            divide_epsilons(cells_from_tags([Tag.ALPHA, Tag.EPS]))
+
+    def test_rejects_overfull_population(self):
+        tags = [Tag.ONE, Tag.ONE, Tag.ONE, Tag.EPS]
+        with pytest.raises(RoutingInvariantError):
+            divide_epsilons(cells_from_tags(tags))
+
+    def test_invariants_at_every_node(self):
+        """eqs. (6)-(9): recompute the tree sums from the leaf labels."""
+        rng = random.Random(7)
+        for _ in range(50):
+            n = rng.choice([4, 8, 16, 32])
+            half = n // 2
+            n0 = rng.randrange(half + 1)
+            n1 = rng.randrange(half + 1)
+            tags = [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.EPS] * (n - n0 - n1)
+            rng.shuffle(tags)
+            out = divide_epsilons(cells_from_tags(tags))
+
+            def check(lo, hi):
+                e0 = sum(1 for c in out[lo:hi] if c.tag is Tag.EPS0)
+                e1 = sum(1 for c in out[lo:hi] if c.tag is Tag.EPS1)
+                ne = sum(1 for t in tags[lo:hi] if t is Tag.EPS)
+                assert e0 + e1 == ne  # eq. (7) per node
+                if hi - lo > 1:
+                    mid = (lo + hi) // 2
+                    check(lo, mid)
+                    check(mid, hi)
+
+            check(0, n)
+
+    def test_counters_recorded(self):
+        trace = Trace()
+        divide_epsilons(cells_from_tags([Tag.EPS] * 16), trace=trace)
+        assert trace.counters.forward_levels == 4
+        assert trace.counters.backward_levels == 4
+
+
+class TestQuasisort:
+    @settings(max_examples=300)
+    @given(quasisort_inputs())
+    def test_halves(self, tags):
+        """All 0s to the upper half, all 1s to the lower half."""
+        n = len(tags)
+        out = quasisort(cells_from_tags(tags))
+        assert all(c.tag in (Tag.ZERO, Tag.EPS) for c in out[: n // 2])
+        assert all(c.tag in (Tag.ONE, Tag.EPS) for c in out[n // 2 :])
+
+    @settings(max_examples=200)
+    @given(quasisort_inputs())
+    def test_payload_conservation(self, tags):
+        cells = cells_from_tags(tags)
+        out = quasisort(cells)
+        assert sorted(c.data for c in out if c.data is not None) == sorted(
+            c.data for c in cells if c.data is not None
+        )
+
+    @settings(max_examples=100)
+    @given(quasisort_inputs())
+    def test_population_conservation(self, tags):
+        out = quasisort(cells_from_tags(tags))
+        got = [c.tag for c in out]
+        assert got.count(Tag.ZERO) == tags.count(Tag.ZERO)
+        assert got.count(Tag.ONE) == tags.count(Tag.ONE)
+        assert got.count(Tag.EPS) == tags.count(Tag.EPS)
+
+    def test_keep_dummies_exposes_division(self):
+        tags = [Tag.EPS, Tag.ZERO, Tag.ONE, Tag.EPS]
+        out = quasisort(cells_from_tags(tags), keep_dummies=True)
+        assert [c.tag for c in out[:2]] == [Tag.ZERO, Tag.EPS0]
+        assert sorted(c.tag.name for c in out[2:]) == ["EPS1", "ONE"]
+
+    def test_full_permutation_degenerates_to_sort(self):
+        tags = [Tag.ONE, Tag.ZERO, Tag.ONE, Tag.ZERO]
+        out = quasisort(cells_from_tags(tags))
+        assert [c.tag for c in out] == [Tag.ZERO, Tag.ZERO, Tag.ONE, Tag.ONE]
+
+    def test_all_eps(self):
+        out = quasisort(cells_from_tags([Tag.EPS] * 8))
+        assert all(c.tag is Tag.EPS for c in out)

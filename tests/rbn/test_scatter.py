@@ -1,0 +1,221 @@
+"""Tests for the RBN as a scatter network (Theorems 2-3, Table 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tags import Tag
+from repro.errors import RoutingInvariantError
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.compact import compact_of_predicate
+from repro.rbn.lemmas import lemma1, lemma2, lemma3, lemma4, lemma5
+from repro.rbn.scatter import ScatterAlgorithm, count_tags, scatter, scatter_plan
+
+from conftest import bsn_tag_vectors
+
+
+class TestCountTags:
+    def test_counts(self):
+        tags = [Tag.ZERO, Tag.ONE, Tag.ONE, Tag.ALPHA, Tag.EPS, Tag.EPS0]
+        cells = cells_from_tags(tags)
+        c = count_tags(cells)
+        assert c == {"n0": 1, "n1": 2, "na": 1, "ne": 2}
+
+
+class TestTheorem2:
+    """Scatter eliminates all alphas with the eq. (4) output counts."""
+
+    @settings(max_examples=400)
+    @given(bsn_tag_vectors(max_m=6), st.data())
+    def test_output_populations(self, tags, data):
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        counts = count_tags(cells_from_tags(tags))
+        out = scatter(cells_from_tags(tags), s)
+        oc = count_tags(out)
+        assert oc["na"] == 0
+        assert oc["n0"] == counts["n0"] + counts["na"]
+        assert oc["n1"] == counts["n1"] + counts["na"]
+        assert oc["ne"] == counts["ne"] - counts["na"]
+
+    @settings(max_examples=200)
+    @given(bsn_tag_vectors(max_m=6), st.data())
+    def test_residual_eps_block_compact_at_s(self, tags, data):
+        """Theorem 3 case 1: C^n_{s, ne-na; chi, eps} at the outputs."""
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        counts = count_tags(cells_from_tags(tags))
+        out = scatter(cells_from_tags(tags), s)
+        found = compact_of_predicate(
+            [c.tag for c in out], lambda t: t.is_eps_like
+        )
+        assert found is not None
+        fs, fl = found
+        l = counts["ne"] - counts["na"]
+        assert fl == l
+        if 0 < l < n:
+            assert fs == s
+
+    @settings(max_examples=200)
+    @given(bsn_tag_vectors(max_m=5))
+    def test_all_branch_payloads_delivered(self, tags):
+        """Every alpha's two branch payloads appear on the outputs; every
+        chi payload survives; epsilon contributes nothing."""
+        cells = cells_from_tags(tags)
+        out = scatter(cells, 0)
+        got = sorted(c.data for c in out if c.data is not None)
+        expected = []
+        for c in cells:
+            if c.tag is Tag.ALPHA:
+                expected += [c.branch0, c.branch1]
+            elif not c.is_empty:
+                expected.append(c.data)
+        assert got == sorted(expected)
+
+    def test_precondition_enforced(self):
+        """eq. (3): na <= ne required when acting as a BSN scatter."""
+        tags = [Tag.ALPHA, Tag.ZERO, Tag.ONE, Tag.ZERO]
+        with pytest.raises(RoutingInvariantError):
+            scatter(cells_from_tags(tags), 0)
+
+    def test_general_mode_allows_alpha_domination(self):
+        """Theorem 3 case 2: with na > ne, epsilons are eliminated and an
+        alpha block survives."""
+        tags = [Tag.ALPHA, Tag.ALPHA, Tag.EPS, Tag.ZERO]
+        out = scatter(
+            cells_from_tags(tags), 1, require_bsn_precondition=False
+        )
+        out_tags = [c.tag for c in out]
+        assert out_tags.count(Tag.ALPHA) == 1
+        assert out_tags.count(Tag.EPS) == 0
+        found = compact_of_predicate(out_tags, lambda t: t is Tag.ALPHA)
+        assert found == (1, 1)
+
+
+@st.composite
+def general_tag_vectors(draw, min_m=1, max_m=5):
+    """Arbitrary 0/1/alpha/eps vectors — no BSN constraint (Theorem 3)."""
+    from conftest import sizes as _sizes
+
+    n = draw(_sizes(min_m, max_m))
+    na = draw(st.integers(min_value=0, max_value=n))
+    ne = draw(st.integers(min_value=0, max_value=n - na))
+    rest = n - na - ne
+    n0 = draw(st.integers(min_value=0, max_value=rest))
+    tags = (
+        [Tag.ALPHA] * na
+        + [Tag.EPS] * ne
+        + [Tag.ZERO] * n0
+        + [Tag.ONE] * (rest - n0)
+    )
+    return list(draw(st.permutations(tags)))
+
+
+class TestTheorem3General:
+    """Theorem 3 with no precondition: the dominating type's surplus
+    forms a compact block at any requested position."""
+
+    @settings(max_examples=300)
+    @given(general_tag_vectors(), st.data())
+    def test_dominant_surplus_compact(self, tags, data):
+        n = len(tags)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        na = tags.count(Tag.ALPHA)
+        ne = tags.count(Tag.EPS)
+        out = scatter(
+            cells_from_tags(tags), s, require_bsn_precondition=False
+        )
+        out_tags = [c.tag for c in out]
+        dominant = Tag.EPS if ne >= na else Tag.ALPHA
+        eliminated = Tag.ALPHA if ne >= na else Tag.EPS
+        l = abs(ne - na)
+        assert out_tags.count(eliminated) == 0
+        found = compact_of_predicate(out_tags, lambda t: t is dominant)
+        assert found is not None
+        fs, fl = found
+        assert fl == l
+        if 0 < l < n:
+            assert fs == s
+
+    @settings(max_examples=150)
+    @given(general_tag_vectors())
+    def test_min_na_ne_pairs_eliminated(self, tags):
+        """Exactly min(na, ne) alpha/eps pairs are transformed to 0/1."""
+        na = tags.count(Tag.ALPHA)
+        ne = tags.count(Tag.EPS)
+        n0 = tags.count(Tag.ZERO)
+        n1 = tags.count(Tag.ONE)
+        out = scatter(cells_from_tags(tags), 0, require_bsn_precondition=False)
+        oc = count_tags(out)
+        k = min(na, ne)
+        assert oc["n0"] == n0 + k
+        assert oc["n1"] == n1 + k
+
+
+class TestScatterEdgeCases:
+    def test_all_eps(self):
+        out = scatter(cells_from_tags([Tag.EPS] * 8), 3)
+        assert all(c.tag is Tag.EPS for c in out)
+
+    def test_no_alpha_is_pure_compaction(self):
+        tags = [Tag.ZERO, Tag.EPS, Tag.ONE, Tag.EPS]
+        out = scatter(cells_from_tags(tags), 2)
+        out_tags = [c.tag for c in out]
+        assert compact_of_predicate(out_tags, lambda t: t is Tag.EPS) == (2, 2)
+
+    def test_n2_alpha_eps(self):
+        out = scatter(cells_from_tags([Tag.ALPHA, Tag.EPS]), 0)
+        assert [c.tag for c in out] == [Tag.ZERO, Tag.ONE]
+
+    def test_s_out_of_range(self):
+        with pytest.raises(ValueError):
+            scatter(cells_from_tags([Tag.EPS, Tag.EPS]), 2)
+
+
+class TestScatterPlanDelegation:
+    """Table 4's node plan must coincide with Lemmas 1-5 exactly."""
+
+    def test_same_types_use_lemma1(self):
+        plan = scatter_plan(8, 3, 2, Tag.EPS, 1, Tag.EPS)
+        assert plan == lemma1(8, 3, 2, 1)
+
+    def test_alpha_upper_dominant_lemma2(self):
+        plan = scatter_plan(8, 1, 3, Tag.ALPHA, 2, Tag.EPS)
+        assert plan == lemma2(8, 1, 3, 2)
+
+    def test_alpha_upper_dominated_lemma3(self):
+        plan = scatter_plan(8, 1, 2, Tag.ALPHA, 3, Tag.EPS)
+        assert plan == lemma3(8, 1, 2, 3)
+
+    def test_eps_upper_dominant_lemma4(self):
+        plan = scatter_plan(8, 6, 3, Tag.EPS, 2, Tag.ALPHA)
+        assert plan == lemma4(8, 6, 3, 2)
+
+    def test_eps_upper_dominated_lemma5(self):
+        plan = scatter_plan(8, 6, 1, Tag.EPS, 3, Tag.ALPHA)
+        assert plan == lemma5(8, 6, 1, 3)
+
+    def test_invalid_types_rejected(self):
+        with pytest.raises(RoutingInvariantError):
+            scatter_plan(8, 0, 1, Tag.ZERO, 1, Tag.EPS)
+
+
+class TestForwardCombine:
+    def test_addition_same_types(self):
+        algo = ScatterAlgorithm()
+        assert algo.combine((2, Tag.EPS), (3, Tag.EPS)) == (5, Tag.EPS)
+        assert algo.combine((1, Tag.ALPHA), (2, Tag.ALPHA)) == (3, Tag.ALPHA)
+
+    def test_elimination_different_types(self):
+        algo = ScatterAlgorithm()
+        assert algo.combine((3, Tag.ALPHA), (1, Tag.EPS)) == (2, Tag.ALPHA)
+        assert algo.combine((1, Tag.ALPHA), (3, Tag.EPS)) == (2, Tag.EPS)
+        assert algo.combine((2, Tag.EPS), (2, Tag.ALPHA)) == (0, Tag.EPS)
+
+    def test_leaf_values(self):
+        algo = ScatterAlgorithm()
+        mk = lambda t: cells_from_tags([t])[0]
+        assert algo.leaf_forward(mk(Tag.ALPHA)) == (1, Tag.ALPHA)
+        assert algo.leaf_forward(mk(Tag.EPS)) == (1, Tag.EPS)
+        assert algo.leaf_forward(mk(Tag.ZERO)) == (0, Tag.EPS)
+        assert algo.leaf_forward(mk(Tag.ONE)) == (0, Tag.EPS)

@@ -1,0 +1,118 @@
+"""Unit tests for 2x2 switch semantics (paper Fig. 3 / Fig. 7)."""
+
+import pytest
+
+from repro.core.tags import Tag
+from repro.errors import RoutingInvariantError
+from repro.rbn.cells import Cell
+from repro.rbn.switches import (
+    SwitchSetting,
+    apply_switch,
+    is_broadcast,
+    is_unicast,
+    legal_tag_operations,
+)
+
+
+def _cells(tag_u, tag_l):
+    def mk(t, name):
+        if t is Tag.EPS:
+            return Cell(Tag.EPS)
+        if t is Tag.ALPHA:
+            return Cell(Tag.ALPHA, data=name, branch0=f"{name}.0", branch1=f"{name}.1")
+        return Cell(t, data=name)
+
+    return mk(tag_u, "u"), mk(tag_l, "l")
+
+
+class TestUnicastSettings:
+    def test_parallel_passthrough(self):
+        u, l = _cells(Tag.ZERO, Tag.ONE)
+        out_u, out_l = apply_switch(SwitchSetting.PARALLEL, u, l)
+        assert out_u is u and out_l is l
+
+    def test_cross_swaps(self):
+        u, l = _cells(Tag.ZERO, Tag.ONE)
+        out_u, out_l = apply_switch(SwitchSetting.CROSS, u, l)
+        assert out_u is l and out_l is u
+
+    def test_unicast_never_changes_values(self):
+        """Figs. 3a/3b: unicast with no value changed."""
+        for tu in Tag:
+            for tl in Tag:
+                if tu in (Tag.EPS0, Tag.EPS1) or tl in (Tag.EPS0, Tag.EPS1):
+                    continue
+                u, l = _cells(tu, tl)
+                for setting in (SwitchSetting.PARALLEL, SwitchSetting.CROSS):
+                    out = apply_switch(setting, u, l)
+                    assert sorted(c.tag.name for c in out) == sorted(
+                        [tu.name, tl.name]
+                    )
+
+
+class TestBroadcastSettings:
+    def test_upper_broadcast(self):
+        u, l = _cells(Tag.ALPHA, Tag.EPS)
+        out_u, out_l = apply_switch(SwitchSetting.UPPER_BCAST, u, l)
+        assert out_u.tag is Tag.ZERO and out_u.data == "u.0"
+        assert out_l.tag is Tag.ONE and out_l.data == "u.1"
+
+    def test_lower_broadcast(self):
+        u, l = _cells(Tag.EPS, Tag.ALPHA)
+        out_u, out_l = apply_switch(SwitchSetting.LOWER_BCAST, u, l)
+        assert out_u.tag is Tag.ZERO and out_u.data == "l.0"
+        assert out_l.tag is Tag.ONE and out_l.data == "l.1"
+
+    @pytest.mark.parametrize(
+        "setting,tu,tl",
+        [
+            (SwitchSetting.UPPER_BCAST, Tag.ZERO, Tag.EPS),
+            (SwitchSetting.UPPER_BCAST, Tag.ALPHA, Tag.ONE),
+            (SwitchSetting.UPPER_BCAST, Tag.EPS, Tag.ALPHA),
+            (SwitchSetting.LOWER_BCAST, Tag.EPS, Tag.ONE),
+            (SwitchSetting.LOWER_BCAST, Tag.ALPHA, Tag.EPS),
+            (SwitchSetting.LOWER_BCAST, Tag.EPS, Tag.EPS),
+        ],
+    )
+    def test_illegal_broadcast_inputs_raise(self, setting, tu, tl):
+        """Theorem 2's proof: broadcasts only ever see (alpha, eps)."""
+        u, l = _cells(tu, tl)
+        with pytest.raises(RoutingInvariantError):
+            apply_switch(setting, u, l)
+
+
+class TestPredicates:
+    def test_unicast_predicate(self):
+        assert is_unicast(SwitchSetting.PARALLEL)
+        assert is_unicast(SwitchSetting.CROSS)
+        assert not is_unicast(SwitchSetting.UPPER_BCAST)
+
+    def test_broadcast_predicate(self):
+        assert is_broadcast(SwitchSetting.UPPER_BCAST)
+        assert is_broadcast(SwitchSetting.LOWER_BCAST)
+        assert not is_broadcast(SwitchSetting.CROSS)
+
+    def test_integer_values_match_paper(self):
+        """Section 4 assigns r_i = 0/1/2/3."""
+        assert SwitchSetting.PARALLEL == 0
+        assert SwitchSetting.CROSS == 1
+        assert SwitchSetting.UPPER_BCAST == 2
+        assert SwitchSetting.LOWER_BCAST == 3
+
+
+class TestLegalOperationEnumeration:
+    def test_count(self):
+        """Fig. 3: 16 parallel + 16 crossing + 2 broadcast transitions."""
+        ops = legal_tag_operations()
+        assert len(ops) == 34
+
+    def test_every_enumerated_op_realizable(self):
+        for setting, (tu, tl), (ou, ol) in legal_tag_operations():
+            u, l = _cells(tu, tl)
+            out_u, out_l = apply_switch(setting, u, l)
+            assert out_u.tag is ou and out_l.tag is ol
+
+    def test_broadcast_outputs_are_0_1(self):
+        for setting, _ins, outs in legal_tag_operations():
+            if is_broadcast(setting):
+                assert outs == (Tag.ZERO, Tag.ONE)

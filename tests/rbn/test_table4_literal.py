@@ -1,0 +1,105 @@
+"""Differential test: Table 4 transcribed literally vs the lemma plans.
+
+`repro.rbn.scatter.scatter_plan` implements each tree node's plan by
+delegating to the applicable Lemma (1-5).  The paper's Table 4 instead
+spells out one combined backward/switch-setting procedure.  This module
+transcribes Table 4 *verbatim* (including its case structure and the
+ucast/bcast temporaries) and checks that both formulations produce
+identical (s0, s1) and identical switch vectors over the full parameter
+space — the strongest evidence that our lemma delegation is exactly the
+paper's algorithm.
+
+(The only deliberate deviation: Table 4's same-type branch computes
+``b <- ((s+l0) div n'/2) mod n'/2`` where Lemma 1 — and any sane binary
+setting — needs ``mod 2``; see EXPERIMENTS.md errata.)
+"""
+
+import pytest
+
+from repro.core.tags import Tag
+from repro.rbn.compact import binary_compact_setting, trinary_compact_setting
+from repro.rbn.scatter import scatter_plan
+from repro.rbn.switches import SwitchSetting
+
+
+def table4_backward(size, l0, type0, l1, type1, s):
+    """Verbatim transcription of Table 4's backward phase."""
+    half = size // 2
+    if type0 is type1:
+        return s % half, (s + l0) % half
+    if l0 >= l1:
+        l = l0 - l1
+        return s % half, (s + l) % half
+    l = l1 - l0
+    return (s + l) % half, s % half
+
+
+def table4_settings(size, l0, type0, l1, type1, s):
+    """Verbatim transcription of Table 4's switch-setting phase."""
+    half = size // 2
+    s0, s1 = table4_backward(size, l0, type0, l1, type1, s)
+    if type0 is type1:
+        b = ((s + l0) // half) % 2  # paper erratum: 'mod n/2' -> mod 2
+        return binary_compact_setting(size, 0, s1, 1 - b, b)
+    if type0 is Tag.ALPHA and type1 is Tag.EPS:
+        bcast = SwitchSetting.UPPER_BCAST
+    else:  # type0 eps, type1 alpha
+        bcast = SwitchSetting.LOWER_BCAST
+    if l0 >= l1:
+        s_tmp, l_tmp, ucast = s1, l1, 0  # parallel block
+        l = l0 - l1
+    else:
+        s_tmp, l_tmp, ucast = s0, l0, 1  # crossing block
+        l = l1 - l0
+    u = SwitchSetting(ucast)
+    u_bar = SwitchSetting(1 - ucast)
+    if s + l < half:
+        return binary_compact_setting(size, s_tmp, l_tmp, u, bcast)
+    if s < half and s + l >= half:
+        return trinary_compact_setting(size, s_tmp, l_tmp, u_bar, bcast, u)
+    if s >= half and s + l < size:
+        return binary_compact_setting(size, s_tmp, l_tmp, u_bar, bcast)
+    return trinary_compact_setting(size, s_tmp, l_tmp, u, bcast, u_bar)
+
+
+def _all_params(sizes):
+    for size in sizes:
+        half = size // 2
+        for type0 in (Tag.ALPHA, Tag.EPS):
+            for type1 in (Tag.ALPHA, Tag.EPS):
+                for l0 in range(half + 1):
+                    for l1 in range(half + 1):
+                        for s in range(size):
+                            yield size, l0, type0, l1, type1, s
+
+
+class TestTable4MatchesLemmas:
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_backward_phase_identical(self, size):
+        for sz, l0, t0, l1, t1, s in _all_params([size]):
+            plan = scatter_plan(sz, s, l0, t0, l1, t1)
+            assert (plan.s0, plan.s1) == table4_backward(sz, l0, t0, l1, t1, s), (
+                sz, l0, t0, l1, t1, s,
+            )
+
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_settings_phase_identical(self, size):
+        for sz, l0, t0, l1, t1, s in _all_params([size]):
+            plan = scatter_plan(sz, s, l0, t0, l1, t1)
+            literal = tuple(table4_settings(sz, l0, t0, l1, t1, s))
+            assert plan.settings == literal, (sz, l0, t0, l1, t1, s)
+
+    def test_spot_check_large(self):
+        import random
+
+        rng = random.Random(4)
+        for _ in range(300):
+            size = rng.choice([32, 64, 128])
+            half = size // 2
+            t0 = rng.choice([Tag.ALPHA, Tag.EPS])
+            t1 = rng.choice([Tag.ALPHA, Tag.EPS])
+            l0 = rng.randint(0, half)
+            l1 = rng.randint(0, half)
+            s = rng.randrange(size)
+            plan = scatter_plan(size, s, l0, t0, l1, t1)
+            assert plan.settings == tuple(table4_settings(size, l0, t0, l1, t1, s))

@@ -1,0 +1,92 @@
+"""Tests for the static RBN topology (Fig. 5 structure)."""
+
+import pytest
+
+from repro.errors import NetworkSizeError
+from repro.rbn.topology import RBNTopology, rbn_stage_count, rbn_switch_count
+
+
+class TestCounts:
+    def test_switch_count_formula(self):
+        """(n/2) log2 n switches (Section 7.4)."""
+        assert rbn_switch_count(2) == 1
+        assert rbn_switch_count(8) == 12
+        assert rbn_switch_count(1024) == 512 * 10
+
+    def test_stage_count(self):
+        assert rbn_stage_count(2) == 1
+        assert rbn_stage_count(64) == 6
+
+    def test_invalid_sizes(self):
+        with pytest.raises(NetworkSizeError):
+            rbn_switch_count(6)
+        with pytest.raises(NetworkSizeError):
+            RBNTopology(1)
+
+
+class TestStageStructure:
+    def test_blocks_and_sizes(self):
+        topo = RBNTopology(16)
+        # stage k: n/2^k merging networks of size 2^k
+        assert [topo.merging_blocks(k) for k in (1, 2, 3, 4)] == [8, 4, 2, 1]
+        assert [topo.merging_size(k) for k in (1, 2, 3, 4)] == [2, 4, 8, 16]
+
+    def test_switches_per_stage_constant(self):
+        topo = RBNTopology(32)
+        for k in range(1, topo.stage_count + 1):
+            assert sum(1 for _ in topo.switches_in_stage(k)) == 16
+
+    def test_total_switch_enumeration(self):
+        topo = RBNTopology(16)
+        assert sum(1 for _ in topo.all_switches()) == topo.switch_count == 32
+
+    def test_terminal_pairs_within_blocks(self):
+        topo = RBNTopology(16)
+        for sw in topo.all_switches():
+            q = topo.merging_size(sw.stage)
+            base = sw.block * q
+            assert base <= sw.upper_terminal < base + q // 2
+            assert sw.lower_terminal == sw.upper_terminal + q // 2
+
+    def test_each_stage_touches_all_terminals(self):
+        topo = RBNTopology(32)
+        for k in range(1, topo.stage_count + 1):
+            touched = set()
+            for sw in topo.switches_in_stage(k):
+                touched.add(sw.upper_terminal)
+                touched.add(sw.lower_terminal)
+            assert touched == set(range(32))
+
+    def test_stage_permutation_pairs(self):
+        topo = RBNTopology(8)
+        # Stage 3 = one size-8 merging network: pairs (i, i+4).
+        assert topo.stage_permutation(3) == [(0, 4), (1, 5), (2, 6), (3, 7)]
+
+    def test_stage_bounds_checked(self):
+        topo = RBNTopology(8)
+        with pytest.raises(ValueError):
+            topo.merging_blocks(0)
+        with pytest.raises(ValueError):
+            topo.merging_size(4)
+
+
+class TestSubRBNRanges:
+    def test_sub_rbn_terminals(self):
+        topo = RBNTopology(16)
+        assert list(topo.sub_rbn_terminals(3, 0)) == list(range(0, 8))
+        assert list(topo.sub_rbn_terminals(3, 1)) == list(range(8, 16))
+        assert list(topo.sub_rbn_terminals(2, 3)) == list(range(12, 16))
+
+    def test_block_bounds_checked(self):
+        topo = RBNTopology(16)
+        with pytest.raises(ValueError):
+            topo.sub_rbn_terminals(3, 2)
+
+    def test_feedback_reuse_decomposition(self):
+        """Level-j slices of one RBN tile the terminal space (Sec 7.3)."""
+        topo = RBNTopology(32)
+        for stage in range(1, topo.stage_count + 1):
+            covered = []
+            for block in range(topo.merging_blocks(stage)):
+                covered.extend(topo.sub_rbn_terminals(stage, block))
+            assert sorted(covered) == list(range(32))

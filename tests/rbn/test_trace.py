@@ -1,0 +1,64 @@
+"""Tests for trace recording and phase counters."""
+
+from repro.core.tags import Tag
+from repro.rbn.bitsort import route_to_compact
+from repro.rbn.cells import Cell, cells_from_tags
+from repro.rbn.scatter import scatter
+from repro.rbn.switches import SwitchSetting
+from repro.rbn.trace import PhaseCounters, StageRecord, Trace
+
+
+class TestStageRecord:
+    def test_tag_views(self):
+        rec = StageRecord(
+            size=2,
+            offset=0,
+            settings=(SwitchSetting.UPPER_BCAST,),
+            inputs=(
+                Cell(Tag.ALPHA, data="m", branch0="a", branch1="b"),
+                Cell(Tag.EPS),
+            ),
+            outputs=(Cell(Tag.ZERO, data="a"), Cell(Tag.ONE, data="b")),
+        )
+        assert rec.input_tags == [Tag.ALPHA, Tag.EPS]
+        assert rec.output_tags == [Tag.ZERO, Tag.ONE]
+        assert rec.broadcast_count == 1
+
+
+class TestPhaseCounters:
+    def test_merge(self):
+        a = PhaseCounters(forward_ops=3, forward_levels=2, phases=1)
+        b = PhaseCounters(forward_ops=4, backward_levels=5, phases=2)
+        a.merge(b)
+        assert a.forward_ops == 7
+        assert a.forward_levels == 2
+        assert a.backward_levels == 5
+        assert a.phases == 3
+        assert a.total_levels == 7
+
+
+class TestTraceAggregation:
+    def test_bitsort_trace_shape(self):
+        n = 8
+        trace = Trace(label="sort")
+        cells = cells_from_tags([Tag.ONE, Tag.ZERO] * 4)
+        route_to_compact(cells, 4, lambda t: t is Tag.ONE, trace=trace)
+        assert trace.label == "sort"
+        assert len(trace.stages) == n - 1
+        assert trace.switch_count == (n // 2) * 3
+        assert trace.total_broadcasts == 0  # sorting never broadcasts
+        assert len(trace.stages_of_size(8)) == 1
+        assert len(trace.stages_of_size(2)) == 4
+
+    def test_scatter_broadcast_accounting(self):
+        """Total broadcasts recorded = number of alphas eliminated."""
+        tags = [Tag.ALPHA, Tag.EPS, Tag.ALPHA, Tag.EPS, Tag.ZERO, Tag.ONE, Tag.EPS, Tag.EPS]
+        trace = Trace()
+        scatter(cells_from_tags(tags), 0, trace=trace)
+        assert trace.total_broadcasts == 2
+
+    def test_offsets_propagate(self):
+        trace = Trace()
+        cells = cells_from_tags([Tag.ZERO] * 4)
+        route_to_compact(cells, 0, lambda t: t is Tag.ONE, trace=trace, offset=12)
+        assert {st.offset for st in trace.stages} == {12, 14}

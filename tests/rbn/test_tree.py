@@ -1,0 +1,114 @@
+"""Tests for the binary-tree distributed computation engine (Fig. 8)."""
+
+import pytest
+
+from repro.core.tags import Tag
+from repro.errors import NetworkSizeError
+from repro.rbn.cells import Cell, cells_from_tags
+from repro.rbn.compact import binary_compact_setting
+from repro.rbn.switches import SwitchSetting
+from repro.rbn.trace import Trace
+from repro.rbn.tree import RBNAlgorithm, RBNEngine, run_rbn, tree_node_count
+
+
+class _CountOnes(RBNAlgorithm):
+    """Minimal algorithm: forward counts ONE tags, all-parallel settings."""
+
+    def leaf_forward(self, cell):
+        return 1 if cell.tag is Tag.ONE else 0
+
+    def combine(self, f0, f1):
+        return f0 + f1
+
+    def backward(self, size, f0, f1, s):
+        half = size // 2
+        return s % half, (s + f0) % half
+
+    def settings(self, size, f0, f1, s):
+        return [SwitchSetting.PARALLEL] * (size // 2)
+
+
+class TestNodeCount:
+    def test_formula(self):
+        assert tree_node_count(2) == 1
+        assert tree_node_count(16) == 15
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(NetworkSizeError):
+            tree_node_count(3)
+
+
+class TestEngineExecution:
+    def test_all_parallel_is_identity(self):
+        cells = cells_from_tags([Tag.ONE, Tag.ZERO, Tag.ONE, Tag.EPS])
+        out = run_rbn(cells, 0, _CountOnes())
+        assert [c.data for c in out] == [c.data for c in cells]
+
+    def test_rejects_non_power_of_two(self):
+        cells = cells_from_tags([Tag.ONE] * 3)
+        with pytest.raises(NetworkSizeError):
+            run_rbn(cells, 0, _CountOnes())
+
+    def test_engine_reusable_across_frames(self):
+        eng = RBNEngine(_CountOnes())
+        a = cells_from_tags([Tag.ONE, Tag.ZERO])
+        b = cells_from_tags([Tag.ZERO, Tag.ZERO])
+        assert [c.tag for c in eng.run(a, 0)] == [Tag.ONE, Tag.ZERO]
+        assert [c.tag for c in eng.run(b, 0)] == [Tag.ZERO, Tag.ZERO]
+
+
+class TestInstrumentation:
+    def test_phase_level_counts(self):
+        """One engine run = one forward + one backward tree traversal."""
+        n = 32
+        trace = Trace()
+        cells = cells_from_tags([Tag.ZERO] * n)
+        run_rbn(cells, 0, _CountOnes(), trace=trace)
+        m = 5
+        assert trace.counters.forward_levels == m
+        assert trace.counters.backward_levels == m
+        assert trace.counters.phases == 1
+
+    def test_op_counts(self):
+        """n-1 combines forward; 2 per internal node backward."""
+        n = 16
+        trace = Trace()
+        run_rbn(cells_from_tags([Tag.ZERO] * n), 0, _CountOnes(), trace=trace)
+        assert trace.counters.forward_ops == n - 1
+        assert trace.counters.backward_ops == 2 * (n - 1)
+        # every switch of the (n/2) log n switches is set exactly once
+        assert trace.counters.switch_settings == (n // 2) * 4
+
+    def test_stage_records_cover_physical_stages(self):
+        """Trace holds one record per merging network: n-1 of them,
+        collectively (n/2) log n switches."""
+        n = 16
+        trace = Trace()
+        run_rbn(cells_from_tags([Tag.ZERO] * n), 0, _CountOnes(), trace=trace)
+        assert len(trace.stages) == n - 1
+        assert trace.switch_count == (n // 2) * 4
+        sizes = sorted(set(st.size for st in trace.stages))
+        assert sizes == [2, 4, 8, 16]
+        # stage of size 2^k appears n/2^k times
+        for k, size in enumerate(sizes, start=1):
+            assert sum(1 for st in trace.stages if st.size == size) == n >> k
+
+
+class TestBackwardValues:
+    def test_backward_passes_derived_positions(self):
+        """The engine must hand each child the (s0, s1) the algorithm
+        derived from the parent's s — checked via a spy algorithm."""
+        seen = {}
+
+        class Spy(_CountOnes):
+            def settings(self, size, f0, f1, s):
+                seen.setdefault(size, []).append(s)
+                return [SwitchSetting.PARALLEL] * (size // 2)
+
+        cells = cells_from_tags(
+            [Tag.ONE, Tag.ZERO, Tag.ONE, Tag.ZERO, Tag.ONE, Tag.ZERO, Tag.ONE, Tag.ZERO]
+        )
+        run_rbn(cells, 5, Spy())
+        assert seen[8] == [5]
+        # children of root: s0 = 5 mod 4 = 1, s1 = (5 + l0) mod 4 with l0=2
+        assert sorted(seen[4]) == sorted([1, 3])

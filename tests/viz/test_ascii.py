@@ -1,0 +1,105 @@
+"""Tests for the ASCII renderers."""
+
+from repro.core.brsmn import BRSMN
+from repro.core.multicast import MulticastAssignment, paper_example_assignment
+from repro.core.tags import Tag
+from repro.rbn.cells import cells_from_tags
+from repro.rbn.switches import SwitchSetting
+from repro.viz.ascii import (
+    format_cells,
+    format_settings,
+    render_assignment,
+    render_delivery,
+    render_stage,
+    render_trace,
+)
+
+
+class TestFormatters:
+    def test_format_cells(self):
+        cells = cells_from_tags([Tag.ZERO, Tag.ONE, Tag.ALPHA, Tag.EPS, Tag.EPS0, Tag.EPS1])
+        assert format_cells(cells) == "01aezw"
+
+    def test_format_settings(self):
+        s = [
+            SwitchSetting.PARALLEL,
+            SwitchSetting.CROSS,
+            SwitchSetting.UPPER_BCAST,
+            SwitchSetting.LOWER_BCAST,
+        ]
+        assert format_settings(s) == "=x^v"
+
+
+class TestRenderers:
+    def test_render_assignment_mentions_binary(self):
+        text = render_assignment(paper_example_assignment())
+        assert "011, 100, 111" in text
+        assert "input 2" in text
+
+    def test_render_empty_assignment(self):
+        assert "(empty)" in render_assignment(MulticastAssignment.empty(4))
+
+    def test_render_trace_and_stage(self):
+        res = BRSMN(8).route(paper_example_assignment(), collect_trace=True)
+        text = render_trace(res.trace)
+        assert text.count("merge") == len(res.trace.stages)
+        one_line = render_stage(res.trace.stages[0])
+        assert "in=" in one_line and "out=" in one_line and "set=" in one_line
+
+    def test_render_trace_truncation(self):
+        res = BRSMN(8).route(paper_example_assignment(), collect_trace=True)
+        text = render_trace(res.trace, max_stages=3)
+        assert "more stages" in text
+
+    def test_render_delivery(self):
+        res = BRSMN(8).route(paper_example_assignment())
+        text = render_delivery(res.outputs)
+        assert "output 0 <- input 0" in text
+        assert "output 7 <- input 2" in text
+
+    def test_render_delivery_empty(self):
+        assert "(none)" in render_delivery([None, None])
+
+
+class TestPassGrid:
+    def _bsn_trace(self, n=8):
+        from repro.core.tags import parse_tag_string
+        from repro.rbn.cells import cells_from_tags
+        from repro.rbn.quasisort import quasisort
+        from repro.rbn.scatter import scatter
+        from repro.rbn.trace import Trace
+
+        tags = parse_tag_string("0a1e ae01".replace(" ", ""))
+        trace = Trace()
+        mid = scatter(cells_from_tags(tags), 0, trace=trace)
+        quasisort(mid, trace=trace)
+        return trace
+
+    def test_split_passes_finds_two(self):
+        from repro.viz.ascii import split_rbn_passes
+
+        passes = split_rbn_passes(self._bsn_trace(), 8)
+        assert len(passes) == 2  # scatter, quasisort
+        for p in passes:
+            assert p[-1].size == 8 and p[-1].offset == 0
+            assert len(p) == 7  # n - 1 merging networks
+
+    def test_grid_shape_and_inputs(self):
+        from repro.viz.ascii import render_pass_grid, split_rbn_passes
+
+        passes = split_rbn_passes(self._bsn_trace(), 8)
+        grid = render_pass_grid(passes[0], 8)
+        lines = grid.splitlines()
+        assert len(lines) == 2 + 8  # header + rule + one row per terminal
+        # the input column spells the original tags
+        in_col = "".join(line.split()[1] for line in lines[2:])
+        assert in_col == "0a1eae01"
+
+    def test_incomplete_pass_rejected(self):
+        import pytest
+
+        from repro.viz.ascii import render_pass_grid, split_rbn_passes
+
+        passes = split_rbn_passes(self._bsn_trace(), 8)
+        with pytest.raises(ValueError):
+            render_pass_grid(passes[0][:3], 8)

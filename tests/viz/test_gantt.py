@@ -1,0 +1,47 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.hardware.schedule import FrameSchedule, build_frame_schedule
+from repro.viz.gantt import render_gantt
+
+
+class TestRenderGantt:
+    def test_one_row_per_activity(self):
+        schedule = build_frame_schedule(16)
+        text = render_gantt(schedule)
+        lines = text.splitlines()
+        # header + one row per entry + total line
+        assert len(lines) == 2 + len(schedule.entries)
+
+    def test_bars_fit_width(self):
+        schedule = build_frame_schedule(64)
+        width = 40
+        for line in render_gantt(schedule, width=width).splitlines()[1:-1]:
+            bar = line.split("|")[1]
+            assert len(bar) == width
+
+    def test_bar_symbols_match_kinds(self):
+        schedule = build_frame_schedule(8)
+        lines = render_gantt(schedule).splitlines()[1:-1]
+        for entry, line in zip(schedule.entries, lines):
+            bar = line.split("|")[1]
+            symbol = "#" if entry.kind == "routing" else "="
+            assert symbol in bar
+            assert bar.strip(" ").strip(symbol) == ""
+
+    def test_durations_printed(self):
+        schedule = build_frame_schedule(8)
+        text = render_gantt(schedule)
+        for e in schedule.entries:
+            assert f" {e.duration}" in text
+
+    def test_bars_are_time_ordered(self):
+        schedule = build_frame_schedule(32)
+        lines = render_gantt(schedule).splitlines()[1:-1]
+        first_marks = [
+            len(line.split("|")[1]) - len(line.split("|")[1].lstrip(" "))
+            for line in lines
+        ]
+        assert first_marks == sorted(first_marks)
+
+    def test_empty_schedule(self):
+        assert "(empty)" in render_gantt(FrameSchedule(n=8))

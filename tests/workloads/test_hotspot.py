@@ -1,0 +1,88 @@
+"""Tests for hotspot / tenant / incast workloads."""
+
+import pytest
+
+from repro.core.brsmn import BRSMN
+from repro.core.verification import verify_result
+from repro.workloads.hotspot import (
+    hotspot_multicast,
+    incast_rounds,
+    tenant_partitioned,
+)
+
+
+class TestHotspot:
+    def test_hot_outputs_always_used(self):
+        for seed in range(5):
+            a = hotspot_multicast(32, hot_outputs=4, seed=seed)
+            # exactly 4 + used-cold outputs; at least the hot 4 are used
+            assert len(a.used_outputs) >= 4
+
+    def test_skew_reduces_load(self):
+        light = hotspot_multicast(64, hot_outputs=4, hot_fraction=0.9, seed=1)
+        heavy = hotspot_multicast(64, hot_outputs=4, hot_fraction=0.1, seed=1)
+        assert light.total_fanout < heavy.total_fanout
+
+    def test_routes_cleanly(self):
+        for seed in range(5):
+            a = hotspot_multicast(64, hot_outputs=8, seed=seed)
+            assert verify_result(BRSMN(64).route(a, mode="selfrouting")).ok
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_multicast(8, hot_outputs=0)
+        with pytest.raises(ValueError):
+            hotspot_multicast(8, hot_fraction=1.5)
+
+
+class TestTenantPartitioned:
+    def test_traffic_stays_in_partition(self):
+        a = tenant_partitioned(32, tenants=4, seed=2)
+        part = 8
+        for i, dests in enumerate(a.destinations):
+            if dests:
+                tenant = i // part
+                assert all(d // part == tenant for d in dests), (i, dests)
+
+    def test_all_tenants_active(self):
+        a = tenant_partitioned(32, tenants=4, load=1.0, seed=3)
+        active_tenants = {i // 8 for i in a.active_inputs}
+        assert active_tenants == {0, 1, 2, 3}
+
+    def test_routes_cleanly(self):
+        a = tenant_partitioned(64, tenants=4, seed=4)
+        assert verify_result(BRSMN(64).route(a, mode="selfrouting")).ok
+
+    def test_bad_partitioning_rejected(self):
+        with pytest.raises(ValueError):
+            tenant_partitioned(32, tenants=3)
+        with pytest.raises(ValueError):
+            tenant_partitioned(8, tenants=8)  # partitions of size 1
+
+
+class TestIncast:
+    def test_sink_hit_every_round(self):
+        rounds = incast_rounds(16, sink=5, senders=10, seed=5)
+        assert len(rounds) == 10
+        for a in rounds:
+            inv = a.inverse_map()
+            assert 5 in inv
+
+    def test_distinct_senders_cycle(self):
+        rounds = incast_rounds(8, sink=0, seed=6)
+        senders = [a.inverse_map()[0] for a in rounds]
+        assert len(set(senders)) == 7
+
+    def test_background_present(self):
+        rounds = incast_rounds(32, sink=0, senders=4, seed=7)
+        for a in rounds:
+            assert a.total_fanout > 1  # more than just the incast flow
+
+    def test_routes_cleanly(self):
+        net = BRSMN(16)
+        for a in incast_rounds(16, sink=3, senders=6, seed=8):
+            assert verify_result(net.route(a, mode="selfrouting")).ok
+
+    def test_sink_bounds(self):
+        with pytest.raises(ValueError):
+            incast_rounds(8, sink=8)

@@ -1,0 +1,96 @@
+"""Tests for the parallel-computing multicast patterns."""
+
+import pytest
+
+from repro.workloads.patterns import (
+    barrier_fanout_rounds,
+    bit_reversal_permutation,
+    fft_butterfly_rounds,
+    matrix_multiply_rounds,
+    shuffle_permutation,
+    transpose_permutation,
+)
+
+
+class TestMatrixMultiply:
+    def test_round_count_and_fanout(self):
+        rounds = matrix_multiply_rounds(16)
+        assert len(rounds) == 4  # sqrt(16) rounds
+        for a in rounds:
+            fans = [len(d) for d in a.destinations if d]
+            assert fans == [4, 4, 4, 4]  # each row broadcast covers a row
+
+    def test_each_round_covers_all_outputs(self):
+        for a in matrix_multiply_rounds(16):
+            assert a.used_outputs == frozenset(range(16))
+
+    def test_sources_walk_the_columns(self):
+        rounds = matrix_multiply_rounds(16)
+        # round k's sources are column k: {k, k+4, k+8, k+12}
+        for k, a in enumerate(rounds):
+            assert set(a.active_inputs) == {k + 4 * i for i in range(4)}
+
+    def test_odd_power_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_multiply_rounds(8)
+
+
+class TestFftButterfly:
+    def test_round_structure(self):
+        rounds = fft_butterfly_rounds(16)
+        assert len(rounds) == 4
+        for k, a in enumerate(rounds):
+            assert a.is_permutation
+            for i, d in enumerate(a.destinations):
+                assert set(d) == {i ^ (1 << k)}
+
+    def test_all_rounds_full_load(self):
+        for a in fft_butterfly_rounds(8):
+            assert a.total_fanout == 8
+
+
+class TestBarrier:
+    def test_rounds_cover_everyone_once(self):
+        n = 16
+        rounds = barrier_fanout_rounds(n)
+        assert len(rounds) == 4
+        notified = set()
+        for a in rounds:
+            for d in a.used_outputs:
+                assert d not in notified
+                notified.add(d)
+        assert notified | {0} == set(range(n)) | {0}
+        assert len(notified) == n - 1 or len(notified) == n
+
+    def test_doubling_release_wave(self):
+        rounds = barrier_fanout_rounds(16)
+        assert [a.total_fanout for a in rounds] == [1, 2, 4, 8]
+
+    def test_root_bounds(self):
+        with pytest.raises(ValueError):
+            barrier_fanout_rounds(8, root=8)
+
+
+class TestClassicPermutations:
+    def test_transpose_involution(self):
+        a = transpose_permutation(16)
+        perm = {i: next(iter(d)) for i, d in enumerate(a.destinations)}
+        for i, j in perm.items():
+            assert perm[j] == i
+
+    def test_transpose_needs_square_grid(self):
+        with pytest.raises(ValueError):
+            transpose_permutation(8)
+
+    def test_shuffle_matches_rbn_shuffle(self):
+        from repro.rbn.permutations import shuffle
+
+        a = shuffle_permutation(16)
+        for i, d in enumerate(a.destinations):
+            assert set(d) == {shuffle(i, 16)}
+
+    def test_bit_reversal_involution(self):
+        a = bit_reversal_permutation(32)
+        perm = {i: next(iter(d)) for i, d in enumerate(a.destinations)}
+        for i, j in perm.items():
+            assert perm[j] == i

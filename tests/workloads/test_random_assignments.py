@@ -1,0 +1,104 @@
+"""Tests for the random assignment generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.random_assignments import (
+    assignment_suite,
+    broadcast_heavy,
+    fixed_fanout_multicast,
+    geometric_multicast,
+    random_multicast,
+    random_partial_permutation,
+    random_permutation,
+)
+
+
+class TestRandomMulticast:
+    def test_load_respected(self):
+        for load in (0.0, 0.25, 0.5, 1.0):
+            a = random_multicast(64, load=load, seed=1)
+            assert a.total_fanout == round(load * 64)
+
+    def test_determinism(self):
+        a = random_multicast(32, seed=42)
+        b = random_multicast(32, seed=42)
+        assert a.destinations == b.destinations
+
+    def test_different_seeds_differ(self):
+        a = random_multicast(64, seed=1)
+        b = random_multicast(64, seed=2)
+        assert a.destinations != b.destinations
+
+    def test_max_fanout_cap(self):
+        a = random_multicast(64, load=1.0, seed=3, max_fanout=4)
+        assert a.max_fanout <= 4
+
+    def test_load_bounds_checked(self):
+        with pytest.raises(ValueError):
+            random_multicast(8, load=1.5)
+
+    def test_generator_accepted(self):
+        rng = np.random.default_rng(0)
+        a = random_multicast(16, seed=rng)
+        b = random_multicast(16, seed=rng)  # consumes the stream
+        assert a.n == b.n == 16
+
+
+class TestPermutations:
+    def test_full_permutation(self):
+        a = random_permutation(32, seed=5)
+        assert a.is_permutation
+        assert a.total_fanout == 32
+        assert a.used_outputs == frozenset(range(32))
+
+    def test_partial_permutation_load(self):
+        a = random_partial_permutation(32, load=0.5, seed=5)
+        assert a.is_permutation
+        assert a.total_fanout == 16
+
+
+class TestStructuredFanouts:
+    def test_fixed_fanout(self):
+        a = fixed_fanout_multicast(32, fanout=4, seed=6)
+        active = [len(d) for d in a.destinations if d]
+        assert all(f == 4 for f in active)
+        assert len(active) == 8
+
+    def test_fixed_fanout_bounds(self):
+        with pytest.raises(ValueError):
+            fixed_fanout_multicast(8, fanout=0)
+        with pytest.raises(ValueError):
+            fixed_fanout_multicast(8, fanout=9)
+
+    def test_geometric_full_load(self):
+        a = geometric_multicast(64, p=0.5, load=1.0, seed=7)
+        assert a.total_fanout == 64
+
+    def test_geometric_p_checked(self):
+        with pytest.raises(ValueError):
+            geometric_multicast(8, p=0.0)
+
+    def test_broadcast_heavy_single(self):
+        a = broadcast_heavy(16, broadcasters=1, seed=8)
+        assert a.max_fanout == 16
+        assert len(a.active_inputs) == 1
+
+    def test_broadcast_heavy_even_split(self):
+        a = broadcast_heavy(16, broadcasters=4, seed=8)
+        assert sorted(len(d) for d in a.destinations if d) == [4, 4, 4, 4]
+        assert a.used_outputs == frozenset(range(16))
+
+
+class TestSuite:
+    def test_suite_is_diverse_and_valid(self):
+        suite = assignment_suite(32, seed=9)
+        assert len(suite) >= 8
+        assert any(a.is_permutation for a in suite)
+        assert any(a.max_fanout >= 8 for a in suite)
+        # all valid by construction (MulticastAssignment validates)
+
+    def test_suite_deterministic(self):
+        s1 = assignment_suite(16, seed=3)
+        s2 = assignment_suite(16, seed=3)
+        assert [a.destinations for a in s1] == [a.destinations for a in s2]

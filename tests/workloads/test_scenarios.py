@@ -1,0 +1,91 @@
+"""Tests for the telecom scenario generators."""
+
+import pytest
+
+from repro.workloads.scenarios import (
+    replicated_db_frames,
+    videoconference_frames,
+    vod_frames,
+)
+
+
+class TestVideoconference:
+    def test_frame_count(self):
+        frames = videoconference_frames(32, conferences=4, frames=10, seed=1)
+        assert len(frames) == 10
+
+    def test_one_speaker_per_conference(self):
+        frames = videoconference_frames(32, conferences=4, frames=20, seed=2)
+        for a in frames:
+            assert len(a.active_inputs) == 4
+
+    def test_speaker_not_in_audience(self):
+        frames = videoconference_frames(16, conferences=2, frames=20, seed=3)
+        for a in frames:
+            for i in a.active_inputs:
+                assert i not in a[i]
+
+    def test_groups_stable_across_frames(self):
+        """Conference membership persists; only the speaker rotates."""
+        frames = videoconference_frames(16, conferences=2, frames=30, seed=4)
+        groups = [frozenset(a[i] | {i}) for a in frames for i in a.active_inputs]
+        assert len(set(groups)) == 2
+
+    def test_capacity_checked(self):
+        with pytest.raises(ValueError):
+            videoconference_frames(8, conferences=5)
+
+    def test_deterministic(self):
+        f1 = videoconference_frames(16, 2, 5, seed=7)
+        f2 = videoconference_frames(16, 2, 5, seed=7)
+        assert [a.destinations for a in f1] == [a.destinations for a in f2]
+
+
+class TestVod:
+    def test_servers_are_the_only_sources(self):
+        frames = vod_frames(32, servers=3, frames=10, seed=5)
+        sources = set()
+        for a in frames:
+            sources |= set(a.active_inputs)
+        assert len(sources) <= 3
+
+    def test_subscribers_covered(self):
+        frames = vod_frames(32, servers=2, frames=5, seed=6)
+        for a in frames:
+            # every subscriber hears exactly one channel
+            assert a.total_fanout == 30
+
+    def test_server_bounds(self):
+        with pytest.raises(ValueError):
+            vod_frames(8, servers=8)
+
+
+class TestReplicatedDb:
+    def test_commit_trees_match_topology(self):
+        frames = replicated_db_frames(
+            32, shards=4, replicas=3, frames=20, commit_prob=1.0, seed=7
+        )
+        for a in frames:
+            assert len(a.active_inputs) == 4
+            for i in a.active_inputs:
+                assert len(a[i]) == 3
+
+    def test_commit_probability_zero(self):
+        frames = replicated_db_frames(
+            32, shards=4, replicas=3, frames=5, commit_prob=0.0, seed=8
+        )
+        assert all(not a.active_inputs for a in frames)
+
+    def test_capacity_checked(self):
+        with pytest.raises(ValueError):
+            replicated_db_frames(8, shards=4, replicas=3)
+
+    def test_groups_disjoint(self):
+        frames = replicated_db_frames(
+            64, shards=5, replicas=4, frames=10, commit_prob=1.0, seed=9
+        )
+        for a in frames:
+            seen = set()
+            for i in a.active_inputs:
+                assert not (a[i] & seen)
+                seen |= a[i]
