@@ -53,3 +53,14 @@ def test_policy_head_to_head(benchmark, policy):
 
     report = benchmark(sim.run, arrivals)
     assert report.served == len(arrivals)
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_engine_head_to_head(benchmark, engine):
+    """The whole queueing simulation on each routing engine."""
+    n = 32
+    arrivals = poisson_arrivals(n, rate=3.0, slots=40, seed=34)
+    sim = QueueingSimulator(n, engine=engine)
+
+    report = benchmark(sim.run, arrivals)
+    assert report.served == len(arrivals)

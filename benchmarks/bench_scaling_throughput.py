@@ -19,12 +19,14 @@ from repro.workloads.random_assignments import (
 from repro.workloads.scenarios import videoconference_frames
 
 
+@pytest.mark.parametrize("engine", ["reference", "fast"])
 @pytest.mark.parametrize("n", [16, 64, 256, 1024])
-def test_throughput_random_multicast(benchmark, n):
-    net = BRSMN(n)
+def test_throughput_random_multicast(benchmark, n, engine):
+    net = BRSMN(n, engine=engine)
     a = random_multicast(n, load=1.0, seed=n)
+    mode = "selfrouting" if engine == "reference" else "oracle"
 
-    res = benchmark(net.route, a, "selfrouting")
+    res = benchmark(net.route, a, mode)
     assert verify_result(res).ok
 
 
@@ -39,13 +41,15 @@ def test_throughput_permutation(benchmark, n):
     assert res.total_splits == 0
 
 
+@pytest.mark.parametrize("engine", ["reference", "fast"])
 @pytest.mark.parametrize("n", [64, 256])
-def test_throughput_full_broadcast(benchmark, n):
+def test_throughput_full_broadcast(benchmark, n, engine):
     """The maximum-splitting stress case."""
-    net = BRSMN(n)
+    net = BRSMN(n, engine=engine)
     a = MulticastAssignment.broadcast(n)
+    mode = "selfrouting" if engine == "reference" else "oracle"
 
-    res = benchmark(net.route, a, "selfrouting")
+    res = benchmark(net.route, a, mode)
     assert len(res.delivered) == n
 
 

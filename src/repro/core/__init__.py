@@ -28,9 +28,16 @@ from .arrivals import (
     QueueingSimulator,
     poisson_arrivals,
 )
-from .brsmn import BRSMN, RoutingResult, deliver_final_switch, inject_messages
+from .brsmn import (
+    BRSMN,
+    BatchRoutingResult,
+    RoutingResult,
+    deliver_final_switch,
+    inject_messages,
+)
 from .bsn import BinarySplittingNetwork, BsnFrameStats, make_bsn_cells
 from .fabric import FabricStats, MulticastFabric
+from .fastplan import FramePlan, PlanCache, compile_frame_plan, compile_level_gather
 from .feedback import FeedbackBRSMN, FeedbackRoutingResult, PassRecord
 from .message import Message
 from .multicast import MulticastAssignment, paper_example_assignment
@@ -75,6 +82,7 @@ __all__ = [
     "route_requests",
     "schedule_frames",
     "BRSMN",
+    "BatchRoutingResult",
     "RoutingResult",
     "deliver_final_switch",
     "inject_messages",
@@ -83,6 +91,10 @@ __all__ = [
     "make_bsn_cells",
     "FabricStats",
     "MulticastFabric",
+    "FramePlan",
+    "PlanCache",
+    "compile_frame_plan",
+    "compile_level_gather",
     "FeedbackBRSMN",
     "FeedbackRoutingResult",
     "PassRecord",

@@ -147,6 +147,10 @@ class QueueingSimulator:
         policy: backlog packing order — ``"largest_first"`` (fanout
             descending, FIFO within ties) or ``"fifo"``.
         implementation: network implementation to route frames with.
+        engine: ``"reference"`` or ``"fast"`` (see
+            :func:`repro.core.routing.build_network`) — long arrival
+            simulations are exactly where the fast engine and its plan
+            cache pay off.
         max_slots: safety bound on total slots simulated.
     """
 
@@ -155,6 +159,7 @@ class QueueingSimulator:
         n: int,
         policy: str = "largest_first",
         implementation: str = "unrolled",
+        engine: str = "reference",
         max_slots: int = 100_000,
     ):
         check_network_size(n)
@@ -162,7 +167,7 @@ class QueueingSimulator:
             raise ValueError(f"unknown policy {policy!r}")
         self.n = n
         self.policy = policy
-        self.network = build_network(n, implementation)
+        self.network = build_network(n, implementation, engine)
         self.max_slots = max_slots
 
     def _pack_frame(self, backlog: List[Arrival]) -> List[int]:

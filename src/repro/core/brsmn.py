@@ -24,12 +24,28 @@ Routing modes
 
 Both modes must produce identical deliveries; the ablation bench and
 tests verify this.
+
+Engines
+-------
+
+* ``engine="reference"`` (default) — the per-switch Python simulation
+  described above: inspectable, traceable, slow.
+* ``engine="fast"`` — routes through a compiled
+  :class:`~repro.core.fastplan.FramePlan`: the whole recursion becomes
+  a handful of NumPy gathers, plans are memoised in a
+  :class:`~repro.core.fastplan.PlanCache`, and
+  :meth:`BRSMN.route_batch` routes a ``(batch, n)`` payload matrix in
+  one shot.  Deliveries are property-tested identical to the reference
+  engine; traces are a reference-engine feature (``collect_trace=True``
+  with the fast engine raises ``ValueError``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import InvalidAssignmentError, RoutingInvariantError
 from ..rbn.cells import Cell
@@ -42,7 +58,15 @@ from .multicast import MulticastAssignment
 from .tags import Tag
 from .tagtree import TagTree, tag_of_destinations
 
-__all__ = ["RoutingResult", "BRSMN", "inject_messages", "deliver_final_switch"]
+__all__ = [
+    "RoutingResult",
+    "BatchRoutingResult",
+    "BRSMN",
+    "inject_messages",
+    "deliver_final_switch",
+]
+
+ENGINES = ("reference", "fast")
 
 
 def inject_messages(
@@ -157,9 +181,15 @@ class RoutingResult:
             ``o`` (``None`` if the output is unused).
         mode: the routing mode used.
         bsn_stats: one :class:`~repro.core.bsn.BsnFrameStats` per BSN
-            frame traversed, outermost first.
+            frame traversed, outermost first (depth-first order on the
+            reference engine, level order on the fast engine — the
+            multiset is identical).
         final_switches: number of last-level 2x2 switches that fired.
         trace: optional full stage trace (present when requested).
+        engine: which engine produced the result.
+        plan_cache_hit: fast engine only — True when the routing plan
+            came from the cache, False when it was compiled for this
+            call, ``None`` on the reference engine.
     """
 
     assignment: MulticastAssignment
@@ -168,6 +198,8 @@ class RoutingResult:
     bsn_stats: List[BsnFrameStats] = field(default_factory=list)
     final_switches: int = 0
     trace: Optional[Trace] = None
+    engine: str = "reference"
+    plan_cache_hit: Optional[bool] = None
 
     @property
     def delivered(self) -> Dict[int, Message]:
@@ -185,6 +217,57 @@ class RoutingResult:
         return sum(st.switch_ops for st in self.bsn_stats) + self.final_switches
 
 
+@dataclass
+class BatchRoutingResult:
+    """Outcome of routing one assignment under many payload frames.
+
+    All frames share the assignment, so the routing plan — and with it
+    every per-frame statistic — is identical across the batch; only the
+    payloads differ.
+
+    Attributes:
+        assignment: the shared multicast assignment.
+        frames: number of payload frames routed.
+        payloads: ``(frames, n)`` object array; ``payloads[f, o]`` is
+            the payload delivered to output ``o`` in frame ``f``
+            (``None`` on idle outputs).
+        delivery_src: length-``n`` int array; ``delivery_src[o]`` is the
+            input delivering to output ``o`` (-1 = idle), identical for
+            every frame.
+        mode: the routing mode recorded.
+        engine: which engine produced the result.
+        bsn_stats: per-BSN statistics of ONE frame (every frame incurs
+            the same work).
+        final_switches: last-level 2x2 switches fired per frame.
+        plan_cache_hit: fast engine only — whether the shared plan came
+            from the cache.
+    """
+
+    assignment: MulticastAssignment
+    frames: int
+    payloads: "np.ndarray"
+    delivery_src: "np.ndarray"
+    mode: str
+    engine: str = "reference"
+    bsn_stats: List[BsnFrameStats] = field(default_factory=list)
+    final_switches: int = 0
+    plan_cache_hit: Optional[bool] = None
+
+    @property
+    def total_splits(self) -> int:
+        """Alpha splits per frame (identical across the batch)."""
+        return sum(st.splits for st in self.bsn_stats)
+
+    @property
+    def switch_ops(self) -> int:
+        """2x2 switch applications per frame."""
+        return sum(st.switch_ops for st in self.bsn_stats) + self.final_switches
+
+    def frame_outputs(self, f: int) -> List:
+        """Per-output delivered payloads of frame ``f`` as a list."""
+        return list(self.payloads[f])
+
+
 class BRSMN:
     """An ``n x n`` binary radix sorting multicast network.
 
@@ -195,12 +278,29 @@ class BRSMN:
 
     Args:
         n: network size (power of two, >= 2).
+        engine: ``"reference"`` (per-switch simulation, traceable) or
+            ``"fast"`` (compiled NumPy gather plans; identical
+            deliveries, no traces).
+        plan_cache: fast engine only — a
+            :class:`~repro.core.fastplan.PlanCache` to share across
+            networks (default: a private cache).
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, engine: str = "reference", plan_cache=None):
         self.m = check_network_size(n)
         self.n = n
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected one of {ENGINES})"
+            )
+        self.engine = engine
         self._bsns: Dict[int, BinarySplittingNetwork] = {}
+        if engine == "fast" or plan_cache is not None:
+            from .fastplan import PlanCache  # deferred: avoids an import cycle
+
+            self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        else:
+            self.plan_cache = None
 
     def _bsn(self, size: int) -> BinarySplittingNetwork:
         if size not in self._bsns:
@@ -262,6 +362,15 @@ class BRSMN:
             raise InvalidAssignmentError(
                 f"assignment size {assignment.n} != network size {self.n}"
             )
+        if mode not in ("oracle", "selfrouting"):
+            raise ValueError(f"unknown routing mode {mode!r}")
+        if self.engine == "fast":
+            if collect_trace:
+                raise ValueError(
+                    "collect_trace requires engine='reference' (the fast "
+                    "engine routes by compiled gathers, not switch stages)"
+                )
+            return self._route_fast(assignment, mode, payloads)
         frame = inject_messages(assignment, mode, payloads)
         trace = Trace(label=f"BRSMN(n={self.n}, mode={mode})") if collect_trace else None
         result = RoutingResult(
@@ -270,6 +379,103 @@ class BRSMN:
         outputs = self._route(frame, 0, self.n, mode, result, trace)
         result.outputs = outputs
         return result
+
+    def _plan(self, assignment: MulticastAssignment):
+        """Fetch (or compile) the routing plan; returns ``(plan, hit)``."""
+        return self.plan_cache.get(assignment)
+
+    def _route_fast(
+        self,
+        assignment: MulticastAssignment,
+        mode: str,
+        payloads: Optional[Sequence],
+    ) -> RoutingResult:
+        plan, hit = self._plan(assignment)
+        if payloads is None:
+            payloads = [f"pkt{i}" for i in range(self.n)]
+        delivered = plan.apply(payloads)
+        outputs: List[Optional[Message]] = [
+            None
+            if src < 0
+            else Message(source=src, destinations=frozenset({o}), payload=delivered[o])
+            for o, src in enumerate(plan.delivery_src.tolist())
+        ]
+        return RoutingResult(
+            assignment=assignment,
+            outputs=outputs,
+            mode=mode,
+            bsn_stats=list(plan.bsn_stats),
+            final_switches=plan.final_switches,
+            engine="fast",
+            plan_cache_hit=hit,
+        )
+
+    def route_batch(
+        self,
+        assignment: MulticastAssignment,
+        payload_matrix,
+        mode: str = "oracle",
+    ) -> BatchRoutingResult:
+        """Route many payload frames sharing one assignment.
+
+        On the fast engine the whole batch is one fancy-indexing gather
+        through the compiled plan; on the reference engine the frames
+        are routed sequentially (the baseline the batch path is
+        benchmarked against).
+
+        Args:
+            assignment: the shared multicast assignment.
+            payload_matrix: ``(batch, n)`` array-like of per-input
+                payloads, one row per frame.
+
+        Returns:
+            A :class:`BatchRoutingResult`.
+        """
+        if assignment.n != self.n:
+            raise InvalidAssignmentError(
+                f"assignment size {assignment.n} != network size {self.n}"
+            )
+        mat = np.asarray(payload_matrix, dtype=object)
+        if mat.ndim != 2 or mat.shape[1] != self.n:
+            raise InvalidAssignmentError(
+                f"expected a (batch, {self.n}) payload matrix, got shape {mat.shape}"
+            )
+        if self.engine == "fast":
+            plan, hit = self._plan(assignment)
+            return BatchRoutingResult(
+                assignment=assignment,
+                frames=mat.shape[0],
+                payloads=plan.apply_batch(mat),
+                delivery_src=plan.delivery_src.copy(),
+                mode=mode,
+                engine="fast",
+                bsn_stats=list(plan.bsn_stats),
+                final_switches=plan.final_switches,
+                plan_cache_hit=hit,
+            )
+        delivery_src = np.full(self.n, -1, dtype=np.int64)
+        out = np.full(mat.shape, None, dtype=object)
+        first: Optional[RoutingResult] = None
+        for f in range(mat.shape[0]):
+            result = self.route(assignment, mode=mode, payloads=list(mat[f]))
+            if first is None:
+                first = result
+                for o, msg in enumerate(result.outputs):
+                    if msg is not None:
+                        delivery_src[o] = msg.source
+            for o, msg in enumerate(result.outputs):
+                if msg is not None:
+                    out[f, o] = msg.payload
+        return BatchRoutingResult(
+            assignment=assignment,
+            frames=mat.shape[0],
+            payloads=out,
+            delivery_src=delivery_src,
+            mode=mode,
+            engine="reference",
+            bsn_stats=list(first.bsn_stats) if first is not None else [],
+            final_switches=first.final_switches if first is not None else 0,
+        )
 
     def _route(
         self,

@@ -29,6 +29,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import InvalidAssignmentError, RoutingInvariantError
 from ..rbn.cells import Cell
+from ..rbn.fast import fast_quasisort
+from ..rbn.fast_scatter import fast_scatter_cells
 from ..rbn.permutations import check_network_size
 from ..rbn.quasisort import quasisort
 from ..rbn.scatter import count_tags, scatter
@@ -130,11 +132,22 @@ class BinarySplittingNetwork:
 
     Args:
         n: network size (power of two, >= 2).
+        engine: ``"reference"`` runs the per-switch RBN simulations;
+            ``"fast"`` runs the vectorised scatter + quasisort kernels
+            (:mod:`repro.rbn.fast_scatter`, :mod:`repro.rbn.fast`) —
+            cell-for-cell identical output.  A requested trace always
+            uses the reference path (the fast path has no stages to
+            record).
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, engine: str = "reference"):
         self.m = check_network_size(n)
         self.n = n
+        if engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine {engine!r} (expected 'reference' or 'fast')"
+            )
+        self.engine = engine
 
     @property
     def switch_count(self) -> int:
@@ -175,8 +188,12 @@ class BinarySplittingNetwork:
                     n0=counts["n0"], n1=counts["n1"], na=counts["na"], h=half
                 )
             )
-        scattered = scatter(cells, 0, trace=trace, offset=offset)
-        sorted_cells = quasisort(scattered, trace=trace, offset=offset)
+        if self.engine == "fast" and trace is None:
+            scattered = fast_scatter_cells(cells, 0)
+            sorted_cells = fast_quasisort(scattered)
+        else:
+            scattered = scatter(cells, 0, trace=trace, offset=offset)
+            sorted_cells = quasisort(scattered, trace=trace, offset=offset)
         stats = BsnFrameStats(
             size=self.n,
             input_counts=counts,

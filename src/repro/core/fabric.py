@@ -40,6 +40,9 @@ class FabricStats:
         failures: frames whose verification failed (only populated when
             the fabric is constructed with ``strict=False``).
         fanout_histogram: multicast fanout -> occurrence count.
+        plan_cache_hits: fast engine — frames served by a cached
+            routing plan.
+        plan_cache_misses: fast engine — frames that compiled a plan.
     """
 
     frames: int = 0
@@ -48,6 +51,8 @@ class FabricStats:
     switch_ops: int = 0
     failures: List[str] = field(default_factory=list)
     fanout_histogram: Counter = field(default_factory=Counter)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def mean_fanout(self) -> float:
@@ -55,6 +60,12 @@ class FabricStats:
         total = sum(f * c for f, c in self.fanout_histogram.items())
         count = sum(self.fanout_histogram.values())
         return total / count if count else 0.0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of fast-engine frames answered from the plan cache."""
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
 
 
 class MulticastFabric:
@@ -69,6 +80,10 @@ class MulticastFabric:
             :class:`~repro.errors.RoutingInvariantError`; when False it
             is recorded in :attr:`FabricStats.failures` and the session
             continues.
+        engine: ``"reference"`` or ``"fast"`` (see
+            :func:`repro.core.routing.build_network`); the fast engine
+            memoises routing plans, so sessions with recurring
+            assignments also report plan-cache hits.
     """
 
     def __init__(
@@ -77,11 +92,13 @@ class MulticastFabric:
         implementation: str = "unrolled",
         mode: str = "selfrouting",
         strict: bool = True,
+        engine: str = "reference",
     ):
-        self.network = build_network(n, implementation)
+        self.network = build_network(n, implementation, engine)
         self.n = n
         self.mode = mode
         self.strict = strict
+        self.engine = engine
         self.stats = FabricStats()
 
     def submit(self, assignment: MulticastAssignment) -> RoutingResult:
@@ -99,6 +116,11 @@ class MulticastFabric:
         self.stats.deliveries += report.deliveries
         self.stats.splits += result.total_splits
         self.stats.switch_ops += result.switch_ops
+        if result.plan_cache_hit is not None:
+            if result.plan_cache_hit:
+                self.stats.plan_cache_hits += 1
+            else:
+                self.stats.plan_cache_misses += 1
         for i in assignment.active_inputs:
             self.stats.fanout_histogram[len(assignment[i])] += 1
         return result

@@ -1,0 +1,352 @@
+"""End-to-end routing plans: a whole BRSMN pass as composed gathers.
+
+The reference :class:`~repro.core.brsmn.BRSMN` simulates every 2x2
+switch of every BSN level in interpreted Python — ``O(n log^2 n)``
+switch visits per frame.  This module compiles the *same* recursive
+routing into array form:
+
+* :func:`compile_level_gather` runs one BRSMN recursion level — ``2^k``
+  side-by-side BSNs of size ``n / 2^k`` — as a batch: the vectorised
+  scatter kernel (:mod:`repro.rbn.fast_scatter`) composed with the
+  vectorised epsilon-dividing + bit-sorting kernels
+  (:mod:`repro.rbn.fast`) yields one flat ``(src, role)`` gather for
+  the whole level;
+* :func:`compile_frame_plan` chains the levels.  It tracks, per output
+  address, the current *position* of the message copy that will deliver
+  there (``owner``) and, per position, the original input feeding it
+  (``origin``) — both plain integer arrays updated by gathers — and
+  needs no per-message Python at all.  The result is a
+  :class:`FramePlan` whose ``delivery_src[o]`` is the input index
+  delivered to output ``o``;
+* :class:`FramePlan` applies a compiled plan to any payload vector — or
+  to a whole ``(batch, n)`` payload matrix, routing many frames that
+  share an assignment in one fancy-indexing gather;
+* :class:`PlanCache` memoises compiled plans under the canonical
+  assignment fingerprint
+  (:func:`repro.core.serialization.assignment_fingerprint`), with
+  hit/miss counters, because real traffic — hotspots, conference
+  sessions, replicated writes — repeats assignments far more often than
+  it invents new ones.
+
+The compiled plan is *derived from the paper's own algorithms* (Tables
+3-6 vectorised), not from the assignment's inverse map, so the fast
+engine exercises the same mathematics as the reference engine; the two
+are property-tested delivery-identical in
+``tests/core/test_fast_engine.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidAssignmentError, RoutingInvariantError
+from ..rbn.fast import fast_divide_epsilons_batch, fast_sort_permutation_batch
+from ..rbn.fast_scatter import (
+    CODE_ALPHA,
+    CODE_EPS,
+    CODE_ONE,
+    CODE_ZERO,
+    fast_scatter_gather_batch,
+)
+from ..rbn.permutations import check_network_size
+from .bsn import BsnFrameStats
+from .multicast import MulticastAssignment
+from .serialization import assignment_fingerprint
+
+__all__ = [
+    "compile_level_gather",
+    "compile_frame_plan",
+    "FramePlan",
+    "PlanCache",
+]
+
+
+def compile_level_gather(codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compile one BRSMN level (a batch of BSNs) into a flat gather.
+
+    Args:
+        codes: ``(blocks, size)`` matrix of scatter tag codes — each row
+            is one BSN's input frame at this recursion level.
+
+    Returns:
+        ``(src, role)`` flat arrays over the row-major layout: output
+        position ``p`` of the level takes the cell at position
+        ``src[p]``; ``role`` is 0 for unicast moves, 1/2 for the
+        tag-0/tag-1 copy of a split alpha (see
+        :class:`~repro.rbn.fast_scatter.ScatterGather`).
+
+    Raises:
+        RoutingInvariantError: if a block violates the BSN input
+            constraint (paper eq. (2)).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    blocks, size = codes.shape
+    half = size // 2
+    n0 = (codes == CODE_ZERO).sum(axis=1)
+    n1 = (codes == CODE_ONE).sum(axis=1)
+    na = (codes == CODE_ALPHA).sum(axis=1)
+    if np.any(n0 + na > half) or np.any(n1 + na > half):
+        bad = int(np.argmax((n0 + na > half) | (n1 + na > half)))
+        raise RoutingInvariantError(
+            "BSN input constraint (eq. 2) violated: "
+            f"n0={int(n0[bad])}, n1={int(n1[bad])}, na={int(na[bad])}, "
+            f"n/2={half} (block {bad})"
+        )
+
+    # Scatter pass (Theorem 2): eliminate every alpha, s = 0 per block.
+    scat = fast_scatter_gather_batch(codes, 0)
+    scat_codes = scat.output_codes(codes)
+
+    # Quasisort pass (Section 5.2) on the scatter outputs: re-encode for
+    # the quasisort kernels ({0, 1, EPS} -> {0, 1, 2}), divide epsilons,
+    # then ascending bit sort to C(n/2, n/2) over the one-population.
+    quasi = np.where(scat_codes == CODE_EPS, 2, scat_codes).reshape(blocks, size)
+    divided = fast_divide_epsilons_batch(quasi)
+    one_mask = (divided == 1) | (divided == 4)
+    perm_local = fast_sort_permutation_batch(one_mask.astype(np.int64), half)
+    offsets = (np.arange(blocks, dtype=np.int64) * size)[:, None]
+    perm = (perm_local + offsets).reshape(blocks * size)
+
+    # Compose: quasisort permutes the scatter outputs.
+    return scat.src[perm], scat.role[perm]
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """A compiled end-to-end routing plan for one multicast assignment.
+
+    Attributes:
+        n: network size.
+        delivery_src: int array — ``delivery_src[o]`` is the input index
+            whose message the network delivers to output ``o``, or -1
+            for an idle output.
+        bsn_stats: per-BSN frame statistics in level order (outermost
+            level first, blocks top-to-bottom within a level); the same
+            multiset as the reference engine's depth-first list.
+        final_switches: last-level 2x2 switches fired (= n/2).
+    """
+
+    n: int
+    delivery_src: np.ndarray
+    bsn_stats: Tuple[BsnFrameStats, ...] = ()
+    final_switches: int = 0
+
+    @property
+    def total_splits(self) -> int:
+        """Total alpha splits across all BSN levels."""
+        return sum(st.splits for st in self.bsn_stats)
+
+    def apply(self, payloads: Sequence) -> List:
+        """Route one payload frame; returns the per-output payloads.
+
+        Args:
+            payloads: length-``n`` sequence, ``payloads[i]`` being input
+                ``i``'s payload.
+
+        Returns:
+            A list where entry ``o`` is the delivered payload (``None``
+            for idle outputs).
+        """
+        if len(payloads) != self.n:
+            raise InvalidAssignmentError(
+                f"expected {self.n} payloads, got {len(payloads)}"
+            )
+        return [
+            None if s < 0 else payloads[s]
+            for s in self.delivery_src.tolist()
+        ]
+
+    def apply_batch(self, payload_matrix) -> np.ndarray:
+        """Route a whole ``(batch, n)`` payload matrix in one gather.
+
+        Args:
+            payload_matrix: ``(batch, n)`` array-like; row ``f`` holds
+                frame ``f``'s per-input payloads.
+
+        Returns:
+            A ``(batch, n)`` object array of delivered payloads
+            (``None`` on idle outputs).
+        """
+        mat = np.asarray(payload_matrix, dtype=object)
+        if mat.ndim != 2 or mat.shape[1] != self.n:
+            raise InvalidAssignmentError(
+                f"expected a (batch, {self.n}) payload matrix, got shape {mat.shape}"
+            )
+        out = mat[:, np.maximum(self.delivery_src, 0)]
+        out[:, self.delivery_src < 0] = None
+        return out
+
+
+def compile_frame_plan(assignment: MulticastAssignment) -> FramePlan:
+    """Compile the full recursive BRSMN routing of one assignment.
+
+    Runs every recursion level through :func:`compile_level_gather`,
+    following each message copy by position (``owner``) and provenance
+    (``origin``) arrays, exactly as the unrolled network would move it.
+
+    Raises:
+        RoutingInvariantError: if any level's input populations violate
+            the paper's invariants (impossible for a valid assignment).
+    """
+    n = assignment.n
+    check_network_size(n)
+
+    # owner[o]: current position of the copy that will deliver output o.
+    owner = np.full(n, -1, dtype=np.int64)
+    for i, dests in enumerate(assignment.destinations):
+        for d in dests:
+            owner[d] = i
+    # origin[p]: original input of the message copy at position p.
+    origin = np.where(owner_positions_active(assignment, n), np.arange(n), -1)
+
+    stats: List[BsnFrameStats] = []
+    outputs_idx = np.arange(n, dtype=np.int64)
+    size = n
+    while size > 2:
+        half = size // 2
+        blocks = n // size
+
+        # ---- tag each position from the outputs it still owns.
+        active = owner >= 0
+        own_pos = owner[active]
+        upper_half = ((outputs_idx[active] // half) % 2) == 0
+        up_cnt = np.zeros(n, dtype=np.int64)
+        lo_cnt = np.zeros(n, dtype=np.int64)
+        np.add.at(up_cnt, own_pos[upper_half], 1)
+        np.add.at(lo_cnt, own_pos[~upper_half], 1)
+        codes = np.full(n, CODE_EPS, dtype=np.int64)
+        codes[(up_cnt > 0) & (lo_cnt == 0)] = CODE_ZERO
+        codes[(up_cnt == 0) & (lo_cnt > 0)] = CODE_ONE
+        codes[(up_cnt > 0) & (lo_cnt > 0)] = CODE_ALPHA
+        codes2d = codes.reshape(blocks, size)
+
+        # ---- per-BSN statistics (assignment-determined, so part of
+        # the compiled plan, not recomputed per payload frame).
+        m_blk = size.bit_length() - 1
+        n0 = (codes2d == CODE_ZERO).sum(axis=1)
+        n1 = (codes2d == CODE_ONE).sum(axis=1)
+        na = (codes2d == CODE_ALPHA).sum(axis=1)
+        ne = (codes2d == CODE_EPS).sum(axis=1)
+        for b in range(blocks):
+            stats.append(
+                BsnFrameStats(
+                    size=size,
+                    input_counts={
+                        "n0": int(n0[b]),
+                        "n1": int(n1[b]),
+                        "na": int(na[b]),
+                        "ne": int(ne[b]),
+                    },
+                    splits=int(na[b]),
+                    switch_ops=2 * half * m_blk,
+                )
+            )
+
+        # ---- route the level and advance the tracking arrays.
+        src, role = compile_level_gather(codes2d)
+        positions = outputs_idx
+        inv_zero = np.full(n, -1, dtype=np.int64)
+        inv_one = np.full(n, -1, dtype=np.int64)
+        took_zero = role != 2
+        took_one = role != 1
+        inv_zero[src[took_zero]] = positions[took_zero]
+        inv_one[src[took_one]] = positions[took_one]
+
+        origin = origin[src]
+        safe_owner = np.maximum(owner, 0)
+        upper_out = ((outputs_idx // half) % 2) == 0
+        new_owner = np.where(upper_out, inv_zero[safe_owner], inv_one[safe_owner])
+        owner = np.where(owner >= 0, new_owner, -1)
+        if np.any((owner < 0) & (np.asarray(assignment_used_mask(assignment, n)))):
+            raise RoutingInvariantError(
+                "fast plan lost track of a delivery while compiling"
+            )
+        size = half
+
+    delivery_src = np.where(owner >= 0, origin[np.maximum(owner, 0)], -1)
+    return FramePlan(
+        n=n,
+        delivery_src=delivery_src,
+        bsn_stats=tuple(stats),
+        final_switches=n // 2,
+    )
+
+
+def owner_positions_active(assignment: MulticastAssignment, n: int) -> np.ndarray:
+    """Boolean mask of inputs that inject a message (helper)."""
+    mask = np.zeros(n, dtype=bool)
+    for i in assignment.active_inputs:
+        mask[i] = True
+    return mask
+
+
+def assignment_used_mask(assignment: MulticastAssignment, n: int) -> np.ndarray:
+    """Boolean mask of outputs claimed by the assignment (helper)."""
+    mask = np.zeros(n, dtype=bool)
+    for o in assignment.used_outputs:
+        mask[o] = True
+    return mask
+
+
+@dataclass
+class PlanCache:
+    """An LRU cache of compiled :class:`FramePlan` objects.
+
+    Keyed on the canonical assignment fingerprint
+    (:func:`repro.core.serialization.assignment_fingerprint`), so two
+    structurally identical assignments share one compiled plan no
+    matter how they were constructed.
+
+    Attributes:
+        maxsize: maximum retained plans (least-recently-used eviction).
+        hits: lookups answered from the cache.
+        misses: lookups that had to compile.
+    """
+
+    maxsize: int = 256
+    hits: int = 0
+    misses: int = 0
+    _plans: "OrderedDict[str, FramePlan]" = field(default_factory=OrderedDict)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(
+        self,
+        assignment: MulticastAssignment,
+        compile_fn: Callable[[MulticastAssignment], FramePlan] = compile_frame_plan,
+    ) -> Tuple[FramePlan, bool]:
+        """Fetch (or compile and memoise) the plan for an assignment.
+
+        Returns:
+            ``(plan, hit)`` — ``hit`` is True when the plan came from
+            the cache.
+        """
+        key = assignment_fingerprint(assignment)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan, True
+        self.misses += 1
+        plan = compile_fn(assignment)
+        self._plans[key] = plan
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        return plan, False
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0

@@ -31,7 +31,7 @@ def _coerce_assignment(n: int, assignment: AssignmentLike) -> MulticastAssignmen
     return MulticastAssignment(n, list(assignment))
 
 
-def build_network(n: int, implementation: str = "unrolled"):
+def build_network(n: int, implementation: str = "unrolled", engine: str = "reference"):
     """Construct a multicast network.
 
     Args:
@@ -41,10 +41,19 @@ def build_network(n: int, implementation: str = "unrolled"):
             single-pass) or ``"feedback"`` for the hardware-reusing
             :class:`~repro.core.feedback.FeedbackBRSMN`
             (cost ``O(n log n)``, ``2 log n - 1`` passes).
+        engine: ``"reference"`` or ``"fast"`` (compiled NumPy routing
+            plans; unrolled implementation only — the feedback network
+            time-multiplexes physical hardware, which is exactly what a
+            compiled plan abstracts away).
     """
     if implementation == "unrolled":
-        return BRSMN(n)
+        return BRSMN(n, engine=engine)
     if implementation == "feedback":
+        if engine != "reference":
+            raise ValueError(
+                "engine='fast' requires implementation='unrolled' "
+                "(the feedback network is a hardware-reuse simulation)"
+            )
         return FeedbackBRSMN(n)
     raise ValueError(
         f"unknown implementation {implementation!r} "
@@ -58,6 +67,7 @@ def route_and_report(
     *,
     mode: str = "selfrouting",
     implementation: str = "unrolled",
+    engine: str = "reference",
     payloads: Optional[Sequence] = None,
     collect_trace: bool = False,
 ) -> Tuple[RoutingResult, VerificationReport]:
@@ -71,10 +81,13 @@ def route_and_report(
         mode: ``"selfrouting"`` (default — the paper's hardware
             behaviour) or ``"oracle"``.
         implementation: ``"unrolled"`` or ``"feedback"``.
+        engine: ``"reference"`` or ``"fast"`` (see
+            :func:`build_network`).
         payloads: optional per-input payloads.
-        collect_trace: record the full stage trace.
+        collect_trace: record the full stage trace (reference engine
+            only).
     """
-    net = build_network(n, implementation)
+    net = build_network(n, implementation, engine)
     asg = _coerce_assignment(n, assignment)
     result = net.route(asg, mode=mode, payloads=payloads, collect_trace=collect_trace)
     return result, verify_result(result)
@@ -86,6 +99,7 @@ def route_multicast(
     *,
     mode: str = "selfrouting",
     implementation: str = "unrolled",
+    engine: str = "reference",
     payloads: Optional[Sequence] = None,
     collect_trace: bool = False,
 ) -> RoutingResult:
@@ -100,6 +114,7 @@ def route_multicast(
         assignment,
         mode=mode,
         implementation=implementation,
+        engine=engine,
         payloads=payloads,
         collect_trace=collect_trace,
     )

@@ -25,6 +25,7 @@ Formats (all top-level objects carry a ``"kind"`` discriminator):
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, List
 
@@ -36,6 +37,7 @@ from .multicast import MulticastAssignment
 __all__ = [
     "assignment_to_json",
     "assignment_from_json",
+    "assignment_fingerprint",
     "requests_to_json",
     "requests_from_json",
     "result_to_json",
@@ -53,6 +55,32 @@ def assignment_to_json(assignment: MulticastAssignment) -> str:
         {"kind": "assignment", "n": assignment.n, "destinations": dests},
         indent=2,
     )
+
+
+def assignment_fingerprint(assignment: MulticastAssignment) -> str:
+    """Canonical content fingerprint of an assignment.
+
+    Two assignments fingerprint equal iff they have the same ``n`` and
+    the same destination sets, regardless of how they were constructed.
+    The digest keys the routing-plan cache
+    (:class:`repro.core.fastplan.PlanCache`).
+
+    Returns:
+        A sha256 hex digest of the compact canonical JSON form.
+    """
+    canonical = json.dumps(
+        {
+            "n": assignment.n,
+            "destinations": {
+                str(i): sorted(ds)
+                for i, ds in enumerate(assignment.destinations)
+                if ds
+            },
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def assignment_from_json(text: str) -> MulticastAssignment:

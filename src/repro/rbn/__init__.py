@@ -22,9 +22,18 @@ from .cells import Cell, cells_from_tags, empty_cell, tags_of
 from .bitsort import BitSortAlgorithm, route_to_compact, sort_by_tags
 from .fast import (
     fast_divide_epsilons,
+    fast_divide_epsilons_batch,
     fast_quasisort,
     fast_sort_cells,
     fast_sort_permutation,
+    fast_sort_permutation_batch,
+)
+from .fast_scatter import (
+    ScatterGather,
+    fast_scatter_cells,
+    fast_scatter_gather,
+    fast_scatter_gather_batch,
+    scatter_codes_of_cells,
 )
 from .graph import count_paths, rbn_link_graph, unique_path_property
 from .compact import (
@@ -64,9 +73,16 @@ __all__ = [
     "route_to_compact",
     "sort_by_tags",
     "fast_divide_epsilons",
+    "fast_divide_epsilons_batch",
     "fast_quasisort",
     "fast_sort_cells",
     "fast_sort_permutation",
+    "fast_sort_permutation_batch",
+    "ScatterGather",
+    "fast_scatter_cells",
+    "fast_scatter_gather",
+    "fast_scatter_gather_batch",
+    "scatter_codes_of_cells",
     "count_paths",
     "rbn_link_graph",
     "unique_path_property",

@@ -15,11 +15,19 @@ same mathematics as whole-array NumPy operations:
   gather-index permutation composed across stages.
 
 The result is a pure *permutation* ``pi`` with ``out[i] = in[pi[i]]``,
-so callers apply it to any payload sequence.  Broadcast-bearing passes
-(the scatter network) keep the reference path — duplication does not
-vectorise into a permutation — which is fine: for permutation traffic
-and for the quasisorting half of every BSN, the fast path covers the
-hot loop.
+so callers apply it to any payload sequence.  The broadcast-bearing
+scatter pass vectorises separately into a *gather* (duplication = a
+repeated source index) in :mod:`repro.rbn.fast_scatter`; together they
+make every pass of a BSN array-native.
+
+Both kernels come in a *block-batched* form
+(:func:`fast_sort_permutation_batch`,
+:func:`fast_divide_epsilons_batch`) operating on a ``(blocks, n')``
+matrix of independent same-size sub-networks at once.  One BRSMN
+recursion level is exactly that — ``2^k`` side-by-side BSNs of size
+``n / 2^k`` — so the end-to-end plan compiler
+(:mod:`repro.core.fastplan`) runs a whole level in a handful of array
+operations instead of looping over sub-networks.
 
 Equivalence with the reference implementation is property-tested
 (``tests/rbn/test_fast.py``) and the speedup is measured by
@@ -39,10 +47,94 @@ from .permutations import check_network_size
 
 __all__ = [
     "fast_sort_permutation",
+    "fast_sort_permutation_batch",
     "fast_divide_epsilons",
+    "fast_divide_epsilons_batch",
     "fast_quasisort",
     "fast_sort_cells",
 ]
+
+
+def fast_sort_permutation_batch(gamma: np.ndarray, s) -> np.ndarray:
+    """Vectorised Theorem 1 over a batch of independent equal-size blocks.
+
+    Args:
+        gamma: 0/1 matrix of shape ``(blocks, n')`` — one row per
+            independent sub-RBN.
+        s: per-block target starting positions (scalar or ``(blocks,)``
+            array).
+
+    Returns:
+        A ``(blocks, n')`` index matrix of *block-local* permutations:
+        row ``b`` satisfies ``out[b, i] = in[b, pi[b, i]]`` and matches
+        :func:`fast_sort_permutation` run on that row alone.
+    """
+    gamma = np.asarray(gamma, dtype=np.int64)
+    if gamma.ndim != 2:
+        raise ValueError(f"expected a (blocks, n) matrix, got shape {gamma.shape}")
+    blocks, n = gamma.shape
+    m = check_network_size(n)
+    s_vals = np.broadcast_to(np.asarray(s, dtype=np.int64), (blocks,)).copy()
+    if np.any((s_vals < 0) | (s_vals >= n)):
+        raise ValueError(f"s={s} out of range [0, {n})")
+    total = blocks * n
+
+    # ---- forward phase: per-level gamma counts, leaves up.  Blocks are
+    # contiguous in the flat vector, so one reshape-sum per level serves
+    # every block at once; counts[0] holds the per-block roots.
+    counts: List[np.ndarray] = [None] * (m + 1)  # type: ignore[list-item]
+    counts[m] = gamma.reshape(total)
+    for level in range(m - 1, -1, -1):
+        counts[level] = counts[level + 1].reshape(-1, 2).sum(axis=1)
+
+    # ---- backward phase + per-stage permutation, block roots down.
+    # s_vals[j] is the backward input of node j at the current level.
+    # perm maps output position -> input position (flat coordinates),
+    # composed across stages applied from the *outermost* stage inward;
+    # we build it by walking top-down and composing child permutations
+    # afterwards, which is equivalent to the recursive order (stage
+    # permutations at different levels act on disjoint block structures).
+    perm = np.arange(total, dtype=np.int64)
+    for level in range(m):
+        size = n >> level
+        half = size // 2
+        child = counts[level + 1]
+        l0 = child[0::2]
+        s0 = s_vals % half
+        s1 = (s_vals + l0) % half
+        b = ((s_vals + l0) // half) % 2
+
+        # Stage permutation for this level's merging networks:
+        # switch i of node j is CROSS iff (i < s1_j) == (b_j == 1),
+        # i.e. setting = b for i in [0, s1), else 1 - b.
+        nodes = blocks << level
+        i_idx = np.arange(half, dtype=np.int64)[None, :]        # (1, half)
+        in_block = i_idx < s1[:, None]                           # (nodes, half)
+        cross = np.where(in_block, b[:, None], 1 - b[:, None])   # 0/1
+
+        base = (np.arange(nodes, dtype=np.int64) * size)[:, None]
+        out_u = base + i_idx            # output positions 0..half-1 per node
+        out_l = out_u + half
+        src_u = base + i_idx + half * cross          # cross -> take lower
+        src_l = base + i_idx + half * (1 - cross)    # cross -> take upper
+        stage_perm = np.empty(total, dtype=np.int64)
+        stage_perm[out_u.ravel()] = src_u.ravel()
+        stage_perm[out_l.ravel()] = src_l.ravel()
+
+        # Stages run innermost-first physically, so with y_m = input and
+        # y_l[i] = y_{l+1}[stage_l[i]], the total map is
+        # pi[i] = stage_{m-1}[...stage_1[stage_0[i]]...]; walking
+        # top-down (outermost first) we accumulate pi' = stage[pi].
+        perm = stage_perm[perm]
+        # next level's backward inputs
+        s_next = np.empty(2 * s_vals.shape[0], dtype=np.int64)
+        s_next[0::2] = s0
+        s_next[1::2] = s1
+        s_vals = s_next
+
+    # flat -> block-local indices (each block permutes only itself)
+    offsets = (np.arange(blocks, dtype=np.int64) * n)[:, None]
+    return perm.reshape(blocks, n) - offsets
 
 
 def fast_sort_permutation(gamma: np.ndarray, s: int) -> np.ndarray:
@@ -60,64 +152,68 @@ def fast_sort_permutation(gamma: np.ndarray, s: int) -> np.ndarray:
     """
     gamma = np.asarray(gamma, dtype=np.int64)
     n = gamma.shape[0]
-    m = check_network_size(n)
-    if not 0 <= s < n:
+    check_network_size(n)
+    if not 0 <= int(s) < n:
         raise ValueError(f"s={s} out of range [0, {n})")
+    return fast_sort_permutation_batch(gamma[None, :], int(s))[0]
 
-    # ---- forward phase: per-level gamma counts, leaves up.
-    # counts[level] has one entry per node at that level (level m = leaves).
-    counts: List[np.ndarray] = [None] * (m + 1)  # type: ignore[list-item]
-    counts[m] = gamma
+
+def fast_divide_epsilons_batch(codes: np.ndarray) -> np.ndarray:
+    """Vectorised Table 6 over a batch of independent equal-size blocks.
+
+    Args:
+        codes: int matrix of shape ``(blocks, n')`` with 0 = tag ZERO,
+            1 = tag ONE, 2 = EPS — one row per independent sub-network.
+
+    Returns:
+        A matrix where every 2 became 3 (dummy 0) or 4 (dummy 1), each
+        row identical to :func:`fast_divide_epsilons` on that row alone.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 2:
+        raise ValueError(f"expected a (blocks, n) matrix, got shape {codes.shape}")
+    blocks, n = codes.shape
+    m = check_network_size(n)
+    total = blocks * n
+    flat = codes.reshape(total)
+    is_eps = (flat == 2).astype(np.int64)
+    n_one = (codes == 1).sum(axis=1)
+    n_zero = (codes == 0).sum(axis=1)
+    half = n // 2
+    if np.any(n_one > half) or np.any(n_zero > half):
+        bad = int(np.argmax((n_one > half) | (n_zero > half)))
+        raise RoutingInvariantError(
+            "quasisort precondition violated: "
+            f"n0={int(n_zero[bad])}, n1={int(n_one[bad])} (block {bad})"
+        )
+
+    # forward: eps counts per node per level (ne[0] = per-block roots)
+    ne: List[np.ndarray] = [None] * (m + 1)  # type: ignore[list-item]
+    ne[m] = is_eps
     for level in range(m - 1, -1, -1):
-        counts[level] = counts[level + 1].reshape(-1, 2).sum(axis=1)
+        ne[level] = ne[level + 1].reshape(-1, 2).sum(axis=1)
 
-    # ---- backward phase + per-stage permutation, root down.
-    # s_vals[j] is the backward input of node j at the current level.
-    s_vals = np.array([s], dtype=np.int64)
-    # perm maps output position -> input position, composed across stages
-    # applied from the *outermost* stage inward; we build it by walking
-    # top-down and composing child permutations afterwards, which is
-    # equivalent to the recursive order (stage permutations at different
-    # levels act on disjoint block structures).
-    perm = np.arange(n, dtype=np.int64)
+    root_e1 = half - n_one
+    root_e0 = ne[0] - root_e1
+    if np.any(root_e0 < 0) or np.any(root_e1 < 0):
+        raise RoutingInvariantError("epsilon-division counts went negative")
+
+    e0 = root_e0.astype(np.int64)
     for level in range(m):
-        size = n >> level
-        half = size // 2
-        child = counts[level + 1]
-        l0 = child[0::2]
-        s0 = s_vals % half
-        s1 = (s_vals + l0) % half
-        b = ((s_vals + l0) // half) % 2
+        ne_u = ne[level + 1][0::2]
+        e0_u = np.minimum(e0, ne_u)
+        e0_l = e0 - e0_u
+        nxt = np.empty(2 * e0.shape[0], dtype=np.int64)
+        nxt[0::2] = e0_u
+        nxt[1::2] = e0_l
+        e0 = nxt
 
-        # Stage permutation for this level's merging networks:
-        # switch i of node j is CROSS iff (i < s1_j) == (b_j == 1),
-        # i.e. setting = b for i in [0, s1), else 1 - b.
-        nodes = 1 << level
-        i_idx = np.arange(half, dtype=np.int64)[None, :]        # (1, half)
-        in_block = i_idx < s1[:, None]                           # (nodes, half)
-        cross = np.where(in_block, b[:, None], 1 - b[:, None])   # 0/1
-
-        base = (np.arange(nodes, dtype=np.int64) * size)[:, None]
-        out_u = base + i_idx            # output positions 0..half-1 per node
-        out_l = out_u + half
-        src_u = base + i_idx + half * cross          # cross -> take lower
-        src_l = base + i_idx + half * (1 - cross)    # cross -> take upper
-        stage_perm = np.empty(n, dtype=np.int64)
-        stage_perm[out_u.ravel()] = src_u.ravel()
-        stage_perm[out_l.ravel()] = src_l.ravel()
-
-        # Stages run innermost-first physically, so with y_m = input and
-        # y_l[i] = y_{l+1}[stage_l[i]], the total map is
-        # pi[i] = stage_{m-1}[...stage_1[stage_0[i]]...]; walking
-        # top-down (outermost first) we accumulate pi' = stage[pi].
-        perm = stage_perm[perm]
-        # next level's backward inputs
-        s_next = np.empty(2 * s_vals.shape[0], dtype=np.int64)
-        s_next[0::2] = s0
-        s_next[1::2] = s1
-        s_vals = s_next
-
-    return perm
+    out = flat.copy()
+    eps_mask = flat == 2
+    # at the leaves, e0 is 1 where the eps becomes a dummy 0
+    out[eps_mask & (e0 == 1)] = 3
+    out[eps_mask & (e0 == 0)] = 4
+    return out.reshape(blocks, n)
 
 
 def fast_divide_epsilons(codes: np.ndarray) -> np.ndarray:
@@ -133,44 +229,9 @@ def fast_divide_epsilons(codes: np.ndarray) -> np.ndarray:
         demand satisfied with dummy 0s first).
     """
     codes = np.asarray(codes, dtype=np.int64)
-    n = codes.shape[0]
-    m = check_network_size(n)
-    is_eps = (codes == 2).astype(np.int64)
-    n_one = int((codes == 1).sum())
-    n_zero = int((codes == 0).sum())
-    half = n // 2
-    if n_one > half or n_zero > half:
-        raise RoutingInvariantError(
-            f"quasisort precondition violated: n0={n_zero}, n1={n_one}"
-        )
-
-    # forward: eps counts per node per level
-    ne: List[np.ndarray] = [None] * (m + 1)  # type: ignore[list-item]
-    ne[m] = is_eps
-    for level in range(m - 1, -1, -1):
-        ne[level] = ne[level + 1].reshape(-1, 2).sum(axis=1)
-
-    root_e1 = half - n_one
-    root_e0 = int(ne[0][0]) - root_e1
-    if root_e0 < 0 or root_e1 < 0:
-        raise RoutingInvariantError("epsilon-division counts went negative")
-
-    e0 = np.array([root_e0], dtype=np.int64)
-    for level in range(m):
-        ne_u = ne[level + 1][0::2]
-        e0_u = np.minimum(e0, ne_u)
-        e0_l = e0 - e0_u
-        nxt = np.empty(2 * e0.shape[0], dtype=np.int64)
-        nxt[0::2] = e0_u
-        nxt[1::2] = e0_l
-        e0 = nxt
-
-    out = codes.copy()
-    eps_mask = codes == 2
-    # at the leaves, e0 is 1 where the eps becomes a dummy 0
-    out[eps_mask & (e0 == 1)] = 3
-    out[eps_mask & (e0 == 0)] = 4
-    return out
+    if codes.ndim != 1:
+        raise ValueError(f"expected a flat code vector, got shape {codes.shape}")
+    return fast_divide_epsilons_batch(codes[None, :])[0]
 
 
 _CODE_OF_TAG = {Tag.ZERO: 0, Tag.ONE: 1, Tag.EPS: 2}

@@ -9,7 +9,12 @@
   conferencing, video-on-demand, replicated databases).
 """
 
-from .hotspot import hotspot_multicast, incast_rounds, tenant_partitioned
+from .hotspot import (
+    hotspot_multicast,
+    hotspot_session,
+    incast_rounds,
+    tenant_partitioned,
+)
 from .patterns import (
     barrier_fanout_rounds,
     bit_reversal_permutation,
@@ -32,6 +37,7 @@ from .scenarios import replicated_db_frames, videoconference_frames, vod_frames
 
 __all__ = [
     "hotspot_multicast",
+    "hotspot_session",
     "incast_rounds",
     "tenant_partitioned",
     "barrier_fanout_rounds",

@@ -16,6 +16,10 @@ scatter/quasisort machinery off the uniform path:
 * :func:`incast_rounds` — many sources target one sink over successive
   frames (the classic datacenter incast, serialised into valid
   one-frame assignments).
+* :func:`hotspot_session` — a frame *sequence* drawn from a small pool
+  of recurring hotspot assignments (a conference session re-sending the
+  same multicast trees frame after frame) — the workload the fast
+  engine's plan cache exists for.
 """
 
 from __future__ import annotations
@@ -27,7 +31,12 @@ import numpy as np
 from ..core.multicast import MulticastAssignment
 from ..rbn.permutations import check_network_size
 
-__all__ = ["hotspot_multicast", "tenant_partitioned", "incast_rounds"]
+__all__ = [
+    "hotspot_multicast",
+    "tenant_partitioned",
+    "incast_rounds",
+    "hotspot_session",
+]
 
 
 def _rng(seed) -> np.random.Generator:
@@ -78,6 +87,46 @@ def hotspot_multicast(
         dests[src] = pool[:take]
         pool = pool[take:]
     return MulticastAssignment(n, dests)
+
+
+def hotspot_session(
+    n: int,
+    frames: int = 64,
+    distinct: int = 8,
+    hot_outputs: int = 4,
+    seed=0,
+) -> List[MulticastAssignment]:
+    """A frame sequence of *recurring* hotspot assignments.
+
+    Real multicast traffic repeats: a videoconference or replicated
+    write stream re-sends the same connection trees frame after frame,
+    only occasionally re-negotiating membership.  This generator draws
+    each frame uniformly from a pool of ``distinct`` hotspot
+    assignments, so a sequence of ``frames >> distinct`` frames
+    exercises plan reuse — the fast engine's
+    :class:`~repro.core.fastplan.PlanCache` should answer all but the
+    first occurrence of each pool member from cache.
+
+    Args:
+        n: network size.
+        frames: sequence length.
+        distinct: pool size (distinct assignments in the session).
+        hot_outputs: hot-set size handed to :func:`hotspot_multicast`.
+        seed: RNG seed or Generator.
+
+    Returns:
+        A list of ``frames`` assignments containing at most
+        ``distinct`` distinct members.
+    """
+    check_network_size(n)
+    if frames < 1 or distinct < 1:
+        raise ValueError("frames and distinct must be >= 1")
+    rng = _rng(seed)
+    pool = [
+        hotspot_multicast(n, hot_outputs=hot_outputs, seed=rng)
+        for _ in range(distinct)
+    ]
+    return [pool[int(rng.integers(len(pool)))] for _ in range(frames)]
 
 
 def tenant_partitioned(

@@ -1,0 +1,159 @@
+"""Fast scatter gather-kernel vs the reference scatter network.
+
+The vectorised kernel (:mod:`repro.rbn.fast_scatter`) must reproduce
+the reference :func:`repro.rbn.scatter.scatter` cell-for-cell —
+including broadcast duplication, where a split alpha's two copies carry
+``branch0``/``branch1`` payloads at the positions the hardware would
+put them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import bsn_tag_vectors
+from repro.core.tags import Tag
+from repro.errors import RoutingInvariantError
+from repro.rbn.cells import Cell
+from repro.rbn.fast_scatter import (
+    CODE_ALPHA,
+    CODE_EPS,
+    CODE_ONE,
+    CODE_ZERO,
+    fast_scatter_cells,
+    fast_scatter_gather,
+    fast_scatter_gather_batch,
+    scatter_codes_of_cells,
+)
+from repro.rbn.scatter import scatter
+
+
+def _random_cells(n: int, rng: random.Random):
+    """A BSN-valid random cell frame with distinguishable payloads."""
+    half = n // 2
+    na = rng.randrange(0, half + 1)
+    n0 = rng.randrange(0, half - na + 1)
+    n1 = rng.randrange(0, half - na + 1)
+    ne = n - n0 - n1 - na
+    if ne < na:
+        return None
+    tags = [Tag.ZERO] * n0 + [Tag.ONE] * n1 + [Tag.ALPHA] * na + [Tag.EPS] * ne
+    rng.shuffle(tags)
+    cells = []
+    for i, t in enumerate(tags):
+        if t is Tag.ALPHA:
+            cells.append(Cell(t, data=f"a{i}", branch0=f"a{i}.0", branch1=f"a{i}.1"))
+        elif t is Tag.EPS:
+            cells.append(Cell(t))
+        else:
+            cells.append(Cell(t, data=f"d{i}"))
+    return cells
+
+
+def _assert_identical(fast_cells, ref_cells):
+    assert len(fast_cells) == len(ref_cells)
+    for f, r in zip(fast_cells, ref_cells):
+        assert f.tag is r.tag
+        assert f.data == r.data
+        assert f.branch0 == r.branch0
+        assert f.branch1 == r.branch1
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32, 64, 128, 256])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_fast_scatter_cells_matches_reference(n, seed):
+    rng = random.Random(1000 * n + seed)
+    done = 0
+    while done < 10:
+        cells = _random_cells(n, rng)
+        if cells is None:
+            continue
+        done += 1
+        _assert_identical(fast_scatter_cells(cells, 0), scatter(cells, 0))
+
+
+@given(bsn_tag_vectors(min_m=2, max_m=8), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=120, deadline=None)
+def test_fast_scatter_property(tags, seed):
+    """Randomized n in {4..256}: byte-identical to the reference pass."""
+    n = len(tags)
+    if n < 4:
+        return
+    rng = random.Random(seed)
+    cells = []
+    for i, t in enumerate(tags):
+        if t is Tag.ALPHA:
+            cells.append(Cell(t, data=f"a{i}", branch0=(i, 0), branch1=(i, 1)))
+        elif t is Tag.EPS:
+            cells.append(Cell(t))
+        else:
+            cells.append(Cell(t, data=i))
+    s = rng.randrange(n)
+    _assert_identical(fast_scatter_cells(cells, s), scatter(cells, s))
+
+
+def test_broadcast_duplication_positions():
+    """A split alpha appears twice in the gather: once per branch."""
+    cells = [
+        Cell(Tag.ALPHA, data="A", branch0="A.up", branch1="A.lo"),
+        Cell(Tag.EPS),
+        Cell(Tag.ZERO, data="z"),
+        Cell(Tag.EPS),
+    ]
+    out = fast_scatter_cells(cells, 0)
+    ref = scatter(cells, 0)
+    _assert_identical(out, ref)
+    # both branch payloads of the alpha must survive, as tag 0 then tag 1
+    payloads = [(c.tag, c.data) for c in out if c.data is not None]
+    assert (Tag.ZERO, "A.up") in payloads
+    assert (Tag.ONE, "A.lo") in payloads
+    # and the gather index repeats the alpha's source position
+    codes = scatter_codes_of_cells(cells)
+    g = fast_scatter_gather(codes, 0)
+    src_of_bcast = g.src[g.role != 0]
+    assert len(src_of_bcast) == 2
+    assert set(src_of_bcast.tolist()) == {0}
+
+
+def test_gather_output_codes():
+    codes = np.array([CODE_ALPHA, CODE_EPS, CODE_ZERO, CODE_ONE])
+    g = fast_scatter_gather(codes, 0)
+    out = g.output_codes(codes)
+    assert sorted(out.tolist()) == sorted([CODE_ZERO, CODE_ONE, CODE_ZERO, CODE_ONE])
+    assert CODE_ALPHA not in out  # Theorem 2: all alphas eliminated
+
+
+def test_batch_rows_match_single_rows():
+    rng = random.Random(7)
+    rows = []
+    while len(rows) < 8:
+        cells = _random_cells(16, rng)
+        if cells is not None:
+            rows.append(scatter_codes_of_cells(cells))
+    batch = fast_scatter_gather_batch(np.stack(rows), 0)
+    for b, row in enumerate(rows):
+        single = fast_scatter_gather(row, 0)
+        lo, hi = 16 * b, 16 * (b + 1)
+        np.testing.assert_array_equal(batch.src[lo:hi] - 16 * b, single.src)
+        np.testing.assert_array_equal(batch.role[lo:hi], single.role)
+
+
+def test_precondition_violation_raises():
+    # 3 alphas + 1 zero in n=4: n0 + na = 4 > n/2
+    codes = np.array([CODE_ALPHA, CODE_ALPHA, CODE_ALPHA, CODE_ZERO])
+    with pytest.raises(RoutingInvariantError):
+        fast_scatter_gather(codes, 0)
+
+
+def test_broadcast_requires_alpha_source():
+    """ScatterGather.apply rejects a broadcast from a non-alpha cell."""
+    codes = np.array([CODE_ALPHA, CODE_EPS, CODE_EPS, CODE_EPS])
+    g = fast_scatter_gather(codes, 0)
+    bad = [Cell(Tag.ZERO, data="z"), Cell(Tag.EPS), Cell(Tag.EPS), Cell(Tag.EPS)]
+    with pytest.raises(RoutingInvariantError):
+        g.apply(bad)
