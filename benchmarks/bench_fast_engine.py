@@ -28,9 +28,11 @@ import pytest
 
 from repro.analysis.tables import format_table
 from repro.core.brsmn import BRSMN
+from repro.core.config import NetworkConfig
 from repro.core.fastplan import compile_frame_plan
 from repro.core.tags import Tag
 from repro.core.verification import verify_result
+from repro.obs import NullSink
 from repro.rbn.bitsort import route_to_compact
 from repro.rbn.cells import cells_from_tags
 from repro.rbn.fast import fast_quasisort, fast_sort_cells
@@ -65,7 +67,7 @@ def test_end_to_end_speedup(write_artifact, benchmark):
     for n, k_ref in ((64, 5), (256, 3), (1024, 2)):
         a = random_multicast(n, load=1.0, seed=n)
         ref_net = BRSMN(n)
-        fast_net = BRSMN(n, engine="fast")
+        fast_net = BRSMN(NetworkConfig(n, engine="fast"))
         ref_s = min_of_k(lambda: ref_net.route(a), k=k_ref, warmup=1)
         compile_s = min_of_k(lambda: compile_frame_plan(a), k=3, warmup=1)
         fast_s = min_of_k(lambda: fast_net.route(a), k=7, warmup=1)
@@ -91,7 +93,7 @@ def test_end_to_end_speedup(write_artifact, benchmark):
     # -- batched frames: 64 frames in one gather vs 64 sequential calls
     n, frames = 256, 64
     a = random_multicast(n, load=1.0, seed=7)
-    fast_net = BRSMN(n, engine="fast")
+    fast_net = BRSMN(NetworkConfig(n, engine="fast"))
     mat = np.arange(frames * n).reshape(frames, n).astype(object)
 
     def sequential():
@@ -110,6 +112,25 @@ def test_end_to_end_speedup(write_artifact, benchmark):
         "batch_frames_per_s": round(frames / max(batch_s, 1e-9), 1),
     }
 
+    # -- observability: a disabled observer must be pay-for-what-you-use.
+    # Same batch workload, network constructed with a NullSink attached;
+    # the emission sites gate on ``observer.enabled`` so the only added
+    # cost is one attribute test per frame.  5% is the acceptance bar
+    # from the obs-layer design; min-of-k keeps the comparison stable.
+    null_net = BRSMN(NetworkConfig(n, engine="fast", observer=NullSink()))
+    null_s = min_of_k(lambda: null_net.route_batch(a, mat), k=5, warmup=1)
+    overhead = null_s / max(batch_s, 1e-9) - 1.0
+    assert overhead < 0.05, (
+        f"NullSink overhead {overhead:.1%} on batch routing (need < 5%)"
+    )
+    results["observer"] = {
+        "n": n,
+        "frames": frames,
+        "batch_ms": results["batch"]["batch_ms"],
+        "nullsink_batch_ms": round(null_s * 1e3, 4),
+        "nullsink_overhead": round(overhead, 4),
+    }
+
     write_artifact(
         "fast_engine",
         "Compiled gather-plan engine vs reference per-switch simulation\n"
@@ -121,13 +142,15 @@ def test_end_to_end_speedup(write_artifact, benchmark):
         + "\n\nBatched frames (n = {n}, {f} frames, one shared assignment):\n"
           "  batch      {b:.3f} ms ({t:.0f} frames/s)\n"
           "  sequential {s:.3f} ms\n"
-          "  batch speedup {x:.1f}x".format(
+          "  batch speedup {x:.1f}x\n"
+          "  NullSink observer overhead {o:.1%} (bar: < 5%)".format(
             n=n,
             f=frames,
             b=results["batch"]["batch_ms"],
             t=results["batch"]["batch_frames_per_s"],
             s=results["batch"]["sequential_ms"],
             x=results["batch"]["batch_speedup"],
+            o=results["observer"]["nullsink_overhead"],
         ),
     )
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
@@ -139,7 +162,7 @@ def test_end_to_end_speedup(write_artifact, benchmark):
 @pytest.mark.parametrize("engine", ["reference", "fast"])
 @pytest.mark.parametrize("n", [256, 1024])
 def test_brsmn_head_to_head(benchmark, engine, n):
-    net = BRSMN(n, engine=engine)
+    net = BRSMN(NetworkConfig(n, engine=engine))
     a = random_multicast(n, load=1.0, seed=n)
     net.route(a)  # warm the plan cache and interpreter caches
     res = benchmark(net.route, a)

@@ -10,6 +10,7 @@ low load, a sharp knee as the hottest port's utilisation approaches 1.
 import pytest
 
 from repro.analysis.tables import format_table
+from repro.core.config import NetworkConfig
 from repro.core.arrivals import QueueingSimulator, poisson_arrivals
 
 
@@ -60,7 +61,7 @@ def test_engine_head_to_head(benchmark, engine):
     """The whole queueing simulation on each routing engine."""
     n = 32
     arrivals = poisson_arrivals(n, rate=3.0, slots=40, seed=34)
-    sim = QueueingSimulator(n, engine=engine)
+    sim = QueueingSimulator(NetworkConfig(n, engine=engine))
 
     report = benchmark(sim.run, arrivals)
     assert report.served == len(arrivals)

@@ -7,6 +7,7 @@ workload families (the paper's motivating applications).
 
 import pytest
 
+from repro.core.config import NetworkConfig
 from repro.core.brsmn import BRSMN
 from repro.core.multicast import MulticastAssignment
 from repro.core.verification import verify_result
@@ -22,7 +23,7 @@ from repro.workloads.scenarios import videoconference_frames
 @pytest.mark.parametrize("engine", ["reference", "fast"])
 @pytest.mark.parametrize("n", [16, 64, 256, 1024])
 def test_throughput_random_multicast(benchmark, n, engine):
-    net = BRSMN(n, engine=engine)
+    net = BRSMN(NetworkConfig(n, engine=engine))
     a = random_multicast(n, load=1.0, seed=n)
     mode = "selfrouting" if engine == "reference" else "oracle"
 
@@ -45,7 +46,7 @@ def test_throughput_permutation(benchmark, n):
 @pytest.mark.parametrize("n", [64, 256])
 def test_throughput_full_broadcast(benchmark, n, engine):
     """The maximum-splitting stress case."""
-    net = BRSMN(n, engine=engine)
+    net = BRSMN(NetworkConfig(n, engine=engine))
     a = MulticastAssignment.broadcast(n)
     mode = "selfrouting" if engine == "reference" else "oracle"
 

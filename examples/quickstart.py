@@ -15,7 +15,9 @@ Run:  python examples/quickstart.py
 
 from repro import (
     BRSMN,
+    NetworkConfig,
     TagTree,
+    TracingObserver,
     paper_example_assignment,
     verify_result,
 )
@@ -36,8 +38,10 @@ def main() -> None:
             print(f"  input {i}: {format_tag_string(seq)}")
     print()
 
-    # Build the network and route in self-routing mode with tracing.
-    network = BRSMN(assignment.n)
+    # Build the network from a config object, with an observer attached,
+    # and route in self-routing mode with tracing.
+    observer = TracingObserver()
+    network = BRSMN(NetworkConfig(assignment.n, observer=observer))
     result = network.route(assignment, mode="selfrouting", collect_trace=True)
 
     print(render_trace(result.trace, max_stages=12))
@@ -52,6 +56,18 @@ def main() -> None:
     print(
         f"network: {network.switch_count} switches, depth {network.depth} stages"
     )
+
+    # The observer recorded the frame's lifecycle: per-level spans with
+    # wall-clock profiling, straight off the routing pass.
+    timeline = observer.timelines()[0]
+    print("\nobserved per-level profile:")
+    for span in timeline.levels:
+        print(
+            f"  level {span.level} (size {span.size:2d}, "
+            f"{span.blocks} block(s)): {span.splits} splits, "
+            f"{span.switch_ops} switch ops, {span.duration_ns / 1e3:.0f} us"
+        )
+    print(f"end-to-end frame latency: {timeline.duration_ns / 1e3:.0f} us")
 
 
 if __name__ == "__main__":

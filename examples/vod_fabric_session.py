@@ -12,6 +12,7 @@ timing/throughput picture from the hardware schedule model.
 Run:  python examples/vod_fabric_session.py
 """
 
+from repro.core.config import NetworkConfig
 from repro.core.fabric import MulticastFabric
 from repro.hardware.schedule import build_frame_schedule, pipelined_throughput
 from repro.workloads import vod_frames
@@ -22,7 +23,7 @@ FRAMES = 60
 
 
 def main() -> None:
-    fabric = MulticastFabric(PORTS, implementation="feedback")
+    fabric = MulticastFabric(NetworkConfig(PORTS, implementation="feedback"))
     frames = vod_frames(PORTS, servers=SERVERS, frames=FRAMES, zipf_a=1.4, seed=404)
     stats = fabric.run(frames)
 

@@ -13,7 +13,7 @@ recursively constructed reverse banyan networks.
 
 Quick start::
 
-    from repro import MulticastAssignment, route_multicast
+    from repro import MulticastAssignment, NetworkConfig, route_multicast
 
     assignment = MulticastAssignment(
         8, [{0, 1}, None, {3, 4, 7}, {2}, None, None, None, {5, 6}]
@@ -21,10 +21,26 @@ Quick start::
     result = route_multicast(8, assignment)        # raises if blocked
     print(result.delivered)                        # {output: Message}
 
+    # Tuned construction + observability go through one config object:
+    from repro.obs import MetricsObserver
+    obs = MetricsObserver()
+    cfg = NetworkConfig(8, engine="fast", observer=obs)
+    route_multicast(cfg, assignment)
+    print(obs.registry.to_prometheus_text())
+
+This module is the *stable import surface*: the names in ``__all__``
+below are the supported public API (asserted exactly by
+``tests/test_public_api.py``).  Everything else — compiled-plan
+internals (:mod:`repro.core.fastplan`), vectorised kernels
+(:mod:`repro.rbn.fast_scatter`), per-switch simulations — is reachable
+through the subpackages but considered private and free to change.
+
 Subpackages:
 
 * :mod:`repro.core` — the BRSMN itself (assignments, tag trees, BSN,
   BRSMN, feedback implementation, verification).
+* :mod:`repro.obs` — the observability layer (metrics registry,
+  lifecycle tracing, profiling spans, Prometheus/JSON export).
 * :mod:`repro.rbn` — the reverse banyan network substrate (compact
   sequences, merge lemmas, distributed self-routing algorithms).
 * :mod:`repro.hardware` — gate-level substrate and the cost / depth /
@@ -41,9 +57,13 @@ Subpackages:
 from .core import (
     BRSMN,
     BinarySplittingNetwork,
+    FabricStats,
     FeedbackBRSMN,
     Message,
     MulticastAssignment,
+    MulticastFabric,
+    NetworkConfig,
+    QueueingSimulator,
     RoutingResult,
     Tag,
     TagTree,
@@ -53,18 +73,36 @@ from .core import (
     route_multicast,
     verify_result,
 )
+from .obs import (
+    CompositeObserver,
+    MetricsObserver,
+    MetricsRegistry,
+    NullSink,
+    Observer,
+    TracingObserver,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BRSMN",
     "BinarySplittingNetwork",
+    "CompositeObserver",
+    "FabricStats",
     "FeedbackBRSMN",
     "Message",
+    "MetricsObserver",
+    "MetricsRegistry",
     "MulticastAssignment",
+    "MulticastFabric",
+    "NetworkConfig",
+    "NullSink",
+    "Observer",
+    "QueueingSimulator",
     "RoutingResult",
     "Tag",
     "TagTree",
+    "TracingObserver",
     "build_network",
     "paper_example_assignment",
     "route_and_report",

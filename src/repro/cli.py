@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro route --n 8 --assign '{"0":[0,1],"2":[3,4,7],"3":[2],"7":[5,6]}'
     python -m repro route --n 8 --example --trace
+    python -m repro stats --n 64 --frames 200 --engine fast --metrics-out metrics.json
     python -m repro tags --n 8 --dests 3,4,7
     python -m repro structure --n 64
     python -m repro table2 --sizes 8,64,512
@@ -13,8 +14,12 @@ Subcommands:
 
 * ``route`` — route one multicast assignment (JSON mapping of input ->
   destinations, or ``--example`` for the paper's Fig. 2 assignment)
-  through the chosen implementation; prints the verified delivery map,
-  optionally the stage trace.
+  through the chosen implementation/engine; prints the verified
+  delivery map, optionally the stage trace.
+* ``stats`` — run an *observed* session over a workload: attaches a
+  metrics + tracing observer, prints session statistics and a
+  per-level profile, and exports the metrics registry as JSON
+  (``--metrics-out``) and/or Prometheus text (``--prom-out``).
 * ``tags`` — print a destination set's tag tree SEQ (Section 7.1).
 * ``structure`` — print a network's structural audit (switches, depth,
   per-level composition).
@@ -34,8 +39,9 @@ from typing import List, Optional
 
 from .analysis.tables import format_table
 from .baselines.models import PAPER_TABLE2
+from .core.config import NetworkConfig
 from .core.multicast import MulticastAssignment, paper_example_assignment
-from .core.routing import build_network, route_and_report
+from .core.routing import build_network, route_multicast
 from .core.tagtree import TagTree
 from .core.tags import format_tag_string
 from .hardware.cost import CostModel
@@ -86,10 +92,55 @@ def build_parser() -> argparse.ArgumentParser:
         default="unrolled",
     )
     p_route.add_argument(
+        "--engine",
+        choices=("reference", "fast"),
+        default="reference",
+        help="routing engine (fast = compiled NumPy gather plans)",
+    )
+    p_route.add_argument(
         "--mode", choices=("selfrouting", "oracle"), default="selfrouting"
     )
     p_route.add_argument(
         "--trace", action="store_true", help="print the stage-by-stage trace"
+    )
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run an observed workload session and export metrics",
+    )
+    p_stats.add_argument("--n", type=int, required=True, help="network size")
+    p_stats.add_argument(
+        "--frames", type=int, default=64, help="frames to route"
+    )
+    p_stats.add_argument(
+        "--workload",
+        choices=("hotspot", "random", "suite"),
+        default="hotspot",
+        help="frame generator (hotspot repeats assignments -> cache hits)",
+    )
+    p_stats.add_argument(
+        "--engine", choices=("reference", "fast"), default="fast"
+    )
+    p_stats.add_argument(
+        "--mode", choices=("selfrouting", "oracle"), default="selfrouting"
+    )
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the metrics registry as JSON to this file",
+    )
+    p_stats.add_argument(
+        "--prom-out",
+        type=str,
+        default=None,
+        help="write the metrics in Prometheus text format to this file",
+    )
+    p_stats.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip the per-level profile table",
     )
 
     p_tags = sub.add_parser("tags", help="print a multicast's SEQ tag string")
@@ -150,13 +201,20 @@ def _cmd_route(args) -> int:
         print("provide --assign, --file or --example", file=sys.stderr)
         return 2
 
-    result, report = route_and_report(
-        args.n,
+    if args.trace and args.engine == "fast":
+        print("--trace requires --engine reference", file=sys.stderr)
+        return 2
+    cfg = NetworkConfig(
+        args.n, implementation=args.implementation, engine=args.engine
+    )
+    result = route_multicast(
+        cfg,
         assignment,
         mode=args.mode,
-        implementation=args.implementation,
         collect_trace=args.trace,
+        strict=False,
     )
+    report = result.verification
     if args.save is not None:
         from .core.serialization import result_to_json
 
@@ -183,6 +241,111 @@ def _cmd_route(args) -> int:
     return 1
 
 
+def _stats_frames(args):
+    """Generate the frame sequence for ``repro stats``."""
+    if args.workload == "hotspot":
+        from .workloads.hotspot import hotspot_session
+
+        return hotspot_session(args.n, frames=args.frames, seed=args.seed)
+    if args.workload == "random":
+        from .workloads.random_assignments import random_multicast
+
+        return [
+            random_multicast(args.n, seed=args.seed + i)
+            for i in range(args.frames)
+        ]
+    from .workloads.random_assignments import assignment_suite
+
+    suite = assignment_suite(args.n, seed=args.seed)
+    return [suite[i % len(suite)] for i in range(args.frames)]
+
+
+def _cmd_stats(args) -> int:
+    from .core.fabric import MulticastFabric
+    from .obs import CompositeObserver, MetricsObserver, TracingObserver
+
+    metrics = MetricsObserver()
+    tracing = TracingObserver()
+    cfg = NetworkConfig(
+        args.n,
+        engine=args.engine,
+        observer=CompositeObserver(metrics, tracing),
+    )
+    fabric = MulticastFabric(cfg, mode=args.mode)
+    stats = fabric.run(_stats_frames(args))
+
+    print(f"session: n={args.n} engine={args.engine} workload={args.workload}")
+    print(
+        f"frames {stats.frames}, deliveries {stats.deliveries}, "
+        f"mean fanout {stats.mean_fanout:.2f}"
+    )
+    print(
+        f"alpha splits {stats.splits}, switch operations {stats.switch_ops}"
+    )
+    if args.engine == "fast":
+        print(
+            f"plan cache: {stats.plan_cache_hits} hits, "
+            f"{stats.plan_cache_misses} misses "
+            f"({stats.plan_cache_hit_rate:.0%} hit rate)"
+        )
+    if not args.no_profile:
+        rows = _profile_rows(tracing)
+        if rows:
+            print()
+            print("per-level profile (all frames):")
+            print(
+                format_table(
+                    ["level", "size", "frames", "splits", "ops", "total", "stages"],
+                    rows,
+                )
+            )
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(metrics.registry.to_json() + "\n")
+        print(f"\nmetrics JSON written to {args.metrics_out}")
+    if args.prom_out is not None:
+        with open(args.prom_out, "w") as fh:
+            fh.write(metrics.registry.to_prometheus_text())
+        print(f"Prometheus text written to {args.prom_out}")
+    return 0
+
+
+def _profile_rows(tracing) -> list:
+    """Aggregate a tracing observer's level spans into table rows."""
+    agg = {}
+    for tl in tracing.timelines():
+        for span in tl.levels:
+            row = agg.setdefault(
+                span.level, {"size": span.size, "frames": 0, "splits": 0,
+                             "ops": 0, "ns": 0, "stages": {}}
+            )
+            row["frames"] += 1
+            row["splits"] += span.splits
+            row["ops"] += span.switch_ops
+            row["ns"] += span.duration_ns
+            for stage, ns in span.stage_ns.items():
+                row["stages"][stage] = row["stages"].get(stage, 0) + ns
+    rows = []
+    for level in sorted(agg):
+        row = agg[level]
+        stages = " ".join(
+            f"{stage}={ns / 1e6:.2f}ms"
+            for stage, ns in sorted(row["stages"].items())
+        )
+        rows.append(
+            [
+                level,
+                row["size"],
+                row["frames"],
+                row["splits"],
+                row["ops"],
+                f"{row['ns'] / 1e6:.2f}ms",
+                stages,
+            ]
+        )
+    return rows
+
+
 def _cmd_tags(args) -> int:
     dests = [int(d) for d in args.dests.split(",") if d.strip() != ""]
     tree = TagTree.from_destinations(args.n, dests)
@@ -198,7 +361,7 @@ def _cmd_tags(args) -> int:
 def _cmd_structure(args) -> int:
     n = args.n
     net = build_network(n)
-    fb = build_network(n, "feedback")
+    fb = build_network(NetworkConfig(n, implementation="feedback"))
     cm = CostModel()
     rows = []
     size, blocks, level = n, 1, 1
@@ -269,6 +432,7 @@ def _cmd_report(_args) -> int:
 
 _COMMANDS = {
     "route": _cmd_route,
+    "stats": _cmd_stats,
     "tags": _cmd_tags,
     "structure": _cmd_structure,
     "table2": _cmd_table2,

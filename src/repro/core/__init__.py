@@ -36,6 +36,7 @@ from .brsmn import (
     inject_messages,
 )
 from .bsn import BinarySplittingNetwork, BsnFrameStats, make_bsn_cells
+from .config import NetworkConfig
 from .fabric import FabricStats, MulticastFabric
 from .fastplan import FramePlan, PlanCache, compile_frame_plan, compile_level_gather
 from .feedback import FeedbackBRSMN, FeedbackRoutingResult, PassRecord
@@ -89,6 +90,7 @@ __all__ = [
     "BinarySplittingNetwork",
     "BsnFrameStats",
     "make_bsn_cells",
+    "NetworkConfig",
     "FabricStats",
     "MulticastFabric",
     "FramePlan",

@@ -33,6 +33,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidAssignmentError
 from ..rbn.permutations import check_network_size
+from .config import NetworkConfig
 from .multicast import MulticastAssignment
 from .routing import build_network
 from .verification import verify_result
@@ -218,7 +219,7 @@ def route_requests(
             safety net).
     """
     schedule = schedule_frames(n, requests, policy)
-    network = build_network(n, implementation)
+    network = build_network(NetworkConfig(n, implementation=implementation))
     deliveries: List[Dict[int, object]] = []
     for k, frame in enumerate(schedule.frames):
         payloads = [None] * n

@@ -28,8 +28,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import InvalidAssignmentError
+from ..obs.events import QueueDepth
 from ..rbn.permutations import check_network_size
 from .admission import Request, conflicts
+from .config import _UNSET, _resolve_config
 from .multicast import MulticastAssignment
 from .routing import build_network
 from .verification import verify_result
@@ -143,31 +145,43 @@ class QueueingSimulator:
     """Serve an arrival stream, one verified multicast frame per slot.
 
     Args:
-        n: switch size.
+        n: a :class:`~repro.core.config.NetworkConfig`, or a bare
+            switch size — long arrival simulations are exactly where
+            ``engine="fast"`` and its plan cache pay off.
         policy: backlog packing order — ``"largest_first"`` (fanout
             descending, FIFO within ties) or ``"fifo"``.
-        implementation: network implementation to route frames with.
-        engine: ``"reference"`` or ``"fast"`` (see
-            :func:`repro.core.routing.build_network`) — long arrival
-            simulations are exactly where the fast engine and its plan
-            cache pay off.
+        implementation: deprecated — set it on the config instead.
+        engine: deprecated — set it on the config instead.
         max_slots: safety bound on total slots simulated.
+        observer: optional :class:`~repro.obs.events.Observer`
+            (overrides the config's); receives the routed frames'
+            lifecycle events plus one end-of-slot
+            :class:`~repro.obs.events.QueueDepth` sample per slot.
     """
 
     def __init__(
         self,
-        n: int,
+        n,
         policy: str = "largest_first",
-        implementation: str = "unrolled",
-        engine: str = "reference",
+        implementation=_UNSET,
+        engine=_UNSET,
         max_slots: int = 100_000,
+        observer=None,
     ):
-        check_network_size(n)
+        cfg = _resolve_config(
+            n,
+            implementation=implementation,
+            engine=engine,
+            observer=observer,
+            caller="QueueingSimulator",
+            hint="QueueingSimulator(NetworkConfig(n, ...))",
+        )
         if policy not in ("largest_first", "fifo"):
             raise ValueError(f"unknown policy {policy!r}")
-        self.n = n
+        self.n = cfg.n
         self.policy = policy
-        self.network = build_network(n, implementation, engine)
+        self.network = build_network(cfg)
+        self.observer = cfg.observer
         self.max_slots = max_slots
 
     def _pack_frame(self, backlog: List[Arrival]) -> List[int]:
@@ -194,6 +208,8 @@ class QueueingSimulator:
                 capacity).
         """
         report = QueueingReport(n=self.n)
+        obs = self.observer
+        emit = obs is not None and obs.enabled
         pending = sorted(arrivals, key=lambda a: a.slot)
         backlog: List[Arrival] = []
         slot = 0
@@ -227,6 +243,10 @@ class QueueingSimulator:
                     report.waits.append(slot - backlog[i].slot)
                     report.served += 1
                 backlog = [a for k, a in enumerate(backlog) if k not in set(chosen)]
+            if emit:
+                obs.on_queue_depth(
+                    QueueDepth(slot=slot, depth=len(backlog), served=len(chosen))
+                )
             slot += 1
             report.backlog_per_slot.append(len(backlog))
         report.slots_run = slot

@@ -43,16 +43,19 @@ Engines
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import InvalidAssignmentError, RoutingInvariantError
+from ..obs.events import FrameDone, FrameStart, LevelSpan
 from ..rbn.cells import Cell
 from ..rbn.permutations import check_network_size
 from ..rbn.switches import SwitchSetting
 from ..rbn.trace import Trace
 from .bsn import BinarySplittingNetwork, BsnFrameStats
+from .config import NetworkConfig, _UNSET, _resolve_config
 from .message import Message
 from .multicast import MulticastAssignment
 from .tags import Tag
@@ -190,6 +193,9 @@ class RoutingResult:
         plan_cache_hit: fast engine only — True when the routing plan
             came from the cache, False when it was compiled for this
             call, ``None`` on the reference engine.
+        verification: the :class:`~repro.core.verification.VerificationReport`
+            attached by :func:`~repro.core.routing.route_multicast`
+            (``None`` when routing was called directly on the network).
     """
 
     assignment: MulticastAssignment
@@ -200,11 +206,27 @@ class RoutingResult:
     trace: Optional[Trace] = None
     engine: str = "reference"
     plan_cache_hit: Optional[bool] = None
+    verification: Optional[object] = None
 
     @property
     def delivered(self) -> Dict[int, Message]:
         """Map of used output -> delivered message."""
         return {o: m for o, m in enumerate(self.outputs) if m is not None}
+
+    @property
+    def plan_cache_hits(self) -> int:
+        """Frames served from the plan cache (0 on the reference engine).
+
+        Both engines report the counter pair — the reference engine as
+        zeros rather than omitting it — so session aggregators never
+        need to special-case the engine.
+        """
+        return 1 if self.plan_cache_hit else 0
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Frames that compiled a plan (0 on the reference engine)."""
+        return 1 if self.plan_cache_hit is False else 0
 
     @property
     def total_splits(self) -> int:
@@ -263,6 +285,16 @@ class BatchRoutingResult:
         """2x2 switch applications per frame."""
         return sum(st.switch_ops for st in self.bsn_stats) + self.final_switches
 
+    @property
+    def plan_cache_hits(self) -> int:
+        """Batches served from the plan cache (0 on the reference engine)."""
+        return 1 if self.plan_cache_hit else 0
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Batches that compiled a plan (0 on the reference engine)."""
+        return 1 if self.plan_cache_hit is False else 0
+
     def frame_outputs(self, f: int) -> List:
         """Per-output delivered payloads of frame ``f`` as a list."""
         return list(self.payloads[f])
@@ -277,28 +309,44 @@ class BRSMN:
     instance, which is pure logic).
 
     Args:
-        n: network size (power of two, >= 2).
-        engine: ``"reference"`` (per-switch simulation, traceable) or
-            ``"fast"`` (compiled NumPy gather plans; identical
-            deliveries, no traces).
+        n: a :class:`~repro.core.config.NetworkConfig` (must be
+            unrolled), or a bare network size (power of two, >= 2).
+        engine: deprecated — set it on the config instead.
         plan_cache: fast engine only — a
             :class:`~repro.core.fastplan.PlanCache` to share across
-            networks (default: a private cache).
+            networks (default: a private cache sized by the config's
+            ``plan_cache_size``, wired to the config's observer).
+        observer: optional :class:`~repro.obs.events.Observer`
+            (overrides the config's).
     """
 
-    def __init__(self, n: int, engine: str = "reference", plan_cache=None):
-        self.m = check_network_size(n)
-        self.n = n
-        if engine not in ENGINES:
+    def __init__(self, n, engine=_UNSET, plan_cache=None, observer=None):
+        cfg = _resolve_config(
+            n,
+            engine=engine,
+            observer=observer,
+            caller="BRSMN",
+            hint="BRSMN(NetworkConfig(n, engine=...))",
+        )
+        if cfg.implementation != "unrolled":
             raise ValueError(
-                f"unknown engine {engine!r} (expected one of {ENGINES})"
+                "BRSMN is the unrolled implementation; use build_network "
+                "for implementation='feedback'"
             )
-        self.engine = engine
+        self.m = check_network_size(cfg.n)
+        self.n = cfg.n
+        self.engine = cfg.engine
+        self.observer = cfg.observer
+        self._frames_emitted = 0
         self._bsns: Dict[int, BinarySplittingNetwork] = {}
-        if engine == "fast" or plan_cache is not None:
+        if cfg.engine == "fast" or plan_cache is not None:
             from .fastplan import PlanCache  # deferred: avoids an import cycle
 
-            self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+            self.plan_cache = (
+                plan_cache
+                if plan_cache is not None
+                else PlanCache(maxsize=cfg.plan_cache_size, observer=cfg.observer)
+            )
         else:
             self.plan_cache = None
 
@@ -364,24 +412,117 @@ class BRSMN:
             )
         if mode not in ("oracle", "selfrouting"):
             raise ValueError(f"unknown routing mode {mode!r}")
+        obs = self.observer
+        emit = obs is not None and obs.enabled
+        if emit:
+            t0, fid = self._emit_frame_start(obs, assignment, mode, 1)
         if self.engine == "fast":
             if collect_trace:
                 raise ValueError(
                     "collect_trace requires engine='reference' (the fast "
                     "engine routes by compiled gathers, not switch stages)"
                 )
-            return self._route_fast(assignment, mode, payloads)
-        frame = inject_messages(assignment, mode, payloads)
-        trace = Trace(label=f"BRSMN(n={self.n}, mode={mode})") if collect_trace else None
-        result = RoutingResult(
-            assignment=assignment, outputs=[], mode=mode, trace=trace
-        )
-        outputs = self._route(frame, 0, self.n, mode, result, trace)
-        result.outputs = outputs
+            result = self._route_fast(
+                assignment,
+                mode,
+                payloads,
+                observer=obs if emit else None,
+                frame_id=fid if emit else -1,
+            )
+        else:
+            frame = inject_messages(assignment, mode, payloads)
+            trace = (
+                Trace(label=f"BRSMN(n={self.n}, mode={mode})")
+                if collect_trace
+                else None
+            )
+            result = RoutingResult(
+                assignment=assignment, outputs=[], mode=mode, trace=trace
+            )
+            prof: Optional[Dict[int, List[int]]] = {} if emit else None
+            result.outputs = self._route(
+                frame, 0, self.n, mode, result, trace, prof
+            )
+            if emit:
+                self._emit_level_spans(obs, fid, prof)
+        if emit:
+            self._emit_frame_done(obs, fid, t0, result, 1)
         return result
 
-    def _plan(self, assignment: MulticastAssignment):
-        """Fetch (or compile) the routing plan; returns ``(plan, hit)``."""
+    # -- observability emission (pay-for-what-you-use) ------------------
+    def _emit_frame_start(self, obs, assignment, mode, frames):
+        """Emit ``FrameStart``; returns ``(t0_ns, frame_id)``."""
+        t0 = perf_counter_ns()
+        fid = self._frames_emitted
+        self._frames_emitted += 1
+        obs.on_frame_start(
+            FrameStart(
+                frame_id=fid,
+                n=self.n,
+                engine=self.engine,
+                mode=mode,
+                frames=frames,
+                active_inputs=len(assignment.active_inputs),
+                fanout=assignment.total_fanout,
+                t_ns=t0,
+            )
+        )
+        return t0, fid
+
+    def _emit_level_spans(self, obs, fid, prof):
+        """Emit one ``LevelSpan`` per recursion level (reference engine)."""
+        for size in sorted(prof, reverse=True):
+            ns, splits, ops, blocks = prof[size]
+            stage = "deliver" if size == 2 else "bsn"
+            obs.on_level(
+                LevelSpan(
+                    frame_id=fid,
+                    level=self.m - (size.bit_length() - 1) + 1,
+                    size=size,
+                    blocks=blocks,
+                    splits=splits,
+                    switch_ops=ops,
+                    stage_ns={stage: ns},
+                    duration_ns=ns,
+                    engine="reference",
+                )
+            )
+
+    def _emit_frame_done(self, obs, fid, t0, result, frames):
+        """Emit ``FrameDone`` for a finished (batch) routing call."""
+        t1 = perf_counter_ns()
+        if isinstance(result, BatchRoutingResult):
+            deliveries = int((result.delivery_src >= 0).sum())
+        else:
+            deliveries = sum(1 for o in result.outputs if o is not None)
+        obs.on_frame_done(
+            FrameDone(
+                frame_id=fid,
+                deliveries=deliveries,
+                frames=frames,
+                splits=result.total_splits,
+                switch_ops=result.switch_ops,
+                duration_ns=t1 - t0,
+                cache_hit=result.plan_cache_hit,
+                t_ns=t1,
+            )
+        )
+
+    def _plan(self, assignment: MulticastAssignment, observer=None, frame_id=-1):
+        """Fetch (or compile) the routing plan; returns ``(plan, hit)``.
+
+        When an enabled observer is attached, a cache miss compiles
+        with per-level profiling spans tagged with ``frame_id``.
+        """
+        if observer is not None:
+            from .fastplan import compile_frame_plan  # deferred, as above
+
+            return self.plan_cache.get(
+                assignment,
+                compile_fn=lambda a: compile_frame_plan(
+                    a, observer=observer, frame_id=frame_id
+                ),
+            )
         return self.plan_cache.get(assignment)
 
     def _route_fast(
@@ -389,8 +530,10 @@ class BRSMN:
         assignment: MulticastAssignment,
         mode: str,
         payloads: Optional[Sequence],
+        observer=None,
+        frame_id: int = -1,
     ) -> RoutingResult:
-        plan, hit = self._plan(assignment)
+        plan, hit = self._plan(assignment, observer, frame_id)
         if payloads is None:
             payloads = [f"pkt{i}" for i in range(self.n)]
         delivered = plan.apply(payloads)
@@ -441,8 +584,18 @@ class BRSMN:
                 f"expected a (batch, {self.n}) payload matrix, got shape {mat.shape}"
             )
         if self.engine == "fast":
-            plan, hit = self._plan(assignment)
-            return BatchRoutingResult(
+            obs = self.observer
+            emit = obs is not None and obs.enabled
+            if emit:
+                t0, fid = self._emit_frame_start(
+                    obs, assignment, mode, mat.shape[0]
+                )
+            plan, hit = self._plan(
+                assignment,
+                obs if emit else None,
+                fid if emit else -1,
+            )
+            result = BatchRoutingResult(
                 assignment=assignment,
                 frames=mat.shape[0],
                 payloads=plan.apply_batch(mat),
@@ -453,6 +606,9 @@ class BRSMN:
                 final_switches=plan.final_switches,
                 plan_cache_hit=hit,
             )
+            if emit:
+                self._emit_frame_done(obs, fid, t0, result, mat.shape[0])
+            return result
         delivery_src = np.full(self.n, -1, dtype=np.int64)
         out = np.full(mat.shape, None, dtype=object)
         first: Optional[RoutingResult] = None
@@ -485,18 +641,34 @@ class BRSMN:
         mode: str,
         result: RoutingResult,
         trace: Optional[Trace],
+        prof: Optional[Dict[int, List[int]]] = None,
     ) -> List[Optional[Message]]:
         if size == 2:
+            if prof is not None:
+                t = perf_counter_ns()
             outputs, _setting = deliver_final_switch(
                 messages, base, mode, trace=trace
             )
             result.final_switches += 1
+            if prof is not None:
+                rec = prof.setdefault(2, [0, 0, 0, 0])
+                rec[0] += perf_counter_ns() - t
+                rec[2] += 1  # one switch op per delivery switch
+                rec[3] += 1
             return outputs
+        if prof is not None:
+            t = perf_counter_ns()
         upper, lower, stats = self._bsn(size).route_messages(
             messages, base, mode, trace=trace
         )
+        if prof is not None:
+            rec = prof.setdefault(size, [0, 0, 0, 0])
+            rec[0] += perf_counter_ns() - t
+            rec[1] += stats.splits
+            rec[2] += stats.switch_ops
+            rec[3] += 1
         result.bsn_stats.append(stats)
         half = size // 2
-        out_up = self._route(upper, base, half, mode, result, trace)
-        out_lo = self._route(lower, base + half, half, mode, result, trace)
+        out_up = self._route(upper, base, half, mode, result, trace, prof)
+        out_lo = self._route(lower, base + half, half, mode, result, trace, prof)
         return out_up + out_lo

@@ -1,0 +1,142 @@
+"""The one network-construction configuration object.
+
+Before this module existed, ``build_network``, :class:`BRSMN`,
+:class:`MulticastFabric`, ``route_multicast`` and
+:class:`QueueingSimulator` each grew their own drifting combination of
+``implementation=`` / ``engine=`` string kwargs — and new construction
+options (an observer, a plan-cache size) would have had to be threaded
+through five signatures.  :class:`NetworkConfig` replaces the combos:
+every constructor accepts either a bare port count (all defaults) or
+one config object.
+
+The legacy kwarg forms still work but raise
+:class:`~repro.errors.ReproDeprecationWarning`; the test suite turns
+that warning into an error for first-party code, so the library itself
+can never regress into the old style.
+
+Example::
+
+    from repro import MulticastFabric, NetworkConfig
+    from repro.obs import MetricsObserver
+
+    cfg = NetworkConfig(256, engine="fast", plan_cache_size=512,
+                        observer=MetricsObserver())
+    fabric = MulticastFabric(cfg)          # or cfg.build() for a bare network
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import ReproDeprecationWarning
+from ..rbn.permutations import check_network_size
+
+__all__ = ["NetworkConfig"]
+
+IMPLEMENTATIONS = ("unrolled", "feedback")
+ENGINES = ("reference", "fast")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Everything needed to construct a multicast network.
+
+    Attributes:
+        n: network size (power of two, >= 2).
+        implementation: ``"unrolled"`` (full :class:`~repro.core.brsmn.BRSMN`,
+            cost ``O(n log^2 n)``, single-pass) or ``"feedback"``
+            (hardware-reusing :class:`~repro.core.feedback.FeedbackBRSMN`,
+            cost ``O(n log n)``, ``2 log n - 1`` passes).
+        engine: ``"reference"`` (per-switch simulation, traceable) or
+            ``"fast"`` (compiled NumPy routing plans; unrolled only).
+        plan_cache_size: fast engine — maximum compiled plans retained
+            by the LRU :class:`~repro.core.fastplan.PlanCache`.
+        observer: optional :class:`~repro.obs.events.Observer` receiving
+            frame lifecycle events, per-level profiling spans and
+            plan-cache events (unrolled implementation).
+    """
+
+    n: int
+    implementation: str = "unrolled"
+    engine: str = "reference"
+    plan_cache_size: int = 256
+    observer: Optional[object] = field(default=None, compare=False)
+
+    def __post_init__(self):
+        check_network_size(self.n)
+        if self.implementation not in IMPLEMENTATIONS:
+            raise ValueError(
+                f"unknown implementation {self.implementation!r} "
+                f"(expected one of {IMPLEMENTATIONS})"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected one of {ENGINES})"
+            )
+        if self.implementation == "feedback" and self.engine != "reference":
+            raise ValueError(
+                "engine='fast' requires implementation='unrolled' "
+                "(the feedback network is a hardware-reuse simulation)"
+            )
+        if self.plan_cache_size < 1:
+            raise ValueError(
+                f"plan_cache_size must be >= 1, got {self.plan_cache_size}"
+            )
+
+    def with_observer(self, observer) -> "NetworkConfig":
+        """A copy of this config with a different observer attached."""
+        return replace(self, observer=observer)
+
+    def build(self):
+        """Construct the configured network (see ``build_network``)."""
+        from .routing import build_network  # local: routing imports config
+
+        return build_network(self)
+
+
+_UNSET = object()
+
+
+def _resolve_config(
+    n_or_config,
+    *,
+    implementation=_UNSET,
+    engine=_UNSET,
+    observer=_UNSET,
+    caller: str = "this API",
+    hint: str = "NetworkConfig(n, ...)",
+) -> NetworkConfig:
+    """Normalise ``(n | NetworkConfig, legacy kwargs)`` to one config.
+
+    Shared by every constructor that accepts the new config object.
+    Legacy ``implementation=`` / ``engine=`` kwargs are honoured but
+    raise :class:`ReproDeprecationWarning`; combining them with a
+    :class:`NetworkConfig` is an error.  An ``observer`` kwarg is part
+    of the new API (it overrides ``config.observer``) and never warns.
+    """
+    legacy = {
+        k: v
+        for k, v in (("implementation", implementation), ("engine", engine))
+        if v is not _UNSET
+    }
+    if isinstance(n_or_config, NetworkConfig):
+        if legacy:
+            raise TypeError(
+                f"{caller}: pass implementation/engine inside the "
+                "NetworkConfig, not alongside it"
+            )
+        cfg = n_or_config
+    else:
+        if legacy:
+            warnings.warn(
+                f"{caller}: passing {'/'.join(sorted(legacy))} as separate "
+                f"arguments is deprecated; pass {hint} instead",
+                ReproDeprecationWarning,
+                stacklevel=3,
+            )
+        cfg = NetworkConfig(n_or_config, **legacy)
+    if observer is not _UNSET and observer is not None:
+        cfg = cfg.with_observer(observer)
+    return cfg

@@ -21,6 +21,7 @@ from typing import Iterable, List
 
 from ..errors import RoutingInvariantError
 from .brsmn import RoutingResult
+from .config import _UNSET, _resolve_config
 from .multicast import MulticastAssignment
 from .routing import build_network
 from .verification import verify_result
@@ -72,33 +73,46 @@ class MulticastFabric:
     """A verified multicast switch running frame sequences.
 
     Args:
-        n: port count (power of two).
-        implementation: ``"unrolled"`` or ``"feedback"`` (see
-            :func:`repro.core.routing.build_network`).
+        n: a :class:`~repro.core.config.NetworkConfig`, or a bare port
+            count (power of two) for an all-defaults reference network.
+        implementation: deprecated — set it on the config instead.
         mode: routing mode for every frame.
         strict: when True (default), a verification failure raises
             :class:`~repro.errors.RoutingInvariantError`; when False it
             is recorded in :attr:`FabricStats.failures` and the session
             continues.
-        engine: ``"reference"`` or ``"fast"`` (see
-            :func:`repro.core.routing.build_network`); the fast engine
-            memoises routing plans, so sessions with recurring
+        engine: deprecated — set it on the config instead.  The fast
+            engine memoises routing plans, so sessions with recurring
             assignments also report plan-cache hits.
+        observer: optional :class:`~repro.obs.events.Observer`
+            (overrides the config's); every ``submit`` then emits frame
+            lifecycle events, level spans and plan-cache events.
     """
 
     def __init__(
         self,
-        n: int,
-        implementation: str = "unrolled",
+        n,
+        implementation=_UNSET,
         mode: str = "selfrouting",
         strict: bool = True,
-        engine: str = "reference",
+        engine=_UNSET,
+        observer=None,
     ):
-        self.network = build_network(n, implementation, engine)
-        self.n = n
+        cfg = _resolve_config(
+            n,
+            implementation=implementation,
+            engine=engine,
+            observer=observer,
+            caller="MulticastFabric",
+            hint="MulticastFabric(NetworkConfig(n, ...))",
+        )
+        self.config = cfg
+        self.network = build_network(cfg)
+        self.n = cfg.n
         self.mode = mode
         self.strict = strict
-        self.engine = engine
+        self.engine = cfg.engine
+        self.observer = cfg.observer
         self.stats = FabricStats()
 
     def submit(self, assignment: MulticastAssignment) -> RoutingResult:
@@ -116,11 +130,8 @@ class MulticastFabric:
         self.stats.deliveries += report.deliveries
         self.stats.splits += result.total_splits
         self.stats.switch_ops += result.switch_ops
-        if result.plan_cache_hit is not None:
-            if result.plan_cache_hit:
-                self.stats.plan_cache_hits += 1
-            else:
-                self.stats.plan_cache_misses += 1
+        self.stats.plan_cache_hits += result.plan_cache_hits
+        self.stats.plan_cache_misses += result.plan_cache_misses
         for i in assignment.active_inputs:
             self.stats.fanout_histogram[len(assignment[i])] += 1
         return result

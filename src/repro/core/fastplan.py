@@ -39,11 +39,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from time import perf_counter_ns
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import InvalidAssignmentError, RoutingInvariantError
+from ..obs.events import CacheEvent, LevelSpan
 from ..rbn.fast import fast_divide_epsilons_batch, fast_sort_permutation_batch
 from ..rbn.fast_scatter import (
     CODE_ALPHA,
@@ -65,12 +67,17 @@ __all__ = [
 ]
 
 
-def compile_level_gather(codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def compile_level_gather(
+    codes: np.ndarray, stage_ns: Optional[Dict[str, int]] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Compile one BRSMN level (a batch of BSNs) into a flat gather.
 
     Args:
         codes: ``(blocks, size)`` matrix of scatter tag codes — each row
             is one BSN's input frame at this recursion level.
+        stage_ns: optional profiling dict — when given, wall-clock
+            nanoseconds of the ``scatter`` and ``quasisort`` stages are
+            added under those keys (``perf_counter_ns`` spans).
 
     Returns:
         ``(src, role)`` flat arrays over the row-major layout: output
@@ -98,8 +105,13 @@ def compile_level_gather(codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         )
 
     # Scatter pass (Theorem 2): eliminate every alpha, s = 0 per block.
+    t = perf_counter_ns() if stage_ns is not None else 0
     scat = fast_scatter_gather_batch(codes, 0)
     scat_codes = scat.output_codes(codes)
+    if stage_ns is not None:
+        now = perf_counter_ns()
+        stage_ns["scatter"] = stage_ns.get("scatter", 0) + (now - t)
+        t = now
 
     # Quasisort pass (Section 5.2) on the scatter outputs: re-encode for
     # the quasisort kernels ({0, 1, EPS} -> {0, 1, 2}), divide epsilons,
@@ -110,6 +122,10 @@ def compile_level_gather(codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     perm_local = fast_sort_permutation_batch(one_mask.astype(np.int64), half)
     offsets = (np.arange(blocks, dtype=np.int64) * size)[:, None]
     perm = (perm_local + offsets).reshape(blocks * size)
+    if stage_ns is not None:
+        stage_ns["quasisort"] = stage_ns.get("quasisort", 0) + (
+            perf_counter_ns() - t
+        )
 
     # Compose: quasisort permutes the scatter outputs.
     return scat.src[perm], scat.role[perm]
@@ -181,19 +197,34 @@ class FramePlan:
         return out
 
 
-def compile_frame_plan(assignment: MulticastAssignment) -> FramePlan:
+def compile_frame_plan(
+    assignment: MulticastAssignment,
+    observer=None,
+    frame_id: int = -1,
+) -> FramePlan:
     """Compile the full recursive BRSMN routing of one assignment.
 
     Runs every recursion level through :func:`compile_level_gather`,
     following each message copy by position (``owner``) and provenance
     (``origin``) arrays, exactly as the unrolled network would move it.
 
+    Args:
+        assignment: the multicast assignment to compile.
+        observer: optional enabled :class:`~repro.obs.events.Observer` —
+            when given, each recursion level emits a
+            :class:`~repro.obs.events.LevelSpan` with per-stage
+            ``perf_counter_ns`` spans (``tag`` / ``scatter`` /
+            ``quasisort`` / ``gather``) plus the level's split and
+            switch-operation counts.
+        frame_id: frame id to tag emitted spans with.
+
     Raises:
         RoutingInvariantError: if any level's input populations violate
             the paper's invariants (impossible for a valid assignment).
     """
     n = assignment.n
-    check_network_size(n)
+    m = check_network_size(n)
+    emit = observer is not None and observer.enabled
 
     # owner[o]: current position of the copy that will deliver output o.
     owner = np.full(n, -1, dtype=np.int64)
@@ -209,6 +240,9 @@ def compile_frame_plan(assignment: MulticastAssignment) -> FramePlan:
     while size > 2:
         half = size // 2
         blocks = n // size
+        if emit:
+            stage_ns: Dict[str, int] = {}
+            t_level = t_stage = perf_counter_ns()
 
         # ---- tag each position from the outputs it still owns.
         active = owner >= 0
@@ -246,8 +280,15 @@ def compile_frame_plan(assignment: MulticastAssignment) -> FramePlan:
                 )
             )
 
+        if emit:
+            now = perf_counter_ns()
+            stage_ns["tag"] = now - t_stage
+            t_stage = now
+
         # ---- route the level and advance the tracking arrays.
-        src, role = compile_level_gather(codes2d)
+        src, role = compile_level_gather(codes2d, stage_ns if emit else None)
+        if emit:
+            t_stage = perf_counter_ns()
         positions = outputs_idx
         inv_zero = np.full(n, -1, dtype=np.int64)
         inv_one = np.full(n, -1, dtype=np.int64)
@@ -264,6 +305,22 @@ def compile_frame_plan(assignment: MulticastAssignment) -> FramePlan:
         if np.any((owner < 0) & (np.asarray(assignment_used_mask(assignment, n)))):
             raise RoutingInvariantError(
                 "fast plan lost track of a delivery while compiling"
+            )
+        if emit:
+            now = perf_counter_ns()
+            stage_ns["gather"] = now - t_stage
+            observer.on_level(
+                LevelSpan(
+                    frame_id=frame_id,
+                    level=m - (size.bit_length() - 1) + 1,
+                    size=size,
+                    blocks=blocks,
+                    splits=int(na.sum()),
+                    switch_ops=int(blocks * 2 * half * m_blk),
+                    stage_ns=stage_ns,
+                    duration_ns=now - t_level,
+                    engine="fast",
+                )
             )
         size = half
 
@@ -305,12 +362,28 @@ class PlanCache:
         maxsize: maximum retained plans (least-recently-used eviction).
         hits: lookups answered from the cache.
         misses: lookups that had to compile.
+        observer: optional :class:`~repro.obs.events.Observer` receiving
+            a :class:`~repro.obs.events.CacheEvent` per hit, miss,
+            eviction and clear.
     """
 
     maxsize: int = 256
     hits: int = 0
     misses: int = 0
+    observer: Optional[object] = None
     _plans: "OrderedDict[str, FramePlan]" = field(default_factory=OrderedDict)
+
+    def _emit(self, kind: str, key: str) -> None:
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.on_cache_event(
+                CacheEvent(
+                    kind=kind,
+                    key=key,
+                    size=len(self._plans),
+                    t_ns=perf_counter_ns(),
+                )
+            )
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -337,12 +410,15 @@ class PlanCache:
         if plan is not None:
             self.hits += 1
             self._plans.move_to_end(key)
+            self._emit("hit", key)
             return plan, True
         self.misses += 1
+        self._emit("miss", key)
         plan = compile_fn(assignment)
         self._plans[key] = plan
         if len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
+            evicted, _ = self._plans.popitem(last=False)
+            self._emit("evict", evicted)
         return plan, False
 
     def clear(self) -> None:
@@ -350,3 +426,4 @@ class PlanCache:
         self._plans.clear()
         self.hits = 0
         self.misses = 0
+        self._emit("clear", "")

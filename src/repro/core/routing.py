@@ -2,18 +2,27 @@
 
 Most users want: "give this multicast assignment to the network and
 hand me the verified deliveries".  :func:`route_multicast` does exactly
-that — it builds the requested network implementation, routes, verifies
-and raises on any violation — and :func:`route_and_report` returns the
-raw result plus the verification report for callers that want to
-inspect failures instead.
+that — it builds the requested network, routes, verifies (attaching the
+:class:`~repro.core.verification.VerificationReport` to the result) and
+raises on any violation unless ``strict=False``.
+
+Both :func:`build_network` and :func:`route_multicast` take either a
+bare port count or a :class:`~repro.core.config.NetworkConfig`; the
+legacy ``implementation=`` / ``engine=`` kwargs still work but raise
+:class:`~repro.errors.ReproDeprecationWarning`.  The old
+:func:`route_and_report` is a deprecated thin wrapper over
+:func:`route_multicast` — kept only so existing callers keep working,
+and guaranteed not to diverge because it no longer routes on its own.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Optional, Sequence, Tuple, Union
 
-from ..errors import RoutingInvariantError
+from ..errors import ReproDeprecationWarning, RoutingInvariantError
 from .brsmn import BRSMN, RoutingResult
+from .config import NetworkConfig, _UNSET, _resolve_config
 from .feedback import FeedbackBRSMN
 from .multicast import MulticastAssignment
 from .verification import VerificationReport, verify_result
@@ -31,85 +40,115 @@ def _coerce_assignment(n: int, assignment: AssignmentLike) -> MulticastAssignmen
     return MulticastAssignment(n, list(assignment))
 
 
-def build_network(n: int, implementation: str = "unrolled", engine: str = "reference"):
+def build_network(n, implementation=_UNSET, engine=_UNSET):
     """Construct a multicast network.
 
     Args:
-        n: network size (power of two, >= 2).
-        implementation: ``"unrolled"`` for the full
-            :class:`~repro.core.brsmn.BRSMN` (cost ``O(n log^2 n)``,
-            single-pass) or ``"feedback"`` for the hardware-reusing
-            :class:`~repro.core.feedback.FeedbackBRSMN`
-            (cost ``O(n log n)``, ``2 log n - 1`` passes).
-        engine: ``"reference"`` or ``"fast"`` (compiled NumPy routing
-            plans; unrolled implementation only — the feedback network
-            time-multiplexes physical hardware, which is exactly what a
-            compiled plan abstracts away).
+        n: a :class:`~repro.core.config.NetworkConfig`, or a bare
+            network size (power of two, >= 2) for an all-defaults
+            reference network.
+        implementation: deprecated — set it on the config instead.
+        engine: deprecated — set it on the config instead.
     """
-    if implementation == "unrolled":
-        return BRSMN(n, engine=engine)
-    if implementation == "feedback":
-        if engine != "reference":
-            raise ValueError(
-                "engine='fast' requires implementation='unrolled' "
-                "(the feedback network is a hardware-reuse simulation)"
-            )
-        return FeedbackBRSMN(n)
-    raise ValueError(
-        f"unknown implementation {implementation!r} "
-        "(expected 'unrolled' or 'feedback')"
+    cfg = _resolve_config(
+        n,
+        implementation=implementation,
+        engine=engine,
+        caller="build_network",
+        hint="build_network(NetworkConfig(n, ...))",
     )
+    if cfg.implementation == "feedback":
+        if cfg.observer is not None:
+            raise ValueError(
+                "observer hooks require implementation='unrolled' (the "
+                "feedback network time-multiplexes one physical BSN)"
+            )
+        return FeedbackBRSMN(cfg.n)
+    return BRSMN(cfg)
 
 
-def route_and_report(
-    n: int,
+def route_multicast(
+    n,
     assignment: AssignmentLike,
     *,
     mode: str = "selfrouting",
-    implementation: str = "unrolled",
-    engine: str = "reference",
+    implementation=_UNSET,
+    engine=_UNSET,
     payloads: Optional[Sequence] = None,
     collect_trace: bool = False,
-) -> Tuple[RoutingResult, VerificationReport]:
-    """Route an assignment and return ``(result, verification report)``.
+    strict: bool = True,
+) -> RoutingResult:
+    """Route an assignment, verify it, and return the result.
 
     Args:
-        n: network size.
+        n: a :class:`~repro.core.config.NetworkConfig` or a bare
+            network size.
         assignment: a :class:`MulticastAssignment`, a list of
             destination iterables, or a sparse ``{input: destinations}``
             mapping.
         mode: ``"selfrouting"`` (default — the paper's hardware
             behaviour) or ``"oracle"``.
-        implementation: ``"unrolled"`` or ``"feedback"``.
-        engine: ``"reference"`` or ``"fast"`` (see
-            :func:`build_network`).
+        implementation: deprecated — set it on the config instead.
+        engine: deprecated — set it on the config instead.
         payloads: optional per-input payloads.
         collect_trace: record the full stage trace (reference engine
             only).
+        strict: when True (default) raise on any verification
+            violation; when False record the report on the result and
+            return it regardless.
+
+    Returns:
+        The :class:`~repro.core.brsmn.RoutingResult`, with
+        :attr:`~repro.core.brsmn.RoutingResult.verification` attached.
+
+    Raises:
+        RoutingInvariantError: if ``strict`` and verification finds any
+            violation (missing / spurious / misrouted delivery).
     """
-    net = build_network(n, implementation, engine)
-    asg = _coerce_assignment(n, assignment)
+    cfg = _resolve_config(
+        n,
+        implementation=implementation,
+        engine=engine,
+        caller="route_multicast",
+        hint="route_multicast(NetworkConfig(n, ...), assignment)",
+    )
+    net = build_network(cfg)
+    asg = _coerce_assignment(cfg.n, assignment)
     result = net.route(asg, mode=mode, payloads=payloads, collect_trace=collect_trace)
-    return result, verify_result(result)
+    report = verify_result(result)
+    result.verification = report
+    if strict and not report.ok:
+        raise RoutingInvariantError(
+            "routing verification failed: " + "; ".join(report.violations)
+        )
+    return result
 
 
-def route_multicast(
-    n: int,
+def route_and_report(
+    n,
     assignment: AssignmentLike,
     *,
     mode: str = "selfrouting",
-    implementation: str = "unrolled",
-    engine: str = "reference",
+    implementation=_UNSET,
+    engine=_UNSET,
     payloads: Optional[Sequence] = None,
     collect_trace: bool = False,
-) -> RoutingResult:
-    """Route an assignment, verify it, and return the result.
+) -> Tuple[RoutingResult, VerificationReport]:
+    """Deprecated: route and return ``(result, verification report)``.
 
-    Raises:
-        RoutingInvariantError: if verification finds any violation
-            (missing / spurious / misrouted delivery).
+    Use :func:`route_multicast` (with ``strict=False`` to inspect
+    failures instead of raising) — the report now travels on
+    ``result.verification``.  This wrapper only unpacks it, so the two
+    paths cannot diverge on :class:`~repro.core.brsmn.RoutingResult`
+    fields.
     """
-    result, report = route_and_report(
+    warnings.warn(
+        "route_and_report is deprecated; use route_multicast "
+        "(strict=False) and read result.verification",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    result = route_multicast(
         n,
         assignment,
         mode=mode,
@@ -117,9 +156,6 @@ def route_multicast(
         engine=engine,
         payloads=payloads,
         collect_trace=collect_trace,
+        strict=False,
     )
-    if not report.ok:
-        raise RoutingInvariantError(
-            "routing verification failed: " + "; ".join(report.violations)
-        )
-    return result
+    return result, result.verification

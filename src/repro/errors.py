@@ -18,6 +18,7 @@ __all__ = [
     "InvalidTagError",
     "RoutingInvariantError",
     "BlockingError",
+    "ReproDeprecationWarning",
 ]
 
 
@@ -59,4 +60,14 @@ class BlockingError(ReproError, RuntimeError):
     this error firing on a valid assignment indicates an implementation
     bug; baselines that *can* block (none in this library by default)
     would raise it legitimately.
+    """
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated :mod:`repro` API was used.
+
+    Distinct from the builtin so the test suite can turn *first-party*
+    deprecations into hard errors (``pyproject.toml`` registers
+    ``error::repro.errors.ReproDeprecationWarning``) without tripping
+    on deprecations raised by third-party dependencies.
     """

@@ -1,0 +1,152 @@
+"""Metrics subscriber: fold the event stream into a registry.
+
+:class:`MetricsObserver` is the standing-production observer — O(1)
+state per metric series, no per-event allocation beyond label lookups —
+mapping routing lifecycle events onto a fixed metric vocabulary (all
+``repro_``-prefixed):
+
+======================================  =========  ==========================
+metric                                  type       source event
+======================================  =========  ==========================
+``repro_frames_total{engine,mode}``     counter    FrameDone (x frames)
+``repro_deliveries_total``              counter    FrameDone
+``repro_splits_total``                  counter    FrameDone
+``repro_switch_ops_total``              counter    FrameDone
+``repro_frame_ns{engine}``              histogram  FrameDone.duration_ns
+``repro_frame_fanout``                  histogram  FrameStart.fanout
+``repro_level_ns{level}``               histogram  LevelSpan.duration_ns
+``repro_stage_ns_total{level,stage}``   counter    LevelSpan.stage_ns
+``repro_level_splits_total{level}``     counter    LevelSpan.splits
+``repro_plan_cache_events_total{kind}`` counter    CacheEvent
+``repro_plan_cache_size``               gauge      CacheEvent.size
+``repro_queue_depth``                   gauge      QueueDepth.depth
+``repro_queue_served_total``            counter    QueueDepth.served
+======================================  =========  ==========================
+
+Latency histograms use power-of-two nanosecond buckets
+(:func:`~repro.obs.metrics.log2_buckets`), fanout/depth histograms use
+power-of-two count buckets.
+"""
+
+from __future__ import annotations
+
+from .events import (
+    CacheEvent,
+    FrameDone,
+    FrameStart,
+    LevelSpan,
+    Observer,
+    QueueDepth,
+)
+from .metrics import MetricsRegistry, log2_buckets
+
+__all__ = ["MetricsObserver"]
+
+_NS_BUCKETS = log2_buckets(8, 34)  # 256 ns .. ~17 s
+_COUNT_BUCKETS = log2_buckets(0, 20)  # 1 .. ~1M
+
+
+class MetricsObserver(Observer):
+    """Aggregate lifecycle events into a :class:`MetricsRegistry`.
+
+    Args:
+        registry: registry to populate (default: a private one, exposed
+            as :attr:`registry`).
+    """
+
+    def __init__(self, registry: MetricsRegistry = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._frames = r.counter(
+            "repro_frames_total", "Payload frames routed.", ("engine", "mode")
+        )
+        self._deliveries = r.counter(
+            "repro_deliveries_total", "Verified (output, message) deliveries."
+        )
+        self._splits = r.counter(
+            "repro_splits_total", "Alpha splits performed by BSN levels."
+        )
+        self._switch_ops = r.counter(
+            "repro_switch_ops_total", "2x2 switch applications."
+        )
+        self._frame_ns = r.histogram(
+            "repro_frame_ns",
+            "End-to-end frame routing latency (ns).",
+            ("engine",),
+            buckets=_NS_BUCKETS,
+        )
+        self._fanout = r.histogram(
+            "repro_frame_fanout",
+            "Total destinations per routed assignment.",
+            buckets=_COUNT_BUCKETS,
+        )
+        self._level_ns = r.histogram(
+            "repro_level_ns",
+            "Per-recursion-level routing/compile latency (ns).",
+            ("level",),
+            buckets=_NS_BUCKETS,
+        )
+        self._stage_ns = r.counter(
+            "repro_stage_ns_total",
+            "Cumulative per-stage time within a level (ns).",
+            ("level", "stage"),
+        )
+        self._level_splits = r.counter(
+            "repro_level_splits_total",
+            "Alpha splits per recursion level.",
+            ("level",),
+        )
+        self._cache_events = r.counter(
+            "repro_plan_cache_events_total",
+            "Plan cache lookups and evictions by kind.",
+            ("kind",),
+        )
+        self._cache_size = r.gauge(
+            "repro_plan_cache_size", "Compiled plans currently cached."
+        )
+        self._queue_depth = r.gauge(
+            "repro_queue_depth", "End-of-slot backlog of the queueing simulator."
+        )
+        self._queue_served = r.counter(
+            "repro_queue_served_total", "Requests served by the queueing simulator."
+        )
+
+    def on_frame_start(self, event: FrameStart) -> None:
+        """Observe the assignment's fanout; remember the frame labels.
+
+        ``FrameDone`` carries no engine/mode, so the labels seen here
+        (constant per network instance, and emission is strictly
+        start ... done) label the totals at :meth:`on_frame_done`.
+        """
+        self._engine = event.engine
+        self._mode = event.mode
+        self._fanout.observe(event.fanout)
+
+    def on_level(self, event: LevelSpan) -> None:
+        """Fold a level span into the per-level latency/stage metrics."""
+        level = str(event.level)
+        self._level_ns.observe(event.duration_ns, level=level)
+        self._level_splits.inc(event.splits, level=level)
+        for stage, ns in event.stage_ns.items():
+            self._stage_ns.inc(ns, level=level, stage=stage)
+
+    def on_frame_done(self, event: FrameDone) -> None:
+        """Fold a finished frame into totals and the latency histogram."""
+        self._frames.inc(event.frames, engine=self._engine, mode=self._mode)
+        self._deliveries.inc(event.deliveries * event.frames)
+        self._splits.inc(event.splits * event.frames)
+        self._switch_ops.inc(event.switch_ops * event.frames)
+        self._frame_ns.observe(event.duration_ns, engine=self._engine)
+
+    def on_cache_event(self, event: CacheEvent) -> None:
+        """Count the cache outcome; track the cache population gauge."""
+        self._cache_events.inc(1, kind=event.kind)
+        self._cache_size.set(event.size)
+
+    def on_queue_depth(self, event: QueueDepth) -> None:
+        """Record the end-of-slot backlog and served count."""
+        self._queue_depth.set(event.depth)
+        self._queue_served.inc(event.served)
+
+    _engine = "unknown"
+    _mode = "unknown"

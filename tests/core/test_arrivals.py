@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.admission import Request
+from repro.core.config import NetworkConfig
 from repro.core.arrivals import (
     Arrival,
     QueueingSimulator,
@@ -76,7 +77,7 @@ class TestQueueingSimulator:
 
     def test_feedback_implementation(self):
         arrivals = poisson_arrivals(8, rate=1.0, slots=10, seed=8)
-        report = QueueingSimulator(8, implementation="feedback").run(arrivals)
+        report = QueueingSimulator(NetworkConfig(8, implementation="feedback")).run(arrivals)
         assert report.served == len(arrivals)
 
     def test_unknown_policy(self):

@@ -1,0 +1,144 @@
+"""NetworkConfig: validation, construction, and the deprecation path."""
+
+import pytest
+
+from repro.core.brsmn import BRSMN
+from repro.core.config import IMPLEMENTATIONS, ENGINES, NetworkConfig
+from repro.core.fabric import MulticastFabric
+from repro.core.feedback import FeedbackBRSMN
+from repro.core.routing import build_network, route_multicast
+from repro.errors import ReproDeprecationWarning
+from repro.obs import NullSink, TracingObserver
+
+EXAMPLE = {0: [1, 2], 3: [0]}
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = NetworkConfig(8)
+        assert cfg.implementation == "unrolled"
+        assert cfg.engine == "reference"
+        assert cfg.plan_cache_size == 256
+        assert cfg.observer is None
+
+    def test_registered_vocabularies(self):
+        assert "unrolled" in IMPLEMENTATIONS and "feedback" in IMPLEMENTATIONS
+        assert "reference" in ENGINES and "fast" in ENGINES
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(Exception):
+            NetworkConfig(7)
+
+    def test_bad_implementation_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(8, implementation="quantum")
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(8, engine="warp")
+
+    def test_feedback_fast_combination_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(8, implementation="feedback", engine="fast")
+
+    def test_bad_cache_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(8, plan_cache_size=0)
+
+    def test_frozen(self):
+        cfg = NetworkConfig(8)
+        with pytest.raises(Exception):
+            cfg.engine = "fast"
+
+    def test_observer_excluded_from_equality(self):
+        assert NetworkConfig(8, observer=NullSink()) == NetworkConfig(8)
+
+    def test_with_observer(self):
+        obs = NullSink()
+        cfg = NetworkConfig(8).with_observer(obs)
+        assert cfg.observer is obs
+        assert cfg.n == 8 and cfg.engine == "reference"
+
+    def test_build(self):
+        assert isinstance(NetworkConfig(8).build(), BRSMN)
+        assert isinstance(
+            NetworkConfig(8, implementation="feedback").build(), FeedbackBRSMN
+        )
+
+
+class TestConfigAcceptedEverywhere:
+    def test_brsmn(self):
+        net = BRSMN(NetworkConfig(8, engine="fast"))
+        assert net.n == 8 and net.engine == "fast"
+
+    def test_build_network(self):
+        assert isinstance(
+            build_network(NetworkConfig(8, implementation="feedback")),
+            FeedbackBRSMN,
+        )
+
+    def test_route_multicast(self):
+        res = route_multicast(NetworkConfig(8, engine="fast"), EXAMPLE)
+        assert res.engine == "fast"
+        assert res.delivered[1].source == 0
+
+    def test_fabric_records_config(self):
+        cfg = NetworkConfig(8, engine="fast", plan_cache_size=7)
+        fabric = MulticastFabric(cfg)
+        assert fabric.config == cfg
+        assert fabric.engine == "fast"
+
+
+class TestDeprecationPath:
+    def test_bare_int_is_silent(self, recwarn):
+        build_network(8)
+        BRSMN(8)
+        MulticastFabric(8)
+        route_multicast(8, EXAMPLE)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_legacy_engine_kwarg_warns(self):
+        with pytest.warns(ReproDeprecationWarning, match="NetworkConfig"):
+            net = BRSMN(8, engine="fast")
+        assert net.engine == "fast"  # behaviour preserved
+
+    def test_legacy_implementation_kwarg_warns(self):
+        with pytest.warns(ReproDeprecationWarning):
+            net = build_network(8, implementation="feedback")
+        assert isinstance(net, FeedbackBRSMN)
+
+    def test_legacy_positional_implementation_warns(self):
+        with pytest.warns(ReproDeprecationWarning):
+            net = build_network(8, "feedback")
+        assert isinstance(net, FeedbackBRSMN)
+
+    def test_legacy_route_multicast_kwargs_warn(self):
+        with pytest.warns(ReproDeprecationWarning):
+            res = route_multicast(8, EXAMPLE, engine="fast")
+        assert res.engine == "fast"
+
+    def test_legacy_fabric_kwargs_warn(self):
+        with pytest.warns(ReproDeprecationWarning):
+            MulticastFabric(8, engine="fast")
+
+    def test_observer_kwarg_never_warns(self, recwarn):
+        MulticastFabric(8, observer=TracingObserver())
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_mixing_config_and_legacy_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            MulticastFabric(NetworkConfig(8), engine="fast")
+        with pytest.raises(TypeError):
+            build_network(NetworkConfig(8), implementation="feedback")
+
+    def test_legacy_and_config_results_agree(self):
+        with pytest.warns(ReproDeprecationWarning):
+            legacy = route_multicast(8, EXAMPLE, engine="fast")
+        modern = route_multicast(NetworkConfig(8, engine="fast"), EXAMPLE)
+        assert {o: m.source for o, m in legacy.delivered.items()} == {
+            o: m.source for o, m in modern.delivered.items()
+        }

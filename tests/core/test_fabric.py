@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.config import NetworkConfig
 from repro.core.fabric import MulticastFabric
 from repro.core.multicast import MulticastAssignment
 from repro.errors import RoutingInvariantError
@@ -34,7 +35,7 @@ class TestSessions:
         assert fabric.stats.frames == 0
 
     def test_feedback_implementation(self):
-        fabric = MulticastFabric(16, implementation="feedback")
+        fabric = MulticastFabric(NetworkConfig(16, implementation="feedback"))
         frames = videoconference_frames(16, conferences=2, frames=5, seed=2)
         stats = fabric.run(frames)
         assert stats.frames == 5

@@ -16,6 +16,7 @@ from hypothesis import given, settings
 
 from conftest import assignments, bsn_tag_vectors, make_random_assignment
 from repro.core.brsmn import BRSMN
+from repro.core.config import NetworkConfig
 from repro.core.bsn import BinarySplittingNetwork
 from repro.core.fabric import MulticastFabric
 from repro.core.fastplan import FramePlan, PlanCache, compile_frame_plan
@@ -65,7 +66,7 @@ def test_bsn_rejects_unknown_engine():
 @settings(max_examples=100, deadline=None)
 def test_brsmn_fast_engine_identical_deliveries(assignment):
     ref = BRSMN(assignment.n).route(assignment)
-    fast = BRSMN(assignment.n, engine="fast").route(assignment)
+    fast = BRSMN(NetworkConfig(assignment.n, engine="fast")).route(assignment)
     assert _delivery_map(fast) == _delivery_map(ref)
     assert fast.total_splits == ref.total_splits
     assert fast.switch_ops == ref.switch_ops
@@ -78,7 +79,7 @@ def test_paper_example_both_engines():
     a = paper_example_assignment()
     payloads = [f"video{i}" for i in range(8)]
     ref = route_multicast(8, a, payloads=payloads)
-    fast = route_multicast(8, a, engine="fast", payloads=payloads)
+    fast = route_multicast(NetworkConfig(8, engine="fast"), a, payloads=payloads)
     assert _delivery_map(fast) == _delivery_map(ref)
     assert _delivery_map(fast) == {
         0: (0, "video0"), 1: (0, "video0"),
@@ -90,7 +91,7 @@ def test_paper_example_both_engines():
 
 def test_n2_edge_case():
     a = MulticastAssignment(2, [{0, 1}, None])
-    fast = BRSMN(2, engine="fast").route(a)
+    fast = BRSMN(NetworkConfig(2, engine="fast")).route(a)
     ref = BRSMN(2).route(a)
     assert _delivery_map(fast) == _delivery_map(ref) == {0: (0, "pkt0"), 1: (0, "pkt0")}
 
@@ -98,17 +99,17 @@ def test_n2_edge_case():
 def test_fast_engine_rejects_trace():
     a = paper_example_assignment()
     with pytest.raises(ValueError):
-        BRSMN(8, engine="fast").route(a, collect_trace=True)
+        BRSMN(NetworkConfig(8, engine="fast")).route(a, collect_trace=True)
 
 
 def test_feedback_rejects_fast_engine():
     with pytest.raises(ValueError):
-        build_network(8, implementation="feedback", engine="fast")
+        build_network(NetworkConfig(8, implementation="feedback", engine="fast"))
 
 
 def test_unknown_engine_rejected():
     with pytest.raises(ValueError):
-        BRSMN(8, engine="warp")
+        BRSMN(NetworkConfig(8, engine="warp"))
 
 
 # ---------------------------------------------------------------------------
@@ -118,7 +119,7 @@ def test_unknown_engine_rejected():
 def test_batch_matches_sequential(rng):
     for n in (4, 16, 64):
         a = make_random_assignment(n, rng)
-        net = BRSMN(n, engine="fast")
+        net = BRSMN(NetworkConfig(n, engine="fast"))
         mat = np.array(
             [[f"f{f}.i{i}" for i in range(n)] for f in range(7)], dtype=object
         )
@@ -139,7 +140,7 @@ def test_batch_matches_sequential(rng):
 
 
 def test_batch_shape_validation():
-    net = BRSMN(8, engine="fast")
+    net = BRSMN(NetworkConfig(8, engine="fast"))
     a = paper_example_assignment()
     with pytest.raises(InvalidAssignmentError):
         net.route_batch(a, np.empty((3, 4), dtype=object))
@@ -177,7 +178,7 @@ def test_fingerprint_is_structural():
 
 
 def test_route_reports_cache_hit():
-    net = BRSMN(8, engine="fast")
+    net = BRSMN(NetworkConfig(8, engine="fast"))
     a = paper_example_assignment()
     first = net.route(a)
     second = net.route(a)
@@ -189,7 +190,7 @@ def test_route_reports_cache_hit():
 def test_hotspot_session_cache_hit_rate():
     """The recurring-assignment workload drives a nonzero hit rate."""
     frames = hotspot_session(16, frames=50, distinct=5, seed=11)
-    fab = MulticastFabric(16, mode="oracle", engine="fast")
+    fab = MulticastFabric(NetworkConfig(16, engine="fast"), mode="oracle")
     stats = fab.run(frames)
     assert stats.frames == 50
     assert stats.plan_cache_misses <= 5
@@ -204,8 +205,8 @@ def test_hotspot_session_cache_hit_rate():
 def test_shared_plan_cache():
     cache = PlanCache()
     a = paper_example_assignment()
-    BRSMN(8, engine="fast", plan_cache=cache).route(a)
-    result = BRSMN(8, engine="fast", plan_cache=cache).route(a)
+    BRSMN(NetworkConfig(8, engine="fast"), plan_cache=cache).route(a)
+    result = BRSMN(NetworkConfig(8, engine="fast"), plan_cache=cache).route(a)
     assert result.plan_cache_hit is True
     assert cache.hits == 1 and cache.misses == 1
 

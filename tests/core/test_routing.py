@@ -3,10 +3,11 @@
 import pytest
 
 from repro.core.brsmn import BRSMN
+from repro.core.config import NetworkConfig
 from repro.core.feedback import FeedbackBRSMN
 from repro.core.multicast import MulticastAssignment
 from repro.core.routing import build_network, route_and_report, route_multicast
-from repro.errors import RoutingInvariantError
+from repro.errors import ReproDeprecationWarning, RoutingInvariantError
 
 
 class TestBuildNetwork:
@@ -14,11 +15,11 @@ class TestBuildNetwork:
         assert isinstance(build_network(8), BRSMN)
 
     def test_feedback(self):
-        assert isinstance(build_network(8, "feedback"), FeedbackBRSMN)
+        assert isinstance(build_network(NetworkConfig(8, implementation="feedback")), FeedbackBRSMN)
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
-            build_network(8, "quantum")
+            build_network(NetworkConfig(8, implementation="quantum"))
 
 
 class TestRouteMulticast:
@@ -42,7 +43,9 @@ class TestRouteMulticast:
         assert res.delivered[1].payload == "hello"
 
     def test_feedback_implementation(self):
-        res = route_multicast(8, {0: list(range(8))}, implementation="feedback")
+        res = route_multicast(
+            NetworkConfig(8, implementation="feedback"), {0: list(range(8))}
+        )
         assert len(res.delivered) == 8
 
     def test_both_modes(self):
@@ -57,8 +60,14 @@ class TestRouteMulticast:
 
 
 class TestRouteAndReport:
-    def test_report_returned(self):
-        result, report = route_and_report(4, {0: [1, 2]})
+    def test_deprecated_wrapper_still_works(self):
+        with pytest.warns(ReproDeprecationWarning):
+            result, report = route_and_report(4, {0: [1, 2]})
         assert report.ok
         assert report.deliveries == 2
         assert result.mode == "selfrouting"
+        assert result.verification is report
+
+    def test_route_multicast_attaches_verification(self):
+        res = route_multicast(4, {0: [1, 2]})
+        assert res.verification is not None and res.verification.ok

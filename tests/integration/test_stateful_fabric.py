@@ -14,6 +14,7 @@ from hypothesis import settings
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 from hypothesis import strategies as st
 
+from repro.core.config import NetworkConfig
 from repro.core.fabric import MulticastFabric
 from repro.core.multicast import MulticastAssignment
 
@@ -27,7 +28,7 @@ class FabricSession(RuleBasedStateMachine):
 
     @initialize(implementation=st.sampled_from(["unrolled", "feedback"]))
     def start(self, implementation):
-        self.fabric = MulticastFabric(N, implementation=implementation)
+        self.fabric = MulticastFabric(NetworkConfig(N, implementation=implementation))
         self.expected_frames = 0
         self.expected_deliveries = 0
 

@@ -1,0 +1,134 @@
+"""Export formats: JSON schema golden and Prometheus text round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import parse_prometheus_text, render_prometheus_text
+
+
+def _small_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    frames = reg.counter("frames_total", "frames routed", ("engine",))
+    frames.inc(3, engine="fast")
+    frames.inc(engine="reference")
+    depth = reg.gauge("queue_depth", "backlog size")
+    depth.set(4)
+    ns = reg.histogram("frame_ns", "frame latency", buckets=(100, 200, 400))
+    for v in (50, 150, 150, 300, 999):
+        ns.observe(v)
+    return reg
+
+
+GOLDEN_DICT = {
+    "version": 1,
+    "metrics": [
+        {
+            "name": "frames_total",
+            "type": "counter",
+            "help": "frames routed",
+            "labelnames": ["engine"],
+            "samples": [
+                {"labels": {"engine": "fast"}, "value": 3.0},
+                {"labels": {"engine": "reference"}, "value": 1.0},
+            ],
+        },
+        {
+            "name": "queue_depth",
+            "type": "gauge",
+            "help": "backlog size",
+            "labelnames": [],
+            "samples": [{"labels": {}, "value": 4.0}],
+        },
+        {
+            "name": "frame_ns",
+            "type": "histogram",
+            "help": "frame latency",
+            "labelnames": [],
+            "samples": [
+                {
+                    "labels": {},
+                    "count": 5,
+                    "sum": 1649.0,
+                    "buckets": {"100": 1, "200": 3, "400": 4, "+Inf": 5},
+                }
+            ],
+        },
+    ],
+}
+
+GOLDEN_PROM = """\
+# HELP frames_total frames routed
+# TYPE frames_total counter
+frames_total{engine="fast"} 3
+frames_total{engine="reference"} 1
+# HELP queue_depth backlog size
+# TYPE queue_depth gauge
+queue_depth 4
+# HELP frame_ns frame latency
+# TYPE frame_ns histogram
+frame_ns_bucket{le="100"} 1
+frame_ns_bucket{le="200"} 3
+frame_ns_bucket{le="400"} 4
+frame_ns_bucket{le="+Inf"} 5
+frame_ns_sum 1649
+frame_ns_count 5
+"""
+
+
+class TestJsonExport:
+    def test_golden_dict(self):
+        assert _small_registry().as_dict() == GOLDEN_DICT
+
+    def test_to_json_round_trips(self):
+        reg = _small_registry()
+        assert json.loads(reg.to_json()) == GOLDEN_DICT
+
+    def test_schema_is_versioned(self):
+        assert MetricsRegistry().as_dict() == {"version": 1, "metrics": []}
+
+
+class TestPrometheusExport:
+    def test_golden_text(self):
+        assert render_prometheus_text(_small_registry()) == GOLDEN_PROM
+
+    def test_round_trip(self):
+        reg = _small_registry()
+        families = parse_prometheus_text(reg.to_prometheus_text())
+        assert set(families) == {"frames_total", "queue_depth", "frame_ns"}
+        ft = families["frames_total"]
+        assert ft["type"] == "counter"
+        assert ft["help"] == "frames routed"
+        assert ("frames_total", {"engine": "fast"}, 3.0) in ft["samples"]
+        fn = families["frame_ns"]
+        assert fn["type"] == "histogram"
+        buckets = {
+            labels["le"]: v
+            for name, labels, v in fn["samples"]
+            if name == "frame_ns_bucket"
+        }
+        assert buckets == {"100": 1.0, "200": 3.0, "400": 4.0, "+Inf": 5.0}
+        assert ("frame_ns_sum", {}, 1649.0) in fn["samples"]
+        assert ("frame_ns_count", {}, 5.0) in fn["samples"]
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        c = reg.counter("odd_total", 'with "quotes" and \\slashes', ("k",))
+        c.inc(k='va"lue\\with\nnasties')
+        families = parse_prometheus_text(render_prometheus_text(reg))
+        fam = families["odd_total"]
+        assert fam["help"] == 'with "quotes" and \\slashes'
+        name, labels, value = fam["samples"][0]
+        assert labels == {"k": 'va"lue\\with\nnasties'}
+        assert value == 1.0
+
+    def test_float_values_survive(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(0.8125)
+        families = parse_prometheus_text(render_prometheus_text(reg))
+        assert families["ratio"]["samples"][0][2] == 0.8125
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_without_value\n")

@@ -1,0 +1,151 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log2_buckets,
+)
+
+INF = float("inf")
+
+
+class TestLog2Buckets:
+    def test_default_range(self):
+        b = log2_buckets()
+        assert b[0] == 1.0 and b[-1] == 2.0**32
+        assert len(b) == 33
+
+    def test_custom_range(self):
+        assert log2_buckets(3, 6) == (8.0, 16.0, 32.0, 64.0)
+
+    def test_single_bucket(self):
+        assert log2_buckets(4, 4) == (16.0,)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            log2_buckets(5, 4)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("x_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_rejects_negative(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_independent(self):
+        c = Counter("x_total", labelnames=("engine",))
+        c.inc(engine="fast")
+        c.inc(3, engine="reference")
+        assert c.value(engine="fast") == 1.0
+        assert c.value(engine="reference") == 3.0
+        assert c.value(engine="never") == 0.0
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("x_total", labelnames=("engine",))
+        with pytest.raises(ValueError):
+            c.inc(mode="oracle")
+        with pytest.raises(ValueError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("depth")
+        g.set(7)
+        assert g.value() == 7.0
+        g.inc(-3)
+        assert g.value() == 4.0
+
+
+class TestHistogramBucketing:
+    def test_boundaries_are_inclusive_upper(self):
+        """Prometheus semantics: bucket ``le=b`` includes value == b."""
+        h = Histogram("ns", buckets=(1, 2, 4, 8))
+        for v in (1, 2, 4, 8):
+            h.observe(v)
+        assert h.bucket_counts() == {1.0: 1, 2.0: 1, 4.0: 1, 8.0: 1, INF: 0}
+
+    def test_between_boundaries_rounds_up(self):
+        h = Histogram("ns", buckets=(1, 2, 4, 8))
+        h.observe(3)
+        assert h.bucket_counts()[4.0] == 1
+
+    def test_overflow_lands_in_inf(self):
+        h = Histogram("ns", buckets=(1, 2))
+        h.observe(100)
+        assert h.bucket_counts()[INF] == 1
+
+    def test_underflow_lands_in_first(self):
+        h = Histogram("ns", buckets=(8, 16))
+        h.observe(0)
+        assert h.bucket_counts()[8.0] == 1
+
+    def test_every_log2_bucket_addressable(self):
+        """The binary search places 2**e and 2**e + 1 correctly."""
+        h = Histogram("ns", buckets=log2_buckets(0, 16))
+        for e in range(17):
+            h.observe(2**e)        # exactly on boundary e
+            h.observe(2**e + 1)    # first value past it
+        counts = h.bucket_counts()
+        assert counts[1.0] == 1
+        for e in range(1, 17):
+            # boundary 2**e catches its own value plus 2**(e-1)+1
+            # (except e=1, where 2**0+1 == 2 sits exactly on the bound)
+            assert counts[float(2**e)] == 2
+        assert counts[INF] == 1  # 2**16 + 1
+
+    def test_count_and_sum(self):
+        h = Histogram("ns", buckets=(10,))
+        h.observe(3)
+        h.observe(4)
+        assert h.count() == 2
+        assert math.isclose(h.sum(), 7.0)
+
+    def test_labelled_series(self):
+        h = Histogram("ns", labelnames=("level",), buckets=(10,))
+        h.observe(1, level="1")
+        h.observe(2, level="2")
+        assert h.count(level="1") == 1
+        assert h.count(level="3") == 0
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("ns", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("ns", buckets=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("ns", buckets=(4, 2))
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("frames_total", "frames")
+        b = reg.counter("frames_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_get_and_iter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        g = reg.gauge("b")
+        assert reg.get("a") is c and reg.get("missing") is None
+        assert list(reg) == [c, g]

@@ -6,14 +6,53 @@ import pytest
 
 import repro
 
+# The supported top-level surface, exactly.  Additions here are API
+# commitments: anything reachable only through subpackages (fastplan,
+# fast_scatter, per-switch internals) is private and free to change.
+STABLE_API = [
+    "BRSMN",
+    "BinarySplittingNetwork",
+    "CompositeObserver",
+    "FabricStats",
+    "FeedbackBRSMN",
+    "Message",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "MulticastAssignment",
+    "MulticastFabric",
+    "NetworkConfig",
+    "NullSink",
+    "Observer",
+    "QueueingSimulator",
+    "RoutingResult",
+    "Tag",
+    "TagTree",
+    "TracingObserver",
+    "build_network",
+    "paper_example_assignment",
+    "route_and_report",
+    "route_multicast",
+    "verify_result",
+    "__version__",
+]
+
 
 class TestTopLevel:
     def test_version(self):
         assert repro.__version__ == "1.0.0"
 
+    def test_all_is_exactly_the_stable_surface(self):
+        assert repro.__all__ == STABLE_API
+
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_fast_engine_internals_stay_private(self):
+        """Compiled-plan internals are reachable via subpackages only."""
+        for name in ("compile_frame_plan", "FramePlan", "PlanCache", "fastplan"):
+            assert name not in repro.__all__
+            assert not hasattr(repro, name), name
 
     def test_quickstart_snippet(self):
         """The README quickstart, verbatim."""
@@ -32,6 +71,7 @@ class TestTopLevel:
     "module",
     [
         "repro.core",
+        "repro.obs",
         "repro.rbn",
         "repro.hardware",
         "repro.baselines",
@@ -59,7 +99,7 @@ class TestDocstringCoverage:
         """Deliverable (e): doc comments on every public item."""
         undocumented = []
         for module_name in (
-            "repro.core", "repro.rbn", "repro.hardware",
+            "repro.core", "repro.obs", "repro.rbn", "repro.hardware",
             "repro.baselines", "repro.workloads", "repro.analysis",
             "repro.viz",
         ):
