@@ -32,6 +32,7 @@ from repro.core.config import NetworkConfig
 from repro.core.fastplan import compile_frame_plan
 from repro.core.tags import Tag
 from repro.core.verification import verify_result
+from repro.faults import FaultPlan
 from repro.obs import NullSink
 from repro.rbn.bitsort import route_to_compact
 from repro.rbn.cells import cells_from_tags
@@ -131,6 +132,31 @@ def test_end_to_end_speedup(write_artifact, benchmark):
         "nullsink_overhead": round(overhead, 4),
     }
 
+    # -- fault layer: an *empty* FaultPlan must be free.  NetworkConfig
+    # normalises empty plans to None before the network is built, so no
+    # injector is attached and the faultless fast path is literally the
+    # same code; the 3% bar (measurement noise only) is the acceptance
+    # criterion for the fault-injection layer.  Both sides re-timed
+    # back-to-back at the same k so the comparison shares machine state.
+    plain_net = BRSMN(NetworkConfig(n, engine="fast"))
+    empty_net = BRSMN(
+        NetworkConfig(n, engine="fast", fault_plan=FaultPlan.empty(n))
+    )
+    plain_s = min_of_k(lambda: plain_net.route_batch(a, mat), k=7, warmup=1)
+    empty_s = min_of_k(lambda: empty_net.route_batch(a, mat), k=7, warmup=1)
+    fault_overhead = empty_s / max(plain_s, 1e-9) - 1.0
+    assert fault_overhead < 0.03, (
+        f"empty FaultPlan overhead {fault_overhead:.1%} on batch routing "
+        "(need < 3%)"
+    )
+    results["faults"] = {
+        "n": n,
+        "frames": frames,
+        "plain_batch_ms": round(plain_s * 1e3, 4),
+        "empty_plan_batch_ms": round(empty_s * 1e3, 4),
+        "empty_plan_overhead": round(fault_overhead, 4),
+    }
+
     write_artifact(
         "fast_engine",
         "Compiled gather-plan engine vs reference per-switch simulation\n"
@@ -143,7 +169,8 @@ def test_end_to_end_speedup(write_artifact, benchmark):
           "  batch      {b:.3f} ms ({t:.0f} frames/s)\n"
           "  sequential {s:.3f} ms\n"
           "  batch speedup {x:.1f}x\n"
-          "  NullSink observer overhead {o:.1%} (bar: < 5%)".format(
+          "  NullSink observer overhead {o:.1%} (bar: < 5%)\n"
+          "  empty FaultPlan overhead {e:.1%} (bar: < 3%)".format(
             n=n,
             f=frames,
             b=results["batch"]["batch_ms"],
@@ -151,6 +178,7 @@ def test_end_to_end_speedup(write_artifact, benchmark):
             s=results["batch"]["sequential_ms"],
             x=results["batch"]["batch_speedup"],
             o=results["observer"]["nullsink_overhead"],
+            e=results["faults"]["empty_plan_overhead"],
         ),
     )
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")

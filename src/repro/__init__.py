@@ -41,6 +41,9 @@ Subpackages:
   BRSMN, feedback implementation, verification).
 * :mod:`repro.obs` — the observability layer (metrics registry,
   lifecycle tracing, profiling spans, Prometheus/JSON export).
+* :mod:`repro.faults` — fault injection (deterministic, seedable
+  fault plans) and self-healing (detection, bounded retries,
+  sibling-subnetwork reroute, degraded-mode results, plane health).
 * :mod:`repro.rbn` — the reverse banyan network substrate (compact
   sequences, merge lemmas, distributed self-routing algorithms).
 * :mod:`repro.hardware` — gate-level substrate and the cost / depth /
@@ -71,7 +74,14 @@ from .core import (
     paper_example_assignment,
     route_and_report,
     route_multicast,
+    route_resilient,
     verify_result,
+)
+from .faults import (
+    DegradedResult,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
 )
 from .obs import (
     CompositeObserver,
@@ -88,7 +98,10 @@ __all__ = [
     "BRSMN",
     "BinarySplittingNetwork",
     "CompositeObserver",
+    "DegradedResult",
     "FabricStats",
+    "FaultKind",
+    "FaultPlan",
     "FeedbackBRSMN",
     "Message",
     "MetricsObserver",
@@ -99,6 +112,7 @@ __all__ = [
     "NullSink",
     "Observer",
     "QueueingSimulator",
+    "RetryPolicy",
     "RoutingResult",
     "Tag",
     "TagTree",
@@ -107,6 +121,7 @@ __all__ = [
     "paper_example_assignment",
     "route_and_report",
     "route_multicast",
+    "route_resilient",
     "verify_result",
     "__version__",
 ]

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro route --n 8 --assign '{"0":[0,1],"2":[3,4,7],"3":[2],"7":[5,6]}'
     python -m repro route --n 8 --example --trace
     python -m repro stats --n 64 --frames 200 --engine fast --metrics-out metrics.json
+    python -m repro chaos --n 32 --frames 100 --faults 2 --seed 7
     python -m repro tags --n 8 --dests 3,4,7
     python -m repro structure --n 64
     python -m repro table2 --sizes 8,64,512
@@ -20,6 +21,10 @@ Subcommands:
   metrics + tracing observer, prints session statistics and a
   per-level profile, and exports the metrics registry as JSON
   (``--metrics-out``) and/or Prometheus text (``--prom-out``).
+* ``chaos`` — run a seeded fault-injection campaign: a random
+  :class:`~repro.faults.plan.FaultPlan` is injected, every frame is
+  routed through the self-healing fabric, and the campaign reports
+  delivered / recovered / lost terminal counts plus plane health.
 * ``tags`` — print a destination set's tag tree SEQ (Section 7.1).
 * ``structure`` — print a network's structural audit (switches, depth,
   per-level composition).
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -50,6 +56,24 @@ from .hardware.timing import TimingModel
 from .viz.ascii import render_assignment, render_delivery, render_trace
 
 __all__ = ["main", "build_parser"]
+
+
+def _write_text(path: str, text: str) -> Optional[str]:
+    """Write an output file, creating parent directories as needed.
+
+    Returns ``None`` on success, or a clean one-line error message
+    (instead of letting ``open`` raise a traceback at the user) when
+    the path cannot be written.
+    """
+    try:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(text)
+    except OSError as exc:
+        return f"cannot write {path}: {exc}"
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +167,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-level profile table",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign with self-healing",
+    )
+    p_chaos.add_argument("--n", type=int, required=True, help="network size")
+    p_chaos.add_argument(
+        "--frames", type=int, default=64, help="frames to route"
+    )
+    p_chaos.add_argument(
+        "--faults",
+        type=int,
+        default=2,
+        help="faulty cells to place (seeded; see repro.faults.FaultPlan)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--engine", choices=("reference", "fast"), default="fast"
+    )
+    p_chaos.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="healing retry budget per frame",
+    )
+    p_chaos.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the metrics registry as JSON to this file",
+    )
+
     p_tags = sub.add_parser("tags", help="print a multicast's SEQ tag string")
     p_tags.add_argument("--n", type=int, required=True)
     p_tags.add_argument(
@@ -218,8 +273,10 @@ def _cmd_route(args) -> int:
     if args.save is not None:
         from .core.serialization import result_to_json
 
-        with open(args.save, "w") as fh:
-            fh.write(result_to_json(result) + "\n")
+        err = _write_text(args.save, result_to_json(result) + "\n")
+        if err is not None:
+            print(err, file=sys.stderr)
+            return 2
         print(f"result written to {args.save}")
     print(render_assignment(assignment))
     print()
@@ -299,13 +356,24 @@ def _cmd_stats(args) -> int:
                     rows,
                 )
             )
+    return _export_metrics(args, metrics)
+
+
+def _export_metrics(args, metrics) -> int:
+    """Write ``--metrics-out`` / ``--prom-out`` files, if requested."""
     if args.metrics_out is not None:
-        with open(args.metrics_out, "w") as fh:
-            fh.write(metrics.registry.to_json() + "\n")
+        err = _write_text(args.metrics_out, metrics.registry.to_json() + "\n")
+        if err is not None:
+            print(err, file=sys.stderr)
+            return 2
         print(f"\nmetrics JSON written to {args.metrics_out}")
-    if args.prom_out is not None:
-        with open(args.prom_out, "w") as fh:
-            fh.write(metrics.registry.to_prometheus_text())
+    if getattr(args, "prom_out", None) is not None:
+        err = _write_text(
+            args.prom_out, metrics.registry.to_prometheus_text()
+        )
+        if err is not None:
+            print(err, file=sys.stderr)
+            return 2
         print(f"Prometheus text written to {args.prom_out}")
     return 0
 
@@ -344,6 +412,78 @@ def _profile_rows(tracing) -> list:
             ]
         )
     return rows
+
+
+def _cmd_chaos(args) -> int:
+    from .core.fabric import MulticastFabric
+    from .faults import FaultPlan, RetryPolicy
+    from .obs import MetricsObserver
+    from .workloads.random_assignments import random_multicast
+
+    plan = FaultPlan.random(args.n, faults=args.faults, seed=args.seed)
+    metrics = MetricsObserver()
+    cfg = NetworkConfig(
+        args.n, engine=args.engine, fault_plan=plan, observer=metrics
+    )
+    fabric = MulticastFabric(
+        cfg, retry_policy=RetryPolicy(max_retries=args.retries)
+    )
+
+    print(
+        f"chaos campaign: n={args.n} frames={args.frames} "
+        f"faults={args.faults} seed={args.seed} engine={args.engine}"
+    )
+    print()
+    print("fault plan:")
+    print(
+        format_table(
+            ["plane", "cell", "links", "kind", "detail"],
+            [
+                [
+                    f.level,
+                    f.index,
+                    f"{f.positions[0]},{f.positions[1]}",
+                    f.kind.value,
+                    (
+                        f"stuck {'crossed' if f.stuck_setting else 'parallel'}"
+                        if f.kind.value == "stuck_at"
+                        else f"drop_rate={f.drop_rate}"
+                        if f.kind.value == "flaky_link"
+                        else "payloads lost"
+                    ),
+                ]
+                for f in plan.faults
+            ],
+        )
+    )
+    print()
+
+    delivered = recovered = lost = 0
+    for i in range(args.frames):
+        assignment = random_multicast(args.n, seed=args.seed + 1 + i)
+        result = fabric.submit(assignment)
+        terminals = assignment.total_fanout
+        if hasattr(result, "outcomes"):  # DegradedResult (primary plane)
+            recovered += len(result.recovered)
+            lost += len(result.lost)
+            delivered += terminals - len(result.recovered) - len(result.lost)
+        else:  # RoutingResult (standby plane, fault-free)
+            delivered += terminals
+    stats = fabric.stats
+    print(
+        f"frames: {stats.frames} routed, {stats.degraded_frames} degraded, "
+        f"{stats.lost_frames} with losses, "
+        f"{stats.standby_frames} served by standby"
+    )
+    print(
+        f"terminals: {delivered} delivered, {recovered} recovered, "
+        f"{lost} lost"
+    )
+    print(
+        f"plane: {stats.quarantines} quarantines, "
+        f"final state {fabric.health.state.value}"
+    )
+    return _export_metrics(args, metrics)
 
 
 def _cmd_tags(args) -> int:
@@ -433,6 +573,7 @@ def _cmd_report(_args) -> int:
 _COMMANDS = {
     "route": _cmd_route,
     "stats": _cmd_stats,
+    "chaos": _cmd_chaos,
     "tags": _cmd_tags,
     "structure": _cmd_structure,
     "table2": _cmd_table2,

@@ -48,7 +48,12 @@ from .pipeline_sim import (
     find_min_period,
     simulate_stream,
 )
-from .routing import build_network, route_and_report, route_multicast
+from .routing import (
+    build_network,
+    route_and_report,
+    route_multicast,
+    route_resilient,
+)
 from .tags import (
     Tag,
     decode_tag,
@@ -110,6 +115,7 @@ __all__ = [
     "build_network",
     "route_and_report",
     "route_multicast",
+    "route_resilient",
     "Tag",
     "decode_tag",
     "encode_tag",

@@ -116,6 +116,10 @@ class QueueingReport:
             arrival slot).
         backlog_per_slot: backlog size at the end of each slot.
         deliveries: total (output, message) deliveries.
+        requeued: fault-aware runs — times a request's failed terminals
+            were put back on the backlog for a later slot.
+        abandoned: fault-aware runs — requests given up after
+            ``max_requeues`` requeues still left terminals undelivered.
     """
 
     n: int
@@ -124,6 +128,8 @@ class QueueingReport:
     waits: List[int] = field(default_factory=list)
     backlog_per_slot: List[int] = field(default_factory=list)
     deliveries: int = 0
+    requeued: int = 0
+    abandoned: int = 0
 
     @property
     def mean_wait(self) -> float:
@@ -157,6 +163,18 @@ class QueueingSimulator:
             (overrides the config's); receives the routed frames'
             lifecycle events plus one end-of-slot
             :class:`~repro.obs.events.QueueDepth` sample per slot.
+        max_requeues: fault-aware runs — times a request's failed
+            terminals may be put back on the backlog before the request
+            is abandoned.
+        retry_policy: fault-aware runs — the
+            :class:`~repro.faults.healing.RetryPolicy` of the per-slot
+            healing loop.
+
+    When the config carries a non-empty fault plan, every slot's frame
+    is routed through :func:`~repro.faults.healing.route_with_healing`:
+    terminals the in-slot retries cannot reach are re-queued as a
+    reduced request for a later slot (a different backlog packing routes
+    them through different positions), bounded by ``max_requeues``.
     """
 
     def __init__(
@@ -167,6 +185,8 @@ class QueueingSimulator:
         engine=_UNSET,
         max_slots: int = 100_000,
         observer=None,
+        max_requeues: int = 3,
+        retry_policy=None,
     ):
         cfg = _resolve_config(
             n,
@@ -178,11 +198,18 @@ class QueueingSimulator:
         )
         if policy not in ("largest_first", "fifo"):
             raise ValueError(f"unknown policy {policy!r}")
+        if max_requeues < 0:
+            raise ValueError(f"max_requeues must be >= 0, got {max_requeues}")
         self.n = cfg.n
         self.policy = policy
         self.network = build_network(cfg)
         self.observer = cfg.observer
         self.max_slots = max_slots
+        self.max_requeues = max_requeues
+        self.retry_policy = retry_policy
+        self._fault_aware = (
+            cfg.fault_plan is not None and not cfg.fault_plan.is_empty
+        )
 
     def _pack_frame(self, backlog: List[Arrival]) -> List[int]:
         """Pick a conflict-free subset of the backlog (greedy); returns
@@ -212,6 +239,10 @@ class QueueingSimulator:
         emit = obs is not None and obs.enabled
         pending = sorted(arrivals, key=lambda a: a.slot)
         backlog: List[Arrival] = []
+        # Requeue budget per in-backlog arrival object; entries are
+        # popped when the arrival is served/requeued/abandoned, so ids
+        # are only ever read while their object is alive.
+        requeue_counts: dict = {}
         slot = 0
         idx = 0
         while idx < len(pending) or backlog:
@@ -223,6 +254,7 @@ class QueueingSimulator:
                 backlog.append(pending[idx])
                 idx += 1
             chosen = self._pack_frame(backlog)
+            served_now = 0
             if chosen:
                 dests: List[Optional[List[int]]] = [None] * self.n
                 payloads: List[object] = [None] * self.n
@@ -231,23 +263,79 @@ class QueueingSimulator:
                     dests[r.source] = sorted(r.destinations)
                     payloads[r.source] = r.payload
                 frame = MulticastAssignment(self.n, dests)
-                result = self.network.route(frame, payloads=payloads)
-                check = verify_result(result)
-                if not check.ok:
-                    raise InvalidAssignmentError(
-                        "queueing frame failed verification: "
-                        + "; ".join(check.violations)
+                if self._fault_aware:
+                    served_now = self._serve_healed(
+                        frame, payloads, backlog, chosen,
+                        slot, report, requeue_counts,
                     )
-                report.deliveries += check.deliveries
-                for i in chosen:
-                    report.waits.append(slot - backlog[i].slot)
-                    report.served += 1
-                backlog = [a for k, a in enumerate(backlog) if k not in set(chosen)]
+                else:
+                    result = self.network.route(frame, payloads=payloads)
+                    check = verify_result(result)
+                    if not check.ok:
+                        raise InvalidAssignmentError(
+                            "queueing frame failed verification: "
+                            + "; ".join(check.violations)
+                        )
+                    report.deliveries += check.deliveries
+                    for i in chosen:
+                        report.waits.append(slot - backlog[i].slot)
+                        report.served += 1
+                    served_now = len(chosen)
+                    backlog = [
+                        a for k, a in enumerate(backlog) if k not in set(chosen)
+                    ]
             if emit:
                 obs.on_queue_depth(
-                    QueueDepth(slot=slot, depth=len(backlog), served=len(chosen))
+                    QueueDepth(slot=slot, depth=len(backlog), served=served_now)
                 )
             slot += 1
             report.backlog_per_slot.append(len(backlog))
         report.slots_run = slot
         return report
+
+    def _serve_healed(
+        self, frame, payloads, backlog, chosen, slot, report, requeue_counts
+    ) -> int:
+        """Serve one slot's frame through the healing loop.
+
+        Requests whose terminals the in-slot retries could not reach are
+        put back on the backlog as a *reduced* request (only the failed
+        terminals, original arrival slot) up to ``max_requeues`` times,
+        then abandoned.  Mutates ``backlog`` in place; returns the
+        number of requests fully served this slot.
+        """
+        from ..faults.healing import route_with_healing  # deferred: cycle
+
+        result = route_with_healing(
+            self.network,
+            frame,
+            payloads=payloads,
+            policy=self.retry_policy,
+        )
+        report.deliveries += result.verification.deliveries
+        lost = set(result.lost)
+        served_now = 0
+        requeues: List[Arrival] = []
+        for i in chosen:
+            arrival = backlog[i]
+            r = arrival.request
+            failed = r.destinations & lost
+            budget = requeue_counts.pop(id(arrival), 0)
+            if not failed:
+                report.waits.append(slot - arrival.slot)
+                report.served += 1
+                served_now += 1
+            elif budget >= self.max_requeues:
+                report.abandoned += 1
+            else:
+                report.requeued += 1
+                retry = Arrival(
+                    arrival.slot,
+                    Request(r.source, frozenset(failed), payload=r.payload),
+                )
+                requeue_counts[id(retry)] = budget + 1
+                requeues.append(retry)
+        backlog[:] = [
+            a for k, a in enumerate(backlog) if k not in set(chosen)
+        ] + requeues
+        return served_now

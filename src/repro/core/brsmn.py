@@ -49,7 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import InvalidAssignmentError, RoutingInvariantError
-from ..obs.events import FrameDone, FrameStart, LevelSpan
+from ..obs.events import FaultEvent, FrameDone, FrameStart, LevelSpan
 from ..rbn.cells import Cell
 from ..rbn.permutations import check_network_size
 from ..rbn.switches import SwitchSetting
@@ -196,6 +196,11 @@ class RoutingResult:
         verification: the :class:`~repro.core.verification.VerificationReport`
             attached by :func:`~repro.core.routing.route_multicast`
             (``None`` when routing was called directly on the network).
+        fault_casualties: when the network carries a
+            :class:`~repro.faults.plan.FaultPlan`, one
+            :class:`~repro.faults.injector.FaultHit` per fault that
+            touched this pass's traffic (the engines produce the same
+            multiset; traversal order differs).
     """
 
     assignment: MulticastAssignment
@@ -207,6 +212,7 @@ class RoutingResult:
     engine: str = "reference"
     plan_cache_hit: Optional[bool] = None
     verification: Optional[object] = None
+    fault_casualties: List = field(default_factory=list)
 
     @property
     def delivered(self) -> Dict[int, Message]:
@@ -263,6 +269,8 @@ class BatchRoutingResult:
         final_switches: last-level 2x2 switches fired per frame.
         plan_cache_hit: fast engine only — whether the shared plan came
             from the cache.
+        fault_casualties: fault hits of the shared routing pass (every
+            frame of the batch incurs the same ones).
     """
 
     assignment: MulticastAssignment
@@ -274,6 +282,7 @@ class BatchRoutingResult:
     bsn_stats: List[BsnFrameStats] = field(default_factory=list)
     final_switches: int = 0
     plan_cache_hit: Optional[bool] = None
+    fault_casualties: List = field(default_factory=list)
 
     @property
     def total_splits(self) -> int:
@@ -339,6 +348,17 @@ class BRSMN:
         self.observer = cfg.observer
         self._frames_emitted = 0
         self._bsns: Dict[int, BinarySplittingNetwork] = {}
+        # An empty plan is normalised away so the healthy path is
+        # bit-identical (and pays nothing) whether the caller passed
+        # fault_plan=None or FaultPlan.empty(n).
+        if cfg.fault_plan is not None and not cfg.fault_plan.is_empty:
+            from ..faults.injector import FaultInjector  # deferred: cycle
+
+            self.fault_plan = cfg.fault_plan
+            self._injector = FaultInjector(cfg.fault_plan)
+        else:
+            self.fault_plan = None
+            self._injector = None
         if cfg.engine == "fast" or plan_cache is not None:
             from .fastplan import PlanCache  # deferred: avoids an import cycle
 
@@ -443,9 +463,13 @@ class BRSMN:
             result.outputs = self._route(
                 frame, 0, self.n, mode, result, trace, prof
             )
+            if self._injector is not None:
+                result.outputs = self._injector.scrub(result.outputs)
             if emit:
                 self._emit_level_spans(obs, fid, prof)
         if emit:
+            if result.fault_casualties:
+                self._emit_fault_events(obs, fid, result.fault_casualties)
             self._emit_frame_done(obs, fid, t0, result, 1)
         return result
 
@@ -488,6 +512,24 @@ class BRSMN:
                 )
             )
 
+    def _emit_fault_events(self, obs, fid, hits):
+        """Emit one ``injected`` :class:`FaultEvent` per fault hit."""
+        t = perf_counter_ns()
+        attempt = self._injector.attempt if self._injector is not None else 0
+        for hit in hits:
+            obs.on_fault(
+                FaultEvent(
+                    action="injected",
+                    kind=hit.fault.kind.value,
+                    level=hit.fault.level,
+                    index=hit.fault.index,
+                    frame_id=fid,
+                    attempt=attempt,
+                    terminals=tuple(hit.outputs),
+                    t_ns=t,
+                )
+            )
+
     def _emit_frame_done(self, obs, fid, t0, result, frames):
         """Emit ``FrameDone`` for a finished (batch) routing call."""
         t1 = perf_counter_ns()
@@ -512,18 +554,23 @@ class BRSMN:
         """Fetch (or compile) the routing plan; returns ``(plan, hit)``.
 
         When an enabled observer is attached, a cache miss compiles
-        with per-level profiling spans tagged with ``frame_id``.
+        with per-level profiling spans tagged with ``frame_id``; when a
+        fault plan is attached, its consequences are compiled into the
+        plan and the cache key carries the plan fingerprint so faulted
+        plans never collide with healthy ones.
         """
-        if observer is not None:
-            from .fastplan import compile_frame_plan  # deferred, as above
+        if observer is None and self.fault_plan is None:
+            return self.plan_cache.get(assignment)
+        from .fastplan import compile_frame_plan  # deferred, as above
 
-            return self.plan_cache.get(
-                assignment,
-                compile_fn=lambda a: compile_frame_plan(
-                    a, observer=observer, frame_id=frame_id
-                ),
-            )
-        return self.plan_cache.get(assignment)
+        fault_plan = self.fault_plan
+        return self.plan_cache.get(
+            assignment,
+            compile_fn=lambda a: compile_frame_plan(
+                a, observer=observer, frame_id=frame_id, fault_plan=fault_plan
+            ),
+            extra_key=fault_plan.fingerprint() if fault_plan is not None else "",
+        )
 
     def _route_fast(
         self,
@@ -536,10 +583,12 @@ class BRSMN:
         plan, hit = self._plan(assignment, observer, frame_id)
         if payloads is None:
             payloads = [f"pkt{i}" for i in range(self.n)]
-        delivered = plan.apply(payloads)
+        attempt = self._injector.attempt if self._injector is not None else 0
+        delivered = plan.apply(payloads, attempt)
+        casualties = plan.casualties(attempt) if plan.has_faults else frozenset()
         outputs: List[Optional[Message]] = [
             None
-            if src < 0
+            if src < 0 or o in casualties
             else Message(source=src, destinations=frozenset({o}), payload=delivered[o])
             for o, src in enumerate(plan.delivery_src.tolist())
         ]
@@ -551,7 +600,19 @@ class BRSMN:
             final_switches=plan.final_switches,
             engine="fast",
             plan_cache_hit=hit,
+            fault_casualties=self._plan_hits(plan, attempt),
         )
+
+    def _plan_hits(self, plan, attempt: int) -> List:
+        """Normalise a compiled plan's fault hits to ``FaultHit`` objects."""
+        if not plan.has_faults:
+            return []
+        from ..faults.injector import FaultHit  # deferred: cycle
+
+        return [
+            FaultHit(fault=fault, outputs=outputs)
+            for fault, outputs in list(plan.fault_hits) + plan.flaky_hits(attempt)
+        ]
 
     def route_batch(
         self,
@@ -595,18 +656,27 @@ class BRSMN:
                 obs if emit else None,
                 fid if emit else -1,
             )
+            attempt = self._injector.attempt if self._injector is not None else 0
+            delivery_src = plan.delivery_src.copy()
+            if plan.has_faults:
+                casualties = plan.casualties(attempt)
+                if casualties:
+                    delivery_src[sorted(casualties)] = -1
             result = BatchRoutingResult(
                 assignment=assignment,
                 frames=mat.shape[0],
-                payloads=plan.apply_batch(mat),
-                delivery_src=plan.delivery_src.copy(),
+                payloads=plan.apply_batch(mat, attempt),
+                delivery_src=delivery_src,
                 mode=mode,
                 engine="fast",
                 bsn_stats=list(plan.bsn_stats),
                 final_switches=plan.final_switches,
                 plan_cache_hit=hit,
+                fault_casualties=self._plan_hits(plan, attempt),
             )
             if emit:
+                if result.fault_casualties:
+                    self._emit_fault_events(obs, fid, result.fault_casualties)
                 self._emit_frame_done(obs, fid, t0, result, mat.shape[0])
             return result
         delivery_src = np.full(self.n, -1, dtype=np.int64)
@@ -631,6 +701,9 @@ class BRSMN:
             engine="reference",
             bsn_stats=list(first.bsn_stats) if first is not None else [],
             final_switches=first.final_switches if first is not None else 0,
+            fault_casualties=(
+                list(first.fault_casualties) if first is not None else []
+            ),
         )
 
     def _route(
@@ -643,6 +716,7 @@ class BRSMN:
         trace: Optional[Trace],
         prof: Optional[Dict[int, List[int]]] = None,
     ) -> List[Optional[Message]]:
+        injector = self._injector
         if size == 2:
             if prof is not None:
                 t = perf_counter_ns()
@@ -655,6 +729,10 @@ class BRSMN:
                 rec[0] += perf_counter_ns() - t
                 rec[2] += 1  # one switch op per delivery switch
                 rec[3] += 1
+            if injector is not None and injector.has_level(self.m):
+                result.fault_casualties.extend(
+                    injector.apply_plane(self.m, base, outputs, delivery=True)
+                )
             return outputs
         if prof is not None:
             t = perf_counter_ns()
@@ -669,6 +747,13 @@ class BRSMN:
             rec[3] += 1
         result.bsn_stats.append(stats)
         half = size // 2
+        level = self.m - (size.bit_length() - 1) + 1
+        if injector is not None and injector.has_level(level):
+            combined = upper + lower
+            result.fault_casualties.extend(
+                injector.apply_plane(level, base, combined)
+            )
+            upper, lower = combined[:half], combined[half:]
         out_up = self._route(upper, base, half, mode, result, trace, prof)
         out_lo = self._route(lower, base + half, half, mode, result, trace, prof)
         return out_up + out_lo

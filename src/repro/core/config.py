@@ -56,6 +56,12 @@ class NetworkConfig:
         observer: optional :class:`~repro.obs.events.Observer` receiving
             frame lifecycle events, per-level profiling spans and
             plan-cache events (unrolled implementation).
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan` —
+            when given (and non-empty), the constructed network injects
+            the described stuck-at / dead-switch / flaky-link faults,
+            and the session facades (fabric, queueing) run the
+            self-healing layer.  An empty plan is bit-identical to no
+            plan.  Unrolled implementation only.
     """
 
     n: int
@@ -63,6 +69,7 @@ class NetworkConfig:
     engine: str = "reference"
     plan_cache_size: int = 256
     observer: Optional[object] = field(default=None, compare=False)
+    fault_plan: Optional[object] = None
 
     def __post_init__(self):
         check_network_size(self.n)
@@ -84,6 +91,21 @@ class NetworkConfig:
             raise ValueError(
                 f"plan_cache_size must be >= 1, got {self.plan_cache_size}"
             )
+        if self.fault_plan is not None:
+            # Duck-typed on purpose: importing repro.faults here would
+            # create a core <-> faults import cycle.
+            plan_n = getattr(self.fault_plan, "n", None)
+            if plan_n != self.n:
+                raise ValueError(
+                    f"fault_plan is for n={plan_n}, but the config is for "
+                    f"n={self.n}"
+                )
+            if self.implementation == "feedback":
+                raise ValueError(
+                    "fault injection requires implementation='unrolled' "
+                    "(the feedback network time-multiplexes one physical "
+                    "BSN, so it has no per-level fault planes)"
+                )
 
     def with_observer(self, observer) -> "NetworkConfig":
         """A copy of this config with a different observer attached."""

@@ -16,10 +16,12 @@ so examples and benches can express sessions in three lines.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from time import perf_counter_ns
 from typing import Iterable, List
 
 from ..errors import RoutingInvariantError
+from ..obs.events import FaultEvent
 from .brsmn import RoutingResult
 from .config import _UNSET, _resolve_config
 from .multicast import MulticastAssignment
@@ -44,6 +46,14 @@ class FabricStats:
         plan_cache_hits: fast engine — frames served by a cached
             routing plan.
         plan_cache_misses: fast engine — frames that compiled a plan.
+        degraded_frames: fault-aware sessions — frames that needed
+            healing (retries) or lost terminals.
+        lost_frames: frames that ended with at least one lost terminal.
+        recovered_terminals: terminals healed by repair passes.
+        lost_terminals: terminals abandoned after the retry budget.
+        quarantines: times the primary plane entered quarantine.
+        standby_frames: frames served by the standby plane while the
+            primary was quarantined.
     """
 
     frames: int = 0
@@ -54,6 +64,12 @@ class FabricStats:
     fanout_histogram: Counter = field(default_factory=Counter)
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    degraded_frames: int = 0
+    lost_frames: int = 0
+    recovered_terminals: int = 0
+    lost_terminals: int = 0
+    quarantines: int = 0
+    standby_frames: int = 0
 
     @property
     def mean_fanout(self) -> float:
@@ -87,6 +103,23 @@ class MulticastFabric:
         observer: optional :class:`~repro.obs.events.Observer`
             (overrides the config's); every ``submit`` then emits frame
             lifecycle events, level spans and plan-cache events.
+        retry_policy: fault-aware sessions — the
+            :class:`~repro.faults.healing.RetryPolicy` of the healing
+            loop (default: the policy's defaults).
+        health: fault-aware sessions — a pre-configured
+            :class:`~repro.faults.health.HealthTracker` (default: one
+            with its default thresholds).
+
+    When the config carries a non-empty fault plan, the fabric runs the
+    self-healing layer: every frame submitted to the (faulty) primary
+    plane goes through
+    :func:`~repro.faults.healing.route_with_healing` and returns a
+    :class:`~repro.faults.healing.DegradedResult` — fault losses never
+    raise, regardless of ``strict`` (they are accounted, not
+    exceptional).  A :class:`~repro.faults.health.HealthTracker`
+    quarantines the primary after repeated degraded frames; traffic
+    then drains on a fault-free *standby* plane (same config, no fault
+    plan) until the primary earns re-admission through clean probes.
     """
 
     def __init__(
@@ -97,6 +130,8 @@ class MulticastFabric:
         strict: bool = True,
         engine=_UNSET,
         observer=None,
+        retry_policy=None,
+        health=None,
     ):
         cfg = _resolve_config(
             n,
@@ -114,10 +149,40 @@ class MulticastFabric:
         self.engine = cfg.engine
         self.observer = cfg.observer
         self.stats = FabricStats()
+        if cfg.fault_plan is not None and not cfg.fault_plan.is_empty:
+            from ..faults.healing import RetryPolicy  # deferred: cycle
+            from ..faults.health import HealthTracker
 
-    def submit(self, assignment: MulticastAssignment) -> RoutingResult:
-        """Route and verify one frame, updating the session statistics."""
-        result = self.network.route(assignment, mode=self.mode)
+            self.retry_policy = (
+                retry_policy if retry_policy is not None else RetryPolicy()
+            )
+            self.health = health if health is not None else HealthTracker()
+            self.standby = build_network(replace(cfg, fault_plan=None))
+        else:
+            self.retry_policy = retry_policy
+            self.health = None
+            self.standby = None
+
+    def submit(self, assignment: MulticastAssignment):
+        """Route one frame, updating the session statistics.
+
+        Returns a verified
+        :class:`~repro.core.brsmn.RoutingResult` — or, when the fabric
+        carries a fault plan and the primary plane is serving, a healed
+        :class:`~repro.faults.healing.DegradedResult`.
+        """
+        if self.health is None:
+            return self._submit_verified(assignment, self.network)
+        if self.health.use_primary:
+            return self._submit_healed(assignment)
+        result = self._submit_verified(assignment, self.standby)
+        self.stats.standby_frames += 1
+        self._record_health(False)
+        return result
+
+    def _submit_verified(self, assignment, network) -> RoutingResult:
+        """The plain path: route on ``network``, verify, account."""
+        result = network.route(assignment, mode=self.mode)
         report = verify_result(result)
         if not report.ok:
             msg = (
@@ -136,6 +201,53 @@ class MulticastFabric:
             self.stats.fanout_histogram[len(assignment[i])] += 1
         return result
 
+    def _submit_healed(self, assignment):
+        """The fault path: heal on the primary plane, track its health."""
+        from ..faults.healing import route_with_healing  # deferred: cycle
+
+        result = route_with_healing(
+            self.network,
+            assignment,
+            mode=self.mode,
+            policy=self.retry_policy,
+        )
+        self.stats.frames += 1
+        self.stats.deliveries += result.verification.deliveries
+        self.stats.splits += result.total_splits
+        self.stats.switch_ops += result.switch_ops
+        self.stats.recovered_terminals += len(result.recovered)
+        if result.degraded:
+            self.stats.degraded_frames += 1
+        if result.lost:
+            self.stats.lost_frames += 1
+            self.stats.lost_terminals += len(result.lost)
+            self.stats.failures.append(
+                f"frame {self.stats.frames - 1}: lost terminals "
+                f"{list(result.lost)} after {result.attempts} attempts"
+            )
+        for i in assignment.active_inputs:
+            self.stats.fanout_histogram[len(assignment[i])] += 1
+        self._record_health(result.degraded)
+        return result
+
+    def _record_health(self, degraded: bool) -> None:
+        """Feed one frame into the health tracker; emit transitions."""
+        before = self.health.state
+        after = self.health.record(degraded)
+        self.stats.quarantines = self.health.quarantines
+        if after is before:
+            return
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            action = {
+                "quarantined": "quarantined",
+                "probation": "probation",
+                "healthy": "readmitted",
+            }[after.value]
+            obs.on_fault(
+                FaultEvent(action=action, t_ns=perf_counter_ns())
+            )
+
     def run(self, frames: Iterable[MulticastAssignment]) -> FabricStats:
         """Route a whole frame sequence; returns the session statistics."""
         for assignment in frames:
@@ -143,5 +255,14 @@ class MulticastFabric:
         return self.stats
 
     def reset(self) -> None:
-        """Clear the session statistics (the network is stateless)."""
+        """Clear the session statistics and health state (the network
+        itself is stateless)."""
         self.stats = FabricStats()
+        if self.health is not None:
+            from ..faults.health import HealthTracker  # deferred: cycle
+
+            self.health = HealthTracker(
+                fail_threshold=self.health.fail_threshold,
+                quarantine_frames=self.health.quarantine_frames,
+                probe_frames=self.health.probe_frames,
+            )

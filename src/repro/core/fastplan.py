@@ -135,6 +135,15 @@ def compile_level_gather(
 class FramePlan:
     """A compiled end-to-end routing plan for one multicast assignment.
 
+    When compiled under a :class:`~repro.faults.plan.FaultPlan`, the
+    plan also carries the fault consequences: structural perturbations
+    (stuck-crossed cells) are already folded into ``delivery_src``,
+    deterministic payload losses (dead cells) are listed in
+    ``lost_outputs``, and probabilistic losses (flaky links) are kept as
+    *exposure* — which outputs ride which flaky cell — so
+    :meth:`casualties` can sample them per routing attempt without
+    recompiling.
+
     Attributes:
         n: network size.
         delivery_src: int array — ``delivery_src[o]`` is the input index
@@ -144,48 +153,100 @@ class FramePlan:
             level first, blocks top-to-bottom within a level); the same
             multiset as the reference engine's depth-first list.
         final_switches: last-level 2x2 switches fired (= n/2).
+        lost_outputs: outputs whose payload a dead cell destroys on
+            every attempt.
+        flaky_exposure: ``(fault, port0_outputs, port1_outputs)``
+            triples — outputs riding each flaky cell's two links.
+        fault_hits: ``(fault, outputs)`` pairs of the structural faults
+            (stuck / dead) that touched this assignment's traffic.
     """
 
     n: int
     delivery_src: np.ndarray
     bsn_stats: Tuple[BsnFrameStats, ...] = ()
     final_switches: int = 0
+    lost_outputs: Tuple[int, ...] = ()
+    flaky_exposure: Tuple[Tuple[object, Tuple[int, ...], Tuple[int, ...]], ...] = ()
+    fault_hits: Tuple[Tuple[object, Tuple[int, ...]], ...] = ()
 
     @property
     def total_splits(self) -> int:
         """Total alpha splits across all BSN levels."""
         return sum(st.splits for st in self.bsn_stats)
 
-    def apply(self, payloads: Sequence) -> List:
+    @property
+    def has_faults(self) -> bool:
+        """True when the plan was compiled under a non-empty fault plan
+        that touched this assignment's traffic."""
+        return bool(self.lost_outputs or self.flaky_exposure or self.fault_hits)
+
+    def casualties(self, attempt: int = 0) -> frozenset:
+        """Outputs whose payload is lost on the given routing attempt.
+
+        Dead-cell losses are constant; flaky-link losses are sampled
+        deterministically per ``(fault, attempt)`` — the same stream the
+        reference engine draws from, so both engines silence exactly
+        the same outputs.
+        """
+        if not self.lost_outputs and not self.flaky_exposure:
+            return frozenset()
+        dropped = set(self.lost_outputs)
+        for fault, port0, port1 in self.flaky_exposure:
+            drop0, drop1 = fault.drop_mask(attempt)
+            if drop0:
+                dropped.update(port0)
+            if drop1:
+                dropped.update(port1)
+        return frozenset(dropped)
+
+    def flaky_hits(self, attempt: int = 0) -> List[Tuple[object, Tuple[int, ...]]]:
+        """The flaky faults that dropped traffic on this attempt."""
+        hits: List[Tuple[object, Tuple[int, ...]]] = []
+        for fault, port0, port1 in self.flaky_exposure:
+            drop0, drop1 = fault.drop_mask(attempt)
+            dropped = (port0 if drop0 else ()) + (port1 if drop1 else ())
+            if dropped:
+                hits.append((fault, tuple(sorted(dropped))))
+        return hits
+
+    def apply(self, payloads: Sequence, attempt: int = 0) -> List:
         """Route one payload frame; returns the per-output payloads.
 
         Args:
             payloads: length-``n`` sequence, ``payloads[i]`` being input
                 ``i``'s payload.
+            attempt: routing attempt number (selects the flaky-link
+                drops of a faulted plan; irrelevant otherwise).
 
         Returns:
             A list where entry ``o`` is the delivered payload (``None``
-            for idle outputs).
+            for idle outputs and fault casualties).
         """
         if len(payloads) != self.n:
             raise InvalidAssignmentError(
                 f"expected {self.n} payloads, got {len(payloads)}"
             )
-        return [
+        out = [
             None if s < 0 else payloads[s]
             for s in self.delivery_src.tolist()
         ]
+        if self.lost_outputs or self.flaky_exposure:
+            for o in self.casualties(attempt):
+                out[o] = None
+        return out
 
-    def apply_batch(self, payload_matrix) -> np.ndarray:
+    def apply_batch(self, payload_matrix, attempt: int = 0) -> np.ndarray:
         """Route a whole ``(batch, n)`` payload matrix in one gather.
 
         Args:
             payload_matrix: ``(batch, n)`` array-like; row ``f`` holds
                 frame ``f``'s per-input payloads.
+            attempt: routing attempt number (flaky-link sampling; the
+                whole batch shares one attempt).
 
         Returns:
             A ``(batch, n)`` object array of delivered payloads
-            (``None`` on idle outputs).
+            (``None`` on idle outputs and fault casualties).
         """
         mat = np.asarray(payload_matrix, dtype=object)
         if mat.ndim != 2 or mat.shape[1] != self.n:
@@ -194,6 +255,10 @@ class FramePlan:
             )
         out = mat[:, np.maximum(self.delivery_src, 0)]
         out[:, self.delivery_src < 0] = None
+        if self.lost_outputs or self.flaky_exposure:
+            dropped = self.casualties(attempt)
+            if dropped:
+                out[:, sorted(dropped)] = None
         return out
 
 
@@ -201,6 +266,7 @@ def compile_frame_plan(
     assignment: MulticastAssignment,
     observer=None,
     frame_id: int = -1,
+    fault_plan=None,
 ) -> FramePlan:
     """Compile the full recursive BRSMN routing of one assignment.
 
@@ -217,6 +283,14 @@ def compile_frame_plan(
             ``quasisort`` / ``gather``) plus the level's split and
             switch-operation counts.
         frame_id: frame id to tag emitted spans with.
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan` —
+            when non-empty, each fault plane is folded into the compiled
+            plan right after its recursion level: stuck-crossed cells
+            permute the tracking arrays (so ``delivery_src`` lands
+            where the broken fabric actually delivers), dead cells
+            contribute ``lost_outputs``, flaky cells contribute
+            ``flaky_exposure``.  An empty plan compiles the identical
+            healthy plan.
 
     Raises:
         RoutingInvariantError: if any level's input populations violate
@@ -225,6 +299,12 @@ def compile_frame_plan(
     n = assignment.n
     m = check_network_size(n)
     emit = observer is not None and observer.enabled
+    inject = fault_plan is not None and not fault_plan.is_empty
+    fault_state = (
+        {"lost": np.zeros(n, dtype=bool), "exposure": [], "hits": []}
+        if inject
+        else None
+    )
 
     # owner[o]: current position of the copy that will deliver output o.
     owner = np.full(n, -1, dtype=np.int64)
@@ -306,6 +386,14 @@ def compile_frame_plan(
             raise RoutingInvariantError(
                 "fast plan lost track of a delivery while compiling"
             )
+        if inject:
+            _fold_plane_faults(
+                fault_plan,
+                m - (size.bit_length() - 1) + 1,
+                owner,
+                origin,
+                fault_state,
+            )
         if emit:
             now = perf_counter_ns()
             stage_ns["gather"] = now - t_stage
@@ -325,12 +413,112 @@ def compile_frame_plan(
         size = half
 
     delivery_src = np.where(owner >= 0, origin[np.maximum(owner, 0)], -1)
+    lost_outputs: Tuple[int, ...] = ()
+    flaky_exposure: Tuple = ()
+    fault_hits: Tuple = ()
+    if inject:
+        delivery_src = _fold_delivery_faults(
+            fault_plan, m, delivery_src, fault_state
+        )
+        lost_outputs = tuple(np.nonzero(fault_state["lost"])[0].tolist())
+        flaky_exposure = tuple(fault_state["exposure"])
+        fault_hits = tuple(fault_state["hits"])
     return FramePlan(
         n=n,
         delivery_src=delivery_src,
         bsn_stats=tuple(stats),
         final_switches=n // 2,
+        lost_outputs=lost_outputs,
+        flaky_exposure=flaky_exposure,
+        fault_hits=fault_hits,
     )
+
+
+def _fold_plane_faults(fault_plan, level, owner, origin, state) -> None:
+    """Fold one inner fault plane into the compile-time tracking arrays.
+
+    Positions carry a live message copy exactly when they own at least
+    one output, so presence and affected sets are read straight off the
+    ``owner`` array — the same sets the reference injector derives from
+    the in-flight messages' destination sets.  ``owner`` / ``origin``
+    are mutated in place (a stuck-crossed cell swaps its two link
+    positions); losses and exposure accumulate in ``state``.
+    """
+    for fault in fault_plan.at_level(level):
+        p, q = fault.positions
+        port0 = np.nonzero(owner == p)[0]
+        port1 = np.nonzero(owner == q)[0]
+        if port0.size == 0 and port1.size == 0:
+            continue
+        kind = fault.kind
+        if kind == "stuck_at":
+            if fault.stuck_setting != 1:
+                continue
+            origin[[p, q]] = origin[[q, p]]
+            owner[port0] = q
+            owner[port1] = p
+            affected = tuple(sorted(port0.tolist() + port1.tolist()))
+            state["hits"].append((fault, affected))
+        elif kind == "dead_switch":
+            affected = tuple(sorted(port0.tolist() + port1.tolist()))
+            state["lost"][list(affected)] = True
+            state["hits"].append((fault, affected))
+        else:  # flaky_link: record exposure, sample per attempt later.
+            state["exposure"].append(
+                (fault, tuple(port0.tolist()), tuple(port1.tolist()))
+            )
+
+
+def _fold_delivery_faults(fault_plan, m, delivery_src, state) -> np.ndarray:
+    """Fold plane ``m`` (the output links) into a finished plan.
+
+    Stuck-crossed delivery cells permute the delivered contents, so
+    everything recorded at inner planes — lost outputs, flaky exposure —
+    is remapped through the same (involutive) permutation; dead and
+    flaky delivery cells then act on the final output addresses.
+    """
+    faults = fault_plan.at_level(m)
+    if not faults:
+        return delivery_src
+    n = delivery_src.shape[0]
+    dperm = np.arange(n, dtype=np.int64)
+    for fault in faults:
+        if fault.kind == "stuck_at" and fault.stuck_setting == 1:
+            p, q = fault.positions
+            if delivery_src[p] < 0 and delivery_src[q] < 0:
+                continue
+            dperm[[p, q]] = dperm[[q, p]]
+            affected = tuple(
+                pos for pos in (p, q) if delivery_src[pos] >= 0
+            )
+            state["hits"].append((fault, affected))
+    delivery_src = delivery_src[dperm]
+    state["lost"] = state["lost"][dperm]
+    # A cell only swaps within its own pair, so dperm[o] is both where
+    # output o's content went and where o's new content came from.
+    state["exposure"] = [
+        (
+            f,
+            tuple(int(dperm[o]) for o in port0),
+            tuple(int(dperm[o]) for o in port1),
+        )
+        for f, port0, port1 in state["exposure"]
+    ]
+    for fault in faults:
+        p, q = fault.positions
+        if fault.kind == "dead_switch":
+            affected = tuple(
+                pos for pos in (p, q) if delivery_src[pos] >= 0
+            )
+            if affected:
+                state["lost"][list(affected)] = True
+                state["hits"].append((fault, affected))
+        elif fault.kind == "flaky_link":
+            port0 = (p,) if delivery_src[p] >= 0 else ()
+            port1 = (q,) if delivery_src[q] >= 0 else ()
+            if port0 or port1:
+                state["exposure"].append((fault, port0, port1))
+    return delivery_src
 
 
 def owner_positions_active(assignment: MulticastAssignment, n: int) -> np.ndarray:
@@ -398,14 +586,25 @@ class PlanCache:
         self,
         assignment: MulticastAssignment,
         compile_fn: Callable[[MulticastAssignment], FramePlan] = compile_frame_plan,
+        extra_key: str = "",
     ) -> Tuple[FramePlan, bool]:
         """Fetch (or compile and memoise) the plan for an assignment.
+
+        Args:
+            assignment: the assignment to look up.
+            compile_fn: compiler invoked on a miss.
+            extra_key: optional key suffix for compilers whose output
+                depends on more than the assignment (e.g. a fault-plan
+                fingerprint) — keeps such plans from colliding with the
+                healthy ones.
 
         Returns:
             ``(plan, hit)`` — ``hit`` is True when the plan came from
             the cache.
         """
         key = assignment_fingerprint(assignment)
+        if extra_key:
+            key = f"{key}@{extra_key}"
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1

@@ -27,7 +27,12 @@ from .feedback import FeedbackBRSMN
 from .multicast import MulticastAssignment
 from .verification import VerificationReport, verify_result
 
-__all__ = ["build_network", "route_multicast", "route_and_report"]
+__all__ = [
+    "build_network",
+    "route_multicast",
+    "route_resilient",
+    "route_and_report",
+]
 
 AssignmentLike = Union[MulticastAssignment, Sequence, Mapping[int, Sequence[int]]]
 
@@ -122,6 +127,54 @@ def route_multicast(
             "routing verification failed: " + "; ".join(report.violations)
         )
     return result
+
+
+def route_resilient(
+    n,
+    assignment: AssignmentLike,
+    *,
+    mode: str = "selfrouting",
+    payloads: Optional[Sequence] = None,
+    policy=None,
+):
+    """Route with self-healing: detect, retry, reroute, degrade.
+
+    The resilient counterpart of :func:`route_multicast` for networks
+    carrying a :class:`~repro.faults.plan.FaultPlan` (via
+    ``NetworkConfig(n, fault_plan=...)``): instead of raising on a
+    verification violation, failed terminals are re-routed through
+    repair passes bounded by the
+    :class:`~repro.faults.healing.RetryPolicy`, and the caller receives
+    a :class:`~repro.faults.healing.DegradedResult` naming every
+    terminal's outcome.  On a healthy network this is one ordinary
+    verified pass.
+
+    Args:
+        n: a :class:`~repro.core.config.NetworkConfig` or a bare
+            network size.
+        assignment: a :class:`MulticastAssignment`, a list of
+            destination iterables, or a sparse ``{input: destinations}``
+            mapping.
+        mode: ``"selfrouting"`` (default) or ``"oracle"``.
+        payloads: optional per-input payloads (repair passes re-send
+            the same payloads).
+        policy: optional :class:`~repro.faults.healing.RetryPolicy`.
+
+    Returns:
+        A :class:`~repro.faults.healing.DegradedResult`; its ``ok``
+        property is True when every terminal was delivered (possibly
+        after healing).
+    """
+    from ..faults.healing import route_with_healing  # deferred: cycle
+
+    cfg = _resolve_config(
+        n, caller="route_resilient", hint="route_resilient(NetworkConfig(n, ...))"
+    )
+    net = build_network(cfg)
+    asg = _coerce_assignment(cfg.n, assignment)
+    return route_with_healing(
+        net, asg, mode=mode, payloads=payloads, policy=policy
+    )
 
 
 def route_and_report(

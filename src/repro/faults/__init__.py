@@ -1,0 +1,52 @@
+"""Fault injection and self-healing for the multicast routing stack.
+
+This subpackage makes switch misbehaviour a first-class, deterministic
+citizen of the reproduction:
+
+* :mod:`~repro.faults.plan` — the fault model: seedable
+  :class:`FaultPlan` / :class:`Fault` descriptions of stuck-at, dead
+  and flaky 2x2 cells on well-defined fault planes;
+* :mod:`~repro.faults.injector` — the reference-engine applier
+  (:class:`FaultInjector`), mutating in-flight message frames (the fast
+  engine compiles the same plan into its gather arrays instead);
+* :mod:`~repro.faults.healing` — detection via delivery verification,
+  bounded retries with exponential backoff
+  (:class:`RetryPolicy`), terminal-subset rerouting, and the
+  :class:`DegradedResult` per-terminal outcome report;
+* :mod:`~repro.faults.health` — the session-level quarantine / drain /
+  probe / re-admit state machine (:class:`HealthTracker`).
+
+Attach a plan through :class:`~repro.core.config.NetworkConfig`::
+
+    from repro import NetworkConfig, route_resilient
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.single_switch(16, seed=7)
+    result = route_resilient(
+        NetworkConfig(16, fault_plan=plan), {0: [3, 9], 5: [12]}
+    )
+    print(result.delivered, result.recovered, result.lost)
+
+The full model — taxonomy, plane geometry, healing state machine and
+degraded-mode guarantees — is documented in ``docs/fault_model.md``.
+"""
+
+from .health import HealthTracker, PlaneState
+from .healing import DegradedResult, RetryPolicy, TerminalOutcome, route_with_healing
+from .injector import PAYLOAD_LOST, FaultHit, FaultInjector
+from .plan import Fault, FaultKind, FaultPlan
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultHit",
+    "FaultInjector",
+    "PAYLOAD_LOST",
+    "RetryPolicy",
+    "TerminalOutcome",
+    "DegradedResult",
+    "route_with_healing",
+    "PlaneState",
+    "HealthTracker",
+]

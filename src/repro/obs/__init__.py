@@ -34,6 +34,7 @@ Quick start::
 from .events import (
     CacheEvent,
     CompositeObserver,
+    FaultEvent,
     FrameDone,
     FrameStart,
     LevelSpan,
@@ -44,11 +45,13 @@ from .events import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, log2_buckets
 from .metrics_observer import MetricsObserver
 from .prometheus import parse_prometheus_text, render_prometheus_text
+from .reference import metrics_reference_markdown
 from .tracing import FrameTimeline, TracingObserver
 
 __all__ = [
     "CacheEvent",
     "CompositeObserver",
+    "FaultEvent",
     "FrameDone",
     "FrameStart",
     "LevelSpan",
@@ -61,6 +64,7 @@ __all__ = [
     "MetricsRegistry",
     "log2_buckets",
     "MetricsObserver",
+    "metrics_reference_markdown",
     "parse_prometheus_text",
     "render_prometheus_text",
     "FrameTimeline",

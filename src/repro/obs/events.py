@@ -15,7 +15,11 @@ an attached :class:`Observer`:
   or evicted a compiled plan;
 
 plus :class:`QueueDepth` samples from the
-:class:`~repro.core.arrivals.QueueingSimulator` slot loop.
+:class:`~repro.core.arrivals.QueueingSimulator` slot loop and
+:class:`FaultEvent` notifications from the fault-injection / healing
+layer (:mod:`repro.faults`): injections that touched traffic, detected
+casualties, retries, recoveries, losses and plane quarantine
+transitions.
 
 Observation is strictly pay-for-what-you-use: every emission site is
 gated on ``observer is not None and observer.enabled``, so routing with
@@ -36,6 +40,7 @@ __all__ = [
     "FrameDone",
     "CacheEvent",
     "QueueDepth",
+    "FaultEvent",
     "Observer",
     "NullSink",
     "CompositeObserver",
@@ -159,6 +164,37 @@ class QueueDepth:
     served: int = 0
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """Something happened on the fault-injection / self-healing path.
+
+    Attributes:
+        action: ``"injected"`` (a fault touched traffic),
+            ``"detected"`` (verification found casualties),
+            ``"retry"`` (a repair pass started), ``"recovered"``
+            (terminals healed), ``"lost"`` (terminals abandoned), or a
+            plane transition — ``"quarantined"`` / ``"probation"`` /
+            ``"readmitted"``.
+        kind: fault kind for ``"injected"`` events (empty otherwise).
+        level: fault plane for ``"injected"`` events (0 otherwise).
+        index: faulty cell index for ``"injected"`` events (-1
+            otherwise).
+        frame_id: frame involved, when known.
+        attempt: routing attempt number the event belongs to.
+        terminals: affected terminal outputs.
+        t_ns: ``perf_counter_ns`` timestamp of the emission.
+    """
+
+    action: str
+    kind: str = ""
+    level: int = 0
+    index: int = -1
+    frame_id: int = -1
+    attempt: int = 0
+    terminals: Tuple[int, ...] = ()
+    t_ns: int = 0
+
+
 class Observer:
     """Base observer: every hook is a no-op; subclass what you need.
 
@@ -184,6 +220,9 @@ class Observer:
 
     def on_queue_depth(self, event: QueueDepth) -> None:
         """The queueing simulator finished a slot."""
+
+    def on_fault(self, event: FaultEvent) -> None:
+        """The fault-injection / healing layer reported an event."""
 
 
 class NullSink(Observer):
@@ -232,3 +271,7 @@ class CompositeObserver(Observer):
     def on_queue_depth(self, event: QueueDepth) -> None:
         for o in self.observers:
             o.on_queue_depth(event)
+
+    def on_fault(self, event: FaultEvent) -> None:
+        for o in self.observers:
+            o.on_fault(event)

@@ -21,6 +21,13 @@ metric                                  type       source event
 ``repro_plan_cache_size``               gauge      CacheEvent.size
 ``repro_queue_depth``                   gauge      QueueDepth.depth
 ``repro_queue_served_total``            counter    QueueDepth.served
+``repro_faults_injected_total{kind}``   counter    FaultEvent "injected"
+``repro_faults_detected_total``         counter    FaultEvent "detected"
+``repro_faults_retries_total``          counter    FaultEvent "retry"
+``repro_faults_recovered_terminals_total``  counter  FaultEvent "recovered"
+``repro_faults_lost_terminals_total``   counter    FaultEvent "lost"
+``repro_faults_quarantines_total``      counter    FaultEvent "quarantined"
+``repro_faults_plane_state``            gauge      FaultEvent transitions
 ======================================  =========  ==========================
 
 Latency histograms use power-of-two nanosecond buckets
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 from .events import (
     CacheEvent,
+    FaultEvent,
     FrameDone,
     FrameStart,
     LevelSpan,
@@ -110,6 +118,35 @@ class MetricsObserver(Observer):
         self._queue_served = r.counter(
             "repro_queue_served_total", "Requests served by the queueing simulator."
         )
+        self._faults_injected = r.counter(
+            "repro_faults_injected_total",
+            "Fault activations that touched in-flight traffic, by kind.",
+            ("kind",),
+        )
+        self._faults_detected = r.counter(
+            "repro_faults_detected_total",
+            "Routing passes whose verification found fault casualties.",
+        )
+        self._faults_retries = r.counter(
+            "repro_faults_retries_total",
+            "Repair passes started by the healing layer.",
+        )
+        self._faults_recovered = r.counter(
+            "repro_faults_recovered_terminals_total",
+            "Terminals healed by a repair pass.",
+        )
+        self._faults_lost = r.counter(
+            "repro_faults_lost_terminals_total",
+            "Terminals abandoned after the retry budget ran out.",
+        )
+        self._faults_quarantines = r.counter(
+            "repro_faults_quarantines_total",
+            "Times the primary plane entered quarantine.",
+        )
+        self._plane_state = r.gauge(
+            "repro_faults_plane_state",
+            "Primary plane state (0 healthy, 1 probation, 2 quarantined).",
+        )
 
     def on_frame_start(self, event: FrameStart) -> None:
         """Observe the assignment's fanout; remember the frame labels.
@@ -148,5 +185,26 @@ class MetricsObserver(Observer):
         self._queue_depth.set(event.depth)
         self._queue_served.inc(event.served)
 
+    def on_fault(self, event: FaultEvent) -> None:
+        """Fold a fault-path event into the ``repro_faults_*`` families."""
+        action = event.action
+        if action == "injected":
+            self._faults_injected.inc(1, kind=event.kind)
+        elif action == "detected":
+            self._faults_detected.inc(1)
+        elif action == "retry":
+            self._faults_retries.inc(1)
+        elif action == "recovered":
+            self._faults_recovered.inc(len(event.terminals))
+        elif action == "lost":
+            self._faults_lost.inc(len(event.terminals))
+        elif action in _PLANE_STATES:
+            if action == "quarantined":
+                self._faults_quarantines.inc(1)
+            self._plane_state.set(_PLANE_STATES[action])
+
     _engine = "unknown"
     _mode = "unknown"
+
+
+_PLANE_STATES = {"readmitted": 0, "probation": 1, "quarantined": 2}

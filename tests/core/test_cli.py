@@ -94,6 +94,65 @@ class TestReportCommand:
         assert "ALL CLAIMS REPRODUCED" in out
 
 
+class TestChaosCommand:
+    def test_campaign_output(self, capsys):
+        rc = main(
+            ["chaos", "--n", "16", "--frames", "40",
+             "--faults", "2", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign: n=16 frames=40 faults=2 seed=3" in out
+        assert "fault plan:" in out
+        # The seeded plan is deterministic, so the table rows are too.
+        assert "dead_switch" in out and "flaky_link" in out
+        assert "frames: 40 routed" in out
+        assert "terminals:" in out and "lost" in out
+        assert "plane:" in out and "quarantines" in out
+
+    def test_deterministic_across_runs(self, capsys):
+        args = ["chaos", "--n", "8", "--frames", "10",
+                "--faults", "1", "--seed", "1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_metrics_export(self, tmp_path, capsys):
+        out_path = tmp_path / "sub" / "metrics.json"  # parent not created
+        rc = main(
+            ["chaos", "--n", "8", "--frames", "5", "--faults", "1",
+             "--seed", "1", "--metrics-out", str(out_path)]
+        )
+        assert rc == 0
+        assert f"metrics JSON written to {out_path}" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        names = {m["name"] for m in doc["metrics"]}
+        assert "repro_faults_injected_total" in names
+        assert "repro_faults_recovered_terminals_total" in names
+
+
+class TestMetricsOutPaths:
+    def test_stats_creates_parent_directories(self, tmp_path, capsys):
+        out_path = tmp_path / "a" / "b" / "metrics.json"
+        rc = main(
+            ["stats", "--n", "8", "--frames", "3",
+             "--metrics-out", str(out_path)]
+        )
+        assert rc == 0
+        assert json.loads(out_path.read_text())["metrics"]
+
+    def test_stats_unwritable_path_is_a_clean_error(self, capsys):
+        rc = main(
+            ["stats", "--n", "8", "--frames", "3",
+             "--metrics-out", "/dev/null/nope/metrics.json"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("cannot write /dev/null/nope/metrics.json")
+        assert "Traceback" not in err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,89 @@
+"""Acceptance property: heal fully, or degrade honestly.
+
+For every seeded single-switch fault plan and random assignment, the
+resilient route must either deliver every terminal (possibly after
+reroute) or return a :class:`DegradedResult` naming *exactly* the
+terminals that remained unreachable — verified independently against
+the returned outputs, not the result's own bookkeeping.
+"""
+
+import random
+
+import pytest
+
+from repro.core import NetworkConfig, route_resilient
+from repro.core.verification import verify_delivery
+from repro.faults import FaultPlan
+
+from conftest import make_random_assignment
+
+SEEDS_PER_SIZE = 20
+
+
+def _check_result(assignment, result):
+    inverse = assignment.inverse_map()
+    terminals = set(inverse)
+
+    # Outcomes name every terminal exactly once, partitioned by status.
+    assert set(result.outcomes) == terminals
+    delivered, recovered, lost = (
+        set(result.delivered), set(result.recovered), set(result.lost)
+    )
+    assert delivered | recovered | lost == terminals
+    assert len(delivered) + len(recovered) + len(lost) == len(terminals)
+
+    # Independent ground truth from the outputs the caller receives:
+    # the lost set is exactly the terminals without a correct delivery.
+    actually_failed = {
+        o
+        for o in terminals
+        if result.outputs[o] is None or result.outputs[o].source != inverse[o]
+    }
+    assert lost == actually_failed
+
+    # Nothing spurious outside the assignment's terminals.
+    for o in range(assignment.n):
+        if o not in terminals:
+            assert result.outputs[o] is None
+
+    # The attached verification report agrees with the honest loss.
+    report = verify_delivery(assignment, result.outputs)
+    assert report.ok == result.ok
+    assert result.verification.violations == report.violations
+
+    if result.ok:
+        assert not lost and result.verification.ok
+    else:
+        assert lost and result.degraded
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_single_switch_chaos_property(n, engine):
+    for seed in range(SEEDS_PER_SIZE):
+        plan = FaultPlan.single_switch(n, seed=seed)
+        assignment = make_random_assignment(n, random.Random(7000 + seed))
+        cfg = NetworkConfig(n, engine=engine, fault_plan=plan)
+        result = route_resilient(cfg, assignment)
+        _check_result(assignment, result)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_multi_fault_chaos_property(n):
+    """Same guarantee under plans with several simultaneous faults."""
+    for seed in range(10):
+        plan = FaultPlan.random(n, faults=3, seed=seed)
+        assignment = make_random_assignment(n, random.Random(8000 + seed))
+        cfg = NetworkConfig(n, engine="fast", fault_plan=plan)
+        result = route_resilient(cfg, assignment)
+        _check_result(assignment, result)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_empty_plan_never_degrades(n):
+    for seed in range(5):
+        assignment = make_random_assignment(n, random.Random(seed))
+        cfg = NetworkConfig(n, engine="fast", fault_plan=FaultPlan.empty(n))
+        result = route_resilient(cfg, assignment)
+        assert result.ok and not result.degraded and result.attempts == 1
+        _check_result(assignment, result)

@@ -13,7 +13,10 @@ STABLE_API = [
     "BRSMN",
     "BinarySplittingNetwork",
     "CompositeObserver",
+    "DegradedResult",
     "FabricStats",
+    "FaultKind",
+    "FaultPlan",
     "FeedbackBRSMN",
     "Message",
     "MetricsObserver",
@@ -24,6 +27,7 @@ STABLE_API = [
     "NullSink",
     "Observer",
     "QueueingSimulator",
+    "RetryPolicy",
     "RoutingResult",
     "Tag",
     "TagTree",
@@ -32,6 +36,7 @@ STABLE_API = [
     "paper_example_assignment",
     "route_and_report",
     "route_multicast",
+    "route_resilient",
     "verify_result",
     "__version__",
 ]
@@ -72,6 +77,7 @@ class TestTopLevel:
     [
         "repro.core",
         "repro.obs",
+        "repro.faults",
         "repro.rbn",
         "repro.hardware",
         "repro.baselines",
@@ -99,9 +105,9 @@ class TestDocstringCoverage:
         """Deliverable (e): doc comments on every public item."""
         undocumented = []
         for module_name in (
-            "repro.core", "repro.obs", "repro.rbn", "repro.hardware",
-            "repro.baselines", "repro.workloads", "repro.analysis",
-            "repro.viz",
+            "repro.core", "repro.obs", "repro.faults", "repro.rbn",
+            "repro.hardware", "repro.baselines", "repro.workloads",
+            "repro.analysis", "repro.viz",
         ):
             mod = importlib.import_module(module_name)
             for name in mod.__all__:
