@@ -7,8 +7,11 @@ BRSMN frames, plus the underlying kernels, and regenerates:
 * ``benchmarks/out/fast_engine.txt`` — the human-readable speedup
   table;
 * ``BENCH_fast_engine.json`` at the repo root — machine-readable
-  (n, reference ms, fast ms, batch throughput) so future PRs can track
-  the perf trajectory.
+  (n, reference ms, fast ms, batch throughput, plus a ``parallel``
+  section: warm/cold frames/s at 1/2/4 workers with p50/p95, the
+  host's cpu_count, and a cold-cache single-flight demonstration) so
+  future PRs can track the perf trajectory
+  (``scripts/check_bench_regression.py`` gates on it in CI).
 
 All timings are min-of-k with a warmup iteration: the *minimum* over k
 repeats is the standard low-noise estimator for CPU-bound code (any
@@ -19,8 +22,11 @@ steady state (plan compile cost is reported separately).
 """
 
 import json
+import math
+import os
 import pathlib
 import random
+import threading
 import time
 
 import numpy as np
@@ -54,6 +60,28 @@ def min_of_k(fn, *, k=5, warmup=1):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def timing_stats(fn, *, k=7, warmup=1):
+    """Min / p50 / p95 wall-clock seconds of ``fn()`` over ``k`` repeats.
+
+    Min is the low-noise steady-state estimator; the percentiles make
+    jitter visible — for the parallel engine that jitter *is* the
+    signal (compile stalls, pool scheduling), so the bench reports both.
+    """
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return {
+        "min_s": samples[0],
+        "p50_s": samples[len(samples) // 2],
+        "p95_s": samples[max(0, math.ceil(0.95 * len(samples)) - 1)],
+    }
 
 
 def _binary_tags(n, seed):
@@ -157,6 +185,87 @@ def test_end_to_end_speedup(write_artifact, benchmark):
         "empty_plan_overhead": round(fault_overhead, 4),
     }
 
+    # -- parallel engine: sharded batch routing at 1/2/4 workers.  The
+    # payload matrix is *numeric* (int64): np.take on non-object dtypes
+    # releases the GIL, so worker threads genuinely overlap on multicore
+    # hosts.  Cold-cache timings clear the plan cache every repeat (the
+    # compile dominates); warm timings measure routing alone.  p50/p95
+    # ride along so compile-jitter stays visible next to min-of-k.
+    # Thread scaling is hardware-bound, so the measured numbers plus
+    # cpu_count are recorded honestly and the >= 2x acceptance assert
+    # only fires where 4 workers have 4 cores to run on.
+    pn, pframes = 1024, 64
+    pa = random_multicast(pn, load=1.0, seed=pn)
+    pmat = np.arange(pframes * pn, dtype=np.int64).reshape(pframes, pn)
+    parallel = {
+        "n": pn,
+        "frames": pframes,
+        "cpu_count": os.cpu_count(),
+        "workers": [],
+    }
+    warm_fps = {}
+    for workers in (1, 2, 4):
+        net = BRSMN(NetworkConfig(pn, engine="fast", workers=workers))
+        warm = timing_stats(lambda: net.route_batch(pa, pmat), k=7, warmup=2)
+
+        def cold():
+            net.plan_cache.clear()
+            net.route_batch(pa, pmat)
+
+        cold_t = timing_stats(cold, k=5, warmup=1)
+        net.close()
+        warm_fps[workers] = pframes / max(warm["min_s"], 1e-9)
+        parallel["workers"].append(
+            {
+                "workers": workers,
+                "warm_batch_ms": round(warm["min_s"] * 1e3, 4),
+                "warm_p50_ms": round(warm["p50_s"] * 1e3, 4),
+                "warm_p95_ms": round(warm["p95_s"] * 1e3, 4),
+                "warm_frames_per_s": round(warm_fps[workers], 1),
+                "cold_batch_ms": round(cold_t["min_s"] * 1e3, 4),
+                "cold_p50_ms": round(cold_t["p50_s"] * 1e3, 4),
+                "cold_p95_ms": round(cold_t["p95_s"] * 1e3, 4),
+                "cold_frames_per_s": round(
+                    pframes / max(cold_t["min_s"], 1e-9), 1
+                ),
+            }
+        )
+    parallel["speedup_4w_vs_1w"] = round(warm_fps[4] / warm_fps[1], 2)
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel["speedup_4w_vs_1w"] >= 2.0, (
+            f"4-worker batch routing only {parallel['speedup_4w_vs_1w']}x "
+            "vs 1 worker (need >= 2x on a >= 4-core host)"
+        )
+
+    # -- cold-cache single-flight: 4 threads hit one cold assignment;
+    # the duplicate concurrent misses must coalesce onto one compile.
+    from repro.parallel import ConcurrentPlanCache
+
+    sf_cache = ConcurrentPlanCache(maxsize=8)
+    compiles = []
+
+    def counting_compile(asg):
+        compiles.append(1)
+        return compile_frame_plan(asg)
+
+    sf_threads = [
+        threading.Thread(target=lambda: sf_cache.get(pa, counting_compile))
+        for _ in range(4)
+    ]
+    for t in sf_threads:
+        t.start()
+    for t in sf_threads:
+        t.join()
+    parallel["cold_single_flight"] = {
+        "threads": 4,
+        "compiles": len(compiles),
+        "misses": sf_cache.misses,
+        "coalesced": sf_cache.coalesced,
+    }
+    assert len(compiles) == 1, "single-flight must compile exactly once"
+    assert sf_cache.misses + sf_cache.coalesced + sf_cache.hits == 4
+    results["parallel"] = parallel
+
     write_artifact(
         "fast_engine",
         "Compiled gather-plan engine vs reference per-switch simulation\n"
@@ -179,6 +288,36 @@ def test_end_to_end_speedup(write_artifact, benchmark):
             x=results["batch"]["batch_speedup"],
             o=results["observer"]["nullsink_overhead"],
             e=results["faults"]["empty_plan_overhead"],
+        )
+        + "\n\nParallel engine (n = {n}, {f} int64 frames/batch, "
+          "{c} CPU core(s) visible):\n".format(
+            n=pn, f=pframes, c=parallel["cpu_count"]
+        )
+        + format_table(
+            ["workers", "warm ms (min/p50/p95)", "warm frames/s",
+             "cold ms (min/p50/p95)", "cold frames/s"],
+            [
+                [
+                    w["workers"],
+                    "{0:.2f}/{1:.2f}/{2:.2f}".format(
+                        w["warm_batch_ms"], w["warm_p50_ms"], w["warm_p95_ms"]
+                    ),
+                    f"{w['warm_frames_per_s']:.0f}",
+                    "{0:.2f}/{1:.2f}/{2:.2f}".format(
+                        w["cold_batch_ms"], w["cold_p50_ms"], w["cold_p95_ms"]
+                    ),
+                    f"{w['cold_frames_per_s']:.0f}",
+                ]
+                for w in parallel["workers"]
+            ],
+        )
+        + "\n  4-worker vs 1-worker warm speedup: {s:.2f}x\n"
+          "  cold single-flight: {th} threads -> {cp} compile(s), "
+          "{co} coalesced".format(
+            s=parallel["speedup_4w_vs_1w"],
+            th=parallel["cold_single_flight"]["threads"],
+            cp=parallel["cold_single_flight"]["compiles"],
+            co=parallel["cold_single_flight"]["coalesced"],
         ),
     )
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI bench-regression gate: single-worker batch throughput vs committed JSON.
+
+Re-measures the one number least forgivable to regress — warm
+single-worker ``route_batch`` frames/s at the parallel bench's shape
+(``n = 1024``, 64-frame batches, numeric payloads) — and fails if it
+drops more than ``--threshold`` (default 20 %) below the value recorded
+in the committed ``BENCH_fast_engine.json``.
+
+Only the single-worker number is gated: multi-worker scaling is
+hardware-bound (the committed JSON records ``cpu_count`` next to its
+numbers), so comparing it across machines would gate on the runner's
+core count, not on the code.  Warm min-of-k is used for the same
+reason the bench uses it — it is the low-noise steady-state estimator,
+insensitive to one-off scheduler stalls that p50/p95 exist to surface.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py
+
+Exit status: 0 when within threshold, 1 on regression, 2 when the
+committed JSON is missing or lacks the parallel section (regenerate it
+with ``pytest benchmarks/bench_fast_engine.py::test_end_to_end_speedup``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.brsmn import BRSMN
+from repro.core.config import NetworkConfig
+from repro.workloads.random_assignments import random_multicast
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def committed_frames_per_s(path: pathlib.Path) -> float:
+    """The committed warm single-worker frames/s, or exit 2 if absent."""
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"bench regression: {path} not found", file=sys.stderr)
+        sys.exit(2)
+    rows = data.get("parallel", {}).get("workers", [])
+    for row in rows:
+        if row.get("workers") == 1:
+            return float(row["warm_frames_per_s"])
+    print(f"bench regression: no workers=1 row in {path}", file=sys.stderr)
+    sys.exit(2)
+
+
+def measure_frames_per_s(k: int = 7, warmup: int = 2) -> float:
+    """Warm min-of-k frames/s, same shape as the bench's parallel section."""
+    n, frames = 1024, 64
+    assignment = random_multicast(n, load=1.0, seed=n)
+    matrix = np.arange(frames * n, dtype=np.int64).reshape(frames, n)
+    net = BRSMN(NetworkConfig(n, engine="fast", workers=1))
+    try:
+        for _ in range(warmup):
+            net.route_batch(assignment, matrix)
+        best = min(
+            _timed(net.route_batch, assignment, matrix) for _ in range(k)
+        )
+    finally:
+        net.close()
+    return frames / max(best, 1e-9)
+
+
+def _timed(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=REPO / "BENCH_fast_engine.json",
+        help="committed bench artifact to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    committed = committed_frames_per_s(args.json)
+    measured = measure_frames_per_s()
+    floor = committed * (1.0 - args.threshold)
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"single-worker batch throughput: measured {measured:,.0f} frames/s "
+        f"vs committed {committed:,.0f} (floor {floor:,.0f} at "
+        f"-{args.threshold:.0%}) -> {verdict}"
+    )
+    return 0 if measured >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro route --n 8 --assign '{"0":[0,1],"2":[3,4,7],"3":[2],"7":[5,6]}'
     python -m repro route --n 8 --example --trace
     python -m repro stats --n 64 --frames 200 --engine fast --metrics-out metrics.json
+    python -m repro stats --n 256 --frames 500 --workers 4 --compile-ahead 2
     python -m repro chaos --n 32 --frames 100 --faults 2 --seed 7
     python -m repro tags --n 8 --dests 3,4,7
     python -m repro structure --n 64
@@ -149,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("selfrouting", "oracle"), default="selfrouting"
     )
     p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker-pool size for the fast engine (1 = single-threaded)",
+    )
+    p_stats.add_argument(
+        "--compile-ahead",
+        type=int,
+        default=0,
+        help="compile-ahead prefetch depth (0 = off); the session run "
+        "loop then warms upcoming frames' plans on the worker pool",
+    )
     p_stats.add_argument(
         "--metrics-out",
         type=str,
@@ -321,15 +335,26 @@ def _cmd_stats(args) -> int:
     from .core.fabric import MulticastFabric
     from .obs import CompositeObserver, MetricsObserver, TracingObserver
 
+    if (args.workers > 1 or args.compile_ahead > 0) and args.engine != "fast":
+        print(
+            "--workers/--compile-ahead require --engine fast",
+            file=sys.stderr,
+        )
+        return 2
     metrics = MetricsObserver()
     tracing = TracingObserver()
     cfg = NetworkConfig(
         args.n,
         engine=args.engine,
+        workers=args.workers,
+        compile_ahead=args.compile_ahead,
         observer=CompositeObserver(metrics, tracing),
     )
     fabric = MulticastFabric(cfg, mode=args.mode)
-    stats = fabric.run(_stats_frames(args))
+    try:
+        stats = fabric.run(_stats_frames(args))
+    finally:
+        fabric.close()
 
     print(f"session: n={args.n} engine={args.engine} workload={args.workload}")
     print(
@@ -345,6 +370,19 @@ def _cmd_stats(args) -> int:
             f"{stats.plan_cache_misses} misses "
             f"({stats.plan_cache_hit_rate:.0%} hit rate)"
         )
+    if args.workers > 1 or args.compile_ahead > 0:
+        cache = fabric.network.plan_cache
+        pipeline = fabric.network.pipeline
+        line = (
+            f"parallel: {args.workers} workers, "
+            f"{getattr(cache, 'coalesced', 0)} coalesced compiles"
+        )
+        if pipeline is not None:
+            line += (
+                f", {pipeline.prefetches} prefetches "
+                f"({pipeline.drops} dropped at depth {args.compile_ahead})"
+            )
+        print(line)
     if not args.no_profile:
         rows = _profile_rows(tracing)
         if rows:

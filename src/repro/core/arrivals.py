@@ -237,6 +237,7 @@ class QueueingSimulator:
         report = QueueingReport(n=self.n)
         obs = self.observer
         emit = obs is not None and obs.enabled
+        prefetch = getattr(self.network, "compile_ahead", 0) > 0
         pending = sorted(arrivals, key=lambda a: a.slot)
         backlog: List[Arrival] = []
         # Requeue budget per in-backlog arrival object; entries are
@@ -288,10 +289,48 @@ class QueueingSimulator:
                 obs.on_queue_depth(
                     QueueDepth(slot=slot, depth=len(backlog), served=served_now)
                 )
+            if prefetch:
+                self._prefetch_next_slot(backlog, pending, idx, slot + 1)
             slot += 1
             report.backlog_per_slot.append(len(backlog))
         report.slots_run = slot
         return report
+
+    def _prefetch_next_slot(
+        self,
+        backlog: List[Arrival],
+        pending: List[Arrival],
+        idx: int,
+        next_slot: int,
+    ) -> None:
+        """Warm the plan cache for the frame the *next* slot will route.
+
+        Packing is a deterministic function of the backlog and the
+        arrivals admitted by then, so replaying it on a scratch list
+        predicts the next frame exactly; its plan then compiles on the
+        worker pool while this thread packs, verifies and accounts.
+        The speculative pack is paid only on parallel configurations
+        (``compile_ahead > 0``).
+        """
+        lookahead = list(backlog)
+        while idx < len(pending) and pending[idx].slot <= next_slot:
+            lookahead.append(pending[idx])
+            idx += 1
+        chosen = self._pack_frame(lookahead)
+        if not chosen:
+            return
+        dests: List[Optional[List[int]]] = [None] * self.n
+        for i in chosen:
+            r = lookahead[i].request
+            dests[r.source] = sorted(r.destinations)
+        self.network.prefetch(MulticastAssignment(self.n, dests))
+
+    def close(self) -> None:
+        """Release parallel-engine resources (worker threads); no-op on
+        non-parallel configurations."""
+        close = getattr(self.network, "close", None)
+        if close is not None:
+            close()
 
     def _serve_healed(
         self, frame, payloads, backlog, chosen, slot, report, requeue_counts

@@ -256,9 +256,11 @@ class BatchRoutingResult:
     Attributes:
         assignment: the shared multicast assignment.
         frames: number of payload frames routed.
-        payloads: ``(frames, n)`` object array; ``payloads[f, o]`` is
-            the payload delivered to output ``o`` in frame ``f``
-            (``None`` on idle outputs).
+        payloads: ``(frames, n)`` array; ``payloads[f, o]`` is the
+            payload delivered to output ``o`` in frame ``f``.  The
+            dtype follows the input: numeric ndarrays stay numeric
+            (idle outputs deliver 0), everything else is an object
+            array with ``None`` on idle outputs.
         delivery_src: length-``n`` int array; ``delivery_src[o]`` is the
             input delivering to output ``o`` (-1 = idle), identical for
             every frame.
@@ -322,9 +324,12 @@ class BRSMN:
             unrolled), or a bare network size (power of two, >= 2).
         engine: deprecated — set it on the config instead.
         plan_cache: fast engine only — a
-            :class:`~repro.core.fastplan.PlanCache` to share across
-            networks (default: a private cache sized by the config's
-            ``plan_cache_size``, wired to the config's observer).
+            :class:`~repro.core.fastplan.PlanCache` (or thread-safe
+            :class:`~repro.parallel.plan_cache.ConcurrentPlanCache`) to
+            share across networks (default: a private cache sized by
+            the config's ``plan_cache_size``, wired to the config's
+            observer; concurrent when the config enables workers or
+            compile-ahead).
         observer: optional :class:`~repro.obs.events.Observer`
             (overrides the config's).
     """
@@ -359,14 +364,68 @@ class BRSMN:
         else:
             self.fault_plan = None
             self._injector = None
+        self.workers = cfg.workers
+        self.compile_ahead = cfg.compile_ahead
+        self.pool = None
+        self.pipeline = None
+        self._sharded = None
+        parallel = cfg.engine == "fast" and (
+            cfg.workers > 1 or cfg.compile_ahead > 0
+        )
         if cfg.engine == "fast" or plan_cache is not None:
-            from .fastplan import PlanCache  # deferred: avoids an import cycle
+            if parallel:
+                # Deferred: repro.parallel imports core.fastplan.
+                from ..parallel import (
+                    CompileAheadPipeline,
+                    ConcurrentPlanCache,
+                    ShardedBatchRouter,
+                    WorkerPool,
+                )
 
-            self.plan_cache = (
-                plan_cache
-                if plan_cache is not None
-                else PlanCache(maxsize=cfg.plan_cache_size, observer=cfg.observer)
-            )
+                self.plan_cache = (
+                    plan_cache
+                    if plan_cache is not None
+                    else ConcurrentPlanCache(
+                        maxsize=cfg.plan_cache_size, observer=cfg.observer
+                    )
+                )
+                self.pool = WorkerPool(cfg.workers, observer=cfg.observer)
+                if cfg.workers > 1:
+                    self._sharded = ShardedBatchRouter(self.pool)
+                if cfg.compile_ahead > 0:
+                    from .fastplan import compile_frame_plan  # deferred
+
+                    fault_plan = self.fault_plan
+                    self.pipeline = CompileAheadPipeline(
+                        self.plan_cache,
+                        self.pool,
+                        depth=cfg.compile_ahead,
+                        compile_fn=(
+                            compile_frame_plan
+                            if fault_plan is None
+                            else (
+                                lambda a: compile_frame_plan(
+                                    a, fault_plan=fault_plan
+                                )
+                            )
+                        ),
+                        extra_key=(
+                            fault_plan.fingerprint()
+                            if fault_plan is not None
+                            else ""
+                        ),
+                        observer=cfg.observer,
+                    )
+            else:
+                from .fastplan import PlanCache  # deferred: import cycle
+
+                self.plan_cache = (
+                    plan_cache
+                    if plan_cache is not None
+                    else PlanCache(
+                        maxsize=cfg.plan_cache_size, observer=cfg.observer
+                    )
+                )
         else:
             self.plan_cache = None
 
@@ -614,6 +673,31 @@ class BRSMN:
             for fault, outputs in list(plan.fault_hits) + plan.flaky_hits(attempt)
         ]
 
+    def prefetch(self, assignment: MulticastAssignment) -> bool:
+        """Warm the plan cache for an upcoming assignment, off-thread.
+
+        A no-op (returns False) unless the network was configured with
+        ``compile_ahead > 0``; otherwise delegates to the
+        :class:`~repro.parallel.pipeline.CompileAheadPipeline` — see
+        its :meth:`~repro.parallel.pipeline.CompileAheadPipeline.prefetch`
+        for the enqueue/drop semantics.
+        """
+        if self.pipeline is None:
+            return False
+        return self.pipeline.prefetch(assignment)
+
+    def close(self) -> None:
+        """Drain pending prefetches and stop the worker pool.
+
+        Idempotent, and a no-op on non-parallel configurations; a later
+        routing call restarts the pool transparently, so ``close`` is a
+        courtesy for prompt thread teardown, not a lifecycle obligation.
+        """
+        if self.pipeline is not None:
+            self.pipeline.drain()
+        if self.pool is not None:
+            self.pool.shutdown()
+
     def route_batch(
         self,
         assignment: MulticastAssignment,
@@ -623,14 +707,20 @@ class BRSMN:
         """Route many payload frames sharing one assignment.
 
         On the fast engine the whole batch is one fancy-indexing gather
-        through the compiled plan; on the reference engine the frames
-        are routed sequentially (the baseline the batch path is
-        benchmarked against).
+        through the compiled plan — sharded across the worker pool when
+        the network is configured with ``workers > 1`` — and on the
+        reference engine the frames are routed sequentially (the
+        baseline the batch path is benchmarked against).
 
         Args:
             assignment: the shared multicast assignment.
             payload_matrix: ``(batch, n)`` array-like of per-input
-                payloads, one row per frame.
+                payloads, one row per frame.  A *numeric* ndarray keeps
+                its dtype end to end (idle outputs deliver 0, and the
+                gather kernels release the GIL, which is what lets
+                worker threads scale on multicore hosts); any other
+                input is routed as an object matrix with ``None`` on
+                idle outputs, exactly as before.
 
         Returns:
             A :class:`BatchRoutingResult`.
@@ -639,7 +729,13 @@ class BRSMN:
             raise InvalidAssignmentError(
                 f"assignment size {assignment.n} != network size {self.n}"
             )
-        mat = np.asarray(payload_matrix, dtype=object)
+        if (
+            isinstance(payload_matrix, np.ndarray)
+            and payload_matrix.dtype != object
+        ):
+            mat = payload_matrix
+        else:
+            mat = np.asarray(payload_matrix, dtype=object)
         if mat.ndim != 2 or mat.shape[1] != self.n:
             raise InvalidAssignmentError(
                 f"expected a (batch, {self.n}) payload matrix, got shape {mat.shape}"
@@ -662,10 +758,14 @@ class BRSMN:
                 casualties = plan.casualties(attempt)
                 if casualties:
                     delivery_src[sorted(casualties)] = -1
+            if self._sharded is not None:
+                delivered = self._sharded.apply(plan, mat, attempt)
+            else:
+                delivered = plan.apply_batch(mat, attempt)
             result = BatchRoutingResult(
                 assignment=assignment,
                 frames=mat.shape[0],
-                payloads=plan.apply_batch(mat, attempt),
+                payloads=delivered,
                 delivery_src=delivery_src,
                 mode=mode,
                 engine="fast",
@@ -680,7 +780,8 @@ class BRSMN:
                 self._emit_frame_done(obs, fid, t0, result, mat.shape[0])
             return result
         delivery_src = np.full(self.n, -1, dtype=np.int64)
-        out = np.full(mat.shape, None, dtype=object)
+        idle_fill = None if mat.dtype == object else mat.dtype.type(0)
+        out = np.full(mat.shape, idle_fill, dtype=mat.dtype)
         first: Optional[RoutingResult] = None
         for f in range(mat.shape[0]):
             result = self.route(assignment, mode=mode, payloads=list(mat[f]))

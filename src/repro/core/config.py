@@ -53,6 +53,19 @@ class NetworkConfig:
             ``"fast"`` (compiled NumPy routing plans; unrolled only).
         plan_cache_size: fast engine — maximum compiled plans retained
             by the LRU :class:`~repro.core.fastplan.PlanCache`.
+        workers: fast engine — size of the routing worker pool.  At 1
+            (the default) everything runs on the calling thread; above
+            1 the network routes payload batches through a
+            :class:`~repro.parallel.shard.ShardedBatchRouter` and
+            memoises plans in a thread-safe
+            :class:`~repro.parallel.plan_cache.ConcurrentPlanCache`
+            with single-flight compile deduplication.
+        compile_ahead: fast engine — depth of the
+            :class:`~repro.parallel.pipeline.CompileAheadPipeline`
+            prefetch queue (0 disables it).  Session facades with
+            lookahead (:meth:`~repro.core.fabric.MulticastFabric.run`,
+            the queueing simulator) then compile upcoming frames' plans
+            on the worker pool while the current frame routes.
         observer: optional :class:`~repro.obs.events.Observer` receiving
             frame lifecycle events, per-level profiling spans and
             plan-cache events (unrolled implementation).
@@ -68,6 +81,8 @@ class NetworkConfig:
     implementation: str = "unrolled"
     engine: str = "reference"
     plan_cache_size: int = 256
+    workers: int = 1
+    compile_ahead: int = 0
     observer: Optional[object] = field(default=None, compare=False)
     fault_plan: Optional[object] = None
 
@@ -90,6 +105,18 @@ class NetworkConfig:
         if self.plan_cache_size < 1:
             raise ValueError(
                 f"plan_cache_size must be >= 1, got {self.plan_cache_size}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.compile_ahead < 0:
+            raise ValueError(
+                f"compile_ahead must be >= 0, got {self.compile_ahead}"
+            )
+        if (self.workers > 1 or self.compile_ahead > 0) and self.engine != "fast":
+            raise ValueError(
+                "workers > 1 / compile_ahead > 0 require engine='fast' "
+                "(the reference engine is a per-switch teaching "
+                "simulation; parallelising it would only obscure it)"
             )
         if self.fault_plan is not None:
             # Duck-typed on purpose: importing repro.faults here would

@@ -15,7 +15,7 @@ so examples and benches can express sessions in three lines.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field, replace
 from time import perf_counter_ns
 from typing import Iterable, List
@@ -248,11 +248,60 @@ class MulticastFabric:
                 FaultEvent(action=action, t_ns=perf_counter_ns())
             )
 
+    def prefetch(self, assignment: MulticastAssignment) -> bool:
+        """Warm the primary network's plan cache for an upcoming frame.
+
+        Delegates to :meth:`~repro.core.brsmn.BRSMN.prefetch`; a no-op
+        (False) unless the config enables ``compile_ahead``.  Callers
+        with their own lookahead (e.g. a scheduler that knows the next
+        slot's frame) use this directly; :meth:`run` does it for you.
+        """
+        prefetch = getattr(self.network, "prefetch", None)
+        if prefetch is None:
+            return False
+        return prefetch(assignment)
+
     def run(self, frames: Iterable[MulticastAssignment]) -> FabricStats:
-        """Route a whole frame sequence; returns the session statistics."""
+        """Route a whole frame sequence; returns the session statistics.
+
+        With ``compile_ahead > 0`` in the config, the run loop holds a
+        sliding lookahead window of that depth over the sequence: each
+        upcoming frame is prefetched — its plan compiles on the worker
+        pool — while earlier frames route on this thread, so a stream
+        of cold assignments no longer stalls for a full compile per
+        frame.  Frame order, verification, statistics and results are
+        identical to the sequential loop; lookahead only moves compile
+        work off the critical path (and consumes generator inputs up to
+        ``compile_ahead`` frames early).
+        """
+        lookahead = getattr(self.network, "compile_ahead", 0)
+        if lookahead <= 0:
+            for assignment in frames:
+                self.submit(assignment)
+            return self.stats
+        window: deque = deque()
         for assignment in frames:
-            self.submit(assignment)
+            if window:
+                # Not the frame we are about to route: warm it.
+                self.prefetch(assignment)
+            window.append(assignment)
+            if len(window) > lookahead:
+                self.submit(window.popleft())
+        while window:
+            self.submit(window.popleft())
         return self.stats
+
+    def close(self) -> None:
+        """Release parallel-engine resources (worker threads).
+
+        Idempotent and optional — a closed fabric transparently
+        restarts its pool on the next submit; see
+        :meth:`~repro.core.brsmn.BRSMN.close`.
+        """
+        for network in (self.network, self.standby):
+            close = getattr(network, "close", None)
+            if close is not None:
+                close()
 
     def reset(self) -> None:
         """Clear the session statistics and health state (the network

@@ -37,6 +37,7 @@ are property-tested delivery-identical in
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter_ns
@@ -238,6 +239,19 @@ class FramePlan:
     def apply_batch(self, payload_matrix, attempt: int = 0) -> np.ndarray:
         """Route a whole ``(batch, n)`` payload matrix in one gather.
 
+        Two payload representations are supported:
+
+        * an *object* matrix (also what any non-ndarray input is
+          coerced to) — idle outputs and fault casualties deliver
+          ``None``, matching :meth:`apply`;
+        * a *numeric* ndarray (any non-object dtype) — the gather runs
+          as :func:`numpy.take`, which releases the GIL for simple
+          dtypes, so the sharded batch router
+          (:mod:`repro.parallel.shard`) scales across threads; idle
+          outputs and casualties deliver the dtype's zero (there is no
+          ``None`` in a numeric array).  The result keeps the input
+          dtype.
+
         Args:
             payload_matrix: ``(batch, n)`` array-like; row ``f`` holds
                 frame ``f``'s per-input payloads.
@@ -245,20 +259,30 @@ class FramePlan:
                 whole batch shares one attempt).
 
         Returns:
-            A ``(batch, n)`` object array of delivered payloads
-            (``None`` on idle outputs and fault casualties).
+            A ``(batch, n)`` array of delivered payloads, same dtype
+            discipline as above.
         """
-        mat = np.asarray(payload_matrix, dtype=object)
+        if isinstance(payload_matrix, np.ndarray):
+            mat = payload_matrix
+        else:
+            mat = np.asarray(payload_matrix, dtype=object)
         if mat.ndim != 2 or mat.shape[1] != self.n:
             raise InvalidAssignmentError(
                 f"expected a (batch, {self.n}) payload matrix, got shape {mat.shape}"
             )
-        out = mat[:, np.maximum(self.delivery_src, 0)]
-        out[:, self.delivery_src < 0] = None
+        idle = self.delivery_src < 0
+        if mat.dtype == object:
+            out = mat[:, np.maximum(self.delivery_src, 0)]
+            fill = None
+        else:
+            out = np.take(mat, np.maximum(self.delivery_src, 0), axis=1)
+            fill = mat.dtype.type(0)
+        if idle.any():
+            out[:, idle] = fill
         if self.lost_outputs or self.flaky_exposure:
             dropped = self.casualties(attempt)
             if dropped:
-                out[:, sorted(dropped)] = None
+                out[:, sorted(dropped)] = fill
         return out
 
 
@@ -546,6 +570,19 @@ class PlanCache:
     structurally identical assignments share one compiled plan no
     matter how they were constructed.
 
+    The cache is thread-safe: the hit/miss counters and the LRU map are
+    only touched under one internal mutex, and
+    :class:`~repro.obs.events.CacheEvent` emission happens *outside*
+    the critical section — the event payloads (sizes included) are
+    snapshotted under the lock, then delivered in that deterministic
+    order, so a slow observer can never stall (or deadlock with)
+    another routing thread.  Compilation also runs outside the lock;
+    concurrent misses on the same key may therefore compile twice here
+    (first insert wins, both callers get the same retained plan) — the
+    multi-worker engine's
+    :class:`~repro.parallel.plan_cache.ConcurrentPlanCache` adds
+    single-flight deduplication on top for exactly that case.
+
     Attributes:
         maxsize: maximum retained plans (least-recently-used eviction).
         hits: lookups answered from the cache.
@@ -560,27 +597,54 @@ class PlanCache:
     misses: int = 0
     observer: Optional[object] = None
     _plans: "OrderedDict[str, FramePlan]" = field(default_factory=OrderedDict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def _emit(self, kind: str, key: str) -> None:
+    @staticmethod
+    def make_key(assignment: MulticastAssignment, extra_key: str = "") -> str:
+        """The cache key of an assignment (+ optional compiler suffix)."""
+        key = assignment_fingerprint(assignment)
+        return f"{key}@{extra_key}" if extra_key else key
+
+    def _emit(self, events) -> None:
+        """Deliver snapshotted ``(kind, key, size)`` events, in order."""
         obs = self.observer
-        if obs is not None and obs.enabled:
+        if obs is None or not obs.enabled or not events:
+            return
+        for kind, key, size in events:
             obs.on_cache_event(
                 CacheEvent(
-                    kind=kind,
-                    key=key,
-                    size=len(self._plans),
-                    t_ns=perf_counter_ns(),
+                    kind=kind, key=key, size=size, t_ns=perf_counter_ns()
                 )
             )
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
+
+    @property
+    def coalesced(self) -> int:
+        """Misses served by another thread's in-flight compile (always
+        0 here; the concurrent subclass counts real coalescing)."""
+        return 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def contains(
+        self, assignment: MulticastAssignment, extra_key: str = ""
+    ) -> bool:
+        """True when the assignment's plan is cached (no LRU refresh,
+        no counter or event side effects) — the compile-ahead
+        pipeline's cheap pre-check."""
+        key = self.make_key(assignment, extra_key)
+        with self._lock:
+            return key in self._plans
 
     def get(
         self,
@@ -602,27 +666,41 @@ class PlanCache:
             ``(plan, hit)`` — ``hit`` is True when the plan came from
             the cache.
         """
-        key = assignment_fingerprint(assignment)
-        if extra_key:
-            key = f"{key}@{extra_key}"
-        plan = self._plans.get(key)
+        key = self.make_key(assignment, extra_key)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                events = [("hit", key, len(self._plans))]
+            else:
+                self.misses += 1
+                events = [("miss", key, len(self._plans))]
+        self._emit(events)
         if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
-            self._emit("hit", key)
             return plan, True
-        self.misses += 1
-        self._emit("miss", key)
         plan = compile_fn(assignment)
-        self._plans[key] = plan
-        if len(self._plans) > self.maxsize:
-            evicted, _ = self._plans.popitem(last=False)
-            self._emit("evict", evicted)
+        events = []
+        with self._lock:
+            raced = self._plans.get(key)
+            if raced is not None:
+                # Another thread compiled and inserted first; keep its
+                # plan so every caller shares one object.
+                plan = raced
+                self._plans.move_to_end(key)
+            else:
+                self._plans[key] = plan
+                while len(self._plans) > self.maxsize:
+                    evicted, _ = self._plans.popitem(last=False)
+                    events.append(("evict", evicted, len(self._plans)))
+        self._emit(events)
         return plan, False
 
     def clear(self) -> None:
         """Drop every cached plan and reset the counters."""
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
-        self._emit("clear", "")
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            events = [("clear", "", 0)]
+        self._emit(events)

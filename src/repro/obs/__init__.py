@@ -40,6 +40,7 @@ from .events import (
     LevelSpan,
     NullSink,
     Observer,
+    ParallelEvent,
     QueueDepth,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, log2_buckets
@@ -57,6 +58,7 @@ __all__ = [
     "LevelSpan",
     "NullSink",
     "Observer",
+    "ParallelEvent",
     "QueueDepth",
     "Counter",
     "Gauge",

@@ -15,11 +15,16 @@ an attached :class:`Observer`:
   or evicted a compiled plan;
 
 plus :class:`QueueDepth` samples from the
-:class:`~repro.core.arrivals.QueueingSimulator` slot loop and
+:class:`~repro.core.arrivals.QueueingSimulator` slot loop,
 :class:`FaultEvent` notifications from the fault-injection / healing
 layer (:mod:`repro.faults`): injections that touched traffic, detected
 casualties, retries, recoveries, losses and plane quarantine
-transitions.
+transitions, and :class:`ParallelEvent` samples from the multi-worker
+throughput engine (:mod:`repro.parallel`): shard / compile task
+lifecycle, worker-pool utilisation and compile-queue depth.  The
+single-flight plan cache additionally reuses :class:`CacheEvent` with
+``kind="coalesced"`` for lookups that piggybacked on another thread's
+in-flight compilation.
 
 Observation is strictly pay-for-what-you-use: every emission site is
 gated on ``observer is not None and observer.enabled``, so routing with
@@ -41,6 +46,7 @@ __all__ = [
     "CacheEvent",
     "QueueDepth",
     "FaultEvent",
+    "ParallelEvent",
     "Observer",
     "NullSink",
     "CompositeObserver",
@@ -137,7 +143,10 @@ class CacheEvent:
     """The plan cache answered a lookup or evicted an entry.
 
     Attributes:
-        kind: ``"hit"``, ``"miss"``, ``"evict"`` or ``"clear"``.
+        kind: ``"hit"``, ``"miss"``, ``"evict"``, ``"clear"`` or —
+            concurrent caches only — ``"coalesced"`` (a miss that
+            waited on another thread's in-flight compilation of the
+            same key instead of compiling again).
         key: the assignment fingerprint involved (empty on ``clear``).
         size: cached plans after the event.
         t_ns: ``perf_counter_ns`` timestamp of the emission.
@@ -195,6 +204,38 @@ class FaultEvent:
     t_ns: int = 0
 
 
+@dataclass(frozen=True)
+class ParallelEvent:
+    """A worker-pool or compile-ahead lifecycle sample.
+
+    Emitted by the multi-worker throughput engine
+    (:mod:`repro.parallel`) whenever a task starts or finishes on the
+    pool, or the compile-ahead pipeline enqueues / completes a prefetch
+    compilation.  Gauge-like fields (``busy``, ``queue_depth``) carry
+    the value *after* the event, so a metrics observer can mirror them
+    directly.
+
+    Attributes:
+        action: ``"start"`` (a task began running on a worker),
+            ``"done"`` (it finished), ``"enqueue"`` (the compile-ahead
+            pipeline accepted a prefetch) or ``"drop"`` (the prefetch
+            was declined: queue full, already cached or in flight).
+        kind: task family — ``"shard"`` (one slice of a sharded payload
+            batch) or ``"compile"`` (a plan compilation).
+        workers: configured worker-pool size.
+        busy: workers running a task after this event.
+        queue_depth: compile-ahead prefetches pending after this event.
+        t_ns: ``perf_counter_ns`` timestamp of the emission.
+    """
+
+    action: str
+    kind: str = ""
+    workers: int = 0
+    busy: int = 0
+    queue_depth: int = 0
+    t_ns: int = 0
+
+
 class Observer:
     """Base observer: every hook is a no-op; subclass what you need.
 
@@ -223,6 +264,9 @@ class Observer:
 
     def on_fault(self, event: FaultEvent) -> None:
         """The fault-injection / healing layer reported an event."""
+
+    def on_parallel(self, event: ParallelEvent) -> None:
+        """The worker pool / compile-ahead pipeline reported an event."""
 
 
 class NullSink(Observer):
@@ -275,3 +319,7 @@ class CompositeObserver(Observer):
     def on_fault(self, event: FaultEvent) -> None:
         for o in self.observers:
             o.on_fault(event)
+
+    def on_parallel(self, event: ParallelEvent) -> None:
+        for o in self.observers:
+            o.on_parallel(event)

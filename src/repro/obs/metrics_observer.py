@@ -21,6 +21,11 @@ metric                                  type       source event
 ``repro_plan_cache_size``               gauge      CacheEvent.size
 ``repro_queue_depth``                   gauge      QueueDepth.depth
 ``repro_queue_served_total``            counter    QueueDepth.served
+``repro_parallel_tasks_total{kind}``    counter    ParallelEvent "done"
+``repro_parallel_workers``              gauge      ParallelEvent.workers
+``repro_parallel_workers_busy``         gauge      ParallelEvent.busy
+``repro_parallel_compile_queue_depth``  gauge      ParallelEvent.queue_depth
+``repro_parallel_coalesced_total``      counter    CacheEvent "coalesced"
 ``repro_faults_injected_total{kind}``   counter    FaultEvent "injected"
 ``repro_faults_detected_total``         counter    FaultEvent "detected"
 ``repro_faults_retries_total``          counter    FaultEvent "retry"
@@ -33,9 +38,16 @@ metric                                  type       source event
 Latency histograms use power-of-two nanosecond buckets
 (:func:`~repro.obs.metrics.log2_buckets`), fanout/depth histograms use
 power-of-two count buckets.
+
+The observer is thread-safe: the multi-worker engine
+(:mod:`repro.parallel`) emits shard / compile / cache events from pool
+threads concurrently with the submitting thread, so every handler folds
+its event into the registry under one internal mutex.
 """
 
 from __future__ import annotations
+
+import threading
 
 from .events import (
     CacheEvent,
@@ -44,6 +56,7 @@ from .events import (
     FrameStart,
     LevelSpan,
     Observer,
+    ParallelEvent,
     QueueDepth,
 )
 from .metrics import MetricsRegistry, log2_buckets
@@ -64,6 +77,7 @@ class MetricsObserver(Observer):
 
     def __init__(self, registry: MetricsRegistry = None):
         self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
         r = self.registry
         self._frames = r.counter(
             "repro_frames_total", "Payload frames routed.", ("engine", "mode")
@@ -118,6 +132,27 @@ class MetricsObserver(Observer):
         self._queue_served = r.counter(
             "repro_queue_served_total", "Requests served by the queueing simulator."
         )
+        self._parallel_tasks = r.counter(
+            "repro_parallel_tasks_total",
+            "Worker-pool tasks completed, by kind (shard / compile).",
+            ("kind",),
+        )
+        self._parallel_workers = r.gauge(
+            "repro_parallel_workers", "Configured worker-pool size."
+        )
+        self._parallel_busy = r.gauge(
+            "repro_parallel_workers_busy",
+            "Workers currently running a task (utilisation numerator).",
+        )
+        self._compile_queue_depth = r.gauge(
+            "repro_parallel_compile_queue_depth",
+            "Compile-ahead prefetches pending on the worker pool.",
+        )
+        self._coalesced = r.counter(
+            "repro_parallel_coalesced_total",
+            "Plan-cache misses coalesced onto an in-flight compile "
+            "(single-flight deduplication).",
+        )
         self._faults_injected = r.counter(
             "repro_faults_injected_total",
             "Fault activations that touched in-flight traffic, by kind.",
@@ -155,53 +190,72 @@ class MetricsObserver(Observer):
         (constant per network instance, and emission is strictly
         start ... done) label the totals at :meth:`on_frame_done`.
         """
-        self._engine = event.engine
-        self._mode = event.mode
-        self._fanout.observe(event.fanout)
+        with self._lock:
+            self._engine = event.engine
+            self._mode = event.mode
+            self._fanout.observe(event.fanout)
 
     def on_level(self, event: LevelSpan) -> None:
         """Fold a level span into the per-level latency/stage metrics."""
         level = str(event.level)
-        self._level_ns.observe(event.duration_ns, level=level)
-        self._level_splits.inc(event.splits, level=level)
-        for stage, ns in event.stage_ns.items():
-            self._stage_ns.inc(ns, level=level, stage=stage)
+        with self._lock:
+            self._level_ns.observe(event.duration_ns, level=level)
+            self._level_splits.inc(event.splits, level=level)
+            for stage, ns in event.stage_ns.items():
+                self._stage_ns.inc(ns, level=level, stage=stage)
 
     def on_frame_done(self, event: FrameDone) -> None:
         """Fold a finished frame into totals and the latency histogram."""
-        self._frames.inc(event.frames, engine=self._engine, mode=self._mode)
-        self._deliveries.inc(event.deliveries * event.frames)
-        self._splits.inc(event.splits * event.frames)
-        self._switch_ops.inc(event.switch_ops * event.frames)
-        self._frame_ns.observe(event.duration_ns, engine=self._engine)
+        with self._lock:
+            self._frames.inc(
+                event.frames, engine=self._engine, mode=self._mode
+            )
+            self._deliveries.inc(event.deliveries * event.frames)
+            self._splits.inc(event.splits * event.frames)
+            self._switch_ops.inc(event.switch_ops * event.frames)
+            self._frame_ns.observe(event.duration_ns, engine=self._engine)
 
     def on_cache_event(self, event: CacheEvent) -> None:
         """Count the cache outcome; track the cache population gauge."""
-        self._cache_events.inc(1, kind=event.kind)
-        self._cache_size.set(event.size)
+        with self._lock:
+            self._cache_events.inc(1, kind=event.kind)
+            self._cache_size.set(event.size)
+            if event.kind == "coalesced":
+                self._coalesced.inc(1)
 
     def on_queue_depth(self, event: QueueDepth) -> None:
         """Record the end-of-slot backlog and served count."""
-        self._queue_depth.set(event.depth)
-        self._queue_served.inc(event.served)
+        with self._lock:
+            self._queue_depth.set(event.depth)
+            self._queue_served.inc(event.served)
+
+    def on_parallel(self, event: ParallelEvent) -> None:
+        """Fold a worker-pool sample into the ``repro_parallel_*`` families."""
+        with self._lock:
+            self._parallel_workers.set(event.workers)
+            self._parallel_busy.set(event.busy)
+            self._compile_queue_depth.set(event.queue_depth)
+            if event.action == "done":
+                self._parallel_tasks.inc(1, kind=event.kind)
 
     def on_fault(self, event: FaultEvent) -> None:
         """Fold a fault-path event into the ``repro_faults_*`` families."""
         action = event.action
-        if action == "injected":
-            self._faults_injected.inc(1, kind=event.kind)
-        elif action == "detected":
-            self._faults_detected.inc(1)
-        elif action == "retry":
-            self._faults_retries.inc(1)
-        elif action == "recovered":
-            self._faults_recovered.inc(len(event.terminals))
-        elif action == "lost":
-            self._faults_lost.inc(len(event.terminals))
-        elif action in _PLANE_STATES:
-            if action == "quarantined":
-                self._faults_quarantines.inc(1)
-            self._plane_state.set(_PLANE_STATES[action])
+        with self._lock:
+            if action == "injected":
+                self._faults_injected.inc(1, kind=event.kind)
+            elif action == "detected":
+                self._faults_detected.inc(1)
+            elif action == "retry":
+                self._faults_retries.inc(1)
+            elif action == "recovered":
+                self._faults_recovered.inc(len(event.terminals))
+            elif action == "lost":
+                self._faults_lost.inc(len(event.terminals))
+            elif action in _PLANE_STATES:
+                if action == "quarantined":
+                    self._faults_quarantines.inc(1)
+                self._plane_state.set(_PLANE_STATES[action])
 
     _engine = "unknown"
     _mode = "unknown"
