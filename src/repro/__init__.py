@@ -44,6 +44,9 @@ Subpackages:
 * :mod:`repro.faults` — fault injection (deterministic, seedable
   fault plans) and self-healing (detection, bounded retries,
   sibling-subnetwork reroute, degraded-mode results, plane health).
+* :mod:`repro.resilience` — the overload-serving layer (deadline
+  budgets, admission control, circuit breakers, warm-restart
+  snapshots).
 * :mod:`repro.rbn` — the reverse banyan network substrate (compact
   sequences, merge lemmas, distributed self-routing algorithms).
 * :mod:`repro.hardware` — gate-level substrate and the cost / depth /
@@ -89,16 +92,34 @@ from .obs import (
     MetricsRegistry,
     NullSink,
     Observer,
+    ResilienceEvent,
     TracingObserver,
+)
+from .resilience import (
+    AdmissionGate,
+    AdmissionPolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    DeadlineBudget,
+    FabricSnapshot,
+    ShedFrame,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionGate",
+    "AdmissionPolicy",
     "BRSMN",
     "BinarySplittingNetwork",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "CompositeObserver",
+    "DeadlineBudget",
     "DegradedResult",
+    "FabricSnapshot",
     "FabricStats",
     "FaultKind",
     "FaultPlan",
@@ -112,8 +133,10 @@ __all__ = [
     "NullSink",
     "Observer",
     "QueueingSimulator",
+    "ResilienceEvent",
     "RetryPolicy",
     "RoutingResult",
+    "ShedFrame",
     "Tag",
     "TagTree",
     "TracingObserver",

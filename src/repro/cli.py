@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro stats --n 64 --frames 200 --engine fast --metrics-out metrics.json
     python -m repro stats --n 256 --frames 500 --workers 4 --compile-ahead 2
     python -m repro chaos --n 32 --frames 100 --faults 2 --seed 7
+    python -m repro chaos --n 64 --overload --arrival-rate 2.0 --deadline-ms 50
     python -m repro tags --n 8 --dests 3,4,7
     python -m repro structure --n 64
     python -m repro table2 --sizes 8,64,512
@@ -26,6 +27,10 @@ Subcommands:
   :class:`~repro.faults.plan.FaultPlan` is injected, every frame is
   routed through the self-healing fabric, and the campaign reports
   delivered / recovered / lost terminal counts plus plane health.
+  With ``--overload``, the campaign instead drives a Poisson arrival
+  stream at a multiple of service capacity through the queueing
+  simulator with an admission gate and per-slot deadline, reporting
+  the full admitted / shed / delivered / recovered / lost accounting.
 * ``tags`` — print a destination set's tag tree SEQ (Section 7.1).
 * ``structure`` — print a network's structural audit (switches, depth,
   per-level composition).
@@ -34,6 +39,18 @@ Subcommands:
 
 The CLI is intentionally thin: each subcommand calls the same public
 API the library exposes, so it doubles as executable documentation.
+
+Exit codes (the contract scripts and CI rely on):
+
+* ``0`` — success: routing verified, campaign fully served.
+* ``1`` — verification or reproduction failure (``route``, ``report``).
+* ``2`` — usage or I/O error (bad arguments, unreadable input,
+  unwritable output path).
+* ``3`` — degraded ``chaos`` campaign: terminals were lost (or
+  requests abandoned under ``--overload``) after the retry budget.
+  The campaign itself ran to completion — distinguish this from
+  ``2``, which means it never ran.  Deliberately *shed* requests do
+  not trigger ``3``: shedding is the admission gate doing its job.
 """
 
 from __future__ import annotations
@@ -210,6 +227,55 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="write the metrics registry as JSON to this file",
+    )
+    p_chaos.add_argument(
+        "--overload",
+        action="store_true",
+        help="overload campaign: Poisson arrivals above capacity through "
+        "the queueing simulator with admission control and deadlines "
+        "(--frames then sets the arrival horizon in slots)",
+    )
+    p_chaos.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=2.0,
+        help="overload: mean arrivals per slot (capacity is ~1 frame/slot)",
+    )
+    p_chaos.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-slot healing deadline in milliseconds (default: none)",
+    )
+    p_chaos.add_argument(
+        "--admit-rate",
+        type=float,
+        default=1.5,
+        help="overload: admission token refill per slot",
+    )
+    p_chaos.add_argument(
+        "--admit-burst",
+        type=float,
+        default=8.0,
+        help="overload: admission token bucket capacity",
+    )
+    p_chaos.add_argument(
+        "--soft-watermark",
+        type=float,
+        default=16.0,
+        help="overload: backlog depth shedding priority<=0 requests",
+    )
+    p_chaos.add_argument(
+        "--hard-watermark",
+        type=float,
+        default=32.0,
+        help="overload: backlog depth shedding every request",
+    )
+    p_chaos.add_argument(
+        "--high-priority",
+        type=float,
+        default=0.25,
+        help="overload: fraction of arrivals carrying priority 1",
     )
 
     p_tags = sub.add_parser("tags", help="print a multicast's SEQ tag string")
@@ -458,6 +524,8 @@ def _cmd_chaos(args) -> int:
     from .obs import MetricsObserver
     from .workloads.random_assignments import random_multicast
 
+    if args.overload:
+        return _cmd_chaos_overload(args)
     plan = FaultPlan.random(args.n, faults=args.faults, seed=args.seed)
     metrics = MetricsObserver()
     cfg = NetworkConfig(
@@ -521,7 +589,101 @@ def _cmd_chaos(args) -> int:
         f"plane: {stats.quarantines} quarantines, "
         f"final state {fabric.health.state.value}"
     )
-    return _export_metrics(args, metrics)
+    rc = _export_metrics(args, metrics)
+    if rc == 0 and lost > 0:
+        return 3
+    return rc
+
+
+def _cmd_chaos_overload(args) -> int:
+    """The ``chaos --overload`` campaign: arrivals above capacity.
+
+    Drives a seeded Poisson stream at ``--arrival-rate`` requests per
+    slot (service capacity is one packed frame per slot) through a
+    fault-injected :class:`~repro.core.arrivals.QueueingSimulator`
+    carrying an admission gate and an optional per-slot deadline, then
+    prints the complete accounting: every generated request ends in
+    exactly one of delivered / recovered / shed / lost.
+    """
+    from .core.arrivals import QueueingSimulator, poisson_arrivals
+    from .faults import FaultPlan, RetryPolicy
+    from .obs import MetricsObserver
+    from .resilience import AdmissionPolicy
+
+    metrics = MetricsObserver()
+    try:
+        plan = FaultPlan.random(args.n, faults=args.faults, seed=args.seed)
+        admission = AdmissionPolicy(
+            rate=args.admit_rate,
+            burst=args.admit_burst,
+            soft_watermark=args.soft_watermark,
+            hard_watermark=args.hard_watermark,
+        )
+        cfg = NetworkConfig(
+            args.n,
+            engine=args.engine,
+            fault_plan=plan,
+            observer=metrics,
+            admission=admission,
+            deadline_ms=args.deadline_ms,
+        )
+        sim = QueueingSimulator(
+            cfg, retry_policy=RetryPolicy(max_retries=args.retries)
+        )
+        arrivals = poisson_arrivals(
+            args.n,
+            rate=args.arrival_rate,
+            slots=args.frames,
+            seed=args.seed + 1,
+            high_priority_fraction=args.high_priority,
+        )
+    except ValueError as exc:
+        print(f"bad overload campaign parameters: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"overload campaign: n={args.n} slots={args.frames} "
+        f"arrival_rate={args.arrival_rate} faults={args.faults} "
+        f"seed={args.seed} engine={args.engine}"
+    )
+    print(
+        f"admission: rate={args.admit_rate}/slot burst={args.admit_burst} "
+        f"watermarks={args.soft_watermark}/{args.hard_watermark}"
+        + (
+            f", deadline={args.deadline_ms}ms"
+            if args.deadline_ms is not None
+            else ""
+        )
+    )
+    print()
+    try:
+        report = sim.run(arrivals)
+    finally:
+        sim.close()
+    generated = len(arrivals)
+    delivered = report.served - report.recovered
+    lost = report.abandoned
+    print(
+        f"requests: {generated} generated, {report.shed} shed at admission"
+    )
+    print(
+        f"outcomes: {delivered} delivered, {report.recovered} recovered "
+        f"(after requeue), {report.shed} shed, {lost} lost"
+    )
+    accounted = delivered + report.recovered + report.shed + lost
+    print(
+        f"accounting: {accounted}/{generated} requests accounted "
+        f"({'complete' if accounted == generated else 'INCOMPLETE'})"
+    )
+    print(
+        f"latency: {report.slots_run} slots run, "
+        f"mean wait {report.mean_wait:.2f} slots, "
+        f"peak backlog {report.peak_backlog}, "
+        f"p95 serve {report.p95_serve_ms:.2f} ms"
+    )
+    rc = _export_metrics(args, metrics)
+    if rc == 0 and (lost > 0 or accounted != generated):
+        return 3
+    return rc
 
 
 def _cmd_tags(args) -> int:

@@ -56,11 +56,16 @@ class Request:
         source: requesting input port.
         destinations: requested output ports (non-empty).
         payload: opaque user data delivered to each destination.
+        priority: admission class — under overload the
+            :class:`~repro.resilience.gate.AdmissionGate` sheds
+            ``priority <= 0`` requests first; ``priority > 0`` requests
+            survive soft shedding and may draw on the token reserve.
     """
 
     source: int
     destinations: FrozenSet[int]
     payload: object = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "destinations", frozenset(self.destinations))

@@ -18,11 +18,20 @@ layer:
 The point: the nonblocking guarantee is per *frame*; end-to-end call
 latency is a queueing phenomenon governed by port contention, which
 this simulation measures instead of hand-waving.
+
+When the config carries resilience settings, the simulator also runs
+the overload layer: an :class:`~repro.resilience.gate.AdmissionGate`
+admits or sheds each request *at arrival* (the gate ticks once per
+slot; shed requests are counted in :attr:`QueueingReport.shed` and
+never enter the backlog), and ``deadline_ms`` bounds each slot's
+healing retries through a
+:class:`~repro.resilience.budget.DeadlineBudget`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -63,6 +72,7 @@ def poisson_arrivals(
     slots: int,
     seed=0,
     mean_fanout: float = 2.0,
+    high_priority_fraction: float = 0.0,
 ) -> List[Arrival]:
     """A seeded Poisson arrival process of multicast requests.
 
@@ -72,6 +82,10 @@ def poisson_arrivals(
         slots: number of slots to generate.
         seed: RNG seed or Generator.
         mean_fanout: mean destination-set size (geometric, >= 1).
+        high_priority_fraction: probability that a request carries
+            ``priority=1`` (survives soft admission shedding).  The
+            default 0.0 draws nothing from the RNG, so existing seeded
+            streams are unchanged.
 
     Returns:
         Arrivals in slot order.
@@ -81,6 +95,11 @@ def poisson_arrivals(
         raise ValueError("rate and slots must be non-negative")
     if mean_fanout < 1.0:
         raise ValueError("mean_fanout must be >= 1")
+    if not 0.0 <= high_priority_fraction <= 1.0:
+        raise ValueError(
+            "high_priority_fraction must be in [0, 1], got "
+            f"{high_priority_fraction}"
+        )
     rng = (
         seed
         if isinstance(seed, np.random.Generator)
@@ -96,8 +115,19 @@ def poisson_arrivals(
             dests = frozenset(
                 int(d) for d in rng.choice(n, size=fanout, replace=False)
             )
+            priority = 0
+            if high_priority_fraction > 0.0:
+                priority = int(rng.random() < high_priority_fraction)
             arrivals.append(
-                Arrival(slot, Request(src, dests, payload=f"call{counter}"))
+                Arrival(
+                    slot,
+                    Request(
+                        src,
+                        dests,
+                        payload=f"call{counter}",
+                        priority=priority,
+                    ),
+                )
             )
             counter += 1
     return arrivals
@@ -120,6 +150,12 @@ class QueueingReport:
             were put back on the backlog for a later slot.
         abandoned: fault-aware runs — requests given up after
             ``max_requeues`` requeues still left terminals undelivered.
+        shed: requests refused by the admission gate at arrival (never
+            queued, never served).
+        recovered: requests fully served only after at least one
+            requeue (a subset of ``served``).
+        serve_ms: wall-clock milliseconds spent routing each non-empty
+            slot's frame (the latency a per-slot deadline bounds).
     """
 
     n: int
@@ -130,6 +166,9 @@ class QueueingReport:
     deliveries: int = 0
     requeued: int = 0
     abandoned: int = 0
+    shed: int = 0
+    recovered: int = 0
+    serve_ms: List[float] = field(default_factory=list)
 
     @property
     def mean_wait(self) -> float:
@@ -145,6 +184,16 @@ class QueueingReport:
     def peak_backlog(self) -> int:
         """Largest end-of-slot backlog observed."""
         return max(self.backlog_per_slot, default=0)
+
+    @property
+    def p95_serve_ms(self) -> float:
+        """95th-percentile per-slot serve latency in milliseconds
+        (nearest-rank over :attr:`serve_ms`; 0.0 with no samples)."""
+        if not self.serve_ms:
+            return 0.0
+        ordered = sorted(self.serve_ms)
+        rank = max(0, -(-95 * len(ordered) // 100) - 1)
+        return ordered[rank]
 
 
 class QueueingSimulator:
@@ -169,6 +218,12 @@ class QueueingSimulator:
         retry_policy: fault-aware runs — the
             :class:`~repro.faults.healing.RetryPolicy` of the per-slot
             healing loop.
+
+    An ``admission`` policy on the config installs an
+    :class:`~repro.resilience.gate.AdmissionGate` that admits or sheds
+    each request the slot it arrives (queue depth = current backlog);
+    ``deadline_ms`` bounds each slot's healing retries.  Both default
+    to off.
 
     When the config carries a non-empty fault plan, every slot's frame
     is routed through :func:`~repro.faults.healing.route_with_healing`:
@@ -210,6 +265,13 @@ class QueueingSimulator:
         self._fault_aware = (
             cfg.fault_plan is not None and not cfg.fault_plan.is_empty
         )
+        self.deadline_ms = cfg.deadline_ms
+        if cfg.admission is not None:
+            from ..resilience.gate import AdmissionGate  # deferred: cycle
+
+            self.gate = AdmissionGate(cfg.admission, observer=cfg.observer)
+        else:
+            self.gate = None
 
     def _pack_frame(self, backlog: List[Arrival]) -> List[int]:
         """Pick a conflict-free subset of the backlog (greedy); returns
@@ -251,12 +313,22 @@ class QueueingSimulator:
                 raise RuntimeError(
                     f"backlog failed to drain within {self.max_slots} slots"
                 )
+            if self.gate is not None:
+                self.gate.tick()
             while idx < len(pending) and pending[idx].slot <= slot:
-                backlog.append(pending[idx])
+                arrival = pending[idx]
                 idx += 1
+                if self.gate is not None and not self.gate.admit(
+                    priority=arrival.request.priority,
+                    queue_depth=len(backlog),
+                ):
+                    report.shed += 1
+                    continue
+                backlog.append(arrival)
             chosen = self._pack_frame(backlog)
             served_now = 0
             if chosen:
+                serve_start = perf_counter_ns()
                 dests: List[Optional[List[int]]] = [None] * self.n
                 payloads: List[object] = [None] * self.n
                 for i in chosen:
@@ -285,6 +357,9 @@ class QueueingSimulator:
                     backlog = [
                         a for k, a in enumerate(backlog) if k not in set(chosen)
                     ]
+                report.serve_ms.append(
+                    (perf_counter_ns() - serve_start) / 1e6
+                )
             if emit:
                 obs.on_queue_depth(
                     QueueDepth(slot=slot, depth=len(backlog), served=served_now)
@@ -340,16 +415,24 @@ class QueueingSimulator:
         Requests whose terminals the in-slot retries could not reach are
         put back on the backlog as a *reduced* request (only the failed
         terminals, original arrival slot) up to ``max_requeues`` times,
-        then abandoned.  Mutates ``backlog`` in place; returns the
+        then abandoned.  With ``deadline_ms`` on the config, a fresh
+        :class:`~repro.resilience.budget.DeadlineBudget` bounds the
+        slot's retries.  Mutates ``backlog`` in place; returns the
         number of requests fully served this slot.
         """
         from ..faults.healing import route_with_healing  # deferred: cycle
 
+        budget = None
+        if self.deadline_ms is not None:
+            from ..resilience.budget import DeadlineBudget  # deferred: cycle
+
+            budget = DeadlineBudget(self.deadline_ms)
         result = route_with_healing(
             self.network,
             frame,
             payloads=payloads,
             policy=self.retry_policy,
+            budget=budget,
         )
         report.deliveries += result.verification.deliveries
         lost = set(result.lost)
@@ -359,20 +442,27 @@ class QueueingSimulator:
             arrival = backlog[i]
             r = arrival.request
             failed = r.destinations & lost
-            budget = requeue_counts.pop(id(arrival), 0)
+            budget_used = requeue_counts.pop(id(arrival), 0)
             if not failed:
                 report.waits.append(slot - arrival.slot)
                 report.served += 1
                 served_now += 1
-            elif budget >= self.max_requeues:
+                if budget_used > 0:
+                    report.recovered += 1
+            elif budget_used >= self.max_requeues:
                 report.abandoned += 1
             else:
                 report.requeued += 1
                 retry = Arrival(
                     arrival.slot,
-                    Request(r.source, frozenset(failed), payload=r.payload),
+                    Request(
+                        r.source,
+                        frozenset(failed),
+                        payload=r.payload,
+                        priority=r.priority,
+                    ),
                 )
-                requeue_counts[id(retry)] = budget + 1
+                requeue_counts[id(retry)] = budget_used + 1
                 requeues.append(retry)
         backlog[:] = [
             a for k, a in enumerate(backlog) if k not in set(chosen)

@@ -391,7 +391,9 @@ class BRSMN:
                 )
                 self.pool = WorkerPool(cfg.workers, observer=cfg.observer)
                 if cfg.workers > 1:
-                    self._sharded = ShardedBatchRouter(self.pool)
+                    self._sharded = ShardedBatchRouter(
+                        self.pool, observer=cfg.observer
+                    )
                 if cfg.compile_ahead > 0:
                     from .fastplan import compile_frame_plan  # deferred
 
@@ -692,17 +694,22 @@ class BRSMN:
         Idempotent, and a no-op on non-parallel configurations; a later
         routing call restarts the pool transparently, so ``close`` is a
         courtesy for prompt thread teardown, not a lifecycle obligation.
+        The pool shutdown runs in a ``finally`` so a raising pipeline
+        drain can never leak executor threads.
         """
-        if self.pipeline is not None:
-            self.pipeline.drain()
-        if self.pool is not None:
-            self.pool.shutdown()
+        try:
+            if self.pipeline is not None:
+                self.pipeline.drain()
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown()
 
     def route_batch(
         self,
         assignment: MulticastAssignment,
         payload_matrix,
         mode: str = "oracle",
+        budget=None,
     ) -> BatchRoutingResult:
         """Route many payload frames sharing one assignment.
 
@@ -721,6 +728,11 @@ class BRSMN:
                 worker threads scale on multicore hosts); any other
                 input is routed as an object matrix with ``None`` on
                 idle outputs, exactly as before.
+            budget: optional
+                :class:`~repro.resilience.budget.DeadlineBudget`
+                bounding the sharded path's worker waits — a shard
+                unfinished when it expires is routed inline, so the
+                batch still returns complete deliveries.
 
         Returns:
             A :class:`BatchRoutingResult`.
@@ -759,7 +771,7 @@ class BRSMN:
                 if casualties:
                     delivery_src[sorted(casualties)] = -1
             if self._sharded is not None:
-                delivered = self._sharded.apply(plan, mat, attempt)
+                delivered = self._sharded.apply(plan, mat, attempt, budget=budget)
             else:
                 delivered = plan.apply_batch(mat, attempt)
             result = BatchRoutingResult(

@@ -75,6 +75,23 @@ class NetworkConfig:
             and the session facades (fabric, queueing) run the
             self-healing layer.  An empty plan is bit-identical to no
             plan.  Unrolled implementation only.
+        deadline_ms: optional per-frame wall-clock budget in
+            milliseconds — the session facades then carry a
+            :class:`~repro.resilience.budget.DeadlineBudget` through
+            healing retries and sharded-batch waits, so serving stops
+            (and the frame is accounted) when the budget is spent.
+        admission: optional
+            :class:`~repro.resilience.gate.AdmissionPolicy` — the
+            session facades then run an
+            :class:`~repro.resilience.gate.AdmissionGate` in front of
+            the network, shedding lowest-priority frames first under
+            overload.
+        breaker: optional
+            :class:`~repro.resilience.breaker.BreakerPolicy` — fabric
+            sessions with a fault plan then run a
+            :class:`~repro.resilience.breaker.CircuitBreaker` over the
+            primary plane, short-circuiting it to the standby instead
+            of burning retries once it trips.
     """
 
     n: int
@@ -85,6 +102,9 @@ class NetworkConfig:
     compile_ahead: int = 0
     observer: Optional[object] = field(default=None, compare=False)
     fault_plan: Optional[object] = None
+    deadline_ms: Optional[float] = None
+    admission: Optional[object] = None
+    breaker: Optional[object] = None
 
     def __post_init__(self):
         check_network_size(self.n)
@@ -133,6 +153,24 @@ class NetworkConfig:
                     "(the feedback network time-multiplexes one physical "
                     "BSN, so it has no per-level fault planes)"
                 )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0 (or None), got {self.deadline_ms}"
+            )
+        # Duck-typed like fault_plan: importing repro.resilience here
+        # would create a core <-> resilience import cycle.
+        if self.admission is not None and not hasattr(self.admission, "rate"):
+            raise ValueError(
+                "admission must be an AdmissionPolicy-like object "
+                f"(with a 'rate'), got {type(self.admission).__name__}"
+            )
+        if self.breaker is not None and not hasattr(
+            self.breaker, "failure_threshold"
+        ):
+            raise ValueError(
+                "breaker must be a BreakerPolicy-like object (with a "
+                f"'failure_threshold'), got {type(self.breaker).__name__}"
+            )
 
     def with_observer(self, observer) -> "NetworkConfig":
         """A copy of this config with a different observer attached."""

@@ -11,6 +11,17 @@ route long *sequences* of frames and care about aggregate statistics.
 * a running fanout histogram,
 
 so examples and benches can express sessions in three lines.
+
+When the config carries resilience settings the fabric also runs the
+overload-serving layer (:mod:`repro.resilience`): an
+:class:`~repro.resilience.gate.AdmissionGate` in front of ``submit``
+(shed frames return a :class:`~repro.resilience.gate.ShedFrame`, never
+touch the network), a per-frame
+:class:`~repro.resilience.budget.DeadlineBudget` carried through the
+healing retries, and a :class:`~repro.resilience.breaker.CircuitBreaker`
+over the primary (faulted) plane that short-circuits it to the standby
+— and forces a :class:`~repro.faults.health.HealthTracker` quarantine —
+once it trips.
 """
 
 from __future__ import annotations
@@ -54,6 +65,12 @@ class FabricStats:
         quarantines: times the primary plane entered quarantine.
         standby_frames: frames served by the standby plane while the
             primary was quarantined.
+        shed_frames: frames refused by the admission gate (never
+            routed; not counted in ``frames``).
+        deadline_expired_frames: frames whose healing loop was cut
+            short by the deadline budget.
+        short_circuits: frames diverted to the standby plane by an
+            open circuit breaker (counted in ``standby_frames`` too).
     """
 
     frames: int = 0
@@ -70,6 +87,9 @@ class FabricStats:
     lost_terminals: int = 0
     quarantines: int = 0
     standby_frames: int = 0
+    shed_frames: int = 0
+    deadline_expired_frames: int = 0
+    short_circuits: int = 0
 
     @property
     def mean_fanout(self) -> float:
@@ -110,6 +130,15 @@ class MulticastFabric:
             :class:`~repro.faults.health.HealthTracker` (default: one
             with its default thresholds).
 
+    Resilience settings live on the config: ``admission`` installs an
+    :class:`~repro.resilience.gate.AdmissionGate` (overloaded submits
+    return a :class:`~repro.resilience.gate.ShedFrame`), ``deadline_ms``
+    gives every frame a
+    :class:`~repro.resilience.budget.DeadlineBudget`, and ``breaker``
+    (on fault-aware sessions) puts a
+    :class:`~repro.resilience.breaker.CircuitBreaker` over the primary
+    plane.  All three default to off and cost nothing when unset.
+
     When the config carries a non-empty fault plan, the fabric runs the
     self-healing layer: every frame submitted to the (faulty) primary
     plane goes through
@@ -149,6 +178,13 @@ class MulticastFabric:
         self.engine = cfg.engine
         self.observer = cfg.observer
         self.stats = FabricStats()
+        self.deadline_ms = cfg.deadline_ms
+        if cfg.admission is not None:
+            from ..resilience.gate import AdmissionGate  # deferred: cycle
+
+            self.gate = AdmissionGate(cfg.admission, observer=cfg.observer)
+        else:
+            self.gate = None
         if cfg.fault_plan is not None and not cfg.fault_plan.is_empty:
             from ..faults.healing import RetryPolicy  # deferred: cycle
             from ..faults.health import HealthTracker
@@ -158,27 +194,70 @@ class MulticastFabric:
             )
             self.health = health if health is not None else HealthTracker()
             self.standby = build_network(replace(cfg, fault_plan=None))
+            if cfg.breaker is not None:
+                from ..resilience.breaker import (  # deferred: cycle
+                    CircuitBreaker,
+                )
+
+                self.breaker = CircuitBreaker(
+                    cfg.breaker, scope="primary", observer=cfg.observer
+                )
+            else:
+                self.breaker = None
         else:
             self.retry_policy = retry_policy
             self.health = None
             self.standby = None
+            self.breaker = None
 
-    def submit(self, assignment: MulticastAssignment):
+    def submit(self, assignment: MulticastAssignment, priority: int = 0):
         """Route one frame, updating the session statistics.
 
         Returns a verified
         :class:`~repro.core.brsmn.RoutingResult` — or, when the fabric
         carries a fault plan and the primary plane is serving, a healed
-        :class:`~repro.faults.healing.DegradedResult`.
+        :class:`~repro.faults.healing.DegradedResult`.  With an
+        admission policy on the config, an overloaded submit returns a
+        :class:`~repro.resilience.gate.ShedFrame` instead (``ok`` is
+        False, nothing was routed); ``priority > 0`` frames survive
+        soft shedding and may draw on the token reserve.
         """
+        if self.gate is not None:
+            self.gate.tick()
+            if not self.gate.admit(priority=priority):
+                self.stats.shed_frames += 1
+                from ..resilience.gate import ShedFrame  # deferred: cycle
+
+                return ShedFrame(
+                    assignment=assignment,
+                    priority=priority,
+                    reason=self.gate.last_reason,
+                )
+        budget = self._budget()
         if self.health is None:
             return self._submit_verified(assignment, self.network)
         if self.health.use_primary:
-            return self._submit_healed(assignment)
+            if self.breaker is not None and not self.breaker.allow():
+                # Open breaker: the primary is short-circuited to the
+                # standby without paying a (likely doomed) healed pass.
+                self.stats.short_circuits += 1
+                result = self._submit_verified(assignment, self.standby)
+                self.stats.standby_frames += 1
+                self._record_health(False)
+                return result
+            return self._submit_healed(assignment, budget)
         result = self._submit_verified(assignment, self.standby)
         self.stats.standby_frames += 1
         self._record_health(False)
         return result
+
+    def _budget(self):
+        """A fresh per-frame deadline budget, or None when unlimited."""
+        if self.deadline_ms is None:
+            return None
+        from ..resilience.budget import DeadlineBudget  # deferred: cycle
+
+        return DeadlineBudget(self.deadline_ms)
 
     def _submit_verified(self, assignment, network) -> RoutingResult:
         """The plain path: route on ``network``, verify, account."""
@@ -201,7 +280,7 @@ class MulticastFabric:
             self.stats.fanout_histogram[len(assignment[i])] += 1
         return result
 
-    def _submit_healed(self, assignment):
+    def _submit_healed(self, assignment, budget=None):
         """The fault path: heal on the primary plane, track its health."""
         from ..faults.healing import route_with_healing  # deferred: cycle
 
@@ -210,6 +289,8 @@ class MulticastFabric:
             assignment,
             mode=self.mode,
             policy=self.retry_policy,
+            budget=budget,
+            breaker=self.breaker,
         )
         self.stats.frames += 1
         self.stats.deliveries += result.verification.deliveries
@@ -225,9 +306,28 @@ class MulticastFabric:
                 f"frame {self.stats.frames - 1}: lost terminals "
                 f"{list(result.lost)} after {result.attempts} attempts"
             )
+        if result.deadline_expired:
+            self.stats.deadline_expired_frames += 1
         for i in assignment.active_inputs:
             self.stats.fanout_histogram[len(assignment[i])] += 1
         self._record_health(result.degraded)
+        if self.breaker is not None:
+            was_open = self.breaker.is_open
+            self.breaker.record(not result.degraded)
+            if self.breaker.is_open and not was_open:
+                # A tripped breaker escalates straight to quarantine so
+                # traffic drains on the standby during the cooldown.
+                before = self.health.state
+                after = self.health.quarantine()
+                self.stats.quarantines = self.health.quarantines
+                if after is not before:
+                    obs = self.observer
+                    if obs is not None and obs.enabled:
+                        obs.on_fault(
+                            FaultEvent(
+                                action="quarantined", t_ns=perf_counter_ns()
+                            )
+                        )
         return result
 
     def _record_health(self, degraded: bool) -> None:
@@ -296,12 +396,33 @@ class MulticastFabric:
 
         Idempotent and optional — a closed fabric transparently
         restarts its pool on the next submit; see
-        :meth:`~repro.core.brsmn.BRSMN.close`.
+        :meth:`~repro.core.brsmn.BRSMN.close`.  The standby plane is
+        closed in a ``finally`` so a raising primary drain can never
+        leak its worker threads.
         """
-        for network in (self.network, self.standby):
-            close = getattr(network, "close", None)
+        try:
+            close = getattr(self.network, "close", None)
             if close is not None:
                 close()
+        finally:
+            close = getattr(self.standby, "close", None)
+            if close is not None:
+                close()
+
+    def snapshot(self):
+        """Capture a warm-restart
+        :class:`~repro.resilience.snapshot.FabricSnapshot` — the plan
+        cache's assignments plus health and breaker state."""
+        from ..resilience.snapshot import FabricSnapshot  # deferred: cycle
+
+        return FabricSnapshot.capture(self)
+
+    def restore(self, snap) -> int:
+        """Adopt a :class:`~repro.resilience.snapshot.FabricSnapshot`:
+        recompile its cached assignments on *this* fabric's compiler and
+        restore health/breaker state.  Returns the number of plans
+        warmed."""
+        return snap.restore(self)
 
     def reset(self) -> None:
         """Clear the session statistics and health state (the network

@@ -597,6 +597,11 @@ class PlanCache:
     misses: int = 0
     observer: Optional[object] = None
     _plans: "OrderedDict[str, FramePlan]" = field(default_factory=OrderedDict)
+    # Each entry's source assignment, retained for warm-restart
+    # snapshots: fingerprints are one-way hashes, so without the
+    # assignment a snapshot could name cached plans but never rebuild
+    # them (see repro.resilience.snapshot).
+    _assignments: Dict[str, MulticastAssignment] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -690,16 +695,30 @@ class PlanCache:
                 self._plans.move_to_end(key)
             else:
                 self._plans[key] = plan
+                self._assignments[key] = assignment
                 while len(self._plans) > self.maxsize:
                     evicted, _ = self._plans.popitem(last=False)
+                    self._assignments.pop(evicted, None)
                     events.append(("evict", evicted, len(self._plans)))
         self._emit(events)
         return plan, False
+
+    def snapshot_assignments(self) -> List[MulticastAssignment]:
+        """The cached entries' source assignments, LRU order (oldest
+        first) — the payload of a warm-restart snapshot
+        (:class:`~repro.resilience.snapshot.FabricSnapshot`)."""
+        with self._lock:
+            return [
+                self._assignments[key]
+                for key in self._plans
+                if key in self._assignments
+            ]
 
     def clear(self) -> None:
         """Drop every cached plan and reset the counters."""
         with self._lock:
             self._plans.clear()
+            self._assignments.clear()
             self.hits = 0
             self.misses = 0
             events = [("clear", "", 0)]

@@ -160,6 +160,11 @@ def route_resilient(
             the same payloads).
         policy: optional :class:`~repro.faults.healing.RetryPolicy`.
 
+    With ``deadline_ms`` on the config, the healing retries run under a
+    :class:`~repro.resilience.budget.DeadlineBudget`: an expired budget
+    stops further repair passes and the result reports
+    ``deadline_expired=True`` (remaining terminals count as lost).
+
     Returns:
         A :class:`~repro.faults.healing.DegradedResult`; its ``ok``
         property is True when every terminal was delivered (possibly
@@ -172,8 +177,13 @@ def route_resilient(
     )
     net = build_network(cfg)
     asg = _coerce_assignment(cfg.n, assignment)
+    budget = None
+    if cfg.deadline_ms is not None:
+        from ..resilience.budget import DeadlineBudget  # deferred: cycle
+
+        budget = DeadlineBudget(cfg.deadline_ms)
     return route_with_healing(
-        net, asg, mode=mode, payloads=payloads, policy=policy
+        net, asg, mode=mode, payloads=payloads, policy=policy, budget=budget
     )
 
 

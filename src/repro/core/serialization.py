@@ -117,6 +117,7 @@ def requests_to_json(n: int, requests: List[Request]) -> str:
                     "source": r.source,
                     "destinations": sorted(r.destinations),
                     "payload": r.payload,
+                    "priority": r.priority,
                 }
                 for r in requests
             ],
@@ -140,6 +141,7 @@ def requests_from_json(text: str):
                 source=int(r["source"]),
                 destinations=frozenset(int(d) for d in r["destinations"]),
                 payload=r.get("payload"),
+                priority=int(r.get("priority", 0)),
             )
             for r in doc["requests"]
         ]

@@ -29,6 +29,8 @@ healthy network).
 
 from __future__ import annotations
 
+import math
+import random
 import time
 from dataclasses import dataclass
 from time import perf_counter_ns
@@ -36,7 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.multicast import MulticastAssignment
 from ..core.verification import VerificationReport, verify_delivery
-from ..obs.events import FaultEvent
+from ..obs.events import FaultEvent, ResilienceEvent
 
 __all__ = [
     "RetryPolicy",
@@ -55,11 +57,22 @@ class RetryPolicy:
         base_delay_s: backoff before the first retry (0 = no sleeping,
             the right setting for simulations and tests).
         multiplier: exponential backoff factor per further retry.
+        max_delay_s: hard cap on any single backoff — exponential
+            growth is bounded, so a large retry budget cannot produce
+            minute-long sleeps (default: no cap).
+        jitter: optional +/- fraction applied to each (capped) delay,
+            de-synchronising retry storms; 0 disables it.
+        jitter_seed: seed of the jitter stream — the jittered delays
+            are a pure function of ``(jitter_seed, retry)``, so tests
+            stay deterministic.
     """
 
     max_retries: int = 3
     base_delay_s: float = 0.0
     multiplier: float = 2.0
+    max_delay_s: float = math.inf
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -70,12 +83,29 @@ class RetryPolicy:
             )
         if self.multiplier < 1.0:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay_s < 0:
+            raise ValueError(
+                f"max_delay_s must be >= 0, got {self.max_delay_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def delay(self, retry: int) -> float:
-        """Backoff in seconds before retry number ``retry`` (1-based)."""
+        """Backoff in seconds before retry number ``retry`` (1-based).
+
+        The exponential delay is capped at ``max_delay_s`` first, then
+        jittered by a deterministic factor in ``[1 - jitter,
+        1 + jitter]`` drawn from ``(jitter_seed, retry)`` — repeated
+        calls for the same retry return the same delay.
+        """
         if retry < 1:
             raise ValueError(f"retry numbers are 1-based, got {retry}")
-        return self.base_delay_s * (self.multiplier ** (retry - 1))
+        delay = self.base_delay_s * (self.multiplier ** (retry - 1))
+        delay = min(delay, self.max_delay_s)
+        if self.jitter > 0.0 and delay > 0.0:
+            rng = random.Random(f"{self.jitter_seed}:{retry}")
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return delay
 
 
 @dataclass(frozen=True)
@@ -116,6 +146,13 @@ class DegradedResult:
         switch_ops: 2x2 switch applications summed over every pass.
         verification: report of ``outputs`` against ``assignment``
             (its violations are exactly the lost terminals).
+        deadline_expired: True when the healing loop stopped early
+            because the caller's
+            :class:`~repro.resilience.budget.DeadlineBudget` ran out
+            (the remaining failed terminals are then lost).
+        short_circuited: True when the healing loop stopped early
+            because the caller's circuit breaker denied further repair
+            passes.
     """
 
     assignment: MulticastAssignment
@@ -126,6 +163,8 @@ class DegradedResult:
     total_splits: int = 0
     switch_ops: int = 0
     verification: Optional[VerificationReport] = None
+    deadline_expired: bool = False
+    short_circuited: bool = False
 
     def _with_status(self, status: str) -> Tuple[int, ...]:
         return tuple(
@@ -163,6 +202,13 @@ def _emit(observer, event: FaultEvent) -> None:
         observer.on_fault(event)
 
 
+def _emit_resilience(observer, action: str) -> None:
+    if observer is not None and observer.enabled:
+        observer.on_resilience(
+            ResilienceEvent(action=action, t_ns=perf_counter_ns())
+        )
+
+
 def _correct(msg, expected_source: int) -> bool:
     return msg is not None and msg.source == expected_source
 
@@ -174,6 +220,8 @@ def route_with_healing(
     mode: str = "selfrouting",
     payloads=None,
     policy: Optional[RetryPolicy] = None,
+    budget=None,
+    breaker=None,
 ) -> DegradedResult:
     """Route with post-route detection, bounded retries and rerouting.
 
@@ -186,6 +234,16 @@ def route_with_healing(
         payloads: optional per-input payloads (repair passes re-send
             the same payloads).
         policy: retry bounds/backoff (default :class:`RetryPolicy`).
+        budget: optional
+            :class:`~repro.resilience.budget.DeadlineBudget` — repair
+            passes stop (and the remaining terminals are accounted
+            lost with ``deadline_expired=True``) once it is spent, and
+            backoff sleeps are clamped so they never out-live it.
+        breaker: optional
+            :class:`~repro.resilience.breaker.CircuitBreaker` — an
+            open breaker stops further repair passes immediately
+            (``short_circuited=True``) instead of burning the retry
+            budget against a known-bad plane.
 
     Returns:
         A :class:`DegradedResult`; ``result.ok`` is True when every
@@ -222,6 +280,13 @@ def route_with_healing(
 
         retry = 0
         while failed and retry < policy.max_retries:
+            if budget is not None and budget.expired:
+                outcome.deadline_expired = True
+                _emit_resilience(observer, "deadline_expired")
+                break
+            if breaker is not None and breaker.is_open:
+                outcome.short_circuited = True
+                break
             retry += 1
             outcome.attempts += 1
             _emit(
@@ -234,6 +299,8 @@ def route_with_healing(
                 ),
             )
             delay = policy.delay(retry)
+            if budget is not None:
+                delay = budget.clamp(delay)
             if delay > 0:
                 time.sleep(delay)
             _emit(

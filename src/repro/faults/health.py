@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict
 
 __all__ = ["PlaneState", "HealthTracker"]
 
@@ -111,6 +112,41 @@ class HealthTracker:
                     self.consecutive_failures = 0
                     self.readmissions += 1
         return self.state
+
+    def quarantine(self) -> PlaneState:
+        """Force the plane into quarantine, regardless of streaks.
+
+        The escalation hook for external verdicts — a tripping
+        :class:`~repro.resilience.breaker.CircuitBreaker` calls this so
+        the drain / probe / re-admit machinery takes over immediately
+        instead of waiting out ``fail_threshold`` more degraded frames.
+        A no-op while already quarantined.
+        """
+        if self.state is not PlaneState.QUARANTINED:
+            self._quarantine()
+        return self.state
+
+    def snapshot(self) -> Dict[str, object]:
+        """The tracker's restorable state as plain JSON types."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "drained": self.drained,
+            "clean_probes": self.clean_probes,
+            "quarantines": self.quarantines,
+            "readmissions": self.readmissions,
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Adopt a state previously captured by :meth:`snapshot` — a
+        restarted fabric then remembers a quarantined plane instead of
+        re-learning the fault frame by degraded frame."""
+        self.state = PlaneState(snapshot["state"])
+        self.consecutive_failures = int(snapshot["consecutive_failures"])
+        self.drained = int(snapshot["drained"])
+        self.clean_probes = int(snapshot["clean_probes"])
+        self.quarantines = int(snapshot["quarantines"])
+        self.readmissions = int(snapshot["readmissions"])
 
     def _quarantine(self) -> None:
         self.state = PlaneState.QUARANTINED

@@ -42,6 +42,7 @@ from .events import (
     Observer,
     ParallelEvent,
     QueueDepth,
+    ResilienceEvent,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, log2_buckets
 from .metrics_observer import MetricsObserver
@@ -60,6 +61,7 @@ __all__ = [
     "Observer",
     "ParallelEvent",
     "QueueDepth",
+    "ResilienceEvent",
     "Counter",
     "Gauge",
     "Histogram",

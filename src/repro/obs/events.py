@@ -24,7 +24,10 @@ throughput engine (:mod:`repro.parallel`): shard / compile task
 lifecycle, worker-pool utilisation and compile-queue depth.  The
 single-flight plan cache additionally reuses :class:`CacheEvent` with
 ``kind="coalesced"`` for lookups that piggybacked on another thread's
-in-flight compilation.
+in-flight compilation.  The overload-resilience layer
+(:mod:`repro.resilience`) emits :class:`ResilienceEvent` samples:
+admission decisions, deadline expiries, circuit-breaker transitions,
+crash-safe shard recoveries and warm-restart snapshots.
 
 Observation is strictly pay-for-what-you-use: every emission site is
 gated on ``observer is not None and observer.enabled``, so routing with
@@ -47,6 +50,7 @@ __all__ = [
     "QueueDepth",
     "FaultEvent",
     "ParallelEvent",
+    "ResilienceEvent",
     "Observer",
     "NullSink",
     "CompositeObserver",
@@ -236,6 +240,43 @@ class ParallelEvent:
     t_ns: int = 0
 
 
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """Something happened on the overload-resilience path.
+
+    Emitted by the :mod:`repro.resilience` layer (admission gate,
+    circuit breaker, deadline budget, crash-safe shard router, warm
+    restart) so overload behaviour shows up in the same observer
+    stream — and the same ``repro_resilience_*`` metric families — as
+    ordinary routing.
+
+    Attributes:
+        action: ``"admitted"`` / ``"shed"`` (admission decisions),
+            ``"deadline_expired"`` (a budget ran out mid-serve),
+            ``"breaker_open"`` / ``"breaker_half_open"`` /
+            ``"breaker_closed"`` (circuit-breaker transitions),
+            ``"short_circuit"`` (a call denied by an open breaker),
+            ``"shard_requeued"`` / ``"shard_inline"`` (crash-safe
+            batch routing recoveries), or ``"snapshot_saved"`` /
+            ``"snapshot_restored"`` (warm restart).
+        scope: which guarded resource the event concerns (a breaker's
+            scope label, empty elsewhere).
+        priority: admission events — the frame's priority class.
+        frames: frames covered by the event (1 per decision).
+        tokens: admission events — bucket level after the decision.
+        queue_depth: admission events — backlog depth at the decision.
+        t_ns: ``perf_counter_ns`` timestamp of the emission.
+    """
+
+    action: str
+    scope: str = ""
+    priority: int = 0
+    frames: int = 1
+    tokens: float = 0.0
+    queue_depth: int = 0
+    t_ns: int = 0
+
+
 class Observer:
     """Base observer: every hook is a no-op; subclass what you need.
 
@@ -267,6 +308,9 @@ class Observer:
 
     def on_parallel(self, event: ParallelEvent) -> None:
         """The worker pool / compile-ahead pipeline reported an event."""
+
+    def on_resilience(self, event: ResilienceEvent) -> None:
+        """The overload-resilience layer reported an event."""
 
 
 class NullSink(Observer):
@@ -323,3 +367,7 @@ class CompositeObserver(Observer):
     def on_parallel(self, event: ParallelEvent) -> None:
         for o in self.observers:
             o.on_parallel(event)
+
+    def on_resilience(self, event: ResilienceEvent) -> None:
+        for o in self.observers:
+            o.on_resilience(event)

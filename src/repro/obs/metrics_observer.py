@@ -33,6 +33,15 @@ metric                                  type       source event
 ``repro_faults_lost_terminals_total``   counter    FaultEvent "lost"
 ``repro_faults_quarantines_total``      counter    FaultEvent "quarantined"
 ``repro_faults_plane_state``            gauge      FaultEvent transitions
+``repro_resilience_admitted_total{priority}``  counter  ResilienceEvent "admitted"
+``repro_resilience_shed_total{priority}``  counter  ResilienceEvent "shed"
+``repro_resilience_deadline_expired_total``  counter  ResilienceEvent "deadline_expired"
+``repro_resilience_breaker_transitions_total{state}``  counter  ResilienceEvent "breaker_*"
+``repro_resilience_breaker_state{scope}``  gauge   ResilienceEvent "breaker_*"
+``repro_resilience_short_circuits_total``  counter  ResilienceEvent "short_circuit"
+``repro_resilience_shard_requeues_total``  counter  ResilienceEvent "shard_requeued"
+``repro_resilience_shard_inline_total``  counter   ResilienceEvent "shard_inline"
+``repro_resilience_snapshot_total{action}``  counter  ResilienceEvent "snapshot_*"
 ======================================  =========  ==========================
 
 Latency histograms use power-of-two nanosecond buckets
@@ -58,6 +67,7 @@ from .events import (
     Observer,
     ParallelEvent,
     QueueDepth,
+    ResilienceEvent,
 )
 from .metrics import MetricsRegistry, log2_buckets
 
@@ -182,6 +192,47 @@ class MetricsObserver(Observer):
             "repro_faults_plane_state",
             "Primary plane state (0 healthy, 1 probation, 2 quarantined).",
         )
+        self._res_admitted = r.counter(
+            "repro_resilience_admitted_total",
+            "Frames admitted by the admission gate, by priority class.",
+            ("priority",),
+        )
+        self._res_shed = r.counter(
+            "repro_resilience_shed_total",
+            "Frames shed by the admission gate, by priority class.",
+            ("priority",),
+        )
+        self._res_deadline_expired = r.counter(
+            "repro_resilience_deadline_expired_total",
+            "Healing loops cut short by an expired deadline budget.",
+        )
+        self._res_breaker_transitions = r.counter(
+            "repro_resilience_breaker_transitions_total",
+            "Circuit-breaker state transitions, by destination state.",
+            ("state",),
+        )
+        self._res_breaker_state = r.gauge(
+            "repro_resilience_breaker_state",
+            "Circuit-breaker state (0 closed, 1 half_open, 2 open).",
+            ("scope",),
+        )
+        self._res_short_circuits = r.counter(
+            "repro_resilience_short_circuits_total",
+            "Frames short-circuited away from an open breaker's plane.",
+        )
+        self._res_shard_requeues = r.counter(
+            "repro_resilience_shard_requeues_total",
+            "Crashed batch shards resubmitted to the worker pool.",
+        )
+        self._res_shard_inline = r.counter(
+            "repro_resilience_shard_inline_total",
+            "Batch shards recovered inline on the submitting thread.",
+        )
+        self._res_snapshot = r.counter(
+            "repro_resilience_snapshot_total",
+            "Warm-restart snapshots taken/restored, by action.",
+            ("action",),
+        )
 
     def on_frame_start(self, event: FrameStart) -> None:
         """Observe the assignment's fanout; remember the frame labels.
@@ -257,8 +308,35 @@ class MetricsObserver(Observer):
                     self._faults_quarantines.inc(1)
                 self._plane_state.set(_PLANE_STATES[action])
 
+    def on_resilience(self, event: ResilienceEvent) -> None:
+        """Fold an overload-layer event into the ``repro_resilience_*``
+        families."""
+        action = event.action
+        with self._lock:
+            if action == "admitted":
+                self._res_admitted.inc(1, priority=str(event.priority))
+            elif action == "shed":
+                self._res_shed.inc(1, priority=str(event.priority))
+            elif action == "deadline_expired":
+                self._res_deadline_expired.inc(event.frames)
+            elif action in _BREAKER_STATES:
+                state = action[len("breaker_"):]
+                self._res_breaker_transitions.inc(1, state=state)
+                self._res_breaker_state.set(
+                    _BREAKER_STATES[action], scope=event.scope
+                )
+            elif action == "short_circuit":
+                self._res_short_circuits.inc(event.frames)
+            elif action == "shard_requeued":
+                self._res_shard_requeues.inc(1)
+            elif action == "shard_inline":
+                self._res_shard_inline.inc(1)
+            elif action in ("snapshot_saved", "snapshot_restored"):
+                self._res_snapshot.inc(1, action=action)
+
     _engine = "unknown"
     _mode = "unknown"
 
 
 _PLANE_STATES = {"readmitted": 0, "probation": 1, "quarantined": 2}
+_BREAKER_STATES = {"breaker_closed": 0, "breaker_half_open": 1, "breaker_open": 2}

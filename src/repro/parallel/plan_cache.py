@@ -41,11 +41,17 @@ __all__ = ["ConcurrentPlanCache"]
 class _Stripe:
     """One independent cache segment: mutex, LRU map, in-flight table."""
 
-    __slots__ = ("lock", "plans", "inflight", "hits", "misses", "coalesced")
+    __slots__ = (
+        "lock", "plans", "assignments", "inflight", "hits", "misses",
+        "coalesced",
+    )
 
     def __init__(self):
         self.lock = threading.Lock()
         self.plans: "OrderedDict[str, FramePlan]" = OrderedDict()
+        # Source assignment per cached key, for warm-restart snapshots
+        # (fingerprints alone cannot rebuild a plan).
+        self.assignments: Dict[str, MulticastAssignment] = {}
         self.inflight: Dict[str, Future] = {}
         self.hits = 0
         self.misses = 0
@@ -215,13 +221,29 @@ class ConcurrentPlanCache:
         events = []
         with stripe.lock:
             stripe.plans[key] = plan
+            stripe.assignments[key] = assignment
             stripe.inflight.pop(key, None)
             while len(stripe.plans) > self._quota:
                 evicted, _ = stripe.plans.popitem(last=False)
+                stripe.assignments.pop(evicted, None)
                 events.append(("evict", evicted, self._size()))
         future.set_result(plan)
         self._emit(events)
         return plan, False
+
+    def snapshot_assignments(self) -> List[MulticastAssignment]:
+        """The cached entries' source assignments, stripe by stripe in
+        each stripe's LRU order — the payload of a warm-restart
+        snapshot (:class:`~repro.resilience.snapshot.FabricSnapshot`)."""
+        assignments: List[MulticastAssignment] = []
+        for stripe in self._stripes:
+            with stripe.lock:
+                assignments.extend(
+                    stripe.assignments[key]
+                    for key in stripe.plans
+                    if key in stripe.assignments
+                )
+        return assignments
 
     def clear(self) -> None:
         """Drop every cached plan and reset the counters.
@@ -234,6 +256,7 @@ class ConcurrentPlanCache:
         for stripe in self._stripes:  # consistent order; no nesting
             with stripe.lock:
                 stripe.plans.clear()
+                stripe.assignments.clear()
                 stripe.hits = 0
                 stripe.misses = 0
                 stripe.coalesced = 0

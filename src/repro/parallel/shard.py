@@ -1,4 +1,4 @@
-"""Deterministic row-sharding of batched frame routing.
+"""Deterministic, crash-safe row-sharding of batched frame routing.
 
 A compiled :class:`~repro.core.fastplan.FramePlan` routes a whole
 ``(batch, n)`` payload matrix with a couple of gathers; the batch axis
@@ -14,15 +14,30 @@ function of ``(batch, workers)`` (:func:`shard_bounds`), each shard
 owns a disjoint output range, and the caller blocks until every shard
 completes — so the merged matrix is bit-identical to the single-thread
 result regardless of which worker finishes first.
+
+Worker failures never lose a slice.  A shard task that dies (its
+future carries an exception, or the executor was shut down under it)
+is requeued on the pool exactly once; if the requeue also fails, the
+submitting thread routes that shard inline — so ``route_batch`` always
+returns complete, correct deliveries, and only a *deterministically*
+poisoned plan (one that fails inline too) propagates an exception.  An
+optional :class:`~repro.resilience.budget.DeadlineBudget` bounds every
+future wait the same way: a shard that has not finished within the
+budget is computed inline (the worker, if it ever runs, writes the
+same bytes to the same disjoint slice, so the race is benign).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import math
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from time import perf_counter_ns
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.fastplan import FramePlan
+from ..obs.events import ResilienceEvent
 from .workers import WorkerPool
 
 __all__ = ["ShardedBatchRouter", "shard_bounds"]
@@ -64,22 +79,46 @@ class ShardedBatchRouter:
             inline — it would otherwise idle while waiting, and on a
             single-core host that keeps the sharded path within noise
             of the sequential one.
+        observer: optional :class:`~repro.obs.events.Observer`
+            receiving ``shard_requeued`` / ``shard_inline``
+            :class:`~repro.obs.events.ResilienceEvent` samples when a
+            crashed or deadline-stranded shard is recovered.
+
+    Attributes:
+        requeues: crashed shard tasks resubmitted to the pool.
+        inline_fallbacks: shards ultimately routed on the submitting
+            thread (requeue also failed, executor dead, or deadline
+            spent waiting).
     """
 
-    def __init__(self, pool: WorkerPool):
+    def __init__(self, pool: WorkerPool, observer: Optional[object] = None):
         self.pool = pool
+        self.observer = observer
+        self.requeues = 0
+        self.inline_fallbacks = 0
 
     def apply(
         self,
         plan: FramePlan,
         payload_matrix: np.ndarray,
         attempt: int = 0,
+        budget=None,
     ) -> np.ndarray:
         """Equivalent of ``plan.apply_batch(payload_matrix, attempt)``.
 
         The matrix is sharded along axis 0; dtype semantics (object
         vs. numeric fill) are the plan's own, because every shard *is*
         an ``apply_batch`` call on a row-slice view.
+
+        Args:
+            plan: the compiled routing plan shared by every row.
+            payload_matrix: the ``(batch, n)`` payload matrix.
+            attempt: routing attempt number (fault sampling key).
+            budget: optional
+                :class:`~repro.resilience.budget.DeadlineBudget`; a
+                shard still unfinished when it expires is computed
+                inline instead of waited on, so the call returns
+                complete deliveries without ever hanging.
 
         Returns:
             the ``(batch, n)`` delivered matrix, bit-identical to the
@@ -92,15 +131,77 @@ class ShardedBatchRouter:
         if len(bounds) <= 1:
             return plan.apply_batch(mat, attempt)
         out = np.empty(mat.shape, dtype=mat.dtype)
-        futures = [
-            self.pool.submit("shard", self._shard, plan, mat, out, lo, hi, attempt)
+        tasks = [
+            (lo, hi, self._submit(plan, mat, out, lo, hi, attempt))
             for lo, hi in bounds[:-1]
         ]
         lo, hi = bounds[-1]
         self._shard(plan, mat, out, lo, hi, attempt)
-        for future in futures:
-            future.result()  # propagate the first shard failure
+        for lo, hi, future in tasks:
+            self._collect(plan, mat, out, lo, hi, attempt, future, budget)
         return out
+
+    def _submit(self, plan, mat, out, lo, hi, attempt):
+        """Dispatch one shard; ``None`` when the executor is dead
+        (shut down concurrently) — the collector then routes inline."""
+        try:
+            return self.pool.submit(
+                "shard", self._shard, plan, mat, out, lo, hi, attempt
+            )
+        except RuntimeError:
+            return None
+
+    def _collect(self, plan, mat, out, lo, hi, attempt, future, budget):
+        """Await one shard, recovering crashes and deadline overruns.
+
+        Recovery ladder: a dead submission or an expired wait routes
+        inline; a crashed task is requeued exactly once, and a second
+        crash routes inline — where a deterministic error (a poisoned
+        plan) still propagates, by design: availability never trumps
+        correctness.
+        """
+        requeued = False
+        while True:
+            if future is None:
+                self._inline(plan, mat, out, lo, hi, attempt)
+                return
+            timeout = None
+            if budget is not None and not budget.unlimited:
+                timeout = budget.remaining_s
+                if math.isinf(timeout):
+                    timeout = None
+            try:
+                future.result(timeout=timeout)
+                return
+            except FuturesTimeoutError:
+                # Deadline spent waiting.  Compute the slice inline:
+                # the stranded worker, if it ever runs, writes the
+                # identical bytes to the same disjoint range.
+                self._inline(plan, mat, out, lo, hi, attempt)
+                return
+            except Exception:
+                if requeued:
+                    self._inline(plan, mat, out, lo, hi, attempt)
+                    return
+                requeued = True
+                self.requeues += 1
+                self._emit("shard_requeued", hi - lo)
+                future = self._submit(plan, mat, out, lo, hi, attempt)
+
+    def _inline(self, plan, mat, out, lo, hi, attempt) -> None:
+        """Route one shard on the submitting thread (the last resort —
+        and the guarantee that a batch always completes)."""
+        self.inline_fallbacks += 1
+        self._emit("shard_inline", hi - lo)
+        self._shard(plan, mat, out, lo, hi, attempt)
+
+    def _emit(self, action: str, frames: int) -> None:
+        obs = self.observer
+        if obs is None or not obs.enabled:
+            return
+        obs.on_resilience(
+            ResilienceEvent(action=action, frames=frames, t_ns=perf_counter_ns())
+        )
 
     @staticmethod
     def _shard(

@@ -100,7 +100,9 @@ class TestChaosCommand:
             ["chaos", "--n", "16", "--frames", "40",
              "--faults", "2", "--seed", "3"]
         )
-        assert rc == 0
+        # This seeded campaign ends with lost terminals: the exit-code
+        # contract (see repro.cli) reports that as 3, not 0.
+        assert rc == 3
         out = capsys.readouterr().out
         assert "chaos campaign: n=16 frames=40 faults=2 seed=3" in out
         assert "fault plan:" in out

@@ -1,0 +1,126 @@
+"""CircuitBreaker: the closed -> open -> half-open state machine."""
+
+import pytest
+
+from repro.obs import MetricsObserver
+from repro.resilience import BreakerPolicy, BreakerState, CircuitBreaker
+
+
+def trip(breaker):
+    """Drive a closed breaker to OPEN via consecutive failures."""
+    for _ in range(breaker.policy.failure_threshold):
+        breaker.record(False)
+    assert breaker.state is BreakerState.OPEN
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"open_frames": 0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_thresholds_must_be_positive(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state is BreakerState.CLOSED
+        assert b.allow()
+        assert not b.is_open
+
+    def test_success_resets_the_failure_streak(self):
+        b = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        b.record(False)
+        b.record(False)
+        b.record(True)  # streak broken
+        b.record(False)
+        b.record(False)
+        assert b.state is BreakerState.CLOSED
+
+    def test_consecutive_failures_trip_open(self):
+        b = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        trip(b)
+        assert b.is_open
+        assert b.opens == 1
+
+    def test_denials_count_the_cooldown_to_half_open(self):
+        b = CircuitBreaker(BreakerPolicy(failure_threshold=1, open_frames=3))
+        trip(b)
+        assert [b.allow() for _ in range(3)] == [False, False, False]
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.short_circuits == 3
+        assert b.allow()  # probes flow again
+
+    def test_half_open_closes_after_probe_successes(self):
+        b = CircuitBreaker(
+            BreakerPolicy(
+                failure_threshold=1, open_frames=1, half_open_probes=2
+            )
+        )
+        trip(b)
+        b.allow()  # cooldown spent -> HALF_OPEN
+        b.record(True)
+        assert b.state is BreakerState.HALF_OPEN
+        b.record(True)
+        assert b.state is BreakerState.CLOSED
+        assert b.closes == 1
+
+    def test_half_open_failure_reopens(self):
+        b = CircuitBreaker(BreakerPolicy(failure_threshold=1, open_frames=1))
+        trip(b)
+        b.allow()
+        assert b.state is BreakerState.HALF_OPEN
+        b.record(False)
+        assert b.state is BreakerState.OPEN
+        assert b.opens == 2
+
+    def test_stale_record_while_open_changes_nothing(self):
+        b = CircuitBreaker(BreakerPolicy(failure_threshold=1))
+        trip(b)
+        assert b.record(True) is BreakerState.OPEN
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_state(self):
+        b = CircuitBreaker(BreakerPolicy(failure_threshold=1, open_frames=4))
+        trip(b)
+        b.allow()
+        snap = b.snapshot()
+        b2 = CircuitBreaker(b.policy)
+        b2.restore(snap)
+        assert b2.state is BreakerState.OPEN
+        assert b2.denied_since_open == 1
+        assert b2.opens == 1 and b2.short_circuits == 1
+        # The restored breaker continues the cooldown where it left off.
+        for _ in range(3):
+            b2.allow()
+        assert b2.state is BreakerState.HALF_OPEN
+
+    def test_snapshot_is_plain_json_types(self):
+        import json
+
+        b = CircuitBreaker()
+        trip(b)
+        assert json.loads(json.dumps(b.snapshot())) == b.snapshot()
+
+
+class TestObservability:
+    def test_transitions_feed_resilience_metrics(self):
+        obs = MetricsObserver()
+        b = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, open_frames=1),
+            scope="primary",
+            observer=obs,
+        )
+        trip(b)
+        b.allow()  # short circuit + half-open
+        text = obs.registry.to_prometheus_text()
+        assert 'repro_resilience_breaker_transitions_total{state="open"} 1' in text
+        assert "repro_resilience_short_circuits_total 1" in text
+        assert 'repro_resilience_breaker_state{scope="primary"} 1' in text

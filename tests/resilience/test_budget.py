@@ -1,0 +1,88 @@
+"""DeadlineBudget: deterministic wall-time accounting via a fake clock."""
+
+import math
+
+import pytest
+
+from repro.resilience import DeadlineBudget
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestUnlimited:
+    def test_none_deadline_never_expires(self):
+        clock = FakeClock()
+        b = DeadlineBudget(None, clock=clock)
+        assert b.unlimited
+        assert not b.expired
+        clock.advance(1e9)
+        assert not b.expired
+        assert b.remaining_s == math.inf
+
+    def test_clamp_is_identity(self):
+        b = DeadlineBudget(None, clock=FakeClock())
+        assert b.clamp(123.0) == 123.0
+        assert b.clamp(0.0) == 0.0
+
+
+class TestLimited:
+    def test_counts_down_and_expires(self):
+        clock = FakeClock()
+        b = DeadlineBudget(100.0, clock=clock)
+        assert not b.unlimited
+        assert b.remaining_s == pytest.approx(0.1)
+        clock.advance(0.06)
+        assert b.remaining_s == pytest.approx(0.04)
+        assert not b.expired
+        clock.advance(0.05)
+        assert b.expired
+        assert b.remaining_s == 0.0  # floored, never negative
+
+    def test_elapsed_tracks_the_clock(self):
+        clock = FakeClock(5.0)
+        b = DeadlineBudget(50.0, clock=clock)
+        clock.advance(0.02)
+        assert b.elapsed_s == pytest.approx(0.02)
+
+    def test_clamp_shortens_to_remaining(self):
+        clock = FakeClock()
+        b = DeadlineBudget(100.0, clock=clock)
+        assert b.clamp(1.0) == pytest.approx(0.1)
+        assert b.clamp(0.05) == pytest.approx(0.05)
+        clock.advance(0.2)
+        assert b.clamp(1.0) == 0.0
+
+    def test_each_budget_starts_fresh(self):
+        """A budget is per-frame: a late construction does not inherit
+        an earlier frame's elapsed time."""
+        clock = FakeClock()
+        DeadlineBudget(10.0, clock=clock)
+        clock.advance(1.0)
+        b2 = DeadlineBudget(10.0, clock=clock)
+        assert not b2.expired
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_deadline_rejected(self, bad):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            DeadlineBudget(bad)
+
+    def test_negative_clamp_rejected(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            DeadlineBudget(10.0, clock=FakeClock()).clamp(-0.1)
+
+    def test_repr_mentions_state(self):
+        assert "unlimited" in repr(DeadlineBudget(None, clock=FakeClock()))
+        assert "remaining" in repr(DeadlineBudget(10.0, clock=FakeClock()))

@@ -1,0 +1,183 @@
+"""Crash-safe sharded routing: crashed workers never lose a slice."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from conftest import make_random_assignment
+from repro.core.fastplan import compile_frame_plan
+from repro.obs import MetricsObserver
+from repro.parallel import ShardedBatchRouter, WorkerPool
+from repro.resilience import DeadlineBudget
+
+
+def _on_pool_thread() -> bool:
+    """True when running on a WorkerPool thread (named repro-worker*)."""
+    return threading.current_thread().name.startswith("repro-worker")
+
+
+class CrashingPlan:
+    """Wrap a real plan; the first ``crashes`` pool-thread calls die.
+
+    Submitting-thread calls (the caller's own shard, requeued work that
+    fell back inline) always succeed, so the recovery ladder is
+    exercised deterministically.
+    """
+
+    def __init__(self, plan, crashes: int):
+        self._plan = plan
+        self._budget = crashes
+        self._lock = threading.Lock()
+        self.worker_calls = 0
+
+    def apply_batch(self, mat, attempt=0):
+        if _on_pool_thread():
+            with self._lock:
+                self.worker_calls += 1
+                if self._budget > 0:
+                    self._budget -= 1
+                    raise RuntimeError("injected worker crash")
+        return self._plan.apply_batch(mat, attempt)
+
+
+@pytest.fixture()
+def pool():
+    p = WorkerPool(2)
+    yield p
+    p.shutdown()
+
+
+def _case(n=32, batch=12, seed=5):
+    a = make_random_assignment(n, random.Random(seed))
+    plan = compile_frame_plan(a)
+    mat = np.random.default_rng(seed).integers(0, 2**31, size=(batch, n))
+    return plan, mat
+
+
+class TestCrashRecovery:
+    def test_single_crash_requeues_exactly_once(self, pool):
+        plan, mat = _case()
+        crashing = CrashingPlan(plan, crashes=1)
+        router = ShardedBatchRouter(pool)
+        out = router.apply(crashing, mat)
+        # Bit-identical to the sequential result despite the crash.
+        assert np.array_equal(out, plan.apply_batch(mat))
+        assert router.requeues == 1
+        assert router.inline_fallbacks == 0
+
+    def test_double_crash_falls_back_inline(self, pool):
+        plan, mat = _case()
+        # 2 workers -> one pooled shard; both its attempts crash.
+        crashing = CrashingPlan(plan, crashes=2)
+        router = ShardedBatchRouter(pool)
+        out = router.apply(crashing, mat)
+        assert np.array_equal(out, plan.apply_batch(mat))
+        assert router.requeues == 1
+        assert router.inline_fallbacks == 1
+
+    def test_dead_executor_routes_everything_inline(self, pool):
+        plan, mat = _case()
+        router = ShardedBatchRouter(pool)
+        pool.shutdown()
+        # submit() would restart the pool; simulate the shutdown race by
+        # making every submission fail like a closing executor does.
+        pool.submit = lambda *a, **k: (_ for _ in ()).throw(
+            RuntimeError("cannot schedule new futures after shutdown")
+        )
+        out = router.apply(plan, mat)
+        assert np.array_equal(out, plan.apply_batch(mat))
+        assert router.inline_fallbacks >= 1
+
+    def test_deterministic_poison_still_propagates(self, pool):
+        """Availability never trumps correctness: a plan that fails
+        everywhere (not just on workers) raises, after the ladder."""
+
+        class PoisonedPlan:
+            def apply_batch(self, mat, attempt=0):
+                raise ValueError("poisoned plan")
+
+        mat = np.zeros((8, 16))
+        with pytest.raises(ValueError, match="poisoned plan"):
+            ShardedBatchRouter(pool).apply(PoisonedPlan(), mat)
+
+    def test_recovery_emits_resilience_metrics(self, pool):
+        plan, mat = _case(seed=6)
+        obs = MetricsObserver()
+        router = ShardedBatchRouter(pool, observer=obs)
+        router.apply(CrashingPlan(plan, crashes=2), mat)
+        text = obs.registry.to_prometheus_text()
+        assert "repro_resilience_shard_requeues_total 1" in text
+        assert "repro_resilience_shard_inline_total 1" in text
+
+
+class TestConcurrentCrashes:
+    def test_concurrent_batches_under_crashes_stay_bit_identical(self):
+        """Satellite (d): concurrent route_batch calls with injected
+        worker crashes still return bit-identical deliveries, and every
+        crash is requeued exactly once."""
+        pool = WorkerPool(4)
+        try:
+            plan, mat = _case(n=64, batch=24, seed=9)
+            expected = plan.apply_batch(mat)
+            routers = [ShardedBatchRouter(pool) for _ in range(4)]
+            crashing = [CrashingPlan(plan, crashes=1) for _ in range(4)]
+            results = [None] * 4
+            errors = []
+
+            def worker(i):
+                try:
+                    results[i] = routers[i].apply(crashing[i], mat)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            for i in range(4):
+                assert np.array_equal(results[i], expected)
+                assert routers[i].requeues == 1
+        finally:
+            pool.shutdown()
+
+
+class TestDeadlineBoundedWaits:
+    def test_expired_budget_computes_stranded_shards_inline(self, pool):
+        plan, mat = _case(seed=11)
+
+        class SlowOnWorkers:
+            """Worker calls stall past the deadline; inline is instant."""
+
+            def __init__(self, plan):
+                self._plan = plan
+                self._release = threading.Event()
+
+            def apply_batch(self, m, attempt=0):
+                if _on_pool_thread():
+                    self._release.wait(timeout=5.0)
+                return self._plan.apply_batch(m, attempt)
+
+        slow = SlowOnWorkers(plan)
+        router = ShardedBatchRouter(pool)
+        budget = DeadlineBudget(20.0)  # 20 ms: the stall outlives it
+        out = router.apply(slow, mat, budget=budget)
+        slow._release.set()
+        # Complete and correct despite the stranded worker (the benign
+        # race: the worker writes identical bytes to a disjoint slice).
+        assert np.array_equal(out, plan.apply_batch(mat))
+        assert router.inline_fallbacks >= 1
+
+    def test_unlimited_budget_changes_nothing(self, pool):
+        plan, mat = _case(seed=12)
+        out = ShardedBatchRouter(pool).apply(
+            plan, mat, budget=DeadlineBudget(None)
+        )
+        assert np.array_equal(out, plan.apply_batch(mat))

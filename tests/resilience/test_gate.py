@@ -1,0 +1,119 @@
+"""AdmissionGate: token bucket, watermarks, priority reserve."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsObserver
+from repro.resilience import AdmissionGate, AdmissionPolicy, ShedFrame
+
+
+class TestPolicyValidation:
+    def test_defaults_are_all_permissive(self):
+        p = AdmissionPolicy()
+        assert p.unlimited
+        assert math.isinf(p.rate) and math.isinf(p.burst)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": -1.0},
+            {"burst": 0.5},
+            {"soft_watermark": -1.0},
+            {"soft_watermark": 8.0, "hard_watermark": 4.0},
+            {"reserve": -1.0},
+            {"burst": 4.0, "reserve": 4.0},  # reserve must be < burst
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kwargs)
+
+
+class TestTokenBucket:
+    def test_default_gate_admits_everything(self):
+        gate = AdmissionGate()
+        for _ in range(1000):
+            gate.tick()
+            assert gate.admit()
+        assert gate.shed == 0
+
+    def test_burst_then_rate_limited(self):
+        gate = AdmissionGate(AdmissionPolicy(rate=1.0, burst=3.0))
+        gate.tick()  # bucket already full: tick cannot overfill
+        decisions = [gate.admit() for _ in range(5)]
+        assert decisions == [True, True, True, False, False]
+        assert gate.last_reason == "tokens"
+        gate.tick()  # one token back
+        assert gate.admit()
+        assert not gate.admit()
+
+    def test_refill_caps_at_burst(self):
+        gate = AdmissionGate(AdmissionPolicy(rate=10.0, burst=2.0))
+        for _ in range(5):
+            gate.tick()
+        assert [gate.admit() for _ in range(3)] == [True, True, False]
+
+    def test_deterministic_counters(self):
+        gate = AdmissionGate(AdmissionPolicy(rate=0.5, burst=1.0))
+        for _ in range(10):
+            gate.tick()
+            gate.admit()
+        # The full bucket caps at burst=1, so the gate alternates:
+        # admit (1 -> 0), shed (0.5 < 1), admit (back at 1), ...
+        assert gate.admitted == 5
+        assert gate.shed == 5
+        assert gate.admitted_by_priority == {0: 5}
+        assert gate.shed_by_priority == {0: 5}
+
+
+class TestWatermarks:
+    def test_soft_watermark_sheds_best_effort_only(self):
+        gate = AdmissionGate(AdmissionPolicy(soft_watermark=4.0))
+        assert gate.admit(priority=0, queue_depth=3)
+        assert not gate.admit(priority=0, queue_depth=4)
+        assert gate.last_reason == "watermark"
+        assert gate.admit(priority=1, queue_depth=4)
+
+    def test_hard_watermark_sheds_everything(self):
+        gate = AdmissionGate(
+            AdmissionPolicy(soft_watermark=4.0, hard_watermark=8.0)
+        )
+        assert not gate.admit(priority=1, queue_depth=8)
+        assert not gate.admit(priority=0, queue_depth=9)
+        assert gate.last_reason == "watermark"
+
+
+class TestPriorityReserve:
+    def test_reserve_tokens_are_priority_only(self):
+        gate = AdmissionGate(
+            AdmissionPolicy(rate=0.0, burst=3.0, reserve=2.0)
+        )
+        # 3 tokens, 2 reserved: one best-effort admit, then priority only.
+        assert gate.admit(priority=0)
+        assert not gate.admit(priority=0)
+        assert gate.last_reason == "tokens"
+        assert gate.admit(priority=1)
+        assert gate.admit(priority=1)
+        assert not gate.admit(priority=1)  # bucket empty for everyone
+
+
+class TestObservability:
+    def test_events_feed_resilience_metrics(self):
+        obs = MetricsObserver()
+        gate = AdmissionGate(
+            AdmissionPolicy(rate=0.0, burst=1.0), observer=obs
+        )
+        gate.tick()
+        gate.admit(priority=1)
+        gate.admit(priority=0)
+        text = obs.registry.to_prometheus_text()
+        assert 'repro_resilience_admitted_total{priority="1"} 1' in text
+        assert 'repro_resilience_shed_total{priority="0"} 1' in text
+
+
+class TestShedFrame:
+    def test_marker_is_falsy_ok(self):
+        shed = ShedFrame(assignment=None, priority=0, reason="tokens")
+        assert shed.ok is False
+        assert shed.reason == "tokens"

@@ -1,0 +1,67 @@
+"""RetryPolicy backoff: max_delay_s cap and deterministic jitter."""
+
+import math
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestMaxDelayCap:
+    def test_default_is_uncapped(self):
+        p = RetryPolicy(base_delay_s=1.0, multiplier=2.0)
+        assert p.max_delay_s == math.inf
+        assert p.delay(10) == 512.0
+
+    def test_cap_bounds_exponential_growth(self):
+        p = RetryPolicy(
+            max_retries=10, base_delay_s=1.0, multiplier=2.0, max_delay_s=4.0
+        )
+        assert p.delay(1) == 1.0
+        assert p.delay(2) == 2.0
+        assert p.delay(3) == 4.0
+        assert p.delay(4) == 4.0  # capped
+        assert p.delay(10) == 4.0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_delay_s"):
+            RetryPolicy(max_delay_s=-1.0)
+
+
+class TestJitter:
+    def test_zero_jitter_is_exact(self):
+        p = RetryPolicy(base_delay_s=0.5, multiplier=2.0)
+        assert p.delay(2) == 1.0
+
+    def test_jitter_is_deterministic_per_seed_and_retry(self):
+        p = RetryPolicy(base_delay_s=1.0, jitter=0.5, jitter_seed=42)
+        assert p.delay(3) == p.delay(3)
+        q = RetryPolicy(base_delay_s=1.0, jitter=0.5, jitter_seed=42)
+        assert q.delay(3) == p.delay(3)
+
+    def test_different_seeds_give_different_delays(self):
+        a = RetryPolicy(base_delay_s=1.0, jitter=0.5, jitter_seed=1)
+        b = RetryPolicy(base_delay_s=1.0, jitter=0.5, jitter_seed=2)
+        assert a.delay(1) != b.delay(1)
+
+    def test_jitter_stays_within_the_band(self):
+        p = RetryPolicy(
+            base_delay_s=1.0, multiplier=1.0, jitter=0.25, jitter_seed=7
+        )
+        for retry in range(1, 50):
+            assert 0.75 <= p.delay(retry) <= 1.25
+
+    def test_jitter_applies_after_the_cap(self):
+        p = RetryPolicy(
+            base_delay_s=8.0, max_delay_s=2.0, jitter=0.5, jitter_seed=3
+        )
+        assert p.delay(5) <= 3.0  # 2.0 * (1 + 0.5) at most
+
+    def test_zero_delay_is_never_jittered(self):
+        p = RetryPolicy(base_delay_s=0.0, jitter=1.0)
+        assert p.delay(1) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_jitter_fraction_validated(self, bad):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=bad)

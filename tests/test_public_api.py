@@ -10,10 +10,17 @@ import repro
 # commitments: anything reachable only through subpackages (fastplan,
 # fast_scatter, per-switch internals) is private and free to change.
 STABLE_API = [
+    "AdmissionGate",
+    "AdmissionPolicy",
     "BRSMN",
     "BinarySplittingNetwork",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "CompositeObserver",
+    "DeadlineBudget",
     "DegradedResult",
+    "FabricSnapshot",
     "FabricStats",
     "FaultKind",
     "FaultPlan",
@@ -27,8 +34,10 @@ STABLE_API = [
     "NullSink",
     "Observer",
     "QueueingSimulator",
+    "ResilienceEvent",
     "RetryPolicy",
     "RoutingResult",
+    "ShedFrame",
     "Tag",
     "TagTree",
     "TracingObserver",
@@ -78,6 +87,7 @@ class TestTopLevel:
         "repro.core",
         "repro.obs",
         "repro.faults",
+        "repro.resilience",
         "repro.rbn",
         "repro.hardware",
         "repro.baselines",
@@ -105,9 +115,9 @@ class TestDocstringCoverage:
         """Deliverable (e): doc comments on every public item."""
         undocumented = []
         for module_name in (
-            "repro.core", "repro.obs", "repro.faults", "repro.rbn",
-            "repro.hardware", "repro.baselines", "repro.workloads",
-            "repro.analysis", "repro.viz",
+            "repro.core", "repro.obs", "repro.faults", "repro.resilience",
+            "repro.rbn", "repro.hardware", "repro.baselines",
+            "repro.workloads", "repro.analysis", "repro.viz",
         ):
             mod = importlib.import_module(module_name)
             for name in mod.__all__:
