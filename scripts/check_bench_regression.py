@@ -18,9 +18,28 @@ Run from the repository root::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
 
+A second mode, ``--adaptive-gate``, compares two ``repro chaos
+--overload --summary-out`` artifacts (static vs ``--adaptive``) instead
+of re-measuring throughput.  It enforces the adaptive control plane's
+contract against the static gate it started from:
+
+* ``--mode 1x`` (at capacity): the adaptive campaign keeps at least
+  ``1 - --goodput-loss`` (default 95 %) of the static goodput — the
+  loop must not tax a healthy system;
+* ``--mode 2x`` (overload): the adaptive campaign sheds at least
+  ``--shed-improvement`` (default 20 %) fewer high-priority frames —
+  the loop must actually protect the privileged class.
+
+::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py \\
+        --adaptive-gate --static static.json --adaptive adaptive.json \\
+        --mode 2x
+
 Exit status: 0 when within threshold, 1 on regression, 2 when the
 committed JSON is missing or lacks the parallel section (regenerate it
-with ``pytest benchmarks/bench_fast_engine.py::test_end_to_end_speedup``).
+with ``pytest benchmarks/bench_fast_engine.py::test_end_to_end_speedup``)
+or a summary artifact is missing/malformed.
 """
 
 from __future__ import annotations
@@ -78,6 +97,49 @@ def _timed(fn, *args) -> float:
     return time.perf_counter() - t0
 
 
+def load_summary(path: pathlib.Path) -> dict:
+    """A ``--summary-out`` artifact as a dict, or exit 2."""
+    try:
+        data = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"adaptive gate: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    missing = {"goodput", "shed_high"} - set(data)
+    if missing:
+        print(
+            f"adaptive gate: {path} lacks {sorted(missing)} "
+            "(regenerate with repro chaos --overload --summary-out)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return data
+
+
+def adaptive_gate(args) -> int:
+    """Compare adaptive vs static campaign summaries; 0 pass, 1 fail."""
+    static = load_summary(args.static)
+    adaptive = load_summary(args.adaptive)
+    if args.mode == "1x":
+        floor = static["goodput"] * (1.0 - args.goodput_loss)
+        ok = adaptive["goodput"] >= floor
+        print(
+            f"adaptive gate (1x): adaptive goodput {adaptive['goodput']} vs "
+            f"static {static['goodput']} (floor {floor:.1f} at "
+            f"-{args.goodput_loss:.0%}) -> {'OK' if ok else 'REGRESSION'}"
+        )
+        return 0 if ok else 1
+    ceiling = static["shed_high"] * (1.0 - args.shed_improvement)
+    # A static campaign that sheds no high-priority traffic leaves
+    # nothing to improve on; the adaptive run just must not regress it.
+    ok = adaptive["shed_high"] <= ceiling
+    print(
+        f"adaptive gate (2x): adaptive shed_high {adaptive['shed_high']} vs "
+        f"static {static['shed_high']} (ceiling {ceiling:.1f} at "
+        f"-{args.shed_improvement:.0%}) -> {'OK' if ok else 'REGRESSION'}"
+    )
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -92,7 +154,47 @@ def main(argv=None) -> int:
         default=0.20,
         help="maximum tolerated fractional drop (default 0.20)",
     )
+    parser.add_argument(
+        "--adaptive-gate",
+        action="store_true",
+        help="compare adaptive vs static overload summaries instead of "
+        "re-measuring batch throughput",
+    )
+    parser.add_argument(
+        "--static",
+        type=pathlib.Path,
+        help="adaptive gate: the static campaign's --summary-out JSON",
+    )
+    parser.add_argument(
+        "--adaptive",
+        type=pathlib.Path,
+        help="adaptive gate: the --adaptive campaign's --summary-out JSON",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("1x", "2x"),
+        default="2x",
+        help="adaptive gate: 1x gates goodput, 2x gates high-priority sheds",
+    )
+    parser.add_argument(
+        "--goodput-loss",
+        type=float,
+        default=0.05,
+        help="adaptive gate 1x: tolerated fractional goodput loss",
+    )
+    parser.add_argument(
+        "--shed-improvement",
+        type=float,
+        default=0.20,
+        help="adaptive gate 2x: required fractional high-priority "
+        "shed reduction",
+    )
     args = parser.parse_args(argv)
+
+    if args.adaptive_gate:
+        if args.static is None or args.adaptive is None:
+            parser.error("--adaptive-gate requires --static and --adaptive")
+        return adaptive_gate(args)
 
     committed = committed_frames_per_s(args.json)
     measured = measure_frames_per_s()

@@ -47,6 +47,9 @@ Subpackages:
 * :mod:`repro.resilience` — the overload-serving layer (deadline
   budgets, admission control, circuit breakers, warm-restart
   snapshots).
+* :mod:`repro.control` — the adaptive control plane (sliding-window
+  signal aggregation, pure AIMD/depth/worker/backoff controllers, a
+  deterministic tick loop with a replayable decision log).
 * :mod:`repro.rbn` — the reverse banyan network substrate (compact
   sequences, merge lemmas, distributed self-routing algorithms).
 * :mod:`repro.hardware` — gate-level substrate and the cost / depth /
@@ -60,6 +63,11 @@ Subpackages:
 * :mod:`repro.viz` — ASCII rendering of routing frames.
 """
 
+from .control import (
+    ControlPlane,
+    ControlPolicy,
+    SignalWindow,
+)
 from .core import (
     BRSMN,
     BinarySplittingNetwork,
@@ -75,7 +83,6 @@ from .core import (
     TagTree,
     build_network,
     paper_example_assignment,
-    route_and_report,
     route_multicast,
     route_resilient,
     verify_result,
@@ -117,6 +124,8 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "CompositeObserver",
+    "ControlPlane",
+    "ControlPolicy",
     "DeadlineBudget",
     "DegradedResult",
     "FabricSnapshot",
@@ -137,12 +146,12 @@ __all__ = [
     "RetryPolicy",
     "RoutingResult",
     "ShedFrame",
+    "SignalWindow",
     "Tag",
     "TagTree",
     "TracingObserver",
     "build_network",
     "paper_example_assignment",
-    "route_and_report",
     "route_multicast",
     "route_resilient",
     "verify_result",

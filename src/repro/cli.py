@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro stats --n 256 --frames 500 --workers 4 --compile-ahead 2
     python -m repro chaos --n 32 --frames 100 --faults 2 --seed 7
     python -m repro chaos --n 64 --overload --arrival-rate 2.0 --deadline-ms 50
+    python -m repro chaos --n 64 --overload --adaptive --seed 7 \\
+        --workers 4 --control-log decisions.json --summary-out summary.json
     python -m repro tags --n 8 --dests 3,4,7
     python -m repro structure --n 64
     python -m repro table2 --sizes 8,64,512
@@ -31,6 +33,10 @@ Subcommands:
   stream at a multiple of service capacity through the queueing
   simulator with an admission gate and per-slot deadline, reporting
   the full admitted / shed / delivered / recovered / lost accounting.
+  ``--adaptive`` runs the closed-loop control plane over the campaign
+  (AIMD admission rate and priority reserve, worker target); its
+  decision log replays bit-identically for a given seed and can be
+  exported with ``--control-log``.
 * ``tags`` — print a destination set's tag tree SEQ (Section 7.1).
 * ``structure`` — print a network's structural audit (switches, depth,
   per-level composition).
@@ -276,6 +282,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="overload: fraction of arrivals carrying priority 1",
+    )
+    p_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="overload: worker-pool size for the fast engine",
+    )
+    p_chaos.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="overload: run the closed-loop control plane (AIMD "
+        "admission rate, priority reserve, worker target) over the "
+        "campaign instead of the static gate policy",
+    )
+    p_chaos.add_argument(
+        "--control-log",
+        type=str,
+        default=None,
+        help="overload: write the control plane's decision log as JSON "
+        "to this file (requires --adaptive)",
+    )
+    p_chaos.add_argument(
+        "--summary-out",
+        type=str,
+        default=None,
+        help="overload: write the campaign summary (goodput, "
+        "per-priority sheds, losses) as JSON to this file",
     )
 
     p_tags = sub.add_parser("tags", help="print a multicast's SEQ tag string")
@@ -605,11 +638,18 @@ def _cmd_chaos_overload(args) -> int:
     prints the complete accounting: every generated request ends in
     exactly one of delivered / recovered / shed / lost.
     """
+    from .control import ControlPolicy
     from .core.arrivals import QueueingSimulator, poisson_arrivals
     from .faults import FaultPlan, RetryPolicy
     from .obs import MetricsObserver
     from .resilience import AdmissionPolicy
 
+    if args.control_log is not None and not args.adaptive:
+        print("--control-log requires --adaptive", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.engine != "fast":
+        print("--workers requires --engine fast", file=sys.stderr)
+        return 2
     metrics = MetricsObserver()
     try:
         plan = FaultPlan.random(args.n, faults=args.faults, seed=args.seed)
@@ -619,13 +659,28 @@ def _cmd_chaos_overload(args) -> int:
             soft_watermark=args.soft_watermark,
             hard_watermark=args.hard_watermark,
         )
+        control = None
+        if args.adaptive:
+            # The AIMD loop may raise the refill rate up to twice the
+            # static gate's, and bank a priority reserve below the
+            # bucket's capacity — the static campaign is the floor, not
+            # the ceiling.
+            control = ControlPolicy(
+                rate_floor=min(0.5, args.admit_rate),
+                rate_ceiling=2.0 * args.admit_rate,
+                reserve_max=max(0.0, args.admit_burst - 1.0),
+                backlog_high=args.soft_watermark,
+                backlog_low=max(1.0, args.soft_watermark / 4.0),
+            )
         cfg = NetworkConfig(
             args.n,
             engine=args.engine,
+            workers=args.workers,
             fault_plan=plan,
             observer=metrics,
             admission=admission,
             deadline_ms=args.deadline_ms,
+            control=control,
         )
         sim = QueueingSimulator(
             cfg, retry_policy=RetryPolicy(max_retries=args.retries)
@@ -653,6 +708,7 @@ def _cmd_chaos_overload(args) -> int:
             if args.deadline_ms is not None
             else ""
         )
+        + (" [adaptive]" if args.adaptive else "")
     )
     print()
     try:
@@ -662,12 +718,20 @@ def _cmd_chaos_overload(args) -> int:
     generated = len(arrivals)
     delivered = report.served - report.recovered
     lost = report.abandoned
+    shed_high = sum(
+        c for p, c in sim.gate.shed_by_priority.items() if p > 0
+    )
+    shed_low = report.shed - shed_high
     print(
         f"requests: {generated} generated, {report.shed} shed at admission"
     )
     print(
         f"outcomes: {delivered} delivered, {report.recovered} recovered "
         f"(after requeue), {report.shed} shed, {lost} lost"
+    )
+    print(
+        f"sheds by priority: {shed_high} high-priority, "
+        f"{shed_low} best-effort"
     )
     accounted = delivered + report.recovered + report.shed + lost
     print(
@@ -680,6 +744,53 @@ def _cmd_chaos_overload(args) -> int:
         f"peak backlog {report.peak_backlog}, "
         f"p95 serve {report.p95_serve_ms:.2f} ms"
     )
+    if sim.control is not None:
+        decisions = sim.control.decision_log()
+        final = sim.gate.policy
+        print(
+            f"control: {sim.control.tick_count} ticks, "
+            f"{len(decisions)} adjustments, final gate "
+            f"rate={final.rate:.2f} reserve={final.reserve:.2f}"
+        )
+        if args.control_log is not None:
+            try:
+                sim.control.export_decision_log(args.control_log)
+            except OSError as exc:
+                print(
+                    f"cannot write {args.control_log}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"control decision log written to {args.control_log}")
+    if args.summary_out is not None:
+        summary = {
+            "n": args.n,
+            "seed": args.seed,
+            "adaptive": args.adaptive,
+            "arrival_rate": args.arrival_rate,
+            "generated": generated,
+            "goodput": report.served,
+            "delivered": delivered,
+            "recovered": report.recovered,
+            "shed": report.shed,
+            "shed_high": shed_high,
+            "shed_low": shed_low,
+            "lost": lost,
+            "slots_run": report.slots_run,
+            "decisions": (
+                len(sim.control.decision_log())
+                if sim.control is not None
+                else 0
+            ),
+        }
+        err = _write_text(
+            args.summary_out,
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        )
+        if err is not None:
+            print(err, file=sys.stderr)
+            return 2
+        print(f"campaign summary written to {args.summary_out}")
     rc = _export_metrics(args, metrics)
     if rc == 0 and (lost > 0 or accounted != generated):
         return 3

@@ -1,0 +1,311 @@
+"""The control plane: one tick loop binding signals to actuators.
+
+:class:`ControlPlane` is the only stateful, side-effecting piece of
+:mod:`repro.control`.  It owns the
+:class:`~repro.control.signals.SignalAggregator` (spliced into the
+owner's observer chain so it sees every event), drives the pure
+controllers of :mod:`repro.control.controllers` once per tick, and
+applies whatever actions they return to the actuators it was bound to:
+
+======================  ==========================================
+controller              actuator
+======================  ==========================================
+``admission``           :meth:`AdmissionGate.update_policy`
+                        (``rate``, ``reserve``)
+``compile_ahead``       :meth:`CompileAheadPipeline.set_depth`
+``workers``             :meth:`ShardedBatchRouter.set_worker_target`
+``backoff``             a ``retry_setter`` callback receiving
+                        ``RetryPolicy.scaled(scale)``
+======================  ==========================================
+
+Every adjustment is appended to an in-memory **decision log** — tick
+number, controller, parameter, old/new value, reason, and nothing
+else.  Wall-clock timestamps are deliberately excluded: the log is a
+pure function of the seed and the arrival trace, so three runs of the
+same campaign produce byte-identical exports
+(:meth:`ControlPlane.export_decision_log`).  The same adjustments are
+emitted as :class:`~repro.obs.events.ControlEvent`\\ s (which *do*
+carry ``t_ns``, for tracing) into the ``repro_control_*`` metric
+families.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from time import perf_counter_ns
+from typing import Callable, Dict, List, Optional
+
+from ..obs.events import ControlEvent
+from .controllers import (
+    AdmissionState,
+    BackoffState,
+    CompileAheadState,
+    WorkerState,
+    admission_step,
+    backoff_step,
+    compile_ahead_step,
+    worker_step,
+)
+from .policy import ControlPolicy
+from .signals import SignalAggregator
+
+__all__ = ["ControlPlane"]
+
+_LOG_FORMAT_VERSION = 1
+
+
+class ControlPlane:
+    """Tick-driven closed-loop tuner for the serving stack.
+
+    Args:
+        policy: the :class:`~repro.control.policy.ControlPolicy`
+            envelope (default: ``ControlPolicy()``).
+        observer: optional :class:`~repro.obs.events.Observer`
+            receiving :class:`~repro.obs.events.ControlEvent` samples
+            (the owner's configured observer — the plane's own signal
+            aggregator is separate and always on).
+
+    Lifecycle: the owner (fabric or simulator) constructs the plane,
+    splices :attr:`signals` in front of its observer, :meth:`bind`\\ s
+    whichever actuators it built, then calls :meth:`maybe_tick` once
+    per service opportunity (submission / slot) on the submitting
+    thread.  Only bound actuators are controlled; everything else is
+    left alone — a fabric without workers simply never runs the worker
+    loop.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ControlPolicy] = None,
+        observer: Optional[object] = None,
+    ):
+        self.policy = policy if policy is not None else ControlPolicy()
+        self.signals = SignalAggregator(self.policy.window_ticks)
+        self.observer = observer
+        self.tick_count = 0
+        self._events_since_tick = 0
+        self._decisions: List[Dict[str, object]] = []
+        # Actuators (None until bind()).
+        self._gate = None
+        self._pipeline = None
+        self._router = None
+        self._breaker = None
+        self._retry_base = None
+        self._retry_setter: Optional[Callable] = None
+        # Controller states (None until the matching actuator binds).
+        self._admission: Optional[AdmissionState] = None
+        self._compile_ahead: Optional[CompileAheadState] = None
+        self._workers: Optional[WorkerState] = None
+        self._backoff: Optional[BackoffState] = None
+        # Cumulative pipeline counters at the previous tick, for deltas.
+        self._prev_prefetches = 0
+        self._prev_drops = 0
+
+    # -- wiring ----------------------------------------------------------
+    def bind(
+        self,
+        gate=None,
+        pipeline=None,
+        router=None,
+        breaker=None,
+        retry_policy=None,
+        retry_setter: Optional[Callable] = None,
+    ) -> None:
+        """Attach the actuators this plane controls.
+
+        Args:
+            gate: an :class:`~repro.resilience.gate.AdmissionGate`; its
+                current policy seeds the AIMD state.
+            pipeline: a
+                :class:`~repro.parallel.pipeline.CompileAheadPipeline`;
+                its current depth and counters seed the depth loop.
+            router: a
+                :class:`~repro.parallel.shard.ShardedBatchRouter`; its
+                pool size becomes both the initial target and the hard
+                maximum.
+            breaker: a
+                :class:`~repro.resilience.breaker.CircuitBreaker`
+                sampled (never driven) for HALF_OPEN at tick time.
+            retry_policy: the base
+                :class:`~repro.faults.healing.RetryPolicy` backoff
+                scaling starts from.
+            retry_setter: callback receiving the scaled policy whenever
+                the backoff loop changes scale.
+
+        May be called more than once; each call overwrites only the
+        actuators it names.
+        """
+        if gate is not None:
+            self._gate = gate
+            burst = gate.policy.burst
+            cap = burst - 1.0 if math.isfinite(burst) else math.inf
+            self._admission = AdmissionState(
+                rate=gate.policy.rate,
+                reserve=gate.policy.reserve,
+                reserve_cap=cap,
+            )
+        if pipeline is not None:
+            self._pipeline = pipeline
+            self._compile_ahead = CompileAheadState(depth=pipeline.depth)
+            self._prev_prefetches = pipeline.prefetches
+            self._prev_drops = pipeline.drops
+        if router is not None:
+            self._router = router
+            self._workers = WorkerState(
+                target=router.effective_workers, maximum=router.pool.workers
+            )
+        if breaker is not None:
+            self._breaker = breaker
+        if retry_policy is not None:
+            self._retry_base = retry_policy
+        if retry_setter is not None:
+            self._retry_setter = retry_setter
+        if self._retry_base is not None and self._retry_setter is not None:
+            if self._backoff is None:
+                self._backoff = BackoffState(scale=1.0)
+
+    # -- the tick loop ---------------------------------------------------
+    def maybe_tick(self, queue_depth: int = 0) -> bool:
+        """Count one owner event; fire :meth:`tick` every ``tick_frames``.
+
+        Returns True when a tick fired.  Called on the submitting
+        thread once per fabric submission / simulator slot, with the
+        backlog depth the owner observes at that moment.
+        """
+        self._events_since_tick += 1
+        if self._events_since_tick < self.policy.tick_frames:
+            return False
+        self._events_since_tick = 0
+        self.tick(queue_depth)
+        return True
+
+    def tick(self, queue_depth: int = 0) -> None:
+        """Run one control tick: sample, window, decide, actuate.
+
+        Tick-time samples are taken synchronously on the calling
+        thread — the compile-ahead pipeline's cumulative counters as
+        deltas since the previous tick, and the breaker state — so the
+        resulting window, and therefore every decision, is replayable.
+        """
+        prefetches = drops = 0
+        if self._pipeline is not None:
+            prefetches = self._pipeline.prefetches - self._prev_prefetches
+            drops = self._pipeline.drops - self._prev_drops
+            self._prev_prefetches = self._pipeline.prefetches
+            self._prev_drops = self._pipeline.drops
+        half_open = (
+            self._breaker is not None and self._breaker.state == "half_open"
+        )
+        self.signals.close_tick(
+            queue_depth=queue_depth,
+            prefetches=prefetches,
+            prefetch_drops=drops,
+            breaker_half_open=half_open,
+        )
+        window = self.signals.window()
+        self.tick_count += 1
+        self._emit(ControlEvent(action="tick", tick=self.tick_count))
+
+        if self._admission is not None:
+            self._admission, actions = admission_step(
+                self.policy, window, self._admission
+            )
+            if actions:
+                self._gate.update_policy(
+                    rate=self._admission.rate, reserve=self._admission.reserve
+                )
+                self._record(actions)
+        if self._compile_ahead is not None:
+            self._compile_ahead, actions = compile_ahead_step(
+                self.policy, window, self._compile_ahead
+            )
+            if actions:
+                self._pipeline.set_depth(self._compile_ahead.depth)
+                self._record(actions)
+        if self._workers is not None:
+            self._workers, actions = worker_step(
+                self.policy, window, self._workers
+            )
+            if actions:
+                self._router.set_worker_target(self._workers.target)
+                self._record(actions)
+        if self._backoff is not None:
+            self._backoff, actions = backoff_step(
+                self.policy, window, self._backoff
+            )
+            if actions:
+                self._retry_setter(self._retry_base.scaled(self._backoff.scale))
+                self._record(actions)
+
+    def _record(self, actions) -> None:
+        """Append actions to the decision log and emit adjust events."""
+        for a in actions:
+            self._decisions.append(
+                {
+                    "tick": self.tick_count,
+                    "controller": a.controller,
+                    "parameter": a.parameter,
+                    "old": a.old,
+                    "new": a.new,
+                    "reason": a.reason,
+                }
+            )
+            self._emit(
+                ControlEvent(
+                    action="adjust",
+                    controller=a.controller,
+                    parameter=a.parameter,
+                    old=float(a.old),
+                    new=float(a.new),
+                    reason=a.reason,
+                    tick=self.tick_count,
+                )
+            )
+
+    def _emit(self, event: ControlEvent) -> None:
+        obs = self.observer
+        if obs is None or not obs.enabled:
+            return
+        if event.t_ns == 0:
+            event = ControlEvent(
+                action=event.action,
+                controller=event.controller,
+                parameter=event.parameter,
+                old=event.old,
+                new=event.new,
+                reason=event.reason,
+                tick=event.tick,
+                t_ns=perf_counter_ns(),
+            )
+        obs.on_control(event)
+
+    # -- the decision log ------------------------------------------------
+    def decision_log(self) -> List[Dict[str, object]]:
+        """The adjustments made so far, oldest first (a copy).
+
+        Each entry carries ``tick`` / ``controller`` / ``parameter`` /
+        ``old`` / ``new`` / ``reason`` and no wall-clock field, so the
+        log of a seeded campaign is bit-identical across runs.
+        """
+        return [dict(d) for d in self._decisions]
+
+    def export_decision_log(self, path: str) -> None:
+        """Write the decision log as deterministic JSON to ``path``.
+
+        Parent directories are created; the payload carries a format
+        version, the tick count, and the decisions in order.  Running
+        the same seeded campaign three times produces three identical
+        files — that is the replay guarantee the determinism tests pin.
+        """
+        payload = {
+            "version": _LOG_FORMAT_VERSION,
+            "ticks": self.tick_count,
+            "decisions": self.decision_log(),
+        }
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")

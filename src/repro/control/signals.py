@@ -1,0 +1,254 @@
+"""Sliding-window signal aggregation for the control plane.
+
+:class:`SignalAggregator` is an :class:`~repro.obs.events.Observer`
+that folds the routing stack's event stream into per-tick buckets and
+exposes the last ``window_ticks`` of them as one immutable
+:class:`SignalWindow` — the *only* input the controllers
+(:mod:`repro.control.controllers`) ever see.
+
+Determinism is the design constraint.  A seeded campaign must replay
+to a bit-identical decision log, so the window separates its fields
+into two classes:
+
+* **decision signals** — event counts incremented on the submitting
+  thread (admission decisions, healing retries, lost terminals,
+  deadline expiries) plus values the control plane samples
+  synchronously at tick time (queue depth, compile-ahead
+  prefetch/drop counters, breaker state).  These are pure functions of
+  the seed and the arrival trace.
+* **advisory signals** — wall-clock serve latency and plan-cache
+  hit/miss counts.  Cache events can arrive from worker threads at
+  scheduler-dependent times and latency is wall-clock by definition,
+  so controllers MUST NOT consume them; they ride along for
+  observability (the ``repro_control_*`` gauges and debugging) only.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs.events import (
+    CacheEvent,
+    FaultEvent,
+    FrameDone,
+    Observer,
+    ResilienceEvent,
+)
+
+__all__ = ["SignalWindow", "SignalAggregator"]
+
+
+@dataclass(frozen=True)
+class SignalWindow:
+    """Immutable signal summary over the last ``window_ticks`` ticks.
+
+    Attributes:
+        ticks: control ticks summarised (< ``window_ticks`` during
+            warm-up).
+        frames: payload frames routed in the window.
+        admitted_high: priority > 0 frames admitted by the gate.
+        admitted_low: priority <= 0 frames admitted.
+        shed_high: priority > 0 frames shed — the signal the AIMD loop
+            exists to drive to zero.
+        shed_low: priority <= 0 frames shed.
+        retries: healing repair passes started.
+        lost_terminals: terminals abandoned after the retry budget.
+        deadline_expired: healing loops cut short by a deadline budget.
+        queue_depth: backlog depth sampled at the most recent tick.
+        prefetches: compile-ahead prefetches accepted in the window
+            (sampled from the pipeline's caller-thread counters).
+        prefetch_drops: compile-ahead prefetches dropped (queue full).
+        breaker_half_open: True when the circuit breaker was HALF_OPEN
+            at the most recent tick.
+        cache_hits: advisory — plan-cache hits observed (may include
+            worker-thread events; NOT a decision signal).
+        cache_misses: advisory — plan-cache misses observed.
+        serve_ns: advisory — wall-clock routing nanoseconds observed.
+            Excluded from every controller decision and from the
+            exported decision log, by design: it is the one
+            non-deterministic field.
+    """
+
+    ticks: int = 0
+    frames: int = 0
+    admitted_high: int = 0
+    admitted_low: int = 0
+    shed_high: int = 0
+    shed_low: int = 0
+    retries: int = 0
+    lost_terminals: int = 0
+    deadline_expired: int = 0
+    queue_depth: int = 0
+    prefetches: int = 0
+    prefetch_drops: int = 0
+    breaker_half_open: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    serve_ns: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Total frames shed in the window (all priority classes)."""
+        return self.shed_high + self.shed_low
+
+    @property
+    def admitted(self) -> int:
+        """Total frames admitted in the window."""
+        return self.admitted_high + self.admitted_low
+
+    @property
+    def drop_rate(self) -> float:
+        """Prefetch drop fraction over the window (0.0 when idle)."""
+        attempts = self.prefetches + self.prefetch_drops
+        return self.prefetch_drops / attempts if attempts else 0.0
+
+
+class _Bucket:
+    """One tick's mutable accumulators (reset every tick)."""
+
+    __slots__ = (
+        "frames", "admitted_high", "admitted_low", "shed_high", "shed_low",
+        "retries", "lost_terminals", "deadline_expired", "queue_depth",
+        "prefetches", "prefetch_drops", "breaker_half_open",
+        "cache_hits", "cache_misses", "serve_ns",
+    )
+
+    def __init__(self):
+        self.frames = 0
+        self.admitted_high = 0
+        self.admitted_low = 0
+        self.shed_high = 0
+        self.shed_low = 0
+        self.retries = 0
+        self.lost_terminals = 0
+        self.deadline_expired = 0
+        self.queue_depth = 0
+        self.prefetches = 0
+        self.prefetch_drops = 0
+        self.breaker_half_open = False
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.serve_ns = 0
+
+
+class SignalAggregator(Observer):
+    """Fold the observer event stream into per-tick signal buckets.
+
+    Args:
+        window_ticks: buckets retained in the sliding window.
+
+    The aggregator is attached by the control plane as one leg of a
+    :class:`~repro.obs.events.CompositeObserver` in front of whatever
+    observer the caller configured, so it sees every event the metrics
+    and tracing observers see.  Handlers take a lock because cache and
+    parallel events can arrive from pool threads; the *decision*
+    signals are only ever written by the submitting thread, which is
+    what keeps the windows replayable.
+    """
+
+    def __init__(self, window_ticks: int = 4):
+        if window_ticks < 1:
+            raise ValueError(
+                f"window_ticks must be >= 1, got {window_ticks}"
+            )
+        self._lock = threading.Lock()
+        self._current = _Bucket()
+        self._buckets: deque = deque(maxlen=window_ticks)
+
+    # -- event handlers (fold into the current bucket) -------------------
+    def on_frame_done(self, event: FrameDone) -> None:
+        """Count routed frames; accumulate advisory wall-clock time."""
+        with self._lock:
+            self._current.frames += event.frames
+            self._current.serve_ns += event.duration_ns
+
+    def on_resilience(self, event: ResilienceEvent) -> None:
+        """Count admission decisions and deadline expiries."""
+        with self._lock:
+            cur = self._current
+            if event.action == "admitted":
+                if event.priority > 0:
+                    cur.admitted_high += 1
+                else:
+                    cur.admitted_low += 1
+            elif event.action == "shed":
+                if event.priority > 0:
+                    cur.shed_high += 1
+                else:
+                    cur.shed_low += 1
+            elif event.action == "deadline_expired":
+                cur.deadline_expired += event.frames
+
+    def on_fault(self, event: FaultEvent) -> None:
+        """Count healing retries and abandoned terminals."""
+        with self._lock:
+            if event.action == "retry":
+                self._current.retries += 1
+            elif event.action == "lost":
+                self._current.lost_terminals += len(event.terminals)
+
+    def on_cache_event(self, event: CacheEvent) -> None:
+        """Advisory plan-cache accounting (never a decision input)."""
+        with self._lock:
+            if event.kind == "hit":
+                self._current.cache_hits += 1
+            elif event.kind == "miss":
+                self._current.cache_misses += 1
+
+    # -- tick boundary ---------------------------------------------------
+    def close_tick(
+        self,
+        queue_depth: int = 0,
+        prefetches: int = 0,
+        prefetch_drops: int = 0,
+        breaker_half_open: bool = False,
+    ) -> None:
+        """Seal the current bucket with tick-time samples; start a new one.
+
+        Called by the control plane once per tick, on the submitting
+        thread, with the values it sampled synchronously: the owner's
+        backlog depth, the compile-ahead pipeline's cumulative
+        prefetch/drop *deltas* since the previous tick, and whether the
+        breaker is currently HALF_OPEN.
+        """
+        with self._lock:
+            cur = self._current
+            cur.queue_depth = queue_depth
+            cur.prefetches = prefetches
+            cur.prefetch_drops = prefetch_drops
+            cur.breaker_half_open = breaker_half_open
+            self._buckets.append(cur)
+            self._current = _Bucket()
+
+    def window(self) -> SignalWindow:
+        """The closed buckets summarised as one :class:`SignalWindow`.
+
+        Counts are summed over the window; ``queue_depth`` and
+        ``breaker_half_open`` carry the most recent tick's sample (they
+        are levels, not flows).
+        """
+        with self._lock:
+            buckets = list(self._buckets)
+        if not buckets:
+            return SignalWindow()
+        last = buckets[-1]
+        return SignalWindow(
+            ticks=len(buckets),
+            frames=sum(b.frames for b in buckets),
+            admitted_high=sum(b.admitted_high for b in buckets),
+            admitted_low=sum(b.admitted_low for b in buckets),
+            shed_high=sum(b.shed_high for b in buckets),
+            shed_low=sum(b.shed_low for b in buckets),
+            retries=sum(b.retries for b in buckets),
+            lost_terminals=sum(b.lost_terminals for b in buckets),
+            deadline_expired=sum(b.deadline_expired for b in buckets),
+            queue_depth=last.queue_depth,
+            prefetches=sum(b.prefetches for b in buckets),
+            prefetch_drops=sum(b.prefetch_drops for b in buckets),
+            breaker_half_open=last.breaker_half_open,
+            cache_hits=sum(b.cache_hits for b in buckets),
+            cache_misses=sum(b.cache_misses for b in buckets),
+            serve_ns=sum(b.serve_ns for b in buckets),
+        )

@@ -50,7 +50,6 @@ from .pipeline_sim import (
 )
 from .routing import (
     build_network,
-    route_and_report,
     route_multicast,
     route_resilient,
 )
@@ -113,7 +112,6 @@ __all__ = [
     "find_min_period",
     "simulate_stream",
     "build_network",
-    "route_and_report",
     "route_multicast",
     "route_resilient",
     "Tag",

@@ -30,7 +30,7 @@ healing retries through a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter_ns
 from typing import List, Optional, Sequence
 
@@ -40,7 +40,7 @@ from ..errors import InvalidAssignmentError
 from ..obs.events import QueueDepth
 from ..rbn.permutations import check_network_size
 from .admission import Request, conflicts
-from .config import _UNSET, _resolve_config
+from .config import _resolve_config
 from .multicast import MulticastAssignment
 from .routing import build_network
 from .verification import verify_result
@@ -205,8 +205,6 @@ class QueueingSimulator:
             ``engine="fast"`` and its plan cache pay off.
         policy: backlog packing order — ``"largest_first"`` (fanout
             descending, FIFO within ties) or ``"fifo"``.
-        implementation: deprecated — set it on the config instead.
-        engine: deprecated — set it on the config instead.
         max_slots: safety bound on total slots simulated.
         observer: optional :class:`~repro.obs.events.Observer`
             (overrides the config's); receives the routed frames'
@@ -223,7 +221,11 @@ class QueueingSimulator:
     :class:`~repro.resilience.gate.AdmissionGate` that admits or sheds
     each request the slot it arrives (queue depth = current backlog);
     ``deadline_ms`` bounds each slot's healing retries.  Both default
-    to off.
+    to off.  A ``control`` policy runs a
+    :class:`~repro.control.plane.ControlPlane` over the slot loop: one
+    deterministic control tick at the end of every slot, retuning the
+    gate's rate/reserve, the compile-ahead depth and the shard worker
+    target from the observed window (see ``docs/control_plane.md``).
 
     When the config carries a non-empty fault plan, every slot's frame
     is routed through :func:`~repro.faults.healing.route_with_healing`:
@@ -236,25 +238,33 @@ class QueueingSimulator:
         self,
         n,
         policy: str = "largest_first",
-        implementation=_UNSET,
-        engine=_UNSET,
         max_slots: int = 100_000,
         observer=None,
         max_requeues: int = 3,
         retry_policy=None,
     ):
-        cfg = _resolve_config(
-            n,
-            implementation=implementation,
-            engine=engine,
-            observer=observer,
-            caller="QueueingSimulator",
-            hint="QueueingSimulator(NetworkConfig(n, ...))",
-        )
+        cfg = _resolve_config(n, observer=observer)
         if policy not in ("largest_first", "fifo"):
-            raise ValueError(f"unknown policy {policy!r}")
+            raise ValueError(
+                f"unknown policy {policy!r} "
+                "(expected 'largest_first' or 'fifo')"
+            )
         if max_requeues < 0:
             raise ValueError(f"max_requeues must be >= 0, got {max_requeues}")
+        if cfg.control is not None:
+            from ..control.plane import ControlPlane  # deferred: cycle
+            from ..obs.events import CompositeObserver
+
+            # Splice the plane's signal aggregator in front of the
+            # caller's observer so it sees every event the slot loop
+            # emits; ControlEvents go to the caller's observer only.
+            self.control = ControlPlane(cfg.control, observer=cfg.observer)
+            cfg = replace(
+                cfg,
+                observer=CompositeObserver(self.control.signals, cfg.observer),
+            )
+        else:
+            self.control = None
         self.n = cfg.n
         self.policy = policy
         self.network = build_network(cfg)
@@ -272,6 +282,23 @@ class QueueingSimulator:
             self.gate = AdmissionGate(cfg.admission, observer=cfg.observer)
         else:
             self.gate = None
+        if self.control is not None:
+            base_retry = self.retry_policy
+            if base_retry is None and self._fault_aware:
+                from ..faults.healing import RetryPolicy  # deferred: cycle
+
+                base_retry = RetryPolicy()
+            self.control.bind(
+                gate=self.gate,
+                pipeline=getattr(self.network, "pipeline", None),
+                router=getattr(self.network, "_sharded", None),
+                retry_policy=base_retry,
+                retry_setter=(
+                    None
+                    if base_retry is None
+                    else lambda p: setattr(self, "retry_policy", p)
+                ),
+            )
 
     def _pack_frame(self, backlog: List[Arrival]) -> List[int]:
         """Pick a conflict-free subset of the backlog (greedy); returns
@@ -366,6 +393,8 @@ class QueueingSimulator:
                 )
             if prefetch:
                 self._prefetch_next_slot(backlog, pending, idx, slot + 1)
+            if self.control is not None:
+                self.control.maybe_tick(queue_depth=len(backlog))
             slot += 1
             report.backlog_per_slot.append(len(backlog))
         report.slots_run = slot

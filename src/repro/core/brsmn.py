@@ -55,7 +55,7 @@ from ..rbn.permutations import check_network_size
 from ..rbn.switches import SwitchSetting
 from ..rbn.trace import Trace
 from .bsn import BinarySplittingNetwork, BsnFrameStats
-from .config import NetworkConfig, _UNSET, _resolve_config
+from .config import NetworkConfig, _resolve_config
 from .message import Message
 from .multicast import MulticastAssignment
 from .tags import Tag
@@ -322,7 +322,6 @@ class BRSMN:
     Args:
         n: a :class:`~repro.core.config.NetworkConfig` (must be
             unrolled), or a bare network size (power of two, >= 2).
-        engine: deprecated — set it on the config instead.
         plan_cache: fast engine only — a
             :class:`~repro.core.fastplan.PlanCache` (or thread-safe
             :class:`~repro.parallel.plan_cache.ConcurrentPlanCache`) to
@@ -334,14 +333,8 @@ class BRSMN:
             (overrides the config's).
     """
 
-    def __init__(self, n, engine=_UNSET, plan_cache=None, observer=None):
-        cfg = _resolve_config(
-            n,
-            engine=engine,
-            observer=observer,
-            caller="BRSMN",
-            hint="BRSMN(NetworkConfig(n, engine=...))",
-        )
+    def __init__(self, n, plan_cache=None, observer=None):
+        cfg = _resolve_config(n, observer=observer)
         if cfg.implementation != "unrolled":
             raise ValueError(
                 "BRSMN is the unrolled implementation; use build_network "

@@ -9,10 +9,11 @@ through five signatures.  :class:`NetworkConfig` replaces the combos:
 every constructor accepts either a bare port count (all defaults) or
 one config object.
 
-The legacy kwarg forms still work but raise
-:class:`~repro.errors.ReproDeprecationWarning`; the test suite turns
-that warning into an error for first-party code, so the library itself
-can never regress into the old style.
+The legacy kwarg forms were deprecated in favour of the config object
+and have now been **removed** — see ``docs/migration_v1.md`` for the
+old → new spellings.  Variations on a config are spelled
+:meth:`NetworkConfig.derive`, which revalidates the result and names
+the offending field on any error.
 
 Example::
 
@@ -26,11 +27,9 @@ Example::
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
-from ..errors import ReproDeprecationWarning
 from ..rbn.permutations import check_network_size
 
 __all__ = ["NetworkConfig"]
@@ -92,6 +91,20 @@ class NetworkConfig:
             :class:`~repro.resilience.breaker.CircuitBreaker` over the
             primary plane, short-circuiting it to the standby instead
             of burning retries once it trips.
+        control: optional
+            :class:`~repro.control.policy.ControlPolicy` — the session
+            facades then run a
+            :class:`~repro.control.plane.ControlPlane` that retunes
+            the admission rate (AIMD), compile-ahead depth, shard
+            worker target and retry backoff from the observed event
+            stream, one deterministic tick per submission / slot.
+        snapshot_path: optional filesystem path —
+            :meth:`~repro.core.fabric.MulticastFabric.close` then
+            writes a :class:`~repro.resilience.snapshot.FabricSnapshot`
+            there, and a fabric constructed with the same path
+            warm-restores from it (cached plans recompile, health and
+            breaker state carry over).  A missing file is a cold
+            start, not an error.
     """
 
     n: int
@@ -105,6 +118,8 @@ class NetworkConfig:
     deadline_ms: Optional[float] = None
     admission: Optional[object] = None
     breaker: Optional[object] = None
+    control: Optional[object] = None
+    snapshot_path: Optional[str] = None
 
     def __post_init__(self):
         check_network_size(self.n)
@@ -171,10 +186,52 @@ class NetworkConfig:
                 "breaker must be a BreakerPolicy-like object (with a "
                 f"'failure_threshold'), got {type(self.breaker).__name__}"
             )
+        # Duck-typed like admission/breaker: importing repro.control
+        # here would create a core <-> control import cycle.
+        if self.control is not None and not hasattr(
+            self.control, "tick_frames"
+        ):
+            raise ValueError(
+                "control must be a ControlPolicy-like object (with a "
+                f"'tick_frames'), got {type(self.control).__name__}"
+            )
+        if self.snapshot_path is not None and not isinstance(
+            self.snapshot_path, str
+        ):
+            raise ValueError(
+                "snapshot_path must be a filesystem path string (or "
+                f"None), got {type(self.snapshot_path).__name__}"
+            )
 
     def with_observer(self, observer) -> "NetworkConfig":
         """A copy of this config with a different observer attached."""
         return replace(self, observer=observer)
+
+    def derive(self, **overrides) -> "NetworkConfig":
+        """A revalidated copy of this config with fields replaced.
+
+        The ergonomic way to vary a frozen config::
+
+            base = NetworkConfig(256, engine="fast")
+            tuned = base.derive(workers=4, compile_ahead=2)
+
+        Args:
+            **overrides: any :class:`NetworkConfig` field.  Unknown
+                names raise a :class:`ValueError` listing the valid
+                fields; invalid values fail the same validation as the
+                constructor, naming the offending field and range.
+
+        Returns:
+            a new frozen :class:`NetworkConfig`; ``self`` is untouched.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown NetworkConfig field(s) {', '.join(unknown)} "
+                f"(valid fields: {', '.join(sorted(valid))})"
+            )
+        return replace(self, **overrides)
 
     def build(self):
         """Construct the configured network (see ``build_network``)."""
@@ -186,44 +243,18 @@ class NetworkConfig:
 _UNSET = object()
 
 
-def _resolve_config(
-    n_or_config,
-    *,
-    implementation=_UNSET,
-    engine=_UNSET,
-    observer=_UNSET,
-    caller: str = "this API",
-    hint: str = "NetworkConfig(n, ...)",
-) -> NetworkConfig:
-    """Normalise ``(n | NetworkConfig, legacy kwargs)`` to one config.
+def _resolve_config(n_or_config, *, observer=_UNSET) -> NetworkConfig:
+    """Normalise ``n | NetworkConfig`` to one validated config.
 
-    Shared by every constructor that accepts the new config object.
-    Legacy ``implementation=`` / ``engine=`` kwargs are honoured but
-    raise :class:`ReproDeprecationWarning`; combining them with a
-    :class:`NetworkConfig` is an error.  An ``observer`` kwarg is part
-    of the new API (it overrides ``config.observer``) and never warns.
+    Shared by every constructor that accepts the config object.  A bare
+    port count means "all defaults"; an ``observer`` kwarg overrides
+    ``config.observer`` (session facades use it to splice their own
+    composites in front of the caller's).
     """
-    legacy = {
-        k: v
-        for k, v in (("implementation", implementation), ("engine", engine))
-        if v is not _UNSET
-    }
     if isinstance(n_or_config, NetworkConfig):
-        if legacy:
-            raise TypeError(
-                f"{caller}: pass implementation/engine inside the "
-                "NetworkConfig, not alongside it"
-            )
         cfg = n_or_config
     else:
-        if legacy:
-            warnings.warn(
-                f"{caller}: passing {'/'.join(sorted(legacy))} as separate "
-                f"arguments is deprecated; pass {hint} instead",
-                ReproDeprecationWarning,
-                stacklevel=3,
-            )
-        cfg = NetworkConfig(n_or_config, **legacy)
+        cfg = NetworkConfig(n_or_config)
     if observer is not _UNSET and observer is not None:
         cfg = cfg.with_observer(observer)
     return cfg

@@ -31,10 +31,12 @@ from dataclasses import dataclass, field, replace
 from time import perf_counter_ns
 from typing import Iterable, List
 
+import os
+
 from ..errors import RoutingInvariantError
-from ..obs.events import FaultEvent
+from ..obs.events import CompositeObserver, FaultEvent
 from .brsmn import RoutingResult
-from .config import _UNSET, _resolve_config
+from .config import _resolve_config
 from .multicast import MulticastAssignment
 from .routing import build_network
 from .verification import verify_result
@@ -111,15 +113,14 @@ class MulticastFabric:
     Args:
         n: a :class:`~repro.core.config.NetworkConfig`, or a bare port
             count (power of two) for an all-defaults reference network.
-        implementation: deprecated — set it on the config instead.
+            Implementation and engine selection live on the config (the
+            fast engine memoises routing plans, so sessions with
+            recurring assignments also report plan-cache hits).
         mode: routing mode for every frame.
         strict: when True (default), a verification failure raises
             :class:`~repro.errors.RoutingInvariantError`; when False it
             is recorded in :attr:`FabricStats.failures` and the session
             continues.
-        engine: deprecated — set it on the config instead.  The fast
-            engine memoises routing plans, so sessions with recurring
-            assignments also report plan-cache hits.
         observer: optional :class:`~repro.obs.events.Observer`
             (overrides the config's); every ``submit`` then emits frame
             lifecycle events, level spans and plan-cache events.
@@ -139,6 +140,18 @@ class MulticastFabric:
     :class:`~repro.resilience.breaker.CircuitBreaker` over the primary
     plane.  All three default to off and cost nothing when unset.
 
+    With ``control`` on the config, a
+    :class:`~repro.control.plane.ControlPlane` watches the fabric's
+    event stream and retunes the bound actuators (admission rate and
+    reserve, compile-ahead depth, shard worker target, retry backoff)
+    once per submission tick; decisions are logged on
+    :attr:`MulticastFabric.control` and emitted as
+    :class:`~repro.obs.events.ControlEvent` samples.  With
+    ``snapshot_path``, :meth:`close` writes a warm-restart
+    :class:`~repro.resilience.snapshot.FabricSnapshot` there and the
+    constructor restores from an existing file (a missing file is a
+    cold start).
+
     When the config carries a non-empty fault plan, the fabric runs the
     self-healing layer: every frame submitted to the (faulty) primary
     plane goes through
@@ -154,23 +167,27 @@ class MulticastFabric:
     def __init__(
         self,
         n,
-        implementation=_UNSET,
         mode: str = "selfrouting",
         strict: bool = True,
-        engine=_UNSET,
         observer=None,
         retry_policy=None,
         health=None,
     ):
-        cfg = _resolve_config(
-            n,
-            implementation=implementation,
-            engine=engine,
-            observer=observer,
-            caller="MulticastFabric",
-            hint="MulticastFabric(NetworkConfig(n, ...))",
-        )
+        cfg = _resolve_config(n, observer=observer)
         self.config = cfg
+        if cfg.control is not None:
+            from ..control.plane import ControlPlane  # deferred: cycle
+
+            # The plane's signal aggregator is spliced in FRONT of the
+            # caller's observer so it sees every event the network will
+            # emit; ControlEvents go to the caller's observer only.
+            self.control = ControlPlane(cfg.control, observer=cfg.observer)
+            cfg = replace(
+                cfg,
+                observer=CompositeObserver(self.control.signals, cfg.observer),
+            )
+        else:
+            self.control = None
         self.network = build_network(cfg)
         self.n = cfg.n
         self.mode = mode
@@ -209,6 +226,31 @@ class MulticastFabric:
             self.health = None
             self.standby = None
             self.breaker = None
+        if self.control is not None:
+            base_retry = self.retry_policy
+            if base_retry is None and self.health is not None:
+                from ..faults.healing import RetryPolicy  # deferred: cycle
+
+                base_retry = RetryPolicy()
+            self.control.bind(
+                gate=self.gate,
+                pipeline=getattr(self.network, "pipeline", None),
+                router=getattr(self.network, "_sharded", None),
+                breaker=self.breaker,
+                retry_policy=base_retry,
+                retry_setter=(
+                    None
+                    if base_retry is None
+                    else lambda p: setattr(self, "retry_policy", p)
+                ),
+            )
+        self.snapshot_path = cfg.snapshot_path
+        if self.snapshot_path is not None and os.path.exists(
+            self.snapshot_path
+        ):
+            from ..resilience.snapshot import FabricSnapshot  # deferred
+
+            FabricSnapshot.load(self.snapshot_path).restore(self)
 
     def submit(self, assignment: MulticastAssignment, priority: int = 0):
         """Route one frame, updating the session statistics.
@@ -221,7 +263,19 @@ class MulticastFabric:
         :class:`~repro.resilience.gate.ShedFrame` instead (``ok`` is
         False, nothing was routed); ``priority > 0`` frames survive
         soft shedding and may draw on the token reserve.
+
+        With a control policy on the config, every submission —
+        including a shed one — counts toward the control plane's tick
+        cadence, so the adaptive loops see overload as it happens.
         """
+        if self.control is None:
+            return self._submit(assignment, priority)
+        try:
+            return self._submit(assignment, priority)
+        finally:
+            self.control.maybe_tick()
+
+    def _submit(self, assignment: MulticastAssignment, priority: int = 0):
         if self.gate is not None:
             self.gate.tick()
             if not self.gate.admit(priority=priority):
@@ -398,8 +452,13 @@ class MulticastFabric:
         restarts its pool on the next submit; see
         :meth:`~repro.core.brsmn.BRSMN.close`.  The standby plane is
         closed in a ``finally`` so a raising primary drain can never
-        leak its worker threads.
+        leak its worker threads.  With ``snapshot_path`` on the config
+        a warm-restart snapshot is written first (before the pools
+        drain), so the next fabric constructed with the same path
+        restores warm.
         """
+        if self.snapshot_path is not None:
+            self.snapshot().save(self.snapshot_path)
         try:
             close = getattr(self.network, "close", None)
             if close is not None:

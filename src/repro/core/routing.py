@@ -7,31 +7,29 @@ that — it builds the requested network, routes, verifies (attaching the
 raises on any violation unless ``strict=False``.
 
 Both :func:`build_network` and :func:`route_multicast` take either a
-bare port count or a :class:`~repro.core.config.NetworkConfig`; the
-legacy ``implementation=`` / ``engine=`` kwargs still work but raise
-:class:`~repro.errors.ReproDeprecationWarning`.  The old
-:func:`route_and_report` is a deprecated thin wrapper over
-:func:`route_multicast` — kept only so existing callers keep working,
-and guaranteed not to diverge because it no longer routes on its own.
+bare port count or a :class:`~repro.core.config.NetworkConfig` — all
+construction options (implementation, engine, cache sizing, workers,
+observers, fault plans, resilience and control policies) live on the
+config.  The pre-v1 ``implementation=`` / ``engine=`` kwargs and the
+``route_and_report`` wrapper are gone; ``docs/migration_v1.md`` maps
+every old spelling to its replacement.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Mapping, Optional, Sequence, Tuple, Union
+from typing import Mapping, Optional, Sequence, Union
 
-from ..errors import ReproDeprecationWarning, RoutingInvariantError
+from ..errors import RoutingInvariantError
 from .brsmn import BRSMN, RoutingResult
-from .config import NetworkConfig, _UNSET, _resolve_config
+from .config import _resolve_config
 from .feedback import FeedbackBRSMN
 from .multicast import MulticastAssignment
-from .verification import VerificationReport, verify_result
+from .verification import verify_result
 
 __all__ = [
     "build_network",
     "route_multicast",
     "route_resilient",
-    "route_and_report",
 ]
 
 AssignmentLike = Union[MulticastAssignment, Sequence, Mapping[int, Sequence[int]]]
@@ -45,23 +43,15 @@ def _coerce_assignment(n: int, assignment: AssignmentLike) -> MulticastAssignmen
     return MulticastAssignment(n, list(assignment))
 
 
-def build_network(n, implementation=_UNSET, engine=_UNSET):
+def build_network(n):
     """Construct a multicast network.
 
     Args:
         n: a :class:`~repro.core.config.NetworkConfig`, or a bare
             network size (power of two, >= 2) for an all-defaults
             reference network.
-        implementation: deprecated — set it on the config instead.
-        engine: deprecated — set it on the config instead.
     """
-    cfg = _resolve_config(
-        n,
-        implementation=implementation,
-        engine=engine,
-        caller="build_network",
-        hint="build_network(NetworkConfig(n, ...))",
-    )
+    cfg = _resolve_config(n)
     if cfg.implementation == "feedback":
         if cfg.observer is not None:
             raise ValueError(
@@ -77,8 +67,6 @@ def route_multicast(
     assignment: AssignmentLike,
     *,
     mode: str = "selfrouting",
-    implementation=_UNSET,
-    engine=_UNSET,
     payloads: Optional[Sequence] = None,
     collect_trace: bool = False,
     strict: bool = True,
@@ -93,8 +81,6 @@ def route_multicast(
             mapping.
         mode: ``"selfrouting"`` (default — the paper's hardware
             behaviour) or ``"oracle"``.
-        implementation: deprecated — set it on the config instead.
-        engine: deprecated — set it on the config instead.
         payloads: optional per-input payloads.
         collect_trace: record the full stage trace (reference engine
             only).
@@ -110,13 +96,7 @@ def route_multicast(
         RoutingInvariantError: if ``strict`` and verification finds any
             violation (missing / spurious / misrouted delivery).
     """
-    cfg = _resolve_config(
-        n,
-        implementation=implementation,
-        engine=engine,
-        caller="route_multicast",
-        hint="route_multicast(NetworkConfig(n, ...), assignment)",
-    )
+    cfg = _resolve_config(n)
     net = build_network(cfg)
     asg = _coerce_assignment(cfg.n, assignment)
     result = net.route(asg, mode=mode, payloads=payloads, collect_trace=collect_trace)
@@ -172,9 +152,7 @@ def route_resilient(
     """
     from ..faults.healing import route_with_healing  # deferred: cycle
 
-    cfg = _resolve_config(
-        n, caller="route_resilient", hint="route_resilient(NetworkConfig(n, ...))"
-    )
+    cfg = _resolve_config(n)
     net = build_network(cfg)
     asg = _coerce_assignment(cfg.n, assignment)
     budget = None
@@ -185,40 +163,3 @@ def route_resilient(
     return route_with_healing(
         net, asg, mode=mode, payloads=payloads, policy=policy, budget=budget
     )
-
-
-def route_and_report(
-    n,
-    assignment: AssignmentLike,
-    *,
-    mode: str = "selfrouting",
-    implementation=_UNSET,
-    engine=_UNSET,
-    payloads: Optional[Sequence] = None,
-    collect_trace: bool = False,
-) -> Tuple[RoutingResult, VerificationReport]:
-    """Deprecated: route and return ``(result, verification report)``.
-
-    Use :func:`route_multicast` (with ``strict=False`` to inspect
-    failures instead of raising) — the report now travels on
-    ``result.verification``.  This wrapper only unpacks it, so the two
-    paths cannot diverge on :class:`~repro.core.brsmn.RoutingResult`
-    fields.
-    """
-    warnings.warn(
-        "route_and_report is deprecated; use route_multicast "
-        "(strict=False) and read result.verification",
-        ReproDeprecationWarning,
-        stacklevel=2,
-    )
-    result = route_multicast(
-        n,
-        assignment,
-        mode=mode,
-        implementation=implementation,
-        engine=engine,
-        payloads=payloads,
-        collect_trace=collect_trace,
-        strict=False,
-    )
-    return result, result.verification

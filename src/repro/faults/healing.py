@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter_ns
 from typing import Dict, List, Optional, Tuple
 
@@ -106,6 +106,27 @@ class RetryPolicy:
             rng = random.Random(f"{self.jitter_seed}:{retry}")
             delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
         return delay
+
+    def scaled(self, factor: float) -> "RetryPolicy":
+        """A copy with backoff delays scaled by ``factor`` (>= 0).
+
+        Used by the control plane to pace healing retries while the
+        circuit breaker is HALF_OPEN: scaling ``base_delay_s`` (and the
+        ``max_delay_s`` cap, when finite) stretches every delay of the
+        schedule by the same factor while retries, jitter and seed —
+        and therefore the *decisions* of a seeded campaign — stay
+        untouched.  ``factor == 1`` returns ``self``.
+        """
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        if factor == 1.0:
+            return self
+        max_delay = self.max_delay_s
+        if math.isfinite(max_delay):
+            max_delay = max_delay * factor
+        return replace(
+            self, base_delay_s=self.base_delay_s * factor, max_delay_s=max_delay
+        )
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,9 @@ single-flight plan cache additionally reuses :class:`CacheEvent` with
 in-flight compilation.  The overload-resilience layer
 (:mod:`repro.resilience`) emits :class:`ResilienceEvent` samples:
 admission decisions, deadline expiries, circuit-breaker transitions,
-crash-safe shard recoveries and warm-restart snapshots.
+crash-safe shard recoveries and warm-restart snapshots.  The adaptive
+control plane (:mod:`repro.control`) emits :class:`ControlEvent`
+samples: one per control tick plus one per actuator adjustment.
 
 Observation is strictly pay-for-what-you-use: every emission site is
 gated on ``observer is not None and observer.enabled``, so routing with
@@ -51,6 +53,7 @@ __all__ = [
     "FaultEvent",
     "ParallelEvent",
     "ResilienceEvent",
+    "ControlEvent",
     "Observer",
     "NullSink",
     "CompositeObserver",
@@ -277,6 +280,46 @@ class ResilienceEvent:
     t_ns: int = 0
 
 
+@dataclass(frozen=True)
+class ControlEvent:
+    """The adaptive control plane ticked or adjusted an actuator.
+
+    Emitted by :class:`~repro.control.plane.ControlPlane`: one
+    ``action="tick"`` event per control tick plus one
+    ``action="adjust"`` event per actuator change a controller decided
+    on.  Adjustments mirror the entries of the plane's decision log —
+    minus ``t_ns``, which is wall-clock and therefore excluded from
+    the replayable log by design.
+
+    Attributes:
+        action: ``"tick"`` (a control tick fired) or ``"adjust"`` (an
+            actuator parameter changed).
+        controller: the deciding loop (``"admission"``,
+            ``"compile_ahead"``, ``"workers"``, ``"backoff"``; empty
+            on ticks).
+        parameter: the adjusted knob (``"rate"``, ``"reserve"``,
+            ``"depth"``, ``"worker_target"``, ``"backoff_scale"``;
+            empty on ticks).
+        old: the knob's value before the adjustment.
+        new: the value the controller set.
+        reason: deterministic cause tag (``"backlog"``,
+            ``"high_priority_shed"``, ``"spare_capacity"``,
+            ``"drop_rate"``, ``"idle"``, ``"drained"``,
+            ``"breaker_half_open"``, ``"breaker_recovered"``).
+        tick: the control tick the decision belongs to (1-based).
+        t_ns: ``perf_counter_ns`` timestamp of the emission.
+    """
+
+    action: str
+    controller: str = ""
+    parameter: str = ""
+    old: float = 0.0
+    new: float = 0.0
+    reason: str = ""
+    tick: int = 0
+    t_ns: int = 0
+
+
 class Observer:
     """Base observer: every hook is a no-op; subclass what you need.
 
@@ -311,6 +354,9 @@ class Observer:
 
     def on_resilience(self, event: ResilienceEvent) -> None:
         """The overload-resilience layer reported an event."""
+
+    def on_control(self, event: ControlEvent) -> None:
+        """The adaptive control plane ticked or adjusted an actuator."""
 
 
 class NullSink(Observer):
@@ -371,3 +417,7 @@ class CompositeObserver(Observer):
     def on_resilience(self, event: ResilienceEvent) -> None:
         for o in self.observers:
             o.on_resilience(event)
+
+    def on_control(self, event: ControlEvent) -> None:
+        for o in self.observers:
+            o.on_control(event)

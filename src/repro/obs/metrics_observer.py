@@ -42,6 +42,13 @@ metric                                  type       source event
 ``repro_resilience_shard_requeues_total``  counter  ResilienceEvent "shard_requeued"
 ``repro_resilience_shard_inline_total``  counter   ResilienceEvent "shard_inline"
 ``repro_resilience_snapshot_total{action}``  counter  ResilienceEvent "snapshot_*"
+``repro_control_ticks_total``           counter    ControlEvent "tick"
+``repro_control_decisions_total{controller,parameter}``  counter  ControlEvent "adjust"
+``repro_control_admission_rate``        gauge      ControlEvent "adjust" rate
+``repro_control_admission_reserve``     gauge      ControlEvent "adjust" reserve
+``repro_control_compile_ahead_depth``   gauge      ControlEvent "adjust" depth
+``repro_control_worker_target``         gauge      ControlEvent "adjust" worker_target
+``repro_control_backoff_scale``         gauge      ControlEvent "adjust" backoff_scale
 ======================================  =========  ==========================
 
 Latency histograms use power-of-two nanosecond buckets
@@ -60,6 +67,7 @@ import threading
 
 from .events import (
     CacheEvent,
+    ControlEvent,
     FaultEvent,
     FrameDone,
     FrameStart,
@@ -233,6 +241,38 @@ class MetricsObserver(Observer):
             "Warm-restart snapshots taken/restored, by action.",
             ("action",),
         )
+        self._control_ticks = r.counter(
+            "repro_control_ticks_total",
+            "Control-plane ticks evaluated.",
+        )
+        self._control_decisions = r.counter(
+            "repro_control_decisions_total",
+            "Actuator adjustments made by the control plane, "
+            "by controller and parameter.",
+            ("controller", "parameter"),
+        )
+        self._control_rate = r.gauge(
+            "repro_control_admission_rate",
+            "Admission refill rate currently set by the AIMD loop.",
+        )
+        self._control_reserve = r.gauge(
+            "repro_control_admission_reserve",
+            "Priority token reserve currently set by the AIMD loop.",
+        )
+        self._control_depth = r.gauge(
+            "repro_control_compile_ahead_depth",
+            "Compile-ahead prefetch depth currently set by the control "
+            "plane.",
+        )
+        self._control_workers = r.gauge(
+            "repro_control_worker_target",
+            "Shard worker target currently set by the control plane.",
+        )
+        self._control_backoff = r.gauge(
+            "repro_control_backoff_scale",
+            "Healing retry-backoff scale currently applied "
+            "(1 = base policy).",
+        )
 
     def on_frame_start(self, event: FrameStart) -> None:
         """Observe the assignment's fanout; remember the frame labels.
@@ -334,9 +374,30 @@ class MetricsObserver(Observer):
             elif action in ("snapshot_saved", "snapshot_restored"):
                 self._res_snapshot.inc(1, action=action)
 
+    def on_control(self, event: ControlEvent) -> None:
+        """Fold a control-plane event into the ``repro_control_*``
+        families."""
+        with self._lock:
+            if event.action == "tick":
+                self._control_ticks.inc(1)
+            elif event.action == "adjust":
+                self._control_decisions.inc(
+                    1, controller=event.controller, parameter=event.parameter
+                )
+                gauge = _CONTROL_GAUGES.get(event.parameter)
+                if gauge is not None:
+                    getattr(self, gauge).set(event.new)
+
     _engine = "unknown"
     _mode = "unknown"
 
 
 _PLANE_STATES = {"readmitted": 0, "probation": 1, "quarantined": 2}
 _BREAKER_STATES = {"breaker_closed": 0, "breaker_half_open": 1, "breaker_open": 2}
+_CONTROL_GAUGES = {
+    "rate": "_control_rate",
+    "reserve": "_control_reserve",
+    "depth": "_control_depth",
+    "worker_target": "_control_workers",
+    "backoff_scale": "_control_backoff",
+}

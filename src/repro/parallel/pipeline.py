@@ -93,6 +93,18 @@ class CompileAheadPipeline:
         """Lock-free depth read for hot-path event payloads."""
         return self._pending
 
+    def set_depth(self, depth: int) -> None:
+        """Resize the prefetch bound mid-flight (the control plane's
+        actuator hook).
+
+        Shrinking never cancels in-flight compiles — it only tightens
+        the admission test future :meth:`prefetch` calls run against.
+        """
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        with self._lock:
+            self.depth = depth
+
     def _emit(self, action: str) -> None:
         obs = self.observer
         if obs is None or not obs.enabled:

@@ -96,6 +96,27 @@ class ShardedBatchRouter:
         self.observer = observer
         self.requeues = 0
         self.inline_fallbacks = 0
+        self.worker_target: Optional[int] = None
+
+    def set_worker_target(self, target: Optional[int]) -> None:
+        """Cap how many pool workers shard fan-out may use (the control
+        plane's actuator hook).
+
+        The pool's threads stay provisioned; the target only bounds the
+        shard count :meth:`apply` computes, so scaling down cuts merge
+        and wake-up overhead without touching thread lifecycle.  `None`
+        restores the full pool.
+        """
+        if target is not None and target < 1:
+            raise ValueError(f"worker_target must be >= 1, got {target}")
+        self.worker_target = target
+
+    @property
+    def effective_workers(self) -> int:
+        """Workers shard fan-out will actually use on the next batch."""
+        if self.worker_target is None:
+            return self.pool.workers
+        return min(self.worker_target, self.pool.workers)
 
     def apply(
         self,
@@ -127,7 +148,7 @@ class ShardedBatchRouter:
         mat = payload_matrix
         if not isinstance(mat, np.ndarray):
             mat = np.asarray(mat, dtype=object)
-        bounds = shard_bounds(mat.shape[0], self.pool.workers)
+        bounds = shard_bounds(mat.shape[0], self.effective_workers)
         if len(bounds) <= 1:
             return plan.apply_batch(mat, attempt)
         out = np.empty(mat.shape, dtype=mat.dtype)

@@ -30,7 +30,7 @@ What the gate admits is then scheduled by the existing frame packer
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter_ns
 from typing import Dict, Optional
 
@@ -68,8 +68,14 @@ class AdmissionPolicy:
             raise ValueError(f"rate must be >= 0, got {self.rate}")
         if self.burst < 1:
             raise ValueError(f"burst must be >= 1, got {self.burst}")
-        if self.soft_watermark < 0 or self.hard_watermark < 0:
-            raise ValueError("watermarks must be >= 0")
+        if self.soft_watermark < 0:
+            raise ValueError(
+                f"soft_watermark must be >= 0, got {self.soft_watermark}"
+            )
+        if self.hard_watermark < 0:
+            raise ValueError(
+                f"hard_watermark must be >= 0, got {self.hard_watermark}"
+            )
         if self.hard_watermark < self.soft_watermark:
             raise ValueError(
                 f"hard_watermark ({self.hard_watermark}) must be >= "
@@ -153,6 +159,23 @@ class AdmissionGate:
     def tick(self) -> None:
         """Refill the bucket for one service opportunity."""
         self.tokens = min(self.policy.burst, self.tokens + self.policy.rate)
+
+    def update_policy(self, **changes) -> AdmissionPolicy:
+        """Swap in a revalidated policy mid-flight (the control plane's
+        actuator hook).
+
+        Args:
+            **changes: :class:`AdmissionPolicy` fields to replace —
+                typically ``rate`` and ``reserve`` from the AIMD loop.
+
+        Returns:
+            the new active policy.  The token bucket carries over,
+            clamped to the new burst; counters are untouched, so a
+            campaign's admission accounting spans policy changes.
+        """
+        self.policy = replace(self.policy, **changes)
+        self.tokens = min(self.tokens, self.policy.burst)
+        return self.policy
 
     def admit(self, priority: int = 0, queue_depth: int = 0) -> bool:
         """Decide one frame; True admits (and spends a token).

@@ -29,6 +29,7 @@ Round trip::
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from time import perf_counter_ns
 from typing import Dict, List, Optional
@@ -170,7 +171,9 @@ class FabricSnapshot:
         )
 
     def save(self, path: str) -> None:
-        """Write the JSON document to ``path``."""
+        """Write the JSON document to ``path`` (creating parent dirs)."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
         with open(path, "w") as fh:
             fh.write(self.to_json() + "\n")
 

@@ -1,4 +1,5 @@
-"""NetworkConfig: validation, construction, and the deprecation path."""
+"""NetworkConfig: validation, construction, derive(), and the removed
+legacy keyword surface."""
 
 import pytest
 
@@ -7,7 +8,6 @@ from repro.core.config import IMPLEMENTATIONS, ENGINES, NetworkConfig
 from repro.core.fabric import MulticastFabric
 from repro.core.feedback import FeedbackBRSMN
 from repro.core.routing import build_network, route_multicast
-from repro.errors import ReproDeprecationWarning
 from repro.obs import NullSink, TracingObserver
 
 EXAMPLE = {0: [1, 2], 3: [0]}
@@ -89,7 +89,10 @@ class TestConfigAcceptedEverywhere:
         assert fabric.engine == "fast"
 
 
-class TestDeprecationPath:
+class TestLegacyKwargsRemoved:
+    """v1 dropped the pre-config keyword surface (docs/migration_v1.md):
+    tuning goes through ``NetworkConfig`` only."""
+
     def test_bare_int_is_silent(self, recwarn):
         build_network(8)
         BRSMN(8)
@@ -99,46 +102,58 @@ class TestDeprecationPath:
             w for w in recwarn if issubclass(w.category, DeprecationWarning)
         ]
 
-    def test_legacy_engine_kwarg_warns(self):
-        with pytest.warns(ReproDeprecationWarning, match="NetworkConfig"):
-            net = BRSMN(8, engine="fast")
-        assert net.engine == "fast"  # behaviour preserved
+    def test_brsmn_rejects_engine_kwarg(self):
+        with pytest.raises(TypeError):
+            BRSMN(8, engine="fast")
 
-    def test_legacy_implementation_kwarg_warns(self):
-        with pytest.warns(ReproDeprecationWarning):
-            net = build_network(8, implementation="feedback")
-        assert isinstance(net, FeedbackBRSMN)
+    def test_build_network_rejects_implementation_kwarg(self):
+        with pytest.raises(TypeError):
+            build_network(8, implementation="feedback")
 
-    def test_legacy_positional_implementation_warns(self):
-        with pytest.warns(ReproDeprecationWarning):
-            net = build_network(8, "feedback")
-        assert isinstance(net, FeedbackBRSMN)
+    def test_build_network_rejects_positional_implementation(self):
+        with pytest.raises(TypeError):
+            build_network(8, "feedback")
 
-    def test_legacy_route_multicast_kwargs_warn(self):
-        with pytest.warns(ReproDeprecationWarning):
-            res = route_multicast(8, EXAMPLE, engine="fast")
-        assert res.engine == "fast"
+    def test_route_multicast_rejects_engine_kwarg(self):
+        with pytest.raises(TypeError):
+            route_multicast(8, EXAMPLE, engine="fast")
 
-    def test_legacy_fabric_kwargs_warn(self):
-        with pytest.warns(ReproDeprecationWarning):
+    def test_fabric_rejects_engine_kwarg(self):
+        with pytest.raises(TypeError):
             MulticastFabric(8, engine="fast")
 
-    def test_observer_kwarg_never_warns(self, recwarn):
+    def test_observer_kwarg_still_accepted(self, recwarn):
         MulticastFabric(8, observer=TracingObserver())
         assert not [
             w for w in recwarn if issubclass(w.category, DeprecationWarning)
         ]
 
-    def test_mixing_config_and_legacy_kwargs_rejected(self):
-        with pytest.raises(TypeError):
-            MulticastFabric(NetworkConfig(8), engine="fast")
-        with pytest.raises(TypeError):
-            build_network(NetworkConfig(8), implementation="feedback")
-
-    def test_legacy_and_config_results_agree(self):
-        with pytest.warns(ReproDeprecationWarning):
-            legacy = route_multicast(8, EXAMPLE, engine="fast")
+    def test_config_replaces_legacy_spellings(self):
         modern = route_multicast(NetworkConfig(8, engine="fast"), EXAMPLE)
-        assert {o: m.source for o, m in legacy.delivered.items()} == {
-            o: m.source for o, m in modern.delivered.items()
+        reference = route_multicast(8, EXAMPLE)
+        assert {o: m.source for o, m in modern.delivered.items()} == {
+            o: m.source for o, m in reference.delivered.items()
         }
+
+
+class TestDerive:
+    def test_overrides_fields(self):
+        cfg = NetworkConfig(8).derive(engine="fast", workers=2)
+        assert cfg.engine == "fast" and cfg.workers == 2
+        assert cfg.n == 8
+
+    def test_keeps_unrelated_fields(self):
+        base = NetworkConfig(8, plan_cache_size=7)
+        assert base.derive(engine="fast").plan_cache_size == 7
+
+    def test_revalidates(self):
+        with pytest.raises(ValueError, match="plan_cache_size"):
+            NetworkConfig(8).derive(plan_cache_size=0)
+
+    def test_unknown_field_named_in_error(self):
+        with pytest.raises(ValueError, match="implemenation"):
+            NetworkConfig(8).derive(implemenation="feedback")
+
+    def test_no_overrides_is_identity(self):
+        cfg = NetworkConfig(8, engine="fast")
+        assert cfg.derive() == cfg

@@ -6,8 +6,8 @@ from repro.core.brsmn import BRSMN
 from repro.core.config import NetworkConfig
 from repro.core.feedback import FeedbackBRSMN
 from repro.core.multicast import MulticastAssignment
-from repro.core.routing import build_network, route_and_report, route_multicast
-from repro.errors import ReproDeprecationWarning, RoutingInvariantError
+from repro.core.routing import build_network, route_multicast
+from repro.errors import RoutingInvariantError
 
 
 class TestBuildNetwork:
@@ -59,14 +59,25 @@ class TestRouteMulticast:
         assert res.trace is not None
 
 
-class TestRouteAndReport:
-    def test_deprecated_wrapper_still_works(self):
-        with pytest.warns(ReproDeprecationWarning):
-            result, report = route_and_report(4, {0: [1, 2]})
-        assert report.ok
-        assert report.deliveries == 2
-        assert result.mode == "selfrouting"
-        assert result.verification is report
+class TestLegacySurfaceGone:
+    def test_route_and_report_removed(self):
+        # v1 removed the tuple-returning wrapper; the verification
+        # report now rides on the result (docs/migration_v1.md).
+        import repro.core.routing as routing
+
+        assert not hasattr(routing, "route_and_report")
+
+    def test_build_network_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            build_network(8, implementation="feedback")
+        with pytest.raises(TypeError):
+            build_network(8, engine="fast")
+
+    def test_route_multicast_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            route_multicast(4, {0: [1]}, implementation="unrolled")
+        with pytest.raises(TypeError):
+            route_multicast(4, {0: [1]}, engine="fast")
 
     def test_route_multicast_attaches_verification(self):
         res = route_multicast(4, {0: [1, 2]})

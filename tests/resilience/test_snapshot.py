@@ -166,3 +166,42 @@ class TestJsonFormat:
         assert hasattr(result, "outcomes")
         fab.close()
         fab2.close()
+
+
+class TestSnapshotPathAutoPersistence:
+    """``NetworkConfig(snapshot_path=...)``: close() persists, the next
+    constructor warm-restores — no explicit snapshot calls."""
+
+    def test_close_writes_and_reopen_restores(self, tmp_path):
+        path = tmp_path / "state" / "fabric.json"
+        cfg = NetworkConfig(16, engine="fast", snapshot_path=str(path))
+        frames = _frames(16, 5, seed=3)
+
+        fab = MulticastFabric(cfg)
+        fab.run(frames)
+        fab.close()
+        assert path.exists()
+        assert FabricSnapshot.load(str(path)).n == 16
+
+        fab2 = MulticastFabric(cfg)
+        try:
+            fab2.run(frames)
+            assert fab2.stats.plan_cache_misses == 0
+            assert fab2.stats.plan_cache_hits > 0
+        finally:
+            fab2.close()
+
+    def test_missing_file_starts_cold(self, tmp_path):
+        cfg = NetworkConfig(
+            16, engine="fast", snapshot_path=str(tmp_path / "absent.json")
+        )
+        fab = MulticastFabric(cfg)
+        try:
+            fab.run(_frames(16, 2, seed=4))
+            assert fab.stats.plan_cache_misses > 0
+        finally:
+            fab.close()
+
+    def test_non_string_path_rejected_by_name(self):
+        with pytest.raises(ValueError, match="snapshot_path"):
+            NetworkConfig(16, snapshot_path=7)

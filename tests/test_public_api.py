@@ -18,6 +18,8 @@ STABLE_API = [
     "BreakerState",
     "CircuitBreaker",
     "CompositeObserver",
+    "ControlPlane",
+    "ControlPolicy",
     "DeadlineBudget",
     "DegradedResult",
     "FabricSnapshot",
@@ -38,12 +40,12 @@ STABLE_API = [
     "RetryPolicy",
     "RoutingResult",
     "ShedFrame",
+    "SignalWindow",
     "Tag",
     "TagTree",
     "TracingObserver",
     "build_network",
     "paper_example_assignment",
-    "route_and_report",
     "route_multicast",
     "route_resilient",
     "verify_result",
@@ -88,6 +90,7 @@ class TestTopLevel:
         "repro.obs",
         "repro.faults",
         "repro.resilience",
+        "repro.control",
         "repro.rbn",
         "repro.hardware",
         "repro.baselines",
@@ -116,7 +119,7 @@ class TestDocstringCoverage:
         undocumented = []
         for module_name in (
             "repro.core", "repro.obs", "repro.faults", "repro.resilience",
-            "repro.rbn", "repro.hardware", "repro.baselines",
+            "repro.control", "repro.rbn", "repro.hardware", "repro.baselines",
             "repro.workloads", "repro.analysis", "repro.viz",
         ):
             mod = importlib.import_module(module_name)
