@@ -18,6 +18,13 @@ Run from the repository root::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
 
+``--executor process`` gates the multiprocess executor the same way,
+against the committed ``process`` section's 2-worker row (2 workers,
+not 4, so the gate prices the shared-memory/envelope machinery rather
+than the runner's core count)::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py --executor process
+
 A second mode, ``--adaptive-gate``, compares two ``repro chaos
 --overload --summary-out`` artifacts (static vs ``--adaptive``) instead
 of re-measuring throughput.  It enforces the adaptive control plane's
@@ -59,27 +66,42 @@ from repro.workloads.random_assignments import random_multicast
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
 
-def committed_frames_per_s(path: pathlib.Path) -> float:
-    """The committed warm single-worker frames/s, or exit 2 if absent."""
+def committed_frames_per_s(
+    path: pathlib.Path, section: str = "parallel", workers: int = 1
+) -> float:
+    """The committed warm frames/s for one bench row, or exit 2 if absent.
+
+    The default row is the thread path's single-worker number; the
+    ``--executor process`` gate reads the ``process`` section's
+    2-worker row instead (2, not 4, so the gate measures the executor's
+    IPC machinery rather than the runner's core count).
+    """
     try:
         data = json.loads(path.read_text())
     except FileNotFoundError:
         print(f"bench regression: {path} not found", file=sys.stderr)
         sys.exit(2)
-    rows = data.get("parallel", {}).get("workers", [])
+    rows = data.get(section, {}).get("workers", [])
     for row in rows:
-        if row.get("workers") == 1:
+        if row.get("workers") == workers:
             return float(row["warm_frames_per_s"])
-    print(f"bench regression: no workers=1 row in {path}", file=sys.stderr)
+    print(
+        f"bench regression: no {section} workers={workers} row in {path}",
+        file=sys.stderr,
+    )
     sys.exit(2)
 
 
-def measure_frames_per_s(k: int = 7, warmup: int = 2) -> float:
+def measure_frames_per_s(
+    k: int = 7, warmup: int = 2, workers: int = 1, executor: str = "thread"
+) -> float:
     """Warm min-of-k frames/s, same shape as the bench's parallel section."""
     n, frames = 1024, 64
     assignment = random_multicast(n, load=1.0, seed=n)
     matrix = np.arange(frames * n, dtype=np.int64).reshape(frames, n)
-    net = BRSMN(NetworkConfig(n, engine="fast", workers=1))
+    net = BRSMN(
+        NetworkConfig(n, engine="fast", workers=workers, executor=executor)
+    )
     try:
         for _ in range(warmup):
             net.route_batch(assignment, matrix)
@@ -155,6 +177,14 @@ def main(argv=None) -> int:
         help="maximum tolerated fractional drop (default 0.20)",
     )
     parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="which executor's committed throughput row to gate: "
+        "'thread' gates the single-worker row, 'process' the process "
+        "section's 2-worker row",
+    )
+    parser.add_argument(
         "--adaptive-gate",
         action="store_true",
         help="compare adaptive vs static overload summaries instead of "
@@ -196,12 +226,20 @@ def main(argv=None) -> int:
             parser.error("--adaptive-gate requires --static and --adaptive")
         return adaptive_gate(args)
 
-    committed = committed_frames_per_s(args.json)
-    measured = measure_frames_per_s()
+    if args.executor == "process":
+        committed = committed_frames_per_s(
+            args.json, section="process", workers=2
+        )
+        measured = measure_frames_per_s(workers=2, executor="process")
+        label = "process-executor (2-worker) batch throughput"
+    else:
+        committed = committed_frames_per_s(args.json)
+        measured = measure_frames_per_s()
+        label = "single-worker batch throughput"
     floor = committed * (1.0 - args.threshold)
     verdict = "OK" if measured >= floor else "REGRESSION"
     print(
-        f"single-worker batch throughput: measured {measured:,.0f} frames/s "
+        f"{label}: measured {measured:,.0f} frames/s "
         f"vs committed {committed:,.0f} (floor {floor:,.0f} at "
         f"-{args.threshold:.0%}) -> {verdict}"
     )

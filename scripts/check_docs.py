@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""CI docs checks: links resolve, usage examples actually run.
+"""CI docs checks: links resolve, documented examples actually run.
 
 Two independent checks, both over committed markdown:
 
@@ -7,9 +7,10 @@ Two independent checks, both over committed markdown:
   ``README.md`` points at a file that exists (external ``http(s)`` /
   ``mailto`` links and pure ``#anchor`` self-references are skipped;
   fragments on relative links are stripped before the existence check).
-* ``run_usage_examples`` — every fenced ``python`` block of
-  ``docs/usage.md`` is executed in its own namespace, so the cookbook
-  cannot drift from the API it documents.  Requires ``PYTHONPATH=src``
+* ``run_examples`` — every fenced ``python`` block of the executable
+  pages (``docs/usage.md``, ``docs/performance.md``, ``docs/faq.md``,
+  ``docs/executors.md``) is executed in its own namespace, so no page
+  can drift from the API it documents.  Requires ``PYTHONPATH=src``
   (or an installed package).
 
 Run from the repository root::
@@ -59,22 +60,32 @@ def check_links() -> List[str]:
     return failures
 
 
-def run_usage_examples() -> List[str]:
-    """Execute every fenced python block of docs/usage.md."""
+# Pages whose python blocks are executed verbatim.  A page belongs
+# here unless its blocks are deliberately non-runnable (none are
+# today); new executable pages must be added or their examples rot.
+EXECUTABLE_PAGES = ("usage.md", "performance.md", "faq.md", "executors.md")
+
+
+def run_examples() -> List[str]:
+    """Execute every fenced python block of the executable pages."""
     failures: List[str] = []
-    text = (REPO / "docs" / "usage.md").read_text()
-    blocks = FENCE_RE.findall(text)
-    if not blocks:
-        return ["docs/usage.md: no fenced python blocks found"]
-    for i, block in enumerate(blocks):
-        try:
-            exec(compile(block, f"docs/usage.md[block {i}]", "exec"),
-                 {"__name__": "__main__"})
-        except Exception as exc:  # noqa: BLE001 — report, don't crash
-            failures.append(
-                f"docs/usage.md block {i} raised "
-                f"{type(exc).__name__}: {exc}\n{block.rstrip()}"
-            )
+    total = 0
+    for name in EXECUTABLE_PAGES:
+        page = REPO / "docs" / name
+        blocks = FENCE_RE.findall(page.read_text())
+        if not blocks:
+            failures.append(f"docs/{name}: no fenced python blocks found")
+            continue
+        total += len(blocks)
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"docs/{name}[block {i}]", "exec"),
+                     {"__name__": "__main__"})
+            except Exception as exc:  # noqa: BLE001 — report, don't crash
+                failures.append(
+                    f"docs/{name} block {i} raised "
+                    f"{type(exc).__name__}: {exc}\n{block.rstrip()}"
+                )
     return failures
 
 
@@ -82,14 +93,17 @@ def main() -> int:
     link_failures = check_links()
     for msg in link_failures:
         print(f"LINK  {msg}", file=sys.stderr)
-    example_failures = run_usage_examples()
+    example_failures = run_examples()
     for msg in example_failures:
         print(f"EXAMPLE  {msg}", file=sys.stderr)
     pages = len(_doc_pages())
-    blocks = len(FENCE_RE.findall((REPO / "docs" / "usage.md").read_text()))
+    blocks = sum(
+        len(FENCE_RE.findall((REPO / "docs" / name).read_text()))
+        for name in EXECUTABLE_PAGES
+    )
     if link_failures or example_failures:
         return 1
-    print(f"docs ok: {pages} pages linked, {blocks} usage examples ran")
+    print(f"docs ok: {pages} pages linked, {blocks} examples ran")
     return 0
 
 

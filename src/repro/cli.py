@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro route --n 8 --example --trace
     python -m repro stats --n 64 --frames 200 --engine fast --metrics-out metrics.json
     python -m repro stats --n 256 --frames 500 --workers 4 --compile-ahead 2
+    python -m repro stats --n 256 --frames 500 --workers 4 --executor process
     python -m repro chaos --n 32 --frames 100 --faults 2 --seed 7
     python -m repro chaos --n 64 --overload --arrival-rate 2.0 --deadline-ms 50
     python -m repro chaos --n 64 --overload --adaptive --seed 7 \\
@@ -180,6 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool size for the fast engine (1 = single-threaded)",
     )
     p_stats.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="sharding backend for --workers > 1: thread (zero-copy "
+        "views, default) or process (shared-memory shards that scale "
+        "CPython-bound routing past one core)",
+    )
+    p_stats.add_argument(
         "--compile-ahead",
         type=int,
         default=0,
@@ -288,6 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="overload: worker-pool size for the fast engine",
+    )
+    p_chaos.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="overload: sharding backend for --workers > 1 (thread or "
+        "process; see docs/executors.md)",
     )
     p_chaos.add_argument(
         "--adaptive",
@@ -440,12 +456,16 @@ def _cmd_stats(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.executor == "process" and args.engine != "fast":
+        print("--executor process requires --engine fast", file=sys.stderr)
+        return 2
     metrics = MetricsObserver()
     tracing = TracingObserver()
     cfg = NetworkConfig(
         args.n,
         engine=args.engine,
         workers=args.workers,
+        executor=args.executor,
         compile_ahead=args.compile_ahead,
         observer=CompositeObserver(metrics, tracing),
     )
@@ -473,7 +493,7 @@ def _cmd_stats(args) -> int:
         cache = fabric.network.plan_cache
         pipeline = fabric.network.pipeline
         line = (
-            f"parallel: {args.workers} workers, "
+            f"parallel: {args.workers} workers ({args.executor}), "
             f"{getattr(cache, 'coalesced', 0)} coalesced compiles"
         )
         if pipeline is not None:
@@ -650,6 +670,9 @@ def _cmd_chaos_overload(args) -> int:
     if args.workers > 1 and args.engine != "fast":
         print("--workers requires --engine fast", file=sys.stderr)
         return 2
+    if args.executor == "process" and args.engine != "fast":
+        print("--executor process requires --engine fast", file=sys.stderr)
+        return 2
     metrics = MetricsObserver()
     try:
         plan = FaultPlan.random(args.n, faults=args.faults, seed=args.seed)
@@ -676,6 +699,7 @@ def _cmd_chaos_overload(args) -> int:
             args.n,
             engine=args.engine,
             workers=args.workers,
+            executor=args.executor,
             fault_plan=plan,
             observer=metrics,
             admission=admission,

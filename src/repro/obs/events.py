@@ -22,6 +22,10 @@ casualties, retries, recoveries, losses and plane quarantine
 transitions, and :class:`ParallelEvent` samples from the multi-worker
 throughput engine (:mod:`repro.parallel`): shard / compile task
 lifecycle, worker-pool utilisation and compile-queue depth.  The
+multiprocess backend (:mod:`repro.parallel.process`) adds
+:class:`ProcessEvent` samples: process-pool shard tasks, plan-envelope
+shipments (full / slim / cache-miss refetch), shared-memory placement
+and pool respawns after a worker-process crash.  The
 single-flight plan cache additionally reuses :class:`CacheEvent` with
 ``kind="coalesced"`` for lookups that piggybacked on another thread's
 in-flight compilation.  The overload-resilience layer
@@ -52,6 +56,7 @@ __all__ = [
     "QueueDepth",
     "FaultEvent",
     "ParallelEvent",
+    "ProcessEvent",
     "ResilienceEvent",
     "ControlEvent",
     "Observer",
@@ -244,6 +249,44 @@ class ParallelEvent:
 
 
 @dataclass(frozen=True)
+class ProcessEvent:
+    """A multiprocess-backend lifecycle sample.
+
+    Emitted by the process-pool sharding backend
+    (:class:`~repro.parallel.process.ProcessShardRouter`) from the
+    *parent* side only — observers never cross the process boundary.
+    Gauge-like fields (``workers``, ``busy``) carry the value after the
+    event, mirroring :class:`ParallelEvent`.
+
+    Attributes:
+        action: ``"start"`` (a shard task was submitted to the pool),
+            ``"done"`` (its result was merged), ``"envelope"`` (a plan
+            envelope was shipped — see ``kind``), ``"shm"`` (payload
+            bytes were placed in shared memory; ``bytes`` carries the
+            segment size) or ``"respawn"`` (the pool was recreated
+            after a worker process died).
+        kind: for tasks, the payload path — ``"shard_shm"``
+            (shared-memory numeric view) or ``"shard_pickled"``
+            (pickled object-dtype chunk); for ``"envelope"`` events,
+            the shipment kind — ``"full"`` (fingerprint + arrays),
+            ``"slim"`` (fingerprint only, worker cache assumed warm) or
+            ``"miss"`` (a slim shipment missed the worker's local cache
+            and the arrays were re-sent).
+        workers: configured process-pool size.
+        busy: shard tasks in flight after this event.
+        bytes: shared-memory bytes involved (``"shm"`` events only).
+        t_ns: ``perf_counter_ns`` timestamp of the emission.
+    """
+
+    action: str
+    kind: str = ""
+    workers: int = 0
+    busy: int = 0
+    bytes: int = 0
+    t_ns: int = 0
+
+
+@dataclass(frozen=True)
 class ResilienceEvent:
     """Something happened on the overload-resilience path.
 
@@ -352,6 +395,9 @@ class Observer:
     def on_parallel(self, event: ParallelEvent) -> None:
         """The worker pool / compile-ahead pipeline reported an event."""
 
+    def on_process(self, event: ProcessEvent) -> None:
+        """The multiprocess sharding backend reported an event."""
+
     def on_resilience(self, event: ResilienceEvent) -> None:
         """The overload-resilience layer reported an event."""
 
@@ -413,6 +459,10 @@ class CompositeObserver(Observer):
     def on_parallel(self, event: ParallelEvent) -> None:
         for o in self.observers:
             o.on_parallel(event)
+
+    def on_process(self, event: ProcessEvent) -> None:
+        for o in self.observers:
+            o.on_process(event)
 
     def on_resilience(self, event: ResilienceEvent) -> None:
         for o in self.observers:

@@ -26,6 +26,12 @@ metric                                  type       source event
 ``repro_parallel_workers_busy``         gauge      ParallelEvent.busy
 ``repro_parallel_compile_queue_depth``  gauge      ParallelEvent.queue_depth
 ``repro_parallel_coalesced_total``      counter    CacheEvent "coalesced"
+``repro_parallel_proc_tasks_total{kind}``  counter  ProcessEvent "done"
+``repro_parallel_proc_workers``         gauge      ProcessEvent.workers
+``repro_parallel_proc_busy``            gauge      ProcessEvent.busy
+``repro_parallel_proc_respawns_total``  counter    ProcessEvent "respawn"
+``repro_parallel_proc_envelopes_total{kind}``  counter  ProcessEvent "envelope"
+``repro_parallel_proc_shm_bytes_total``  counter   ProcessEvent "shm"
 ``repro_faults_injected_total{kind}``   counter    FaultEvent "injected"
 ``repro_faults_detected_total``         counter    FaultEvent "detected"
 ``repro_faults_retries_total``          counter    FaultEvent "retry"
@@ -74,6 +80,7 @@ from .events import (
     LevelSpan,
     Observer,
     ParallelEvent,
+    ProcessEvent,
     QueueDepth,
     ResilienceEvent,
 )
@@ -170,6 +177,36 @@ class MetricsObserver(Observer):
             "repro_parallel_coalesced_total",
             "Plan-cache misses coalesced onto an in-flight compile "
             "(single-flight deduplication).",
+        )
+        self._proc_tasks = r.counter(
+            "repro_parallel_proc_tasks_total",
+            "Process-pool shard tasks completed, by payload path "
+            "(shard_shm / shard_pickled).",
+            ("kind",),
+        )
+        self._proc_workers = r.gauge(
+            "repro_parallel_proc_workers", "Configured process-pool size."
+        )
+        self._proc_busy = r.gauge(
+            "repro_parallel_proc_busy",
+            "Process-pool shard tasks in flight after the last sample.",
+        )
+        self._proc_respawns = r.counter(
+            "repro_parallel_proc_respawns_total",
+            "Process pools recreated after a worker process died "
+            "(a crash poisons the whole executor).",
+        )
+        self._proc_envelopes = r.counter(
+            "repro_parallel_proc_envelopes_total",
+            "Plan envelopes shipped to worker processes, by kind "
+            "(full / slim / miss, where miss counts slim shipments "
+            "that missed the worker's local plan cache).",
+            ("kind",),
+        )
+        self._proc_shm_bytes = r.counter(
+            "repro_parallel_proc_shm_bytes_total",
+            "Bytes placed in shared-memory segments for zero-copy "
+            "payload shards (input + output, per batch).",
         )
         self._faults_injected = r.counter(
             "repro_faults_injected_total",
@@ -328,6 +365,21 @@ class MetricsObserver(Observer):
             self._compile_queue_depth.set(event.queue_depth)
             if event.action == "done":
                 self._parallel_tasks.inc(1, kind=event.kind)
+
+    def on_process(self, event: ProcessEvent) -> None:
+        """Fold a multiprocess-backend sample into the
+        ``repro_parallel_proc_*`` families."""
+        with self._lock:
+            self._proc_workers.set(event.workers)
+            self._proc_busy.set(event.busy)
+            if event.action == "done":
+                self._proc_tasks.inc(1, kind=event.kind)
+            elif event.action == "respawn":
+                self._proc_respawns.inc(1)
+            elif event.action == "envelope":
+                self._proc_envelopes.inc(1, kind=event.kind)
+            elif event.action == "shm":
+                self._proc_shm_bytes.inc(event.bytes)
 
     def on_fault(self, event: FaultEvent) -> None:
         """Fold a fault-path event into the ``repro_faults_*`` families."""

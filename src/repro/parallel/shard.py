@@ -85,7 +85,11 @@ class ShardedBatchRouter:
             crashed or deadline-stranded shard is recovered.
 
     Attributes:
-        requeues: crashed shard tasks resubmitted to the pool.
+        requeues: crashed shard tasks *actually* resubmitted to the
+            pool — a crash whose resubmission fails (executor shut down
+            under it) counts only as an inline fallback, and the shard
+            the submitting thread routes inline by design (the last
+            one) never emits any resilience event.
         inline_fallbacks: shards ultimately routed on the submitting
             thread (requeue also failed, executor dead, or deadline
             spent waiting).
@@ -205,9 +209,15 @@ class ShardedBatchRouter:
                     self._inline(plan, mat, out, lo, hi, attempt)
                     return
                 requeued = True
+                future = self._submit(plan, mat, out, lo, hi, attempt)
+                if future is None:
+                    # The executor died between the crash and the
+                    # resubmission: nothing was requeued, so no
+                    # ``shard_requeued`` event — the next loop pass
+                    # routes inline (emitting ``shard_inline`` only).
+                    continue
                 self.requeues += 1
                 self._emit("shard_requeued", hi - lo)
-                future = self._submit(plan, mat, out, lo, hi, attempt)
 
     def _inline(self, plan, mat, out, lo, hi, attempt) -> None:
         """Route one shard on the submitting thread (the last resort —

@@ -1,12 +1,16 @@
 """Bounded worker pool with busy accounting and observability.
 
 :class:`WorkerPool` is a thin, instrumented wrapper around
-:class:`concurrent.futures.ThreadPoolExecutor`.  Threads (not
-processes) are the right vehicle here: the fast engine's hot loops are
-NumPy gather kernels, and ``np.take`` on numeric dtypes releases the
-GIL for the duration of the copy, so shards genuinely overlap on
-multicore hosts while plans, payload views and the output matrix are
-shared zero-copy — a process pool would pay pickling on every shard.
+:class:`concurrent.futures.ThreadPoolExecutor`.  Threads are the
+default vehicle because the fast engine's hot loops are NumPy gather
+kernels, and ``np.take`` on numeric dtypes releases the GIL for the
+duration of the copy, so shards genuinely overlap on multicore hosts
+while plans, payload views and the output matrix are shared zero-copy.
+Workloads the GIL *does* serialise — object-dtype payloads, healing
+verify loops — scale through the process twin instead
+(``NetworkConfig(executor="process")``,
+:class:`~repro.parallel.process.ProcessWorkerPool`); see
+``docs/executors.md`` for the decision table.
 
 Every task emits a pair of :class:`~repro.obs.events.ParallelEvent`
 samples (``start`` / ``done``) carrying the pool size, the busy-worker
