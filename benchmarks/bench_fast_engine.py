@@ -345,6 +345,64 @@ def test_end_to_end_speedup(write_artifact, benchmark):
         )
     results["process"] = process
 
+    # -- cluster tier: K replicas behind plan-affinity placement.  The
+    # rendezvous hash and lifecycle bookkeeping are per-frame overhead
+    # on top of one fabric, so warm frames/s is measured per replica
+    # count on the same cycled frame pool.  The figure of merit is the
+    # warm plan-cache hit rate: every fingerprint re-homes to exactly
+    # one replica, so the cluster-wide rate must stay at the
+    # single-fabric 100% instead of degrading by 1/K.
+    from repro.cluster import ClusterConfig, FabricCluster
+
+    cn, cframes, cdistinct = 256, 64, 8
+    cpool = [
+        random_multicast(cn, load=1.0, seed=cn + i) for i in range(cdistinct)
+    ]
+    csequence = [cpool[i % cdistinct] for i in range(cframes)]
+    cluster_section = {
+        "n": cn,
+        "frames": cframes,
+        "distinct_plans": cdistinct,
+        "replicas": [],
+    }
+    for count in (1, 2, 4):
+        cl = FabricCluster(
+            ClusterConfig(
+                replicas=count,
+                network=NetworkConfig(cn, engine="fast"),
+                placement_seed=cn,
+            )
+        )
+        for a in csequence:  # compile every plan on its home replica
+            cl.submit(a)
+        hits0 = cl.stats.plan_cache_hits
+        misses0 = cl.stats.plan_cache_misses
+        warm = timing_stats(
+            lambda: [cl.submit(a) for a in csequence], k=5, warmup=1
+        )
+        hits = cl.stats.plan_cache_hits - hits0
+        misses = cl.stats.plan_cache_misses - misses0
+        cl.close()
+        warm_rate = hits / max(hits + misses, 1)
+        assert warm_rate == 1.0, (
+            f"plan affinity broken: warm hit rate {warm_rate:.4f} at "
+            f"{count} replicas (placement must keep the single-fabric "
+            "100% warm rate)"
+        )
+        cluster_section["replicas"].append(
+            {
+                "replicas": count,
+                "warm_batch_ms": round(warm["min_s"] * 1e3, 4),
+                "warm_p50_ms": round(warm["p50_s"] * 1e3, 4),
+                "warm_p95_ms": round(warm["p95_s"] * 1e3, 4),
+                "warm_frames_per_s": round(
+                    cframes / max(warm["min_s"], 1e-9), 1
+                ),
+                "warm_hit_rate": round(warm_rate, 4),
+            }
+        )
+    results["cluster"] = cluster_section
+
     write_artifact(
         "fast_engine",
         "Compiled gather-plan engine vs reference per-switch simulation\n"
@@ -424,7 +482,28 @@ def test_end_to_end_speedup(write_artifact, benchmark):
             t=process["object_dtype_4w"]["thread_batch_ms"],
             p=process["object_dtype_4w"]["process_batch_ms"],
             x=process["object_dtype_4w"]["process_speedup_vs_threads"],
-        ),
+        )
+        + "\n\nCluster tier (n = {n}, {f} frames/campaign, {d} distinct "
+          "plans, rendezvous placement):\n".format(
+            n=cn, f=cframes, d=cdistinct
+        )
+        + format_table(
+            ["replicas", "warm ms (min/p50/p95)", "warm frames/s",
+             "warm hit rate"],
+            [
+                [
+                    r["replicas"],
+                    "{0:.2f}/{1:.2f}/{2:.2f}".format(
+                        r["warm_batch_ms"], r["warm_p50_ms"], r["warm_p95_ms"]
+                    ),
+                    f"{r['warm_frames_per_s']:.0f}",
+                    f"{r['warm_hit_rate']:.0%}",
+                ]
+                for r in cluster_section["replicas"]
+            ],
+        )
+        + "\n  plan affinity keeps the warm hit rate at the "
+          "single-fabric 100% at every replica count",
     )
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
 

@@ -25,6 +25,13 @@ than the runner's core count)::
 
     PYTHONPATH=src python scripts/check_bench_regression.py --executor process
 
+``--cluster`` gates the cluster tier the same way, against the
+committed ``cluster`` section's 1-replica row (1 replica, so the gate
+prices the per-frame placement and lifecycle overhead the cluster adds
+on top of one fabric, not the runner's scheduling of K fabrics)::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py --cluster
+
 A second mode, ``--adaptive-gate``, compares two ``repro chaos
 --overload --summary-out`` artifacts (static vs ``--adaptive``) instead
 of re-measuring throughput.  It enforces the adaptive control plane's
@@ -67,26 +74,33 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 
 def committed_frames_per_s(
-    path: pathlib.Path, section: str = "parallel", workers: int = 1
+    path: pathlib.Path,
+    section: str = "parallel",
+    workers: int = 1,
+    rows_key: str = "workers",
+    row_field: str = "workers",
 ) -> float:
     """The committed warm frames/s for one bench row, or exit 2 if absent.
 
     The default row is the thread path's single-worker number; the
     ``--executor process`` gate reads the ``process`` section's
     2-worker row instead (2, not 4, so the gate measures the executor's
-    IPC machinery rather than the runner's core count).
+    IPC machinery rather than the runner's core count), and the
+    ``--cluster`` gate reads the ``cluster`` section's 1-replica row
+    (1, not 4, so the gate prices the placement/lifecycle overhead
+    rather than how the runner schedules K fabrics).
     """
     try:
         data = json.loads(path.read_text())
     except FileNotFoundError:
         print(f"bench regression: {path} not found", file=sys.stderr)
         sys.exit(2)
-    rows = data.get(section, {}).get("workers", [])
+    rows = data.get(section, {}).get(rows_key, [])
     for row in rows:
-        if row.get("workers") == workers:
+        if row.get(row_field) == workers:
             return float(row["warm_frames_per_s"])
     print(
-        f"bench regression: no {section} workers={workers} row in {path}",
+        f"bench regression: no {section} {row_field}={workers} row in {path}",
         file=sys.stderr,
     )
     sys.exit(2)
@@ -117,6 +131,37 @@ def _timed(fn, *args) -> float:
     t0 = time.perf_counter()
     fn(*args)
     return time.perf_counter() - t0
+
+
+def measure_cluster_frames_per_s(k: int = 7, warmup: int = 2) -> float:
+    """Warm min-of-k frames/s at the bench's cluster-section shape:
+    one replica, n = 256, 64-frame campaigns cycling 8 distinct plans."""
+    from repro.cluster import ClusterConfig, FabricCluster
+
+    n, frames, distinct = 256, 64, 8
+    pool = [
+        random_multicast(n, load=1.0, seed=n + i) for i in range(distinct)
+    ]
+    sequence = [pool[i % distinct] for i in range(frames)]
+    cluster = FabricCluster(
+        ClusterConfig(
+            replicas=1,
+            network=NetworkConfig(n, engine="fast"),
+            placement_seed=n,
+        )
+    )
+
+    def campaign():
+        for a in sequence:
+            cluster.submit(a)
+
+    try:
+        for _ in range(warmup):
+            campaign()
+        best = min(_timed(campaign) for _ in range(k))
+    finally:
+        cluster.close()
+    return frames / max(best, 1e-9)
 
 
 def load_summary(path: pathlib.Path) -> dict:
@@ -185,6 +230,12 @@ def main(argv=None) -> int:
         "section's 2-worker row",
     )
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="gate the cluster section's 1-replica warm frames/s row "
+        "instead of a raw executor row",
+    )
+    parser.add_argument(
         "--adaptive-gate",
         action="store_true",
         help="compare adaptive vs static overload summaries instead of "
@@ -226,7 +277,14 @@ def main(argv=None) -> int:
             parser.error("--adaptive-gate requires --static and --adaptive")
         return adaptive_gate(args)
 
-    if args.executor == "process":
+    if args.cluster:
+        committed = committed_frames_per_s(
+            args.json, section="cluster", workers=1,
+            rows_key="replicas", row_field="replicas",
+        )
+        measured = measure_cluster_frames_per_s()
+        label = "cluster (1-replica) warm campaign throughput"
+    elif args.executor == "process":
         committed = committed_frames_per_s(
             args.json, section="process", workers=2
         )

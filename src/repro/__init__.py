@@ -50,6 +50,9 @@ Subpackages:
 * :mod:`repro.control` — the adaptive control plane (sliding-window
   signal aggregation, pure AIMD/depth/worker/backoff controllers, a
   deterministic tick loop with a replayable decision log).
+* :mod:`repro.cluster` — the multi-replica serving tier (plan-affinity
+  rendezvous placement, health-aware failover, zero-loss rolling
+  restarts over K independent fabrics).
 * :mod:`repro.rbn` — the reverse banyan network substrate (compact
   sequences, merge lemmas, distributed self-routing algorithms).
 * :mod:`repro.hardware` — gate-level substrate and the cost / depth /
@@ -63,6 +66,14 @@ Subpackages:
 * :mod:`repro.viz` — ASCII rendering of routing frames.
 """
 
+from .cluster import (
+    ClusterConfig,
+    ClusterStats,
+    FabricCluster,
+    FabricReplica,
+    ReplicaState,
+    RollingRestart,
+)
 from .control import (
     ControlPlane,
     ControlPolicy,
@@ -123,11 +134,15 @@ __all__ = [
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
+    "ClusterConfig",
+    "ClusterStats",
     "CompositeObserver",
     "ControlPlane",
     "ControlPolicy",
     "DeadlineBudget",
     "DegradedResult",
+    "FabricCluster",
+    "FabricReplica",
     "FabricSnapshot",
     "FabricStats",
     "FaultKind",
@@ -142,8 +157,10 @@ __all__ = [
     "NullSink",
     "Observer",
     "QueueingSimulator",
+    "ReplicaState",
     "ResilienceEvent",
     "RetryPolicy",
+    "RollingRestart",
     "RoutingResult",
     "ShedFrame",
     "SignalWindow",

@@ -327,6 +327,92 @@ def build_parser() -> argparse.ArgumentParser:
         "per-priority sheds, losses) as JSON to this file",
     )
 
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run a seeded multi-replica cluster campaign "
+        "(plan-affinity routing, kills, rolling restarts)",
+    )
+    p_cluster.add_argument(
+        "--n", type=int, required=True, help="network size (per replica)"
+    )
+    p_cluster.add_argument(
+        "--replicas", type=int, default=2, help="fabric replicas"
+    )
+    p_cluster.add_argument(
+        "--frames", type=int, default=64, help="frames to route"
+    )
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--placement-seed",
+        type=int,
+        default=None,
+        help="rendezvous placement seed (default: --seed)",
+    )
+    p_cluster.add_argument(
+        "--engine", choices=("reference", "fast"), default="fast"
+    )
+    p_cluster.add_argument(
+        "--distinct",
+        type=int,
+        default=8,
+        help="distinct assignments cycled through the campaign (plan "
+        "affinity keeps each one's compiled plan on its home replica)",
+    )
+    p_cluster.add_argument(
+        "--faults",
+        type=int,
+        default=0,
+        help="faulty cells per replica plane (seeded; deterministic "
+        "kinds only, so replay and replica count cannot change results)",
+    )
+    p_cluster.add_argument(
+        "--kill-replica",
+        action="append",
+        default=[],
+        metavar="I@FRAME",
+        help="crash replica I while frame FRAME is in flight "
+        "(repeatable; its frame requeues once to a sibling)",
+    )
+    p_cluster.add_argument(
+        "--rolling-restart",
+        action="store_true",
+        help="run a rolling restart campaign: each replica drains, "
+        "snapshots, warm-restores and re-admits, spread over the run",
+    )
+    p_cluster.add_argument(
+        "--drain-frames",
+        type=int,
+        default=4,
+        help="rolling restart: drain window in cluster submissions",
+    )
+    p_cluster.add_argument(
+        "--admit-rate",
+        type=float,
+        default=None,
+        help="per-replica admission token refill per submit (e.g. 0.5 "
+        "models 2x load: half the placements shed at their home gate "
+        "and spill over; default: no admission gate)",
+    )
+    p_cluster.add_argument(
+        "--admit-burst",
+        type=float,
+        default=4.0,
+        help="per-replica admission token bucket capacity",
+    )
+    p_cluster.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the metrics registry as JSON to this file",
+    )
+    p_cluster.add_argument(
+        "--summary-out",
+        type=str,
+        default=None,
+        help="write the replay-deterministic campaign summary as JSON "
+        "to this file (two identically-seeded runs are byte-identical)",
+    )
+
     p_tags = sub.add_parser("tags", help="print a multicast's SEQ tag string")
     p_tags.add_argument("--n", type=int, required=True)
     p_tags.add_argument(
@@ -821,6 +907,153 @@ def _cmd_chaos_overload(args) -> int:
     return rc
 
 
+def _cmd_cluster(args) -> int:
+    """The ``cluster`` campaign: K replicas, kills, rolling restarts.
+
+    Routes a seeded frame sequence (``--distinct`` recurring
+    assignments, so plan affinity is visible in the hit rate) through a
+    :class:`~repro.cluster.FabricCluster`, with optional scheduled
+    replica kills, a rolling restart campaign, and per-replica
+    admission gates.  Same exit-code contract as ``chaos``: 0 on a
+    clean campaign, 2 on bad parameters, 3 when admitted frames were
+    lost or the accounting is incomplete (shed frames are accounted,
+    never exit 3 by themselves).
+    """
+    from .cluster import ClusterConfig, FabricCluster
+    from .faults import FaultKind, FaultPlan
+    from .obs import MetricsObserver
+    from .resilience import AdmissionPolicy
+    from .workloads.random_assignments import random_multicast
+
+    kills = []
+    for spec in args.kill_replica:
+        try:
+            replica_s, frame_s = spec.split("@", 1)
+            kills.append((int(replica_s), int(frame_s)))
+        except ValueError:
+            print(
+                f"bad --kill-replica {spec!r}: expected I@FRAME",
+                file=sys.stderr,
+            )
+            return 2
+    placement_seed = (
+        args.seed if args.placement_seed is None else args.placement_seed
+    )
+    metrics = MetricsObserver()
+    try:
+        plan = None
+        if args.faults > 0:
+            # Deterministic fault kinds only: flaky-link drop masks are
+            # attempt-indexed (per-plane state), which would make the
+            # outcome depend on how frames spread over replicas.
+            plan = FaultPlan.random(
+                args.n,
+                faults=args.faults,
+                seed=args.seed,
+                kinds=[FaultKind.STUCK_AT, FaultKind.DEAD_SWITCH],
+            )
+        admission = None
+        if args.admit_rate is not None:
+            admission = AdmissionPolicy(
+                rate=args.admit_rate, burst=args.admit_burst
+            )
+        cfg = NetworkConfig(
+            args.n,
+            engine=args.engine,
+            fault_plan=plan,
+            observer=metrics,
+            admission=admission,
+        )
+        cluster = FabricCluster(
+            ClusterConfig(
+                replicas=args.replicas,
+                network=cfg,
+                placement_seed=placement_seed,
+                drain_frames=args.drain_frames,
+            )
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"bad cluster campaign parameters: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"cluster campaign: n={args.n} replicas={args.replicas} "
+        f"frames={args.frames} seed={args.seed} "
+        f"placement_seed={placement_seed} engine={args.engine}"
+        + (f" faults={args.faults}" if args.faults else "")
+        + (
+            f" admit_rate={args.admit_rate}"
+            if args.admit_rate is not None
+            else ""
+        )
+    )
+    restart = None
+    try:
+        for replica, frame in kills:
+            cluster.kill_replica(replica, at_frame=frame)
+        if args.rolling_restart:
+            restart = cluster.rolling_restart()
+            restart.plan_campaign(args.frames)
+    except ValueError as exc:
+        print(f"bad cluster campaign schedule: {exc}", file=sys.stderr)
+        cluster.close()
+        return 2
+    distinct = max(1, args.distinct)
+    try:
+        for i in range(args.frames):
+            assignment = random_multicast(
+                args.n, seed=args.seed + 1 + (i % distinct)
+            )
+            cluster.submit(assignment)
+        if restart is not None:
+            restart.flush()
+        up_count = cluster.up_count
+        summary = dict(cluster.summary())
+    finally:
+        cluster.close()
+    stats = cluster.stats
+    generated = args.frames
+    accounted = stats.frames + stats.shed_frames
+    print()
+    print(
+        f"frames: {stats.frames} served, {stats.shed_frames} shed, "
+        f"{stats.requeues} requeued after a kill, "
+        f"{stats.spillovers} spilled over"
+    )
+    print(
+        f"terminals: {stats.deliveries} delivered, "
+        f"{stats.recovered_terminals} recovered, "
+        f"{stats.lost_terminals} lost"
+    )
+    print(
+        f"plans: {stats.plan_cache_hits} hits, "
+        f"{stats.plan_cache_misses} misses "
+        f"(hit rate {stats.plan_cache_hit_rate:.2f})"
+    )
+    print(
+        f"lifecycle: {stats.kills} kills, {stats.restarts} restarts, "
+        f"{up_count}/{args.replicas} replicas up"
+    )
+    print(
+        f"accounting: {accounted}/{generated} frames accounted "
+        f"({'complete' if accounted == generated else 'INCOMPLETE'})"
+    )
+    if args.summary_out is not None:
+        summary["seed"] = args.seed
+        summary["generated"] = generated
+        err = _write_text(
+            args.summary_out,
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        )
+        if err is not None:
+            print(err, file=sys.stderr)
+            return 2
+        print(f"campaign summary written to {args.summary_out}")
+    rc = _export_metrics(args, metrics)
+    if rc == 0 and (stats.lost_frames > 0 or accounted != generated):
+        return 3
+    return rc
+
+
 def _cmd_tags(args) -> int:
     dests = [int(d) for d in args.dests.split(",") if d.strip() != ""]
     tree = TagTree.from_destinations(args.n, dests)
@@ -909,6 +1142,7 @@ _COMMANDS = {
     "route": _cmd_route,
     "stats": _cmd_stats,
     "chaos": _cmd_chaos,
+    "cluster": _cmd_cluster,
     "tags": _cmd_tags,
     "structure": _cmd_structure,
     "table2": _cmd_table2,

@@ -1,0 +1,86 @@
+"""Plan-affinity placement: rendezvous hashing over replicas.
+
+The cluster's win condition is keeping the *cluster-wide* plan-cache
+hit rate near single-fabric levels: a repeated assignment must land on
+the replica that already compiled its
+:class:`~repro.core.fastplan.FramePlan`.  :class:`ClusterRouter` does
+this with rendezvous (highest-random-weight) hashing keyed on the
+assignment's content fingerprint
+(:func:`~repro.core.serialization.assignment_fingerprint`):
+
+* every (fingerprint, replica) pair hashes to a weight; the frame's
+  candidate order is the replicas sorted by descending weight,
+* the same fingerprint always produces the same order (placement is a
+  pure function of fingerprint, seed and the replica id set), so
+  repeated assignments stick to their home replica,
+* removing a replica only re-homes the fingerprints whose top choice
+  it was — every other assignment keeps its warm cache (the classic
+  rendezvous minimal-disruption property),
+* a ``seed`` is mixed into every weight so distinct clusters spread
+  the same workload differently, deterministically.
+
+Health-aware balancing is layered on top: serving (UP) replicas are
+partitioned into unimpaired and impaired (open breaker / quarantined
+primary), each partition keeps rendezvous order, and impaired replicas
+go to the back.  DOWN replicas never appear; DRAINING replicas are
+offered only when nothing else serves (they are alive — refusing
+traffic during a single-replica rolling restart would lose frames).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from .replica import FabricReplica, ReplicaState
+
+__all__ = ["ClusterRouter"]
+
+
+class ClusterRouter:
+    """Deterministic rendezvous placement with health-aware ordering.
+
+    Args:
+        seed: mixed into every placement weight; two routers with the
+            same seed produce identical placements.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def weight(self, fingerprint: str, replica_index: int) -> str:
+        """The rendezvous weight of one (assignment, replica) pair.
+
+        A hex sha256 digest — compared lexicographically, which is
+        exactly comparing the 256-bit integers, so ordering is
+        deterministic across platforms and Python hash randomization.
+        """
+        key = f"{self.seed}:{replica_index}:{fingerprint}"
+        return hashlib.sha256(key.encode("ascii")).hexdigest()
+
+    def order(
+        self, fingerprint: str, replicas: Sequence[FabricReplica]
+    ) -> List[FabricReplica]:
+        """Candidate replicas for one frame, best first.
+
+        UP replicas in rendezvous order, unimpaired before impaired;
+        when no replica is UP, the DRAINING ones (same ordering) so a
+        fully-draining cluster still serves.  DOWN replicas are never
+        returned.  Empty means the cluster has no alive replica.
+        """
+
+        def ranked(pool: List[FabricReplica]) -> List[FabricReplica]:
+            healthy = [r for r in pool if not r.impaired]
+            impaired = [r for r in pool if r.impaired]
+            key = lambda r: (self.weight(fingerprint, r.index), r.index)
+            return sorted(healthy, key=key, reverse=True) + sorted(
+                impaired, key=key, reverse=True
+            )
+
+        up = [r for r in replicas if r.state is ReplicaState.UP]
+        if up:
+            return ranked(up)
+        draining = [
+            r for r in replicas if r.state is ReplicaState.DRAINING
+        ]
+        return ranked(draining)

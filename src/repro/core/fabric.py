@@ -245,6 +245,7 @@ class MulticastFabric:
                 ),
             )
         self.snapshot_path = cfg.snapshot_path
+        self._closed = False
         if self.snapshot_path is not None and os.path.exists(
             self.snapshot_path
         ):
@@ -268,6 +269,10 @@ class MulticastFabric:
         including a shed one — counts toward the control plane's tick
         cadence, so the adaptive loops see overload as it happens.
         """
+        # A submit after close() transparently restarts the session
+        # (the pools re-spawn lazily), so the next close() is live
+        # again — it must persist the newly-accumulated state.
+        self._closed = False
         if self.control is None:
             return self._submit(assignment, priority)
         try:
@@ -455,8 +460,14 @@ class MulticastFabric:
         leak its worker threads.  With ``snapshot_path`` on the config
         a warm-restart snapshot is written first (before the pools
         drain), so the next fabric constructed with the same path
-        restores warm.
+        restores warm.  A second ``close()`` with no submit in between
+        is a no-op: in particular it does *not* re-persist the snapshot
+        (a drain manager closing an already-closed fabric must not
+        overwrite the file with a post-drain state).
         """
+        if self._closed:
+            return
+        self._closed = True
         if self.snapshot_path is not None:
             self.snapshot().save(self.snapshot_path)
         try:

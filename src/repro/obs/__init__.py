@@ -33,6 +33,7 @@ Quick start::
 
 from .events import (
     CacheEvent,
+    ClusterEvent,
     CompositeObserver,
     FaultEvent,
     FrameDone,
@@ -52,6 +53,7 @@ from .tracing import FrameTimeline, TracingObserver
 
 __all__ = [
     "CacheEvent",
+    "ClusterEvent",
     "CompositeObserver",
     "FaultEvent",
     "FrameDone",

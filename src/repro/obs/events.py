@@ -33,7 +33,12 @@ in-flight compilation.  The overload-resilience layer
 admission decisions, deadline expiries, circuit-breaker transitions,
 crash-safe shard recoveries and warm-restart snapshots.  The adaptive
 control plane (:mod:`repro.control`) emits :class:`ControlEvent`
-samples: one per control tick plus one per actuator adjustment.
+samples: one per control tick plus one per actuator adjustment.  The
+multi-replica serving tier (:mod:`repro.cluster`) emits
+:class:`ClusterEvent` samples: per-replica frame placement, requeues
+after a replica death, admission spill-overs, replica state
+transitions and rolling-restart lifecycle (drain / snapshot /
+warm-restore / re-admit).
 
 Observation is strictly pay-for-what-you-use: every emission site is
 gated on ``observer is not None and observer.enabled``, so routing with
@@ -59,6 +64,7 @@ __all__ = [
     "ProcessEvent",
     "ResilienceEvent",
     "ControlEvent",
+    "ClusterEvent",
     "Observer",
     "NullSink",
     "CompositeObserver",
@@ -363,6 +369,48 @@ class ControlEvent:
     t_ns: int = 0
 
 
+@dataclass(frozen=True)
+class ClusterEvent:
+    """The multi-replica serving tier placed, moved or restarted work.
+
+    Emitted by :class:`~repro.cluster.cluster.FabricCluster` and
+    :class:`~repro.cluster.restart.RollingRestart` so multi-replica
+    behaviour shows up in the same observer stream — and the new
+    ``repro_cluster_*`` metric families — as single-fabric routing.
+
+    Attributes:
+        action: ``"submitted"`` (a frame was served by its placed
+            replica), ``"requeued"`` (a frame's home replica died
+            between placement and service; the frame was requeued —
+            exactly once — to a sibling), ``"spillover"`` (the home
+            replica's admission gate shed the frame and a sibling
+            served it instead), ``"shed"`` (every candidate shed the
+            frame — it never routed), ``"state"`` (a replica changed
+            lifecycle state; see ``state``), ``"drain"`` /
+            ``"snapshot"`` / ``"restore"`` / ``"readmit"`` (rolling
+            restart phases), or ``"killed"`` (a replica was torn down
+            without a drain).
+        replica: index of the replica concerned (-1 when none, e.g. a
+            fully shed frame).
+        state: for ``"state"`` events, the replica's new lifecycle
+            state (``"up"`` / ``"draining"`` / ``"down"``); empty
+            otherwise.
+        frames: frames covered by the event (1 per placement decision).
+        plans: warm-restored plans (``"restore"`` events only).
+        up: replicas accepting new placements after this event
+            (``"state"`` events only; -1 otherwise).
+        t_ns: ``perf_counter_ns`` timestamp of the emission.
+    """
+
+    action: str
+    replica: int = -1
+    state: str = ""
+    frames: int = 1
+    plans: int = 0
+    up: int = -1
+    t_ns: int = 0
+
+
 class Observer:
     """Base observer: every hook is a no-op; subclass what you need.
 
@@ -403,6 +451,9 @@ class Observer:
 
     def on_control(self, event: ControlEvent) -> None:
         """The adaptive control plane ticked or adjusted an actuator."""
+
+    def on_cluster(self, event: ClusterEvent) -> None:
+        """The multi-replica serving tier reported an event."""
 
 
 class NullSink(Observer):
@@ -471,3 +522,7 @@ class CompositeObserver(Observer):
     def on_control(self, event: ControlEvent) -> None:
         for o in self.observers:
             o.on_control(event)
+
+    def on_cluster(self, event: ClusterEvent) -> None:
+        for o in self.observers:
+            o.on_cluster(event)

@@ -55,6 +55,15 @@ metric                                  type       source event
 ``repro_control_compile_ahead_depth``   gauge      ControlEvent "adjust" depth
 ``repro_control_worker_target``         gauge      ControlEvent "adjust" worker_target
 ``repro_control_backoff_scale``         gauge      ControlEvent "adjust" backoff_scale
+``repro_cluster_frames_total{replica}`` counter    ClusterEvent "submitted"/"requeued"/"spillover"
+``repro_cluster_requeues_total``        counter    ClusterEvent "requeued"
+``repro_cluster_spillovers_total``      counter    ClusterEvent "spillover"
+``repro_cluster_shed_total``            counter    ClusterEvent "shed"
+``repro_cluster_replica_state{replica}``  gauge    ClusterEvent "state"
+``repro_cluster_replicas_up``           gauge      ClusterEvent "state"
+``repro_cluster_restarts_total``        counter    ClusterEvent "readmit"
+``repro_cluster_kills_total``           counter    ClusterEvent "killed"
+``repro_cluster_plans_warmed_total``    counter    ClusterEvent "restore"
 ======================================  =========  ==========================
 
 Latency histograms use power-of-two nanosecond buckets
@@ -73,6 +82,7 @@ import threading
 
 from .events import (
     CacheEvent,
+    ClusterEvent,
     ControlEvent,
     FaultEvent,
     FrameDone,
@@ -310,6 +320,49 @@ class MetricsObserver(Observer):
             "Healing retry-backoff scale currently applied "
             "(1 = base policy).",
         )
+        self._cluster_frames = r.counter(
+            "repro_cluster_frames_total",
+            "Frames served per cluster replica (including requeued "
+            "and spilled-over frames, attributed to the serving "
+            "replica).",
+            ("replica",),
+        )
+        self._cluster_requeues = r.counter(
+            "repro_cluster_requeues_total",
+            "Frames requeued to a sibling after their home replica "
+            "died between placement and service (exactly once each).",
+        )
+        self._cluster_spillovers = r.counter(
+            "repro_cluster_spillovers_total",
+            "Frames served by a sibling after the home replica's "
+            "admission gate shed them.",
+        )
+        self._cluster_shed = r.counter(
+            "repro_cluster_shed_total",
+            "Frames shed by every candidate replica (never routed).",
+        )
+        self._cluster_replica_state = r.gauge(
+            "repro_cluster_replica_state",
+            "Replica lifecycle state (0 up, 1 draining, 2 down).",
+            ("replica",),
+        )
+        self._cluster_up = r.gauge(
+            "repro_cluster_replicas_up",
+            "Replicas currently accepting new placements.",
+        )
+        self._cluster_restarts = r.counter(
+            "repro_cluster_restarts_total",
+            "Rolling-restart cycles completed (replica re-admitted).",
+        )
+        self._cluster_kills = r.counter(
+            "repro_cluster_kills_total",
+            "Replicas torn down without a drain.",
+        )
+        self._cluster_plans_warmed = r.counter(
+            "repro_cluster_plans_warmed_total",
+            "Plans warm-restored into restarted replicas from their "
+            "drain snapshots.",
+        )
 
     def on_frame_start(self, event: FrameStart) -> None:
         """Observe the assignment's fanout; remember the frame labels.
@@ -426,6 +479,35 @@ class MetricsObserver(Observer):
             elif action in ("snapshot_saved", "snapshot_restored"):
                 self._res_snapshot.inc(1, action=action)
 
+    def on_cluster(self, event: ClusterEvent) -> None:
+        """Fold a serving-tier event into the ``repro_cluster_*``
+        families."""
+        action = event.action
+        with self._lock:
+            if action in ("submitted", "requeued", "spillover"):
+                self._cluster_frames.inc(
+                    event.frames, replica=str(event.replica)
+                )
+                if action == "requeued":
+                    self._cluster_requeues.inc(event.frames)
+                elif action == "spillover":
+                    self._cluster_spillovers.inc(event.frames)
+            elif action == "shed":
+                self._cluster_shed.inc(event.frames)
+            elif action == "state":
+                self._cluster_replica_state.set(
+                    _REPLICA_STATES.get(event.state, 2),
+                    replica=str(event.replica),
+                )
+                if event.up >= 0:
+                    self._cluster_up.set(event.up)
+            elif action == "readmit":
+                self._cluster_restarts.inc(1)
+            elif action == "killed":
+                self._cluster_kills.inc(1)
+            elif action == "restore":
+                self._cluster_plans_warmed.inc(event.plans)
+
     def on_control(self, event: ControlEvent) -> None:
         """Fold a control-plane event into the ``repro_control_*``
         families."""
@@ -445,6 +527,7 @@ class MetricsObserver(Observer):
 
 
 _PLANE_STATES = {"readmitted": 0, "probation": 1, "quarantined": 2}
+_REPLICA_STATES = {"up": 0, "draining": 1, "down": 2}
 _BREAKER_STATES = {"breaker_closed": 0, "breaker_half_open": 1, "breaker_open": 2}
 _CONTROL_GAUGES = {
     "rate": "_control_rate",

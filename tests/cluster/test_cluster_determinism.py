@@ -1,0 +1,161 @@
+"""Acceptance property: cluster routing == single-fabric routing.
+
+K replicas built from one NetworkConfig must deliver bit-identically
+to a single fabric routing the same frame sequence — healthy, under
+deterministic fault plans, and across a mid-campaign replica kill.
+Fault campaigns use the attempt-independent kinds (stuck_at,
+dead_switch): flaky_link drop masks are attempt-indexed per-plane
+state, so they are exempt from the *cross-replica-count* contract (see
+docs/cluster.md).
+"""
+
+import random
+
+import pytest
+
+from repro import ClusterConfig, FabricCluster, MulticastFabric, NetworkConfig
+from repro.faults import FaultKind, FaultPlan
+
+from conftest import make_random_assignment
+
+SIZES = [8, 16, 64]
+
+
+def frame_pool(n, seed, distinct=6, count=40):
+    rng = random.Random(seed)
+    pool = [make_random_assignment(n, rng) for _ in range(distinct)]
+    return [pool[i % distinct] for i in range(count)]
+
+
+def deterministic_plan(n, seed):
+    return FaultPlan.random(
+        n,
+        faults=2,
+        seed=seed,
+        kinds=[FaultKind.STUCK_AT, FaultKind.DEAD_SWITCH],
+    )
+
+
+def assert_same_result(a, b, context):
+    if hasattr(a, "outcomes") or hasattr(b, "outcomes"):
+        assert hasattr(a, "outcomes") and hasattr(b, "outcomes"), context
+        assert a.lost == b.lost, context
+        assert a.recovered == b.recovered, context
+    assert a.outputs == b.outputs, context
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("replicas", [1, 2, 3])
+    def test_healthy(self, n, replicas):
+        frames = frame_pool(n, seed=n)
+        cluster = FabricCluster(
+            ClusterConfig(
+                replicas=replicas,
+                network=NetworkConfig(n, engine="fast"),
+                placement_seed=7,
+            )
+        )
+        single = MulticastFabric(NetworkConfig(n, engine="fast"))
+        try:
+            for i, a in enumerate(frames):
+                assert_same_result(
+                    cluster.submit(a), single.submit(a), f"frame {i}"
+                )
+        finally:
+            cluster.close()
+            single.close()
+        assert cluster.stats.frames == single.stats.frames
+        assert cluster.stats.deliveries == single.stats.deliveries
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_with_fault_plan(self, n):
+        """Health thresholds are pinned sky-high (``health_factory`` /
+        ``health=``) so no plane quarantines: quarantine transitions
+        are per-plane *session* state — they depend on which frames a
+        plane saw, which is exactly what placement changes."""
+        from repro.faults.health import HealthTracker
+
+        plan = deterministic_plan(n, seed=n + 1)
+        frames = frame_pool(n, seed=n + 2)
+        never = 10**9
+        cluster = FabricCluster(
+            ClusterConfig(
+                replicas=3,
+                network=NetworkConfig(n, engine="fast", fault_plan=plan),
+                placement_seed=3,
+            ),
+            health_factory=lambda: HealthTracker(fail_threshold=never),
+        )
+        single = MulticastFabric(
+            NetworkConfig(n, engine="fast", fault_plan=plan),
+            health=HealthTracker(fail_threshold=never),
+        )
+        try:
+            for i, a in enumerate(frames):
+                assert_same_result(
+                    cluster.submit(a), single.submit(a), f"frame {i}"
+                )
+        finally:
+            cluster.close()
+            single.close()
+        assert cluster.stats.lost_terminals == single.stats.lost_terminals
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_with_mid_campaign_kill(self, n):
+        """Killing a replica mid-campaign changes *where* frames run,
+        never *what* they deliver — including the requeued frame."""
+        frames = frame_pool(n, seed=n + 3)
+        cluster = FabricCluster(
+            ClusterConfig(
+                replicas=3,
+                network=NetworkConfig(n, engine="fast"),
+                placement_seed=1,
+            )
+        )
+        single = MulticastFabric(NetworkConfig(n, engine="fast"))
+        kill_at = len(frames) // 2
+        # Kill the *home* of the mid-campaign frame so the requeue path
+        # actually runs.
+        from repro.core.serialization import assignment_fingerprint
+
+        victim = cluster.router.order(
+            assignment_fingerprint(frames[kill_at]), cluster.replicas
+        )[0].index
+        cluster.kill_replica(victim, at_frame=kill_at)
+        try:
+            for i, a in enumerate(frames):
+                assert_same_result(
+                    cluster.submit(a), single.submit(a), f"frame {i}"
+                )
+        finally:
+            cluster.close()
+            single.close()
+        assert cluster.stats.kills == 1
+        assert cluster.stats.requeues == 1
+        assert cluster.stats.frames == len(frames)
+        assert cluster.stats.deliveries == single.stats.deliveries
+
+
+class TestReplayDeterminism:
+    def test_identical_campaigns_identical_summaries(self):
+        def campaign():
+            cluster = FabricCluster(
+                ClusterConfig(
+                    replicas=3,
+                    network=NetworkConfig(16, engine="fast"),
+                    placement_seed=11,
+                )
+            )
+            cluster.kill_replica(2, at_frame=10)
+            restart = cluster.rolling_restart(drain_frames=3)
+            restart.plan_campaign(30)
+            try:
+                for a in frame_pool(16, seed=42, count=30):
+                    cluster.submit(a)
+                restart.flush()
+                return cluster.summary()
+            finally:
+                cluster.close()
+
+        assert campaign() == campaign()

@@ -1,0 +1,203 @@
+"""RollingRestart: zero loss, warm restore, persistence, scheduling."""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro import ClusterConfig, FabricCluster, MulticastFabric, NetworkConfig
+from repro.cluster import ReplicaState
+
+from conftest import make_random_assignment
+
+
+def build(replicas=3, n=16, **cluster_kw):
+    return FabricCluster(
+        ClusterConfig(
+            replicas=replicas,
+            network=NetworkConfig(n, engine="fast"),
+            placement_seed=2,
+            **cluster_kw,
+        )
+    )
+
+
+def frames(count, n=16, seed=1, distinct=5):
+    rng = random.Random(seed)
+    pool = [make_random_assignment(n, rng) for _ in range(distinct)]
+    return [pool[i % distinct] for i in range(count)]
+
+
+class TestZeroLoss:
+    def test_full_campaign_loses_nothing(self):
+        """Every replica restarts mid-traffic; accounting stays exact
+        and results stay bit-identical to a single fabric."""
+        c = build()
+        single = MulticastFabric(NetworkConfig(16, engine="fast"))
+        fs = frames(60)
+        restart = c.rolling_restart(drain_frames=4)
+        restart.plan_campaign(len(fs))
+        try:
+            for a in fs:
+                assert c.submit(a).outputs == single.submit(a).outputs
+            restart.flush()
+        finally:
+            c.close()
+            single.close()
+        assert c.stats.frames == len(fs)
+        assert c.stats.shed_frames == 0
+        assert c.stats.restarts == 3
+        assert restart.pending == 0
+        assert [r.generation for r in c.replicas] == [1, 1, 1]
+
+    def test_restart_with_kill_at_2x_load(self):
+        """The acceptance campaign: rolling restart plus a replica kill
+        under a 2x-overload admission gate — zero *admitted* frames
+        lost, shed accounting exact."""
+        from repro.resilience import AdmissionPolicy
+
+        c = FabricCluster(
+            ClusterConfig(
+                replicas=3,
+                network=NetworkConfig(
+                    16,
+                    engine="fast",
+                    admission=AdmissionPolicy(rate=0.5, burst=4.0),
+                ),
+                placement_seed=4,
+            )
+        )
+        fs = frames(64)
+        c.kill_replica(1, at_frame=20)
+        restart = c.rolling_restart(drain_frames=4)
+        restart.plan_campaign(len(fs))
+        try:
+            for a in fs:
+                c.submit(a)
+            restart.flush()
+        finally:
+            c.close()
+        s = c.stats
+        assert s.lost_frames == 0
+        assert s.frames + s.shed_frames == len(fs)
+        assert s.shed_frames > 0  # the gate is genuinely overloaded
+        assert s.kills == 1
+        assert s.restarts == 3
+
+
+class TestWarmRestore:
+    def test_restart_preserves_plan_cache(self):
+        """After the restart the successor fabric answers the recurring
+        assignments from its warm-restored cache: no new compiles.
+
+        ``drain_frames=0`` swaps each replica between two frames, so no
+        frame is re-homed during a drain window — any new miss could
+        only come from a cold successor cache.
+        """
+        c = build(replicas=2)
+        fs = frames(20, distinct=4)
+        try:
+            for a in fs:
+                c.submit(a)
+            misses_before = c.stats.plan_cache_misses
+            restart = c.rolling_restart(drain_frames=0)
+            restart.schedule(0, at_frame=c.frame_index)
+            restart.schedule(1, at_frame=c.frame_index + 4)
+            for a in frames(20, distinct=4):
+                c.submit(a)
+            restart.flush()
+            assert c.stats.restarts == 2
+            assert c.stats.plan_cache_misses == misses_before
+        finally:
+            c.close()
+
+    def test_snapshot_dir_persistence(self, tmp_path):
+        c = build(replicas=2, snapshot_dir=str(tmp_path))
+        try:
+            for a in frames(10):
+                c.submit(a)
+            restart = c.rolling_restart(drain_frames=1)
+            restart.schedule(0, at_frame=c.frame_index)
+            for a in frames(4):
+                c.submit(a)
+            restart.flush()
+        finally:
+            c.close()
+        path = tmp_path / "replica-0.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "fabric_snapshot"
+        assert doc["assignments"]
+
+
+class TestScheduling:
+    def test_draining_replica_takes_no_new_placements(self):
+        c = build()
+        restart = c.rolling_restart(drain_frames=6)
+        restart.schedule(0, at_frame=2)
+        fs = frames(8)
+        try:
+            served_before = c.replicas[0].frames_served
+            for a in fs[:2]:
+                c.submit(a)
+            for a in fs[2:]:
+                c.submit(a)
+                if c.replicas[0].state is ReplicaState.DRAINING:
+                    assert (
+                        c.replicas[0].frames_served
+                        <= served_before + 2
+                    )
+            restart.flush()
+        finally:
+            c.close()
+
+    def test_schedule_validation(self):
+        c = build()
+        restart = c.rolling_restart()
+        with pytest.raises(ValueError, match="out of range"):
+            restart.schedule(5, at_frame=0)
+        c.submit(frames(1)[0])
+        with pytest.raises(ValueError, match="already at frame"):
+            restart.schedule(0, at_frame=0)
+        c.close()
+
+    def test_killed_replica_restarts_cold(self):
+        """A replica killed before its restart slot still cycles — as a
+        cold restart (nothing left to snapshot)."""
+        c = build(replicas=2)
+        restart = c.rolling_restart(drain_frames=2)
+        c.kill_replica(0, at_frame=3)
+        restart.schedule(0, at_frame=6)
+        try:
+            for a in frames(12):
+                c.submit(a)
+            restart.flush()
+        finally:
+            c.close()
+        assert c.stats.kills == 1
+        assert c.stats.restarts == 1
+        assert c.replicas[0].generation == 1
+
+    def test_single_replica_rolling_restart(self):
+        """K=1: the lone replica drains (the cluster falls back to the
+        draining replica rather than refusing) and swaps with zero
+        loss."""
+        c = build(replicas=1)
+        restart = c.rolling_restart(drain_frames=3)
+        restart.plan_campaign(12)
+        fs = frames(12)
+        try:
+            for a in fs:
+                c.submit(a)
+            restart.flush()
+        finally:
+            c.close()
+        assert c.stats.frames == len(fs)
+        assert c.stats.restarts == 1
+
+    def test_negative_drain_frames_rejected(self):
+        c = build()
+        with pytest.raises(ValueError, match="drain_frames"):
+            c.rolling_restart(drain_frames=-1)
+        c.close()

@@ -1,0 +1,149 @@
+"""ClusterRouter: rendezvous affinity, determinism, health ordering."""
+
+import random
+
+import pytest
+
+from repro import ClusterConfig, FabricCluster, NetworkConfig
+from repro.cluster import ClusterRouter, ReplicaState
+from repro.core.serialization import assignment_fingerprint
+
+from conftest import make_random_assignment
+
+
+def cluster_of(k, seed=0, n=16, **net_kw):
+    cfg = ClusterConfig(
+        replicas=k,
+        network=NetworkConfig(n, engine="fast", **net_kw),
+        placement_seed=seed,
+    )
+    return FabricCluster(cfg)
+
+
+def fingerprints(n=16, count=20, seed=0):
+    rng = random.Random(seed)
+    return [
+        assignment_fingerprint(make_random_assignment(n, rng))
+        for _ in range(count)
+    ]
+
+
+class TestRendezvous:
+    def test_placement_is_deterministic(self):
+        c1, c2 = cluster_of(4, seed=3), cluster_of(4, seed=3)
+        try:
+            for fp in fingerprints():
+                o1 = [r.index for r in c1.router.order(fp, c1.replicas)]
+                o2 = [r.index for r in c2.router.order(fp, c2.replicas)]
+                assert o1 == o2
+        finally:
+            c1.close()
+            c2.close()
+
+    def test_seed_changes_placement(self):
+        c1, c2 = cluster_of(4, seed=0), cluster_of(4, seed=1)
+        try:
+            homes1 = [
+                c1.router.order(fp, c1.replicas)[0].index
+                for fp in fingerprints()
+            ]
+            homes2 = [
+                c2.router.order(fp, c2.replicas)[0].index
+                for fp in fingerprints()
+            ]
+            assert homes1 != homes2
+        finally:
+            c1.close()
+            c2.close()
+
+    def test_every_replica_is_someones_home(self):
+        """Rendezvous spreads distinct fingerprints over all replicas."""
+        c = cluster_of(4)
+        try:
+            homes = {
+                c.router.order(fp, c.replicas)[0].index
+                for fp in fingerprints(count=64)
+            }
+            assert homes == {0, 1, 2, 3}
+        finally:
+            c.close()
+
+    def test_minimal_disruption_on_replica_loss(self):
+        """Removing one replica re-homes only its own fingerprints."""
+        c = cluster_of(4)
+        try:
+            fps = fingerprints(count=64)
+            before = {
+                fp: c.router.order(fp, c.replicas)[0].index for fp in fps
+            }
+            c.replicas[2].kill()
+            after = {
+                fp: c.router.order(fp, c.replicas)[0].index for fp in fps
+            }
+            for fp in fps:
+                if before[fp] != 2:
+                    assert after[fp] == before[fp]
+                else:
+                    assert after[fp] != 2
+        finally:
+            c.close()
+
+
+class TestHealthOrdering:
+    def test_down_replicas_never_returned(self):
+        c = cluster_of(3)
+        try:
+            c.replicas[1].kill()
+            for fp in fingerprints(count=10):
+                assert 1 not in [
+                    r.index for r in c.router.order(fp, c.replicas)
+                ]
+        finally:
+            c.close()
+
+    def test_draining_excluded_while_up_exists(self):
+        c = cluster_of(3)
+        try:
+            c.replicas[0].drain()
+            for fp in fingerprints(count=10):
+                order = [r.index for r in c.router.order(fp, c.replicas)]
+                assert 0 not in order and len(order) == 2
+        finally:
+            c.close()
+
+    def test_draining_fallback_when_nothing_up(self):
+        """A fully-draining cluster still serves (drains are graceful)."""
+        c = cluster_of(2)
+        try:
+            for r in c.replicas:
+                r.drain()
+            for fp in fingerprints(count=5):
+                order = c.router.order(fp, c.replicas)
+                assert [r.state for r in order] == [
+                    ReplicaState.DRAINING,
+                    ReplicaState.DRAINING,
+                ]
+        finally:
+            c.close()
+
+    def test_weight_is_pure(self):
+        router = ClusterRouter(seed=9)
+        fp = fingerprints(count=1)[0]
+        assert router.weight(fp, 0) == router.weight(fp, 0)
+        assert router.weight(fp, 0) != router.weight(fp, 1)
+
+
+class TestAffinity:
+    def test_repeated_assignments_stay_home(self):
+        """Plan affinity: the cluster-wide hit rate matches the miss
+        count of a single fabric (one compile per distinct plan)."""
+        c = cluster_of(4)
+        try:
+            rng = random.Random(5)
+            pool = [make_random_assignment(16, rng) for _ in range(6)]
+            for i in range(60):
+                c.submit(pool[i % len(pool)])
+            assert c.stats.plan_cache_misses == len(pool)
+            assert c.stats.plan_cache_hits == 60 - len(pool)
+        finally:
+            c.close()

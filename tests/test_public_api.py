@@ -17,11 +17,15 @@ STABLE_API = [
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
+    "ClusterConfig",
+    "ClusterStats",
     "CompositeObserver",
     "ControlPlane",
     "ControlPolicy",
     "DeadlineBudget",
     "DegradedResult",
+    "FabricCluster",
+    "FabricReplica",
     "FabricSnapshot",
     "FabricStats",
     "FaultKind",
@@ -36,8 +40,10 @@ STABLE_API = [
     "NullSink",
     "Observer",
     "QueueingSimulator",
+    "ReplicaState",
     "ResilienceEvent",
     "RetryPolicy",
+    "RollingRestart",
     "RoutingResult",
     "ShedFrame",
     "SignalWindow",
@@ -91,6 +97,7 @@ class TestTopLevel:
         "repro.faults",
         "repro.resilience",
         "repro.control",
+        "repro.cluster",
         "repro.rbn",
         "repro.hardware",
         "repro.baselines",
@@ -119,7 +126,7 @@ class TestDocstringCoverage:
         undocumented = []
         for module_name in (
             "repro.core", "repro.obs", "repro.faults", "repro.resilience",
-            "repro.control", "repro.rbn", "repro.hardware", "repro.baselines",
+            "repro.control", "repro.cluster", "repro.rbn", "repro.hardware", "repro.baselines",
             "repro.workloads", "repro.analysis", "repro.viz",
         ):
             mod = importlib.import_module(module_name)
